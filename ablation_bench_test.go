@@ -1,0 +1,107 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+// Ablation benches: the cost of each design choice DESIGN.md calls out.
+
+// figure1Workload drives one message per group on Figure 1.
+func figure1Workload(s *core.System) {
+	s.Multicast(0, 0, nil)
+	s.Multicast(1, 1, nil)
+	s.Multicast(2, 2, nil)
+	s.Multicast(3, 3, nil)
+}
+
+// BenchmarkAblation_ChargeModel: the §4.3 cost accounting is bookkeeping
+// only — this measures its wall-clock overhead.
+func BenchmarkAblation_ChargeModel(b *testing.B) {
+	topo := groups.Figure1()
+	for _, charged := range []bool{false, true} {
+		b.Run(fmt.Sprintf("charged=%v", charged), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewSystem(topo, failure.NewPattern(5),
+					core.Options{ChargeObjects: charged}, int64(i))
+				figure1Workload(s)
+				if !s.Run() {
+					b.Fatal("no quiescence")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_QuorumGate: the quorum-responsiveness gate queries Σ on
+// every action attempt; full-participation behaviour is unchanged.
+func BenchmarkAblation_QuorumGate(b *testing.B) {
+	topo := groups.Figure1()
+	for _, gated := range []bool{false, true} {
+		b.Run(fmt.Sprintf("gated=%v", gated), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewSystem(topo, failure.NewPattern(5),
+					core.Options{QuorumGate: gated}, int64(i))
+				figure1Workload(s)
+				if !s.Run() {
+					b.Fatal("no quiescence")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_DetectorDelay: delivery latency after a crash grows
+// with the detectors' stabilisation delay — the synchrony knob μ's
+// components expose. Reports the completion time (virtual ticks) of a
+// message blocked behind a faulty cyclic family.
+func BenchmarkAblation_DetectorDelay(b *testing.B) {
+	topo := groups.Figure1()
+	for _, delay := range []failure.Time{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("delay=%d", delay), func(b *testing.B) {
+			var total int64
+			for i := 0; i < b.N; i++ {
+				pat := failure.NewPattern(5).WithCrash(1, 10) // g1∩g2 dies
+				s := core.NewSystem(topo, pat, core.Options{FD: fd.Options{Delay: delay}}, int64(i))
+				m := s.Multicast(0, 0, nil) // g1's message waits on γ
+				if !s.Run() {
+					b.Fatal("no quiescence")
+				}
+				at, ok := s.Sh.FirstDeliveredAt(m.ID)
+				if !ok {
+					b.Fatal("message lost")
+				}
+				total += int64(at)
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "ticks-to-deliver")
+		})
+	}
+}
+
+// BenchmarkAblation_Variants: the four problem flavours on one acyclic
+// topology — what each guarantee costs.
+func BenchmarkAblation_Variants(b *testing.B) {
+	topo := groups.MustNew(5,
+		groups.NewProcSet(0, 1, 2),
+		groups.NewProcSet(2, 3, 4),
+	)
+	for _, v := range []core.Variant{core.Vanilla, core.Strict, core.Pairwise, core.StronglyGenuine} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewSystem(topo, failure.NewPattern(5),
+					core.Options{Variant: v}, int64(i))
+				s.Multicast(0, 0, nil)
+				s.Multicast(3, 1, nil)
+				s.Multicast(2, 0, nil)
+				if !s.Run() {
+					b.Fatal("no quiescence")
+				}
+			}
+		})
+	}
+}

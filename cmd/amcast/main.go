@@ -1,0 +1,157 @@
+// Command amcast runs an atomic-multicast scenario from the command line
+// and prints the delivery trace plus a specification check.
+//
+// Usage:
+//
+//	amcast -groups "0,1;1,2;0,2,3" -msgs "0>0;1>1;2>2" \
+//	       -crash "1@40" -variant strict -seed 7
+//
+// Groups are semicolon-separated member lists; messages are src>group
+// pairs; crashes are process@time pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+func main() {
+	var (
+		groupsFlag  = flag.String("groups", "0,1;1,2;0,2", "semicolon-separated groups (comma-separated members)")
+		msgsFlag    = flag.String("msgs", "0>0;1>1", "semicolon-separated multicasts src>group[@time]")
+		crashFlag   = flag.String("crash", "", "semicolon-separated crashes proc@time")
+		variantFlag = flag.String("variant", "vanilla", "vanilla | strict | pairwise | strong")
+		seedFlag    = flag.Int64("seed", 1, "scheduler seed")
+		delayFlag   = flag.Int64("delay", 8, "failure-detector stabilisation delay")
+		costsFlag   = flag.Bool("costs", false, "enable the §4.3 cost accounting")
+	)
+	flag.Parse()
+	if err := run(*groupsFlag, *msgsFlag, *crashFlag, *variantFlag, *seedFlag, *delayFlag, *costsFlag); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(groupSpec, msgSpec, crashSpec, variant string, seed, delay int64, costs bool) error {
+	var sets []groups.ProcSet
+	maxP := 0
+	for _, gs := range strings.Split(groupSpec, ";") {
+		var set groups.ProcSet
+		for _, ms := range strings.Split(gs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(ms))
+			if err != nil {
+				return fmt.Errorf("bad group member %q: %w", ms, err)
+			}
+			if p > maxP {
+				maxP = p
+			}
+			set = set.Add(groups.Process(p))
+		}
+		sets = append(sets, set)
+	}
+	topo, err := groups.New(maxP+1, sets...)
+	if err != nil {
+		return err
+	}
+
+	pat := failure.NewPattern(maxP + 1)
+	if crashSpec != "" {
+		for _, cs := range strings.Split(crashSpec, ";") {
+			parts := strings.Split(cs, "@")
+			if len(parts) != 2 {
+				return fmt.Errorf("bad crash spec %q", cs)
+			}
+			p, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+			t, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("bad crash spec %q", cs)
+			}
+			pat = pat.WithCrash(groups.Process(p), failure.Time(t))
+		}
+	}
+
+	var v core.Variant
+	switch variant {
+	case "vanilla":
+		v = core.Vanilla
+	case "strict":
+		v = core.Strict
+	case "pairwise":
+		v = core.Pairwise
+	case "strong":
+		v = core.StronglyGenuine
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+
+	sys := core.NewSystem(topo, pat, core.Options{
+		Variant:       v,
+		ChargeObjects: costs,
+		FD:            fd.Options{Delay: failure.Time(delay), Seed: seed},
+	}, seed)
+
+	for _, ms := range strings.Split(msgSpec, ";") {
+		at := int64(0)
+		spec := ms
+		if i := strings.Index(ms, "@"); i >= 0 {
+			spec = ms[:i]
+			at, err = strconv.ParseInt(ms[i+1:], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad message time in %q", ms)
+			}
+		}
+		parts := strings.Split(spec, ">")
+		if len(parts) != 2 {
+			return fmt.Errorf("bad message spec %q", ms)
+		}
+		src, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		g, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad message spec %q", ms)
+		}
+		sys.MulticastAt(failure.Time(at), groups.Process(src), groups.GroupID(g), nil)
+	}
+
+	fmt.Printf("topology: %v\n", topo)
+	fmt.Printf("pattern:  %v\n", pat)
+	fmt.Printf("variant:  %v, seed %d\n\n", v, seed)
+
+	if !sys.Run() {
+		return fmt.Errorf("run did not quiesce within the step budget")
+	}
+
+	fmt.Println("delivery trace (global order):")
+	for _, d := range sys.Sh.Deliveries() {
+		m := sys.Sh.Reg.Get(d.M)
+		fmt.Printf("  t=%-6d p%d delivers m%d (src=p%d dst=g%d)\n", d.T, d.P, d.M, m.Src, m.Dst)
+	}
+
+	fmt.Println("\nper-process orders:")
+	for p := 0; p < topo.NumProcesses(); p++ {
+		fmt.Printf("  p%d: %v", p, sys.DeliveredAt(groups.Process(p)))
+		if costs {
+			fmt.Printf("   (steps=%d charges=%d)",
+				sys.Eng.Steps(groups.Process(p)), sys.Eng.Charges(groups.Process(p)))
+		}
+		fmt.Println()
+	}
+
+	violations := sys.Check()
+	if len(violations) == 0 {
+		fmt.Println("\nspecification check: OK (integrity, termination, ordering, minimality)")
+		return nil
+	}
+	fmt.Println("\nspecification check FAILED:")
+	for _, v := range violations {
+		fmt.Printf("  %v\n", (*check.Violation)(v))
+	}
+	return fmt.Errorf("%d violations", len(violations))
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBasicScenario(t *testing.T) {
+	err := run("0,1;1,2", "0>0;2>1", "", "vanilla", 1, 8, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithCrashAndCosts(t *testing.T) {
+	err := run("0,1;1,2;0,2,3;0,3,4", "0>0;1>1;2>2@20", "1@40", "strict", 2, 6, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunPairwiseOnChain(t *testing.T) {
+	if err := run("0,1;1,2,3;3,4", "0>0;4>2", "", "pairwise", 3, 8, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunStrongVariant(t *testing.T) {
+	if err := run("0,1,2;2,3,4", "0>0;3>1", "", "strong", 4, 8, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		groups, msgs, crash, variant string
+	}{
+		{"0,x", "0>0", "", "vanilla"},    // bad member
+		{"0,1", "0>0", "1@x", "vanilla"}, // bad crash time
+		{"0,1", "0-0", "", "vanilla"},    // bad message spec
+		{"0,1", "0>0", "", "nonsense"},   // unknown variant
+		{"0,1", "0>0@x", "", "vanilla"},  // bad message time
+		{"0,1", "0>0", "1", "vanilla"},   // crash without time
+	}
+	for _, c := range cases {
+		if err := run(c.groups, c.msgs, c.crash, c.variant, 1, 8, false); err == nil {
+			t.Errorf("spec %+v accepted", c)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Errorf("spec %+v panicked", c)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command quickstart is the smallest end-to-end use of the library: the
+// paper's Figure 1 topology, a few multicasts, per-process delivery orders,
+// and a specification check of the run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/multicast"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Figure 1 of the paper: five processes, four overlapping groups.
+	topo := multicast.NewTopology(5).
+		Group("g1", 0, 1).
+		Group("g2", 1, 2).
+		Group("g3", 0, 2, 3).
+		Group("g4", 0, 3, 4)
+
+	sys, err := multicast.New(topo, multicast.Config{Seed: 42})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("cyclic families (what γ tracks):")
+	for _, fam := range sys.CyclicFamilies() {
+		fmt.Printf("  %v\n", fam)
+	}
+
+	// One message per group.
+	for _, m := range []struct {
+		src   int
+		group string
+		text  string
+	}{
+		{0, "g1", "hello g1"},
+		{1, "g2", "hello g2"},
+		{2, "g3", "hello g3"},
+		{4, "g4", "hello g4"},
+	} {
+		if _, err := sys.Multicast(m.src, m.group, []byte(m.text)); err != nil {
+			return err
+		}
+	}
+
+	if err := sys.Run(); err != nil {
+		return err
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		return fmt.Errorf("specification violated: %v", errs)
+	}
+
+	fmt.Println("\ndelivery orders:")
+	for p := 0; p < 5; p++ {
+		fmt.Printf("  p%d:", p)
+		for _, d := range sys.Delivered(p) {
+			fmt.Printf(" [%s %q]", d.Message.Group, d.Message.Payload)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nrun satisfied integrity, termination, ordering and minimality ✓")
+	return nil
+}

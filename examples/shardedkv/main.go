@@ -1,0 +1,115 @@
+// Command shardedkv builds the application the paper's introduction
+// motivates: a partially replicated (sharded) key-value store where
+// single-shard operations stay inside their shard and cross-shard
+// transactions are ordered by genuine atomic multicast — only the shards a
+// transaction touches take steps, yet all replicas of those shards apply
+// conflicting transactions in the same order.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/multicast"
+)
+
+// txn is a deterministic transaction over the store.
+type txn struct {
+	group string   // destination group: the shards it touches
+	src   int      // submitting replica
+	ops   []string // "set k v" / "incr k" commands
+}
+
+// store is one replica's deterministic state machine.
+type store map[string]int
+
+func (s store) apply(ops []string) {
+	for _, op := range ops {
+		f := strings.Fields(op)
+		switch f[0] {
+		case "set":
+			var v int
+			fmt.Sscanf(f[2], "%d", &v)
+			s[f[1]] = v
+		case "incr":
+			s[f[1]]++
+		}
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Six replicas, two shards of three replicas each, plus the cross-shard
+	// group AB spanning both (the destination of cross-shard transactions).
+	// Shard A = {0,1,2}, shard B = {3,4,5}.
+	topo := multicast.NewTopology(6).
+		Group("A", 0, 1, 2).
+		Group("B", 3, 4, 5).
+		Group("AB", 0, 1, 2, 3, 4, 5)
+
+	sys, err := multicast.New(topo, multicast.Config{
+		Seed:    7,
+		Crashes: map[int]int64{2: 60}, // one replica of shard A fails mid-run
+	})
+	if err != nil {
+		return err
+	}
+
+	workload := []txn{
+		{group: "A", src: 0, ops: []string{"set x 1"}},
+		{group: "B", src: 3, ops: []string{"set y 10"}},
+		{group: "AB", src: 1, ops: []string{"incr x", "incr y"}}, // cross-shard
+		{group: "A", src: 1, ops: []string{"incr x"}},
+		{group: "B", src: 4, ops: []string{"incr y"}},
+		{group: "AB", src: 5, ops: []string{"set z 99"}},
+	}
+	for i, t := range workload {
+		payload := []byte(strings.Join(t.ops, ";"))
+		if err := sys.MulticastAt(int64(5+10*i), t.src, t.group, payload); err != nil {
+			return err
+		}
+	}
+
+	if err := sys.Run(); err != nil {
+		return err
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		return fmt.Errorf("specification violated: %v", errs)
+	}
+
+	// Replay each replica's delivery order through its state machine.
+	replicas := make([]store, 6)
+	for p := range replicas {
+		replicas[p] = store{}
+		for _, d := range sys.Delivered(p) {
+			replicas[p].apply(strings.Split(string(d.Message.Payload), ";"))
+		}
+	}
+
+	fmt.Println("replica states after replay:")
+	for p, st := range replicas {
+		fmt.Printf("  replica %d: x=%d y=%d z=%d (%d txns)\n",
+			p, st["x"], st["y"], st["z"], len(sys.Delivered(p)))
+	}
+
+	// Convergence check: all surviving replicas of a shard agree.
+	for _, shard := range [][]int{{0, 1}, {3, 4, 5}} { // replica 2 crashed
+		for _, k := range []string{"x", "y", "z"} {
+			ref := replicas[shard[0]][k]
+			for _, p := range shard[1:] {
+				if replicas[p][k] != ref {
+					return fmt.Errorf("replicas %d and %d diverge on %s", shard[0], p, k)
+				}
+			}
+		}
+	}
+	fmt.Println("\nsurviving replicas of each shard converged ✓")
+	fmt.Println("cross-shard transactions ordered consistently across shards ✓")
+	return nil
+}

@@ -1,0 +1,279 @@
+// Package baseline implements the comparison points of the paper:
+//
+//   - the naive non-genuine reduction of §2.3 — atomic broadcast every
+//     message to all processes and deliver only where addressed (the
+//     strategy genuineness rules out because every process pays for every
+//     message);
+//   - Skeen's failure-free multicast [5, 22] — the timestamp-based protocol
+//     Algorithm 1 generalises — to show where the fault-tolerant machinery
+//     diverges from its ancestor.
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// BroadcastSystem is the non-genuine baseline: a single totally-ordered log
+// over all processes (atomic broadcast, solvable from Ω ∧ Σ); every process
+// consumes the whole log and delivers the messages addressed to it. Each
+// appended message costs a broadcast round over the full system, which is
+// the cost model the paper's scalability argument is about.
+type BroadcastSystem struct {
+	Topo *groups.Topology
+	Reg  *msg.Registry
+	Pat  *failure.Pattern
+	Eng  *engine.Engine
+
+	order []msg.ID // the atomic-broadcast total order
+	nodes []*broadcastNode
+
+	requestedAt    map[msg.ID]failure.Time
+	firstDelivered map[msg.ID]failure.Time
+	deliveries     int
+}
+
+type broadcastNode struct {
+	p      groups.Process
+	sys    *BroadcastSystem
+	outbox []msg.ID
+	cursor int
+	local  []msg.ID
+}
+
+// NewBroadcastSystem builds the baseline over the topology.
+func NewBroadcastSystem(topo *groups.Topology, pat *failure.Pattern, seed int64) *BroadcastSystem {
+	s := &BroadcastSystem{
+		Topo:           topo,
+		Reg:            msg.NewRegistry(),
+		Pat:            pat,
+		requestedAt:    make(map[msg.ID]failure.Time),
+		firstDelivered: make(map[msg.ID]failure.Time),
+	}
+	autos := make([]engine.Automaton, topo.NumProcesses())
+	s.nodes = make([]*broadcastNode, topo.NumProcesses())
+	for p := 0; p < topo.NumProcesses(); p++ {
+		n := &broadcastNode{p: groups.Process(p), sys: s}
+		s.nodes[p] = n
+		autos[p] = n
+	}
+	s.Eng = engine.New(engine.Config{Pattern: pat, Seed: seed, Policy: engine.RandomOrder}, autos...)
+	return s
+}
+
+// Multicast issues a client multicast.
+func (s *BroadcastSystem) Multicast(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
+	m := s.Reg.New(src, dst, payload)
+	s.requestedAt[m.ID] = s.Eng.Now()
+	s.nodes[src].outbox = append(s.nodes[src].outbox, m.ID)
+	return m
+}
+
+// MulticastAt schedules a multicast at virtual time t.
+func (s *BroadcastSystem) MulticastAt(t failure.Time, src groups.Process, dst groups.GroupID, payload []byte) {
+	s.Eng.At(t, func() {
+		if s.Pat.IsAlive(src, t) {
+			s.Multicast(src, dst, payload)
+		}
+	})
+}
+
+// Run drives the system to quiescence.
+func (s *BroadcastSystem) Run() bool { return s.Eng.Run() }
+
+// DeliveredAt returns the local delivery order of p.
+func (s *BroadcastSystem) DeliveredAt(p groups.Process) []msg.ID {
+	return append([]msg.ID(nil), s.nodes[p].local...)
+}
+
+// Deliveries returns the total number of delivery events.
+func (s *BroadcastSystem) Deliveries() int { return s.deliveries }
+
+// FirstDeliveredAt returns the first delivery time of m.
+func (s *BroadcastSystem) FirstDeliveredAt(m msg.ID) (failure.Time, bool) {
+	t, ok := s.firstDelivered[m]
+	return t, ok
+}
+
+func (n *broadcastNode) Proc() groups.Process { return n.p }
+
+// Step broadcasts one pending message or consumes one log entry. Every
+// process scans every log entry — the defining non-genuine cost.
+func (n *broadcastNode) Step(ctx *engine.Ctx) bool {
+	if len(n.outbox) > 0 {
+		id := n.outbox[0]
+		n.outbox = n.outbox[1:]
+		n.sys.order = append(n.sys.order, id)
+		// One atomic-broadcast instance: a message to every process plus
+		// quorum acknowledgements.
+		all := n.sys.Topo.AllProcesses()
+		ctx.E.ChargeSet(all, 1)
+		ctx.E.CountMessages(int64(2 * all.Count()))
+		return true
+	}
+	if n.cursor < len(n.sys.order) {
+		id := n.sys.order[n.cursor]
+		n.cursor++
+		// Consuming a log entry is a step regardless of destination: the
+		// process must inspect the message to decide.
+		m := n.sys.Reg.Get(id)
+		if n.sys.Topo.Group(m.Dst).Has(n.p) {
+			n.local = append(n.local, id)
+			if _, ok := n.sys.firstDelivered[id]; !ok {
+				n.sys.firstDelivered[id] = ctx.Now
+			}
+			n.sys.deliveries++
+		}
+		return true
+	}
+	return false
+}
+
+// SkeenSystem is Skeen's failure-free atomic multicast [5, 22]: per-process
+// logical clocks; the sender collects timestamp proposals from the
+// destinations; the final timestamp is the maximum; messages are delivered
+// in timestamp order once committed. It is genuine but tolerates no
+// failures — the protocol Algorithm 1 hardens.
+type SkeenSystem struct {
+	Topo *groups.Topology
+	Reg  *msg.Registry
+	Eng  *engine.Engine
+
+	nodes []*skeenNode
+	state map[msg.ID]*skeenState
+}
+
+type skeenState struct {
+	proposals map[groups.Process]int
+	final     int
+	committed bool
+}
+
+type skeenNode struct {
+	p         groups.Process
+	sys       *SkeenSystem
+	clock     int
+	outbox    []msg.ID
+	proposed  map[msg.ID]bool
+	delivered map[msg.ID]bool
+	local     []msg.ID
+}
+
+// NewSkeenSystem builds a failure-free Skeen instance (the pattern is
+// implicitly crash-free; injecting crashes stalls it, which is the point of
+// the comparison).
+func NewSkeenSystem(topo *groups.Topology, seed int64) *SkeenSystem {
+	s := &SkeenSystem{
+		Topo:  topo,
+		Reg:   msg.NewRegistry(),
+		state: make(map[msg.ID]*skeenState),
+	}
+	autos := make([]engine.Automaton, topo.NumProcesses())
+	s.nodes = make([]*skeenNode, topo.NumProcesses())
+	for p := 0; p < topo.NumProcesses(); p++ {
+		n := &skeenNode{
+			p:         groups.Process(p),
+			sys:       s,
+			proposed:  make(map[msg.ID]bool),
+			delivered: make(map[msg.ID]bool),
+		}
+		s.nodes[p] = n
+		autos[p] = n
+	}
+	s.Eng = engine.New(engine.Config{
+		Pattern: failure.NewPattern(topo.NumProcesses()),
+		Seed:    seed,
+		Policy:  engine.RandomOrder,
+	}, autos...)
+	return s
+}
+
+// Multicast issues a client multicast.
+func (s *SkeenSystem) Multicast(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
+	m := s.Reg.New(src, dst, payload)
+	s.state[m.ID] = &skeenState{proposals: make(map[groups.Process]int)}
+	s.nodes[src].outbox = append(s.nodes[src].outbox, m.ID)
+	return m
+}
+
+// Run drives the system to quiescence.
+func (s *SkeenSystem) Run() bool { return s.Eng.Run() }
+
+// DeliveredAt returns the local delivery order of p.
+func (s *SkeenSystem) DeliveredAt(p groups.Process) []msg.ID {
+	return append([]msg.ID(nil), s.nodes[p].local...)
+}
+
+func (n *skeenNode) Proc() groups.Process { return n.p }
+
+func (n *skeenNode) Step(ctx *engine.Ctx) bool {
+	// Start a multicast: publish the message to its destinations.
+	if len(n.outbox) > 0 {
+		id := n.outbox[0]
+		n.outbox = n.outbox[1:]
+		dst := n.sys.Topo.Group(n.sys.Reg.Get(id).Dst)
+		ctx.E.ChargeSet(dst, 1)
+		ctx.E.CountMessages(int64(dst.Count()))
+		return true
+	}
+	// Propose a timestamp for a message addressed to me.
+	for _, m := range n.sys.Reg.All() {
+		if !n.sys.Topo.Group(m.Dst).Has(n.p) || n.proposed[m.ID] {
+			continue
+		}
+		st := n.sys.state[m.ID]
+		n.clock++
+		st.proposals[n.p] = n.clock
+		n.proposed[m.ID] = true
+		ctx.E.CountMessages(1)
+		// Commit once every destination proposed.
+		if len(st.proposals) == n.sys.Topo.Group(m.Dst).Count() {
+			max := 0
+			for _, ts := range st.proposals {
+				if ts > max {
+					max = ts
+				}
+			}
+			st.final = max
+			st.committed = true
+			ctx.E.CountMessages(int64(len(st.proposals)))
+		}
+		return true
+	}
+	// Deliver committed messages in (timestamp, id) order: a message is
+	// deliverable when no uncommitted message addressed to me could still
+	// get a smaller timestamp, approximated here by delivering only when
+	// every message addressed to me is committed (failure-free runs
+	// quiesce, so this is enough for the comparison).
+	var ready []msg.ID
+	for _, m := range n.sys.Reg.All() {
+		if !n.sys.Topo.Group(m.Dst).Has(n.p) {
+			continue
+		}
+		st := n.sys.state[m.ID]
+		if !st.committed {
+			return false
+		}
+		if !n.delivered[m.ID] {
+			ready = append(ready, m.ID)
+		}
+	}
+	if len(ready) == 0 {
+		return false
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		a, b := n.sys.state[ready[i]], n.sys.state[ready[j]]
+		if a.final != b.final {
+			return a.final < b.final
+		}
+		return ready[i] < ready[j]
+	})
+	id := ready[0]
+	n.delivered[id] = true
+	n.local = append(n.local, id)
+	return true
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+func TestBroadcastDeliversEverywhereAddressed(t *testing.T) {
+	topo := groups.Figure1()
+	s := NewBroadcastSystem(topo, failure.NewPattern(5), 1)
+	s.Multicast(0, 0, nil) // g1 = {p1,p2}
+	s.Multicast(2, 2, nil) // g3 = {p1,p3,p4}
+	if !s.Run() {
+		t.Fatalf("run did not quiesce")
+	}
+	if got := s.DeliveredAt(0); len(got) != 2 {
+		t.Fatalf("p1 delivered %d, want 2", len(got))
+	}
+	if got := s.DeliveredAt(4); len(got) != 0 { // p5 in neither group
+		t.Fatalf("p5 delivered %d, want 0", len(got))
+	}
+}
+
+// TestBroadcastSameTotalOrder: the baseline orders all messages globally, so
+// local orders agree on shared messages.
+func TestBroadcastSameTotalOrder(t *testing.T) {
+	topo := groups.MustNew(3, groups.NewProcSet(0, 1, 2))
+	s := NewBroadcastSystem(topo, failure.NewPattern(3), 2)
+	for i := 0; i < 6; i++ {
+		s.Multicast(groups.Process(i%3), 0, nil)
+	}
+	if !s.Run() {
+		t.Fatalf("run did not quiesce")
+	}
+	ref := s.DeliveredAt(0)
+	if len(ref) != 6 {
+		t.Fatalf("p0 delivered %d, want 6", len(ref))
+	}
+	for p := 1; p < 3; p++ {
+		got := s.DeliveredAt(groups.Process(p))
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("orders diverge: %v vs %v", got, ref)
+			}
+		}
+	}
+}
+
+// TestBroadcastIsNotGenuine: a message addressed to one group makes every
+// process take steps — the behaviour minimality forbids.
+func TestBroadcastIsNotGenuine(t *testing.T) {
+	topo := groups.MustNew(6,
+		groups.NewProcSet(0, 1),
+		groups.NewProcSet(2, 3),
+		groups.NewProcSet(4, 5),
+	)
+	s := NewBroadcastSystem(topo, failure.NewPattern(6), 3)
+	s.Multicast(0, 0, nil)
+	if !s.Run() {
+		t.Fatalf("run did not quiesce")
+	}
+	outsiders := 0
+	for p := 2; p < 6; p++ {
+		if s.Eng.TookSteps(groups.Process(p)) {
+			outsiders++
+		}
+	}
+	if outsiders == 0 {
+		t.Fatalf("broadcast baseline should make non-destination processes take steps")
+	}
+}
+
+func TestSkeenFailureFreeTotalOrder(t *testing.T) {
+	topo := groups.Figure1()
+	for seed := int64(0); seed < 10; seed++ {
+		s := NewSkeenSystem(topo, seed)
+		s.Multicast(0, 0, nil)
+		s.Multicast(1, 1, nil)
+		s.Multicast(2, 2, nil)
+		s.Multicast(3, 3, nil)
+		if !s.Run() {
+			t.Fatalf("seed %d: skeen did not quiesce", seed)
+		}
+		// Every destination delivers; shared processes agree pairwise.
+		for p := 0; p < 5; p++ {
+			proc := groups.Process(p)
+			want := 0
+			for g := 0; g < topo.NumGroups(); g++ {
+				if topo.Group(groups.GroupID(g)).Has(proc) {
+					want++
+				}
+			}
+			if got := len(s.DeliveredAt(proc)); got != want {
+				t.Fatalf("seed %d: p%d delivered %d, want %d", seed, p, got, want)
+			}
+		}
+		// Pairwise agreement on common messages.
+		for p := 0; p < 5; p++ {
+			for q := p + 1; q < 5; q++ {
+				a, b := s.DeliveredAt(groups.Process(p)), s.DeliveredAt(groups.Process(q))
+				pos := map[int64]int{}
+				for i, id := range a {
+					pos[int64(id)] = i
+				}
+				last := -1
+				for _, id := range b {
+					if i, ok := pos[int64(id)]; ok {
+						if i < last {
+							t.Fatalf("seed %d: p%d and p%d disagree on shared order", seed, p, q)
+						}
+						last = i
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSkeenGenuine: Skeen's protocol is genuine — untouched processes idle.
+func TestSkeenGenuine(t *testing.T) {
+	topo := groups.Figure1()
+	s := NewSkeenSystem(topo, 7)
+	s.Multicast(0, 0, nil) // g1 = {p1,p2}
+	if !s.Run() {
+		t.Fatalf("run did not quiesce")
+	}
+	for _, p := range []groups.Process{2, 3, 4} {
+		if s.Eng.TookSteps(p) {
+			t.Errorf("p%d took steps though only g1 was addressed", p)
+		}
+	}
+}

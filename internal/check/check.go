@@ -1,0 +1,311 @@
+// Package check validates runs of an atomic multicast protocol against the
+// problem's specification: integrity, termination, ordering (acyclicity of
+// the delivery relation ↦), the strict variation's real-time order
+// (↦ ∪ ⇝), pairwise ordering, and the minimality (genuineness) property.
+// The checkers work on the global delivery trace plus per-process local
+// orders and the engine's step accounting.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// Trace is the run evidence the checkers consume.
+type Trace struct {
+	Topo *groups.Topology
+	Pat  *failure.Pattern
+	Reg  *msg.Registry
+	// LocalOrder maps each process to its local delivery sequence.
+	LocalOrder map[groups.Process][]msg.ID
+	// Multicast is the set of messages that were handed to multicast()
+	// (they entered L_g), with the request time.
+	Multicast map[msg.ID]failure.Time
+	// FirstDelivered maps delivered messages to their first delivery time.
+	FirstDelivered map[msg.ID]failure.Time
+	// TookSteps reports whether a process took observable steps in the run.
+	TookSteps func(groups.Process) bool
+}
+
+// Violation describes a broken property.
+type Violation struct {
+	Property string
+	Detail   string
+}
+
+func (v Violation) Error() string { return v.Property + ": " + v.Detail }
+
+func violationf(prop, format string, args ...any) *Violation {
+	return &Violation{Property: prop, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Integrity checks that every process delivers each message at most once,
+// only if addressed to it, and only if it was multicast.
+func Integrity(tr *Trace) *Violation {
+	for p, seq := range tr.LocalOrder {
+		seen := make(map[msg.ID]bool, len(seq))
+		for _, id := range seq {
+			if seen[id] {
+				return violationf("integrity", "p%d delivered m%d twice", p, id)
+			}
+			seen[id] = true
+			m := tr.Reg.Get(id)
+			if !tr.Topo.Group(m.Dst).Has(p) {
+				return violationf("integrity", "p%d ∉ dst(m%d)=g%d", p, id, m.Dst)
+			}
+			if _, ok := tr.Multicast[id]; !ok {
+				return violationf("integrity", "m%d delivered but never multicast", id)
+			}
+		}
+	}
+	return nil
+}
+
+// Termination checks that every message multicast by a correct process, or
+// delivered by any process, is delivered by every correct process of its
+// destination group. It assumes the run quiesced.
+func Termination(tr *Trace) *Violation {
+	delivered := deliveredSets(tr)
+	for id := range tr.Multicast {
+		m := tr.Reg.Get(id)
+		_, wasDelivered := tr.FirstDelivered[id]
+		if !wasDelivered && !tr.Pat.IsCorrect(m.Src) {
+			continue // no obligation: faulty sender, nobody delivered
+		}
+		for _, p := range tr.Topo.Group(m.Dst).Intersect(tr.Pat.Correct()).Members() {
+			if !delivered[p][id] {
+				return violationf("termination",
+					"correct p%d ∈ dst(m%d)=g%d never delivered it", p, id, m.Dst)
+			}
+		}
+	}
+	return nil
+}
+
+// deliveredSets indexes the local orders.
+func deliveredSets(tr *Trace) map[groups.Process]map[msg.ID]bool {
+	out := make(map[groups.Process]map[msg.ID]bool, len(tr.LocalOrder))
+	for p, seq := range tr.LocalOrder {
+		s := make(map[msg.ID]bool, len(seq))
+		for _, id := range seq {
+			s[id] = true
+		}
+		out[p] = s
+	}
+	return out
+}
+
+// edge is a ↦ edge.
+type edge struct{ from, to msg.ID }
+
+// deliveryEdges computes ↦ = ∪_p ↦p: m ↦p m' when p ∈ dst(m)∩dst(m'), p
+// delivers m, and at that point p has not delivered m' (either m' comes
+// later in p's order, or never at p).
+func deliveryEdges(tr *Trace) map[edge]groups.Process {
+	edges := make(map[edge]groups.Process)
+	for p, seq := range tr.LocalOrder {
+		pos := make(map[msg.ID]int, len(seq))
+		for i, id := range seq {
+			pos[id] = i
+		}
+		// Only messages delivered somewhere can close a cycle, so we range
+		// over those addressed to p.
+		for id := range tr.FirstDelivered {
+			m := tr.Reg.Get(id)
+			if !tr.Topo.Group(m.Dst).Has(p) {
+				continue
+			}
+			for i, did := range seq {
+				if did == id {
+					continue
+				}
+				dm := tr.Reg.Get(did)
+				if !tr.Topo.Intersection(dm.Dst, m.Dst).Has(p) {
+					continue
+				}
+				if j, deliveredHere := pos[id]; !deliveredHere || i < j {
+					edges[edge{did, id}] = p
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// Ordering checks that the delivery relation ↦ is acyclic over the
+// delivered messages.
+func Ordering(tr *Trace) *Violation {
+	edges := deliveryEdges(tr)
+	if cyc := findCycle(edges, nil); cyc != nil {
+		return violationf("ordering", "↦ has a cycle: %v", cyc)
+	}
+	return nil
+}
+
+// StrictOrdering checks the strict variation (§6.1): the transitive closure
+// of ↦ ∪ ⇝ is a strict partial order, where m ⇝ m' when m was delivered
+// (first) in real time before m' was multicast.
+func StrictOrdering(tr *Trace) *Violation {
+	edges := deliveryEdges(tr)
+	var rt []edge
+	for m, dt := range tr.FirstDelivered {
+		for mp, reqt := range tr.Multicast {
+			if m == mp {
+				continue
+			}
+			if _, deliveredToo := tr.FirstDelivered[mp]; !deliveredToo {
+				continue
+			}
+			if dt < reqt {
+				rt = append(rt, edge{m, mp})
+			}
+		}
+	}
+	if cyc := findCycle(edges, rt); cyc != nil {
+		return violationf("strict-ordering", "↦ ∪ ⇝ has a cycle: %v", cyc)
+	}
+	return nil
+}
+
+// PairwiseOrdering checks the §7 variation: if p delivers m then m', every
+// process q that delivers m' has delivered m before.
+func PairwiseOrdering(tr *Trace) *Violation {
+	type pair struct{ a, b msg.ID }
+	order := make(map[pair]groups.Process)
+	for p, seq := range tr.LocalOrder {
+		for i, a := range seq {
+			for _, b := range seq[i+1:] {
+				if q, ok := order[pair{b, a}]; ok {
+					return violationf("pairwise-ordering",
+						"p%d delivers m%d before m%d; p%d the converse", p, a, b, q)
+				}
+				order[pair{a, b}] = p
+			}
+		}
+	}
+	return nil
+}
+
+// Minimality checks genuineness: a process that took steps must be a
+// destination of some multicast message.
+func Minimality(tr *Trace) *Violation {
+	if tr.TookSteps == nil {
+		return nil
+	}
+	var dests groups.ProcSet
+	for id := range tr.Multicast {
+		dests = dests.Union(tr.Topo.Group(tr.Reg.Get(id).Dst))
+	}
+	for p := 0; p < tr.Topo.NumProcesses(); p++ {
+		proc := groups.Process(p)
+		if tr.TookSteps(proc) && !dests.Has(proc) {
+			return violationf("minimality",
+				"p%d took steps but no message is addressed to it", p)
+		}
+	}
+	return nil
+}
+
+// GroupParallelism checks the §6.2 property on a participation-restricted
+// run: the run was fair only for participants (= Correct ∩ dst(m) in the
+// property's statement), and every message addressed to a group inside the
+// participant set must be delivered by all the group's correct members.
+func GroupParallelism(tr *Trace, participants groups.ProcSet) *Violation {
+	delivered := deliveredSets(tr)
+	for id := range tr.Multicast {
+		m := tr.Reg.Get(id)
+		dst := tr.Topo.Group(m.Dst)
+		if !dst.SubsetOf(participants) {
+			continue // the destination group was not the isolated one
+		}
+		for _, p := range dst.Intersect(tr.Pat.Correct()).Members() {
+			if !delivered[p][id] {
+				return violationf("group-parallelism",
+					"isolated group g%d: correct p%d never delivered m%d", m.Dst, p, id)
+			}
+		}
+	}
+	return nil
+}
+
+// All runs every checker appropriate for the variant ("strict" adds
+// real-time order, "pairwise" swaps ordering for pairwise ordering).
+func All(tr *Trace, strict, pairwiseOnly bool) []*Violation {
+	var out []*Violation
+	add := func(v *Violation) {
+		if v != nil {
+			out = append(out, v)
+		}
+	}
+	add(Integrity(tr))
+	add(Termination(tr))
+	if pairwiseOnly {
+		add(PairwiseOrdering(tr))
+	} else {
+		add(Ordering(tr))
+		add(PairwiseOrdering(tr))
+	}
+	if strict {
+		add(StrictOrdering(tr))
+	}
+	add(Minimality(tr))
+	return out
+}
+
+// findCycle detects a cycle in ↦ ∪ extra and returns it, or nil.
+func findCycle(edges map[edge]groups.Process, extra []edge) []msg.ID {
+	adj := make(map[msg.ID][]msg.ID)
+	nodes := make(map[msg.ID]bool)
+	addEdge := func(e edge) {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	for e := range edges {
+		addEdge(e)
+	}
+	for _, e := range extra {
+		addEdge(e)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[msg.ID]int, len(nodes))
+	var stack []msg.ID
+	var cycle []msg.ID
+	var dfs func(u msg.ID) bool
+	dfs = func(u msg.ID) bool {
+		color[u] = gray
+		stack = append(stack, u)
+		for _, v := range adj[u] {
+			switch color[v] {
+			case gray:
+				// Extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == v {
+						break
+					}
+				}
+				return true
+			case white:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+		return false
+	}
+	for u := range nodes {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// fixture builds a two-group trace skeleton: g0 = {p0,p1}, g1 = {p1,p2}.
+type fixture struct {
+	topo *groups.Topology
+	reg  *msg.Registry
+	m1   *msg.Message // → g0
+	m2   *msg.Message // → g1
+}
+
+func newFixture() *fixture {
+	topo := groups.MustNew(3,
+		groups.NewProcSet(0, 1),
+		groups.NewProcSet(1, 2),
+	)
+	reg := msg.NewRegistry()
+	return &fixture{
+		topo: topo,
+		reg:  reg,
+		m1:   reg.New(0, 0, nil),
+		m2:   reg.New(1, 1, nil),
+	}
+}
+
+func (f *fixture) trace() *Trace {
+	return &Trace{
+		Topo:           f.topo,
+		Pat:            failure.NewPattern(3),
+		Reg:            f.reg,
+		LocalOrder:     map[groups.Process][]msg.ID{},
+		Multicast:      map[msg.ID]failure.Time{f.m1.ID: 0, f.m2.ID: 0},
+		FirstDelivered: map[msg.ID]failure.Time{},
+	}
+}
+
+func TestIntegrityCatchesDoubleDelivery(t *testing.T) {
+	f := newFixture()
+	tr := f.trace()
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID, f.m1.ID}
+	tr.FirstDelivered[f.m1.ID] = 1
+	if v := Integrity(tr); v == nil {
+		t.Fatalf("double delivery not caught")
+	}
+}
+
+func TestIntegrityCatchesWrongDestination(t *testing.T) {
+	f := newFixture()
+	tr := f.trace()
+	tr.LocalOrder[2] = []msg.ID{f.m1.ID} // p2 ∉ g0
+	tr.FirstDelivered[f.m1.ID] = 1
+	if v := Integrity(tr); v == nil {
+		t.Fatalf("delivery outside destination not caught")
+	}
+}
+
+func TestIntegrityCatchesPhantomMessage(t *testing.T) {
+	f := newFixture()
+	tr := f.trace()
+	ghost := f.reg.New(0, 0, nil)
+	tr.LocalOrder[0] = []msg.ID{ghost.ID} // never multicast
+	tr.FirstDelivered[ghost.ID] = 1
+	if v := Integrity(tr); v == nil {
+		t.Fatalf("phantom delivery not caught")
+	}
+}
+
+func TestTerminationCatchesMissingDelivery(t *testing.T) {
+	f := newFixture()
+	tr := f.trace()
+	// m1 delivered at p0 but not at correct p1 ∈ g0.
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID}
+	tr.FirstDelivered[f.m1.ID] = 1
+	if v := Termination(tr); v == nil {
+		t.Fatalf("missing delivery not caught")
+	}
+	// Completing the delivery fixes it (m2: faulty sender, never delivered,
+	// no obligation).
+	tr.LocalOrder[1] = []msg.ID{f.m1.ID}
+	tr.Pat = failure.NewPattern(3).WithCrash(1, 5)
+	if v := Termination(tr); v != nil {
+		t.Fatalf("unexpected: %v", v)
+	}
+}
+
+func TestTerminationFaultySenderNoObligation(t *testing.T) {
+	f := newFixture()
+	tr := f.trace()
+	tr.Pat = failure.NewPattern(3).WithCrash(0, 5) // src(m1) faulty
+	delete(tr.Multicast, f.m2.ID)                  // only m1 in this run
+	if v := Termination(tr); v != nil {
+		t.Fatalf("faulty undelivered sender should carry no obligation: %v", v)
+	}
+}
+
+func TestOrderingCatchesTwoProcessCycle(t *testing.T) {
+	f := newFixture()
+	// Third message to g0 so p0 and p1 can disagree.
+	m3 := f.reg.New(1, 0, nil)
+	tr := f.trace()
+	tr.Multicast[m3.ID] = 0
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID, m3.ID}
+	tr.LocalOrder[1] = []msg.ID{m3.ID, f.m1.ID}
+	tr.FirstDelivered[f.m1.ID] = 1
+	tr.FirstDelivered[m3.ID] = 1
+	if v := Ordering(tr); v == nil {
+		t.Fatalf("↦ cycle not caught")
+	}
+	if v := PairwiseOrdering(tr); v == nil {
+		t.Fatalf("pairwise violation not caught")
+	}
+}
+
+func TestOrderingCatchesNeverDeliveredEdge(t *testing.T) {
+	// m↦m' also holds when p delivers m and never m'. Build a cycle:
+	// p0 delivers m1, never m3; p1 delivers m3, never m1.
+	f := newFixture()
+	m3 := f.reg.New(1, 0, nil)
+	tr := f.trace()
+	tr.Multicast[m3.ID] = 0
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID}
+	tr.LocalOrder[1] = []msg.ID{m3.ID}
+	tr.FirstDelivered[f.m1.ID] = 1
+	tr.FirstDelivered[m3.ID] = 1
+	if v := Ordering(tr); v == nil {
+		t.Fatalf("cycle through never-delivered edges not caught")
+	}
+}
+
+func TestOrderingAcceptsAgreement(t *testing.T) {
+	f := newFixture()
+	m3 := f.reg.New(1, 0, nil)
+	tr := f.trace()
+	tr.Multicast[m3.ID] = 0
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID, m3.ID}
+	tr.LocalOrder[1] = []msg.ID{f.m1.ID, m3.ID}
+	tr.FirstDelivered[f.m1.ID] = 1
+	tr.FirstDelivered[m3.ID] = 2
+	if v := Ordering(tr); v != nil {
+		t.Fatalf("unexpected: %v", v)
+	}
+	if v := PairwiseOrdering(tr); v != nil {
+		t.Fatalf("unexpected: %v", v)
+	}
+}
+
+// TestStrictOrderingDistinguishesRealTime: a trace where the plain delivery
+// relation is acyclic but ↦ ∪ ⇝ has a cycle — the distinction §6.1 is
+// about. m1 (→g0) is delivered before m2 is multicast (m1 ⇝ m2), yet p1
+// delivers m2 before m1.
+func TestStrictOrderingDistinguishesRealTime(t *testing.T) {
+	f := newFixture()
+	tr := f.trace()
+	tr.Multicast[f.m1.ID] = 0
+	tr.Multicast[f.m2.ID] = 50 // m2 requested after m1's delivery below
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID}
+	tr.LocalOrder[1] = []msg.ID{f.m2.ID, f.m1.ID} // p1 ∈ g0∩g1 delivers m2 first
+	tr.LocalOrder[2] = []msg.ID{f.m2.ID}
+	tr.FirstDelivered[f.m1.ID] = 10
+	tr.FirstDelivered[f.m2.ID] = 60
+	if v := Ordering(tr); v != nil {
+		t.Fatalf("plain ordering should hold: %v", v)
+	}
+	if v := StrictOrdering(tr); v == nil {
+		t.Fatalf("↦ ∪ ⇝ cycle not caught")
+	}
+}
+
+func TestMinimalityCatchesBusyOutsider(t *testing.T) {
+	f := newFixture()
+	tr := f.trace()
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID}
+	tr.LocalOrder[1] = []msg.ID{f.m1.ID}
+	tr.FirstDelivered[f.m1.ID] = 1
+	// Only m1 → g0 multicast, but p2 took steps.
+	delete(tr.Multicast, f.m2.ID)
+	tr.TookSteps = func(p groups.Process) bool { return true }
+	if v := Minimality(tr); v == nil {
+		t.Fatalf("busy outsider not caught")
+	}
+	tr.TookSteps = func(p groups.Process) bool { return p != 2 }
+	if v := Minimality(tr); v != nil {
+		t.Fatalf("unexpected: %v", v)
+	}
+}
+
+func TestGroupParallelismChecker(t *testing.T) {
+	f := newFixture()
+	tr := f.trace()
+	// Isolated run of g0 = {p0,p1}: m1 delivered at p0 only → violation.
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID}
+	tr.FirstDelivered[f.m1.ID] = 1
+	delete(tr.Multicast, f.m2.ID)
+	participants := groups.NewProcSet(0, 1)
+	if v := GroupParallelism(tr, participants); v == nil {
+		t.Fatalf("missing isolated delivery not caught")
+	}
+	tr.LocalOrder[1] = []msg.ID{f.m1.ID}
+	if v := GroupParallelism(tr, participants); v != nil {
+		t.Fatalf("unexpected: %v", v)
+	}
+	// A message to a group outside the participant set carries no
+	// obligation.
+	tr.Multicast[f.m2.ID] = 0
+	if v := GroupParallelism(tr, participants); v != nil {
+		t.Fatalf("outside-group message should be exempt: %v", v)
+	}
+}
+
+func TestAllComposes(t *testing.T) {
+	f := newFixture()
+	tr := f.trace()
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID}
+	tr.LocalOrder[1] = []msg.ID{f.m1.ID, f.m2.ID}
+	tr.LocalOrder[2] = []msg.ID{f.m2.ID}
+	tr.FirstDelivered[f.m1.ID] = 1
+	tr.FirstDelivered[f.m2.ID] = 2
+	if vs := All(tr, true, false); len(vs) != 0 {
+		t.Fatalf("clean trace flagged: %v", vs)
+	}
+}

@@ -1,0 +1,74 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// TestFindCycleOnRandomDAGs: edges oriented low→high form a DAG, so no
+// cycle must be reported; adding one back-edge that closes a loop must be
+// caught.
+func TestFindCycleOnRandomDAGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(8)
+		edges := map[edge]groups.Process{}
+		var ordered [][2]msg.ID
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					e := edge{msg.ID(i + 1), msg.ID(j + 1)}
+					edges[e] = 0
+					ordered = append(ordered, [2]msg.ID{e.from, e.to})
+				}
+			}
+		}
+		if cyc := findCycle(edges, nil); cyc != nil {
+			t.Fatalf("trial %d: false cycle %v in a DAG", trial, cyc)
+		}
+		if len(ordered) == 0 {
+			continue
+		}
+		// Close a loop: pick an existing path edge u→v and add v→u.
+		pick := ordered[rng.Intn(len(ordered))]
+		back := []edge{{pick[1], pick[0]}}
+		cyc := findCycle(edges, back)
+		if cyc == nil {
+			t.Fatalf("trial %d: planted cycle not found", trial)
+		}
+		// The reported cycle's nodes must contain both endpoints.
+		found := map[msg.ID]bool{}
+		for _, m := range cyc {
+			found[m] = true
+		}
+		if !found[pick[0]] || !found[pick[1]] {
+			t.Fatalf("trial %d: reported cycle %v misses the planted edge %v", trial, cyc, pick)
+		}
+	}
+}
+
+// TestFindCycleSelfLoop: a self-loop is a cycle.
+func TestFindCycleSelfLoop(t *testing.T) {
+	edges := map[edge]groups.Process{{1, 1}: 0}
+	if findCycle(edges, nil) == nil {
+		t.Fatalf("self-loop not detected")
+	}
+}
+
+// TestFindCycleLongChain: a long path stays acyclic; closing it is caught.
+func TestFindCycleLongChain(t *testing.T) {
+	edges := map[edge]groups.Process{}
+	const n = 200
+	for i := 1; i < n; i++ {
+		edges[edge{msg.ID(i), msg.ID(i + 1)}] = 0
+	}
+	if findCycle(edges, nil) != nil {
+		t.Fatalf("chain misreported as cyclic")
+	}
+	if findCycle(edges, []edge{{msg.ID(n), msg.ID(1)}}) == nil {
+		t.Fatalf("closed chain not detected")
+	}
+}

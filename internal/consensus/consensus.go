@@ -1,0 +1,90 @@
+// Package consensus provides the agreement objects Algorithm 1 builds on:
+// consensus objects (CONS_{m,f}) and adopt-commit objects (the contention-
+// free fast path of the universal construction, §4.3).
+//
+// In the paper these objects are implemented from Σ_g ∧ Ω_g (consensus) and
+// Σ_{g∩h} (adopt-commit). The engine schedules processes sequentially, so a
+// first-proposal-wins object is a linearizable wait-free consensus; what the
+// message-passing implementation would add — which processes take steps and
+// how many messages cross the network — is preserved through the engine's
+// charge accounting: a consensus operation charges every alive member of its
+// hosting group (a leader/quorum round-trip), an adopt-commit operation only
+// the intersection.
+package consensus
+
+import (
+	"repro/internal/engine"
+	"repro/internal/groups"
+)
+
+// Object is a single-shot consensus object hosted by a group of processes.
+type Object struct {
+	name    string
+	hosts   groups.ProcSet // processes charged per operation
+	decided bool
+	value   int
+	// proposals counts Propose invocations, for ablation metrics.
+	proposals int
+}
+
+// NewObject returns an undecided consensus object hosted by hosts.
+func NewObject(name string, hosts groups.ProcSet) *Object {
+	return &Object{name: name, hosts: hosts}
+}
+
+// Propose submits v; the decided value is returned (first proposal wins —
+// validity, agreement and termination are immediate). Every alive host is
+// charged one step, and a leader round-trip worth of messages is counted.
+func (o *Object) Propose(ctx *engine.Ctx, v int) int {
+	o.proposals++
+	if !o.decided {
+		o.decided = true
+		o.value = v
+	}
+	if ctx != nil {
+		ctx.E.ChargeSet(o.hosts, 1)
+		ctx.E.CountMessages(int64(2 * o.hosts.Count()))
+	}
+	return o.value
+}
+
+// Decided reports whether the object has decided, and the value.
+func (o *Object) Decided() (int, bool) { return o.value, o.decided }
+
+// Proposals returns the number of Propose invocations.
+func (o *Object) Proposals() int { return o.proposals }
+
+// Hosts returns the hosting set.
+func (o *Object) Hosts() groups.ProcSet { return o.hosts }
+
+// AdoptCommit is a single-shot adopt-commit object (Gafni). The first
+// proposal commits; a later conflicting proposal adopts the stored value.
+type AdoptCommit struct {
+	hosts    groups.ProcSet
+	proposed bool
+	value    int
+}
+
+// NewAdoptCommit returns a fresh adopt-commit object hosted by hosts.
+func NewAdoptCommit(hosts groups.ProcSet) *AdoptCommit {
+	return &AdoptCommit{hosts: hosts}
+}
+
+// Propose submits v and returns (value, committed). Commit means every
+// process that proposed so far proposed the same value; adopt means the
+// caller must fall back to consensus with the returned value.
+func (a *AdoptCommit) Propose(ctx *engine.Ctx, v int) (int, bool) {
+	if ctx != nil {
+		ctx.E.ChargeSet(a.hosts, 1)
+		ctx.E.CountMessages(int64(2 * a.hosts.Count()))
+	}
+	if !a.proposed {
+		a.proposed = true
+		a.value = v
+		return v, true
+	}
+	if a.value == v {
+		return v, true
+	}
+	return a.value, false
+}

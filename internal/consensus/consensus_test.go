@@ -1,0 +1,106 @@
+package consensus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+func ctxFor(pat *failure.Pattern) (*engine.Ctx, *engine.Engine) {
+	e := engine.New(engine.Config{Pattern: pat, Seed: 1})
+	return &engine.Ctx{Now: 1, E: e}, e
+}
+
+func TestConsensusAgreementValidity(t *testing.T) {
+	f := func(vals []int) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		o := NewObject("c", groups.NewProcSet(0, 1, 2))
+		ctx, _ := ctxFor(failure.NewPattern(3))
+		first := o.Propose(ctx, vals[0])
+		if first != vals[0] {
+			return false // validity: first proposal decides itself
+		}
+		for _, v := range vals[1:] {
+			if o.Propose(ctx, v) != first {
+				return false // agreement
+			}
+		}
+		d, ok := o.Decided()
+		return ok && d == first
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsensusCharging(t *testing.T) {
+	pat := failure.NewPattern(3).WithCrash(2, 0)
+	ctx, e := ctxFor(pat)
+	o := NewObject("c", groups.NewProcSet(0, 1, 2))
+	o.Propose(ctx, 7)
+	if e.Charges(0) != 1 || e.Charges(1) != 1 {
+		t.Fatalf("alive hosts not charged")
+	}
+	if e.Charges(2) != 0 {
+		t.Fatalf("crashed host charged")
+	}
+	if e.Messages() != 6 {
+		t.Fatalf("messages = %d, want 6", e.Messages())
+	}
+	if o.Proposals() != 1 {
+		t.Fatalf("proposals = %d", o.Proposals())
+	}
+}
+
+func TestConsensusUndecided(t *testing.T) {
+	o := NewObject("c", groups.NewProcSet(0))
+	if _, ok := o.Decided(); ok {
+		t.Fatalf("fresh object decided")
+	}
+	if o.Hosts() != groups.NewProcSet(0) {
+		t.Fatalf("hosts wrong")
+	}
+}
+
+func TestAdoptCommitSolo(t *testing.T) {
+	ctx, _ := ctxFor(failure.NewPattern(2))
+	ac := NewAdoptCommit(groups.NewProcSet(0, 1))
+	v, committed := ac.Propose(ctx, 5)
+	if !committed || v != 5 {
+		t.Fatalf("solo proposal should commit its value")
+	}
+	// Same value again still commits.
+	v, committed = ac.Propose(ctx, 5)
+	if !committed || v != 5 {
+		t.Fatalf("agreeing proposal should commit")
+	}
+}
+
+func TestAdoptCommitConflict(t *testing.T) {
+	ctx, _ := ctxFor(failure.NewPattern(2))
+	ac := NewAdoptCommit(groups.NewProcSet(0, 1))
+	ac.Propose(ctx, 5)
+	v, committed := ac.Propose(ctx, 9)
+	if committed {
+		t.Fatalf("conflicting proposal must adopt")
+	}
+	if v != 5 {
+		t.Fatalf("adopted %d, want 5", v)
+	}
+}
+
+func TestNilCtxSafe(t *testing.T) {
+	o := NewObject("c", groups.NewProcSet(0))
+	if got := o.Propose(nil, 3); got != 3 {
+		t.Fatalf("propose without ctx = %d", got)
+	}
+	ac := NewAdoptCommit(groups.NewProcSet(0))
+	if v, ok := ac.Propose(nil, 4); !ok || v != 4 {
+		t.Fatalf("adopt-commit without ctx wrong")
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+// This file holds ablations: what breaks when a component of μ is removed.
+// They are the constructive face of the paper's necessity results.
+
+// neverExcludeGamma is a γ that never excludes a family — i.e. a detector
+// with accuracy but no completeness (strictly weaker information than γ).
+type neverExcludeGamma struct {
+	topo *groups.Topology
+}
+
+func (g *neverExcludeGamma) Families(p groups.Process, t failure.Time) []groups.Family {
+	return g.topo.FamiliesOfProcess(p)
+}
+
+func (g *neverExcludeGamma) ActiveEdges(p groups.Process, gid groups.GroupID, t failure.Time) groups.GroupSet {
+	var out groups.GroupSet
+	for _, f := range g.topo.FamiliesOfProcess(p) {
+		if !f.Groups.Has(gid) {
+			continue
+		}
+		for _, path := range f.CPaths {
+			for i := 0; i+1 < len(path); i++ {
+				if path[i] == gid {
+					out = out.Add(path[i+1])
+				}
+				if path[i+1] == gid {
+					out = out.Add(path[i])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestAblation_WithoutGammaLivenessFails: run Algorithm 1 on the Figure 1
+// topology with γ replaced by a completeness-free stub, crash a group
+// intersection, and observe that delivery of the affected group's messages
+// never happens — the constructive reading of §5's necessity of γ.
+func TestAblation_WithoutGammaLivenessFails(t *testing.T) {
+	topo := groups.Figure1()
+	pat := failure.NewPattern(5).WithCrash(1, 0) // p2 = g1∩g2 never takes a step
+
+	sh := NewShared(topo, pat, Options{FD: fd.Options{Delay: 4}})
+	sh.OverrideGamma(&neverExcludeGamma{topo: topo})
+	nodes := make([]*Node, 5)
+	autos := make([]engine.Automaton, 5)
+	for p := 0; p < 5; p++ {
+		nodes[p] = NewNode(groups.Process(p), sh)
+		autos[p] = nodes[p]
+	}
+	eng := engine.New(engine.Config{Pattern: pat, Seed: 1, MaxSteps: 100_000}, autos...)
+	sys := &System{Sh: sh, Nodes: nodes, Eng: eng, Pat: pat}
+
+	m := sys.Multicast(0, 0, nil) // to g1: commit needs (m,g2,-) from the dead {p2}
+	sys.Run()
+
+	if _, delivered := sh.FirstDeliveredAt(m.ID); delivered {
+		t.Fatalf("without γ's completeness the g1 message should block forever")
+	}
+	// p1 is stuck before commit: the message never left the pending phase.
+	if got := nodes[0].Phase(m.ID); got >= PhaseCommit {
+		t.Fatalf("m reached %v without the dead intersection's tuple", got)
+	}
+
+	// Control: the same scenario with the real γ delivers.
+	ctrl := NewSystem(topo, pat, Options{FD: fd.Options{Delay: 4}}, 1)
+	cm := ctrl.Multicast(0, 0, nil)
+	if !ctrl.Run() {
+		t.Fatalf("control run did not quiesce")
+	}
+	if _, delivered := ctrl.Sh.FirstDeliveredAt(cm.ID); !delivered {
+		t.Fatalf("control run with real γ should deliver")
+	}
+}
+
+// TestAblation_StrictWaitsForIndicator demonstrates the §6.1 mechanism: on
+// an acyclic pair of groups with a silent (and eventually crashed)
+// intersection, the vanilla variant delivers immediately while the strict
+// variant must wait until 1^{g∩h} fires — the extra synchrony real-time
+// order costs.
+func TestAblation_StrictWaitsForIndicator(t *testing.T) {
+	topo := groups.MustNew(3,
+		groups.NewProcSet(0, 1), // g
+		groups.NewProcSet(1, 2), // h; g∩h = {p1}
+	)
+	const crashAt = 400
+	deliveryTime := func(variant Variant) failure.Time {
+		pat := failure.NewPattern(3).WithCrash(1, crashAt)
+		s := NewSystemWithConfig(topo, pat, Options{Variant: variant, FD: fd.Options{Delay: 10}}, engine.Config{
+			Pattern: pat,
+			Seed:    2,
+			Policy:  engine.RandomOrder,
+			// p1 never gets to act before it crashes.
+			PausedUntil: map[groups.Process]failure.Time{1: crashAt + 1},
+		})
+		m := s.Multicast(0, 0, nil)
+		if !s.Run() {
+			t.Fatalf("run did not quiesce")
+		}
+		at, ok := s.Sh.FirstDeliveredAt(m.ID)
+		if !ok {
+			t.Fatalf("message not delivered under %v", variant)
+		}
+		return at
+	}
+	vanilla := deliveryTime(Vanilla)
+	strict := deliveryTime(Strict)
+	if vanilla >= crashAt {
+		t.Fatalf("vanilla delivery at %d should precede the crash at %d", vanilla, crashAt)
+	}
+	if strict < crashAt {
+		t.Fatalf("strict delivery at %d should wait for 1^{g∩h} (crash at %d)", strict, crashAt)
+	}
+}
+
+// TestProp47_SystemLevel: end-to-end Proposition 47 — a workload that only
+// addresses g keeps every LOG_{g∩h} operation on the adopt-commit fast
+// path, so only g∩h is charged for them; adding h-traffic causes consensus
+// fallbacks.
+func TestProp47_SystemLevel(t *testing.T) {
+	topo := groups.MustNew(4,
+		groups.NewProcSet(0, 1, 2), // g
+		groups.NewProcSet(2, 3),    // h; g∩h = {p2}
+	)
+	// Workload 1: only g.
+	s := NewSystem(topo, failure.NewPattern(4), Options{ChargeObjects: true}, 3)
+	s.Multicast(0, 0, nil)
+	s.Multicast(1, 0, nil)
+	if !s.Run() {
+		t.Fatalf("no quiescence")
+	}
+	l := s.Sh.Log(0, 1)
+	if l.SlowOps() != 0 {
+		t.Fatalf("g-only workload used the consensus fallback %d times", l.SlowOps())
+	}
+	if l.FastOps() == 0 {
+		t.Fatalf("g-only workload never touched LOG_{g∩h}")
+	}
+	if s.Eng.TookSteps(3) { // p3 ∈ h\g
+		t.Fatalf("p3 took steps though no message was addressed to h")
+	}
+
+	// Workload 2: interleaved g- and h-traffic contends.
+	s2 := NewSystem(topo, failure.NewPattern(4), Options{ChargeObjects: true}, 4)
+	s2.Multicast(0, 0, nil)
+	s2.Multicast(3, 1, nil)
+	s2.MulticastAt(40, 1, 0, nil)
+	s2.MulticastAt(60, 2, 1, nil)
+	if !s2.Run() {
+		t.Fatalf("no quiescence")
+	}
+	if s2.Sh.Log(0, 1).SlowOps() == 0 {
+		t.Fatalf("mixed workload should fall back to consensus at least once")
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+// runAndCheck drives the system to quiescence and fails on any violation.
+func runAndCheck(t *testing.T, s *System) {
+	t.Helper()
+	if !s.Run() {
+		t.Fatalf("run did not quiesce (liveness failure)")
+	}
+	for _, v := range s.Check() {
+		t.Errorf("violation: %v", v)
+	}
+}
+
+func TestSingleGroupTotalOrder(t *testing.T) {
+	topo := groups.MustNew(3, groups.NewProcSet(0, 1, 2))
+	s := NewSystem(topo, failure.NewPattern(3), Options{}, 1)
+	for i := 0; i < 5; i++ {
+		s.Multicast(groups.Process(i%3), 0, []byte{byte(i)})
+	}
+	runAndCheck(t, s)
+	// All three processes deliver all five messages in the same order.
+	ref := s.DeliveredAt(0)
+	if len(ref) != 5 {
+		t.Fatalf("p0 delivered %d messages, want 5", len(ref))
+	}
+	for p := 1; p < 3; p++ {
+		got := s.DeliveredAt(groups.Process(p))
+		if len(got) != len(ref) {
+			t.Fatalf("p%d delivered %d, want %d", p, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("delivery orders diverge at %d: %v vs %v", i, got, ref)
+			}
+		}
+	}
+}
+
+func TestDisjointGroupsRunIndependently(t *testing.T) {
+	topo := groups.MustNew(6,
+		groups.NewProcSet(0, 1),
+		groups.NewProcSet(2, 3),
+		groups.NewProcSet(4, 5),
+	)
+	s := NewSystem(topo, failure.NewPattern(6), Options{}, 2)
+	s.Multicast(0, 0, nil)
+	s.Multicast(2, 1, nil)
+	s.Multicast(4, 2, nil)
+	runAndCheck(t, s)
+	for p := 0; p < 6; p++ {
+		if got := len(s.DeliveredAt(groups.Process(p))); got != 1 {
+			t.Fatalf("p%d delivered %d messages, want 1", p, got)
+		}
+	}
+}
+
+func TestIntersectingPairOrdering(t *testing.T) {
+	// Two groups sharing one process: deliveries at the shared process give
+	// the pairwise order.
+	topo := groups.MustNew(3,
+		groups.NewProcSet(0, 1),
+		groups.NewProcSet(1, 2),
+	)
+	for seed := int64(0); seed < 20; seed++ {
+		s := NewSystem(topo, failure.NewPattern(3), Options{}, seed)
+		s.Multicast(0, 0, nil)
+		s.Multicast(1, 1, nil)
+		s.Multicast(1, 0, nil)
+		s.Multicast(2, 1, nil)
+		runAndCheck(t, s)
+		if got := len(s.DeliveredAt(1)); got != 4 {
+			t.Fatalf("seed %d: shared p1 delivered %d, want 4", seed, got)
+		}
+	}
+}
+
+func TestFigure1NoFailures(t *testing.T) {
+	topo := groups.Figure1()
+	for seed := int64(0); seed < 20; seed++ {
+		s := NewSystem(topo, failure.NewPattern(5), Options{}, seed)
+		// One message per group, from varied senders.
+		s.Multicast(0, 0, nil) // p1 → g1
+		s.Multicast(1, 1, nil) // p2 → g2
+		s.Multicast(2, 2, nil) // p3 → g3
+		s.Multicast(4, 3, nil) // p5 → g4
+		runAndCheck(t, s)
+	}
+}
+
+func TestFigure1GroupSequentialStream(t *testing.T) {
+	topo := groups.Figure1()
+	s := NewSystem(topo, failure.NewPattern(5), Options{}, 3)
+	// Several messages per group; the Prop-1 gate serialises per group.
+	for round := 0; round < 3; round++ {
+		s.Multicast(0, 0, []byte(fmt.Sprintf("g1-%d", round)))
+		s.Multicast(1, 1, []byte(fmt.Sprintf("g2-%d", round)))
+		s.Multicast(3, 2, []byte(fmt.Sprintf("g3-%d", round)))
+		s.Multicast(0, 3, []byte(fmt.Sprintf("g4-%d", round)))
+	}
+	runAndCheck(t, s)
+	// p1 ∈ g1,g3,g4 delivers 9 messages.
+	if got := len(s.DeliveredAt(0)); got != 9 {
+		t.Fatalf("p1 delivered %d, want 9", got)
+	}
+}
+
+func TestMinimalityUntouchedProcessIdle(t *testing.T) {
+	// Figure 1: a message to g1 = {p1,p2} must not make p5 take steps.
+	topo := groups.Figure1()
+	s := NewSystem(topo, failure.NewPattern(5), Options{ChargeObjects: true}, 4)
+	s.Multicast(0, 0, nil)
+	runAndCheck(t, s)
+	for _, p := range []groups.Process{2, 3, 4} { // p3, p4, p5 ∉ g1
+		if s.Eng.TookSteps(p) {
+			t.Errorf("p%d took steps though only g1 was addressed", p)
+		}
+	}
+}
+
+func TestCrashOfSenderAfterRequest(t *testing.T) {
+	// The sender crashes right after its message reaches L_g; the group
+	// still delivers it via helping if anyone delivers or the sender is
+	// "correct enough" — here another group member's request forces help.
+	topo := groups.MustNew(3, groups.NewProcSet(0, 1, 2))
+	pat := failure.NewPattern(3).WithCrash(0, 1)
+	s := NewSystem(topo, pat, Options{}, 5)
+	s.Multicast(0, 0, nil) // enters L_g; p0 crashes before appending
+	s.Multicast(1, 0, nil) // p1's request helps m1 into LOG_g
+	if !s.Run() {
+		t.Fatalf("run did not quiesce")
+	}
+	for _, v := range s.Check() {
+		t.Errorf("violation: %v", v)
+	}
+	// Both messages delivered at the correct processes.
+	for _, p := range []groups.Process{1, 2} {
+		if got := len(s.DeliveredAt(p)); got != 2 {
+			t.Fatalf("p%d delivered %d, want 2", p, got)
+		}
+	}
+}
+
+func TestFigure1CrashP2CyclicFamilyFaulty(t *testing.T) {
+	// p2 = g1∩g2 crashes mid-run: families f and f'' become faulty, γ drops
+	// them, and the remaining correct processes keep delivering.
+	topo := groups.Figure1()
+	for seed := int64(0); seed < 10; seed++ {
+		pat := failure.NewPattern(5).WithCrash(1, 40)
+		s := NewSystem(topo, pat, Options{FD: fdOpts(8)}, seed)
+		s.Multicast(0, 0, nil)
+		s.Multicast(2, 1, nil)
+		s.Multicast(2, 2, nil)
+		s.Multicast(4, 3, nil)
+		s.MulticastAt(100, 0, 0, nil)
+		s.MulticastAt(120, 2, 2, nil)
+		runAndCheck(t, s)
+	}
+}
+
+func TestFigure1CrashP1(t *testing.T) {
+	// p1 sits in every cyclic family; its crash makes all of F faulty.
+	topo := groups.Figure1()
+	for seed := int64(0); seed < 10; seed++ {
+		pat := failure.NewPattern(5).WithCrash(0, 30)
+		s := NewSystem(topo, pat, Options{FD: fdOpts(6)}, seed)
+		s.Multicast(1, 0, nil) // p2 → g1
+		s.Multicast(2, 1, nil) // p3 → g2
+		s.Multicast(3, 2, nil) // p4 → g3
+		s.Multicast(3, 3, nil) // p4 → g4
+		s.MulticastAt(90, 2, 1, nil)
+		runAndCheck(t, s)
+	}
+}
+
+func TestWholeGroupCrash(t *testing.T) {
+	// g1 = {p0,p1} crashes entirely; other groups continue.
+	topo := groups.MustNew(5,
+		groups.NewProcSet(0, 1),
+		groups.NewProcSet(2, 3),
+		groups.NewProcSet(3, 4),
+	)
+	pat := failure.NewPattern(5).WithCrashes(groups.NewProcSet(0, 1), 20)
+	s := NewSystem(topo, pat, Options{FD: fdOpts(5)}, 6)
+	s.Multicast(0, 0, nil)
+	s.Multicast(2, 1, nil)
+	s.Multicast(4, 2, nil)
+	s.MulticastAt(80, 3, 1, nil)
+	if !s.Run() {
+		t.Fatalf("run did not quiesce")
+	}
+	for _, v := range s.Check() {
+		t.Errorf("violation: %v", v)
+	}
+}
+
+func fdOpts(delay failure.Time) fd.Options {
+	return fd.Options{Delay: delay}
+}

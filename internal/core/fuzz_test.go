@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+// FuzzScenario decodes a scenario — topology, crash set, workload, seed —
+// from the fuzz input, runs Algorithm 1 to quiescence and checks the whole
+// specification. The decoder is total: any byte string maps to some valid
+// scenario, so the fuzzer explores protocol schedules rather than parser
+// corners.
+func FuzzScenario(f *testing.F) {
+	f.Add([]byte{3, 2, 0x03, 0x06, 0x00, 1, 0, 2, 1, 7})
+	f.Add([]byte{5, 4, 0x03, 0x06, 0x1c, 0x19, 0x41, 2, 0, 3, 2, 9})
+	f.Add([]byte{4, 3, 0x0f, 0x33, 0x55, 0x81, 1, 1, 2, 0, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		n := int(next())%6 + 2 // 2..7 processes
+		k := int(next())%3 + 1 // 1..3 groups
+		gs := make([]groups.ProcSet, k)
+		for i := range gs {
+			var g groups.ProcSet
+			g = g.Add(groups.Process(int(next()) % n)) // ensure non-empty
+			raw := uint64(next()) | uint64(next())<<8
+			g = g.Union(groups.ProcSet(raw & ((1 << uint(n)) - 1)))
+			gs[i] = g
+		}
+		topo := groups.MustNew(n, gs...)
+
+		// One optional crash that keeps a survivor in every group.
+		pat := failure.NewPattern(n)
+		crashByte := next()
+		if crashByte&0x80 != 0 {
+			p := groups.Process(int(crashByte) % n)
+			trial := pat.WithCrash(p, failure.Time(10+int(next())%60))
+			ok := true
+			for g := 0; g < k; g++ {
+				if trial.Correct().Intersect(gs[g]).Empty() {
+					ok = false
+				}
+			}
+			if ok {
+				pat = trial
+			}
+		}
+
+		s := NewSystem(topo, pat, Options{FD: fd.Options{Delay: 6}}, int64(next()))
+		msgs := int(next())%4 + 1
+		for i := 0; i < msgs; i++ {
+			g := groups.GroupID(int(next()) % k)
+			members := topo.Group(g).Members()
+			src := members[int(next())%len(members)]
+			s.MulticastAt(failure.Time(int(next())%80), src, g, nil)
+		}
+		if !s.Run() {
+			t.Fatalf("liveness failure: %v %v", topo, pat)
+		}
+		for _, v := range s.Check() {
+			t.Fatalf("%v (topo=%v pat=%v)", v, topo, pat)
+		}
+	})
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+	"repro/internal/logobj"
+	"repro/internal/msg"
+)
+
+// Node runs Algorithm 1 at one process. It is an engine.Automaton: each Step
+// attempts to fire one enabled action — multicast (line 5), pending
+// (line 8), commit (line 16), stabilize (line 25), stable (line 30) or
+// deliver (line 34) — scanning the messages it knows about in ID order.
+type Node struct {
+	p  groups.Process
+	sh *Shared
+
+	phase     map[msg.ID]Phase
+	known     []msg.ID
+	knownSet  map[msg.ID]bool
+	delivered []msg.ID
+
+	// outbox holds client multicast requests not yet handed to Algorithm 1
+	// (waiting behind their L_g predecessors), per destination group.
+	outbox map[groups.GroupID][]msg.ID
+
+	// myGroups caches G(p); myPairs the log keys of this process.
+	myGroups []groups.GroupID
+	myPairs  []PairKey
+}
+
+// NewNode builds the automaton for process p.
+func NewNode(p groups.Process, sh *Shared) *Node {
+	n := &Node{
+		p:        p,
+		sh:       sh,
+		phase:    make(map[msg.ID]Phase),
+		knownSet: make(map[msg.ID]bool),
+		outbox:   make(map[groups.GroupID][]msg.ID),
+	}
+	gs := sh.Topo.GroupsOf(p).Members()
+	n.myGroups = gs
+	for i, g := range gs {
+		n.myPairs = append(n.myPairs, PairKey{g, g})
+		for _, h := range gs[i+1:] {
+			if sh.Topo.Intersecting(g, h) {
+				n.myPairs = append(n.myPairs, CanonPair(g, h))
+			}
+		}
+	}
+	return n
+}
+
+// Proc implements engine.Automaton.
+func (n *Node) Proc() groups.Process { return n.p }
+
+// Multicast enqueues a client request at this node. The message must have
+// been registered through Shared.Request by the driver.
+func (n *Node) Multicast(m *msg.Message) {
+	if m.Src != n.p {
+		panic("core: Multicast called at a node other than the source")
+	}
+	n.outbox[m.Dst] = append(n.outbox[m.Dst], m.ID)
+}
+
+// Phase returns the local phase of m.
+func (n *Node) Phase(m msg.ID) Phase {
+	if ph, ok := n.phase[m]; ok {
+		return ph
+	}
+	return PhaseStart
+}
+
+// Delivered returns the local delivery order.
+func (n *Node) Delivered() []msg.ID { return append([]msg.ID(nil), n.delivered...) }
+
+// HasDelivered reports whether m was delivered locally.
+func (n *Node) HasDelivered(m msg.ID) bool { return n.Phase(m) == PhaseDeliver }
+
+// gateOK implements the quorum-responsiveness gate: operations on the
+// shared objects of group g complete only when the current Σ_g quorum can
+// take steps.
+func (n *Node) gateOK(ctx *engine.Ctx, g groups.GroupID) bool {
+	if !n.sh.Opt.QuorumGate {
+		return true
+	}
+	sig, ok := n.sh.Mu.SigmaFor(g, g)
+	if !ok {
+		return false
+	}
+	q, ok := sig.Quorum(n.p, ctx.Now)
+	if !ok {
+		return false
+	}
+	return q.SubsetOf(ctx.E.ActiveParticipants(ctx.Now))
+}
+
+// Step implements engine.Automaton: discover new messages, then try one
+// action.
+func (n *Node) Step(ctx *engine.Ctx) bool {
+	n.discover()
+	if n.tryMulticast(ctx) {
+		return true
+	}
+	for _, id := range n.known {
+		if !n.gateOK(ctx, n.sh.Reg.Get(id).Dst) {
+			continue
+		}
+		switch n.Phase(id) {
+		case PhaseStart:
+			if n.tryPending(ctx, id) {
+				return true
+			}
+		case PhasePending:
+			if n.tryCommit(ctx, id) {
+				return true
+			}
+		case PhaseCommit:
+			if n.tryStabilize(ctx, id) {
+				return true
+			}
+			if n.tryStable(ctx, id) {
+				return true
+			}
+		case PhaseStable:
+			if n.tryDeliver(ctx, id) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// discover scans the group logs of G(p) for messages not yet tracked.
+func (n *Node) discover() {
+	for _, g := range n.myGroups {
+		for _, id := range n.sh.GroupLog(g).Inner().Messages() {
+			if !n.knownSet[id] {
+				n.knownSet[id] = true
+				n.known = append(n.known, id)
+			}
+		}
+	}
+	sort.Slice(n.known, func(i, j int) bool { return n.known[i] < n.known[j] })
+}
+
+// tryMulticast implements the Proposition 1 group-sequential gate plus
+// line 5-7 of Algorithm 1: the head of the outbox is appended to LOG_g once
+// every predecessor in L_g is delivered locally; helping appends a stalled
+// predecessor on the sender's behalf.
+func (n *Node) tryMulticast(ctx *engine.Ctx) bool {
+	for _, g := range n.myGroups {
+		box := n.outbox[g]
+		if len(box) == 0 || !n.gateOK(ctx, g) {
+			continue
+		}
+		head := box[0]
+		log := n.sh.GroupLog(g)
+		for _, prev := range n.sh.SeqList(g) {
+			if prev == head {
+				// Every predecessor is delivered: multicast(head).
+				if n.Phase(head) != PhaseStart || log.Inner().Contains(logobj.MsgDatum(head)) {
+					// Someone (or a previous step) already appended it.
+					n.outbox[g] = box[1:]
+					return true
+				}
+				log.Append(ctx, g, logobj.MsgDatum(head))
+				n.outbox[g] = box[1:]
+				return true
+			}
+			if n.Phase(prev) == PhaseDeliver {
+				continue
+			}
+			// Help: make sure the predecessor entered Algorithm 1.
+			if !log.Inner().Contains(logobj.MsgDatum(prev)) {
+				log.Append(ctx, g, logobj.MsgDatum(prev))
+				return true
+			}
+			// The predecessor is in flight; wait for its delivery.
+			break
+		}
+	}
+	return false
+}
+
+// tryPending implements lines 8-15.
+func (n *Node) tryPending(ctx *engine.Ctx, id msg.ID) bool {
+	g := n.sh.Reg.Get(id).Dst
+	glog := n.sh.GroupLog(g)
+	if !glog.Inner().Contains(logobj.MsgDatum(id)) {
+		return false
+	}
+	// ∀m' <_{LOG_g} m: PHASE[m'] ≥ commit (line 11).
+	for _, prev := range glog.Inner().MessagesBefore(logobj.MsgDatum(id)) {
+		if n.Phase(prev) < PhaseCommit {
+			return false
+		}
+	}
+	// eff (lines 12-15).
+	for _, h := range n.myGroups {
+		if !n.sh.Topo.Intersecting(g, h) {
+			continue
+		}
+		i := n.sh.Log(g, h).Append(ctx, g, logobj.MsgDatum(id))
+		glog.Append(ctx, g, logobj.PosDatum(id, h, i))
+	}
+	n.phase[id] = PhasePending
+	return true
+}
+
+// gammaGroups returns γ(g) at (p, now) per the variant.
+func (n *Node) gammaGroups(g groups.GroupID, now failure.Time) groups.GroupSet {
+	switch n.sh.Opt.Variant {
+	case Pairwise:
+		// Pairwise ordering is computably equivalent to F = ∅ (§7): no
+		// cyclic coordination.
+		return 0
+	default:
+		return fd.GammaGroups(n.sh.Topo, n.sh.Gamma(), n.p, g, now)
+	}
+}
+
+// consensusFamily returns the family f of line 20 per the variant.
+func (n *Node) consensusFamily(g groups.GroupID) groups.GroupSet {
+	if n.sh.Opt.Variant == Pairwise {
+		return 0
+	}
+	return n.sh.Topo.ConsensusFamily(n.p, g)
+}
+
+// tryCommit implements lines 16-24.
+func (n *Node) tryCommit(ctx *engine.Ctx, id msg.ID) bool {
+	g := n.sh.Reg.Get(id).Dst
+	glog := n.sh.GroupLog(g).Inner()
+	// ∀h ∈ γ(g): (m,h,-) ∈ LOG_g (line 18).
+	for _, h := range n.gammaGroups(g, ctx.Now).Members() {
+		if !glog.HasPosTuple(id, h) {
+			return false
+		}
+	}
+	// eff (lines 19-24).
+	k, ok := glog.MaxPosTuple(id)
+	if !ok {
+		// p itself recorded tuples at pending time, so this cannot happen.
+		panic("core: commit without any position tuple")
+	}
+	fam := n.consensusFamily(g)
+	k = n.sh.Cons(id, fam).propose(ctx, k)
+	for _, h := range n.myGroups {
+		if !n.sh.Topo.Intersecting(g, h) {
+			continue
+		}
+		n.sh.Log(g, h).BumpAndLock(ctx, g, logobj.MsgDatum(id), k)
+	}
+	n.phase[id] = PhaseCommit
+	return true
+}
+
+// tryStabilize implements lines 25-29 for the first group h that is ready.
+func (n *Node) tryStabilize(ctx *engine.Ctx, id msg.ID) bool {
+	g := n.sh.Reg.Get(id).Dst
+	glog := n.sh.GroupLog(g)
+	for _, h := range n.myGroups {
+		if h == g || !n.sh.Topo.Intersecting(g, h) {
+			continue
+		}
+		if glog.Inner().Contains(logobj.StableDatum(id, h)) {
+			continue
+		}
+		// ∀m' <_{LOG_{g∩h}} m: PHASE[m'] ≥ stable (line 28).
+		ready := true
+		for _, prev := range n.sh.Log(g, h).Inner().MessagesBefore(logobj.MsgDatum(id)) {
+			if n.Phase(prev) < PhaseStable {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		glog.Append(ctx, g, logobj.StableDatum(id, h))
+		return true
+	}
+	return false
+}
+
+// tryStable implements lines 30-33 (and the §6.1 strengthening for the
+// strict variant).
+func (n *Node) tryStable(ctx *engine.Ctx, id msg.ID) bool {
+	g := n.sh.Reg.Get(id).Dst
+	glog := n.sh.GroupLog(g).Inner()
+	if n.sh.Opt.Variant == Strict {
+		// Strict variation: wait, for every intersecting group h, either
+		// the tuple (m,h) or the indicator 1^{g∩h} (§6.1, Sufficiency).
+		for _, h := range n.sh.Topo.IntersectingGroups(g) {
+			if glog.Contains(logobj.StableDatum(id, h)) {
+				continue
+			}
+			ind, ok := n.sh.Mu.IndicatorFor(g, h)
+			if ok && ind.Faulty(n.p, ctx.Now) {
+				continue
+			}
+			return false
+		}
+	} else {
+		// ∀h ∈ γ(g): (m,h) ∈ LOG_g (line 32).
+		for _, h := range n.gammaGroups(g, ctx.Now).Members() {
+			if !glog.Contains(logobj.StableDatum(id, h)) {
+				return false
+			}
+		}
+	}
+	n.phase[id] = PhaseStable
+	return true
+}
+
+// tryDeliver implements lines 34-37: every message preceding m in any log of
+// this process must already be delivered here.
+func (n *Node) tryDeliver(ctx *engine.Ctx, id msg.ID) bool {
+	d := logobj.MsgDatum(id)
+	for _, key := range n.myPairs {
+		l := n.sh.logs[key].Inner()
+		if !l.Contains(d) {
+			continue
+		}
+		for _, prev := range l.MessagesBefore(d) {
+			if n.Phase(prev) != PhaseDeliver {
+				return false
+			}
+		}
+	}
+	n.phase[id] = PhaseDeliver
+	n.delivered = append(n.delivered, id)
+	n.sh.RecordDelivery(n.p, id, ctx.Now)
+	if n.sh.Opt.OnDeliver != nil {
+		n.sh.Opt.OnDeliver(n.p, n.sh.Reg.Get(id), ctx.Now)
+	}
+	return true
+}
+
+// propose runs CONS_{m,f}.propose with host charging.
+func (o *consensusObject) propose(ctx *engine.Ctx, v int) int {
+	if !o.decided {
+		o.decided = true
+		o.value = v
+	}
+	if ctx != nil {
+		ctx.E.ChargeSet(o.hosts, 1)
+		ctx.E.CountMessages(int64(2 * o.hosts.Count()))
+	}
+	return o.value
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+// genAcyclicTopology builds random topologies with F = ∅ (chains and
+// stars), the setting of the §6.2 strongly genuine result.
+func genAcyclicTopology(rng *rand.Rand) *groups.Topology {
+	for {
+		n := 4 + rng.Intn(4)
+		k := 2 + rng.Intn(2)
+		gs := make([]groups.ProcSet, k)
+		for i := range gs {
+			var g groups.ProcSet
+			size := 2 + rng.Intn(2)
+			for g.Count() < size {
+				g = g.Add(groups.Process(rng.Intn(n)))
+			}
+			gs[i] = g
+		}
+		topo := groups.MustNew(n, gs...)
+		if !topo.HasCyclicFamilies() {
+			return topo
+		}
+	}
+}
+
+// TestGroupParallelism_RandomAcyclic is the §6.2 property as a randomized
+// test: on F = ∅ topologies under the StronglyGenuine variant, a run that
+// is fair only for one group's correct members still delivers that group's
+// messages at all of them — and stays safe.
+func TestGroupParallelism_RandomAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		topo := genAcyclicTopology(rng)
+		gid := groups.GroupID(rng.Intn(topo.NumGroups()))
+		pat := failure.NewPattern(topo.NumProcesses())
+		s := NewSystemWithConfig(topo, pat, Options{Variant: StronglyGenuine}, engine.Config{
+			Pattern:      pat,
+			Seed:         int64(trial),
+			Policy:       engine.RandomOrder,
+			Participants: topo.Group(gid),
+		})
+		members := topo.Group(gid).Members()
+		nmsg := 1 + rng.Intn(3)
+		for i := 0; i < nmsg; i++ {
+			s.Multicast(members[rng.Intn(len(members))], gid, nil)
+		}
+		if !s.Run() {
+			t.Fatalf("trial %d: isolated run did not quiesce (%v, g%d)", trial, topo, gid)
+		}
+		for _, p := range members {
+			if got := len(s.DeliveredAt(p)); got != nmsg {
+				t.Fatalf("trial %d: p%d delivered %d/%d in isolation (%v, g%d)",
+					trial, p, got, nmsg, topo, gid)
+			}
+		}
+		tr := s.Trace()
+		if v := check.Integrity(tr); v != nil {
+			t.Fatalf("trial %d: %v", trial, v)
+		}
+		if v := check.Ordering(tr); v != nil {
+			t.Fatalf("trial %d: %v", trial, v)
+		}
+		if v := check.GroupParallelism(tr, topo.Group(gid)); v != nil {
+			t.Fatalf("trial %d: %v", trial, v)
+		}
+	}
+}
+
+// TestStronglyGenuineSoak_FullRuns: the strongly genuine variant also
+// satisfies the full specification under normal (fair-for-all) runs on
+// acyclic topologies with crashes.
+func TestStronglyGenuineSoak_FullRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	for trial := 0; trial < 40; trial++ {
+		topo := genAcyclicTopology(rng)
+		pat := failure.NewPattern(topo.NumProcesses())
+		// Crash one process that is not the last member of any group.
+		p := groups.Process(rng.Intn(topo.NumProcesses()))
+		ok := true
+		trialPat := pat.WithCrash(p, failure.Time(20+rng.Intn(50)))
+		for g := 0; g < topo.NumGroups(); g++ {
+			if trialPat.Correct().Intersect(topo.Group(groups.GroupID(g))).Empty() {
+				ok = false
+			}
+		}
+		if ok {
+			pat = trialPat
+		}
+		s := NewSystem(topo, pat, Options{Variant: StronglyGenuine}, int64(trial))
+		for g := 0; g < topo.NumGroups(); g++ {
+			gid := groups.GroupID(g)
+			members := topo.Group(gid).Members()
+			s.MulticastAt(failure.Time(rng.Intn(60)), members[rng.Intn(len(members))], gid, nil)
+		}
+		if !s.Run() {
+			t.Fatalf("trial %d: no quiescence (%v)", trial, topo)
+		}
+		for _, v := range s.Check() {
+			t.Fatalf("trial %d: %v (%v, %v)", trial, v, topo, pat)
+		}
+	}
+}

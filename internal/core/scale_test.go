@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+// TestScaleStress drives a larger system — 24 processes, 8 groups with a
+// mixed (partially cyclic) intersection structure, 40 messages, 3 crashes —
+// and validates the full specification.
+func TestScaleStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale stress skipped in -short")
+	}
+	const n = 24
+	gs := []groups.ProcSet{
+		groups.NewProcSet(0, 1, 2),
+		groups.NewProcSet(2, 3, 4),
+		groups.NewProcSet(4, 5, 0),    // triangle with g0, g1
+		groups.NewProcSet(6, 7, 8),    // disjoint island
+		groups.NewProcSet(8, 9, 10),   // chain with g3
+		groups.NewProcSet(11, 12, 13), // disjoint
+		groups.NewProcSet(13, 14, 15, 16),
+		groups.NewProcSet(17, 18, 19, 20, 21),
+	}
+	topo := groups.MustNew(n, gs...)
+	if !topo.HasCyclicFamilies() {
+		t.Fatalf("expected at least one cyclic family")
+	}
+	rng := rand.New(rand.NewSource(999))
+	pat := failure.NewPattern(n).
+		WithCrash(4, 120). // g1∩g2
+		WithCrash(9, 200). // inside g4
+		WithCrash(18, 250) // inside g7
+	s := NewSystemWithConfig(topo, pat, Options{FD: fd.Options{Delay: 10}}, engineCfg(pat, 11))
+	for i := 0; i < 40; i++ {
+		g := groups.GroupID(rng.Intn(len(gs)))
+		members := topo.Group(g).Members()
+		src := members[rng.Intn(len(members))]
+		s.MulticastAt(failure.Time(rng.Intn(400)), src, g, nil)
+	}
+	if !s.Run() {
+		t.Fatalf("scale run did not quiesce")
+	}
+	for _, v := range s.Check() {
+		t.Errorf("violation: %v", v)
+	}
+	if len(s.Sh.Deliveries()) == 0 {
+		t.Fatalf("no deliveries at scale")
+	}
+}
+
+// TestStrictUsesDerivedGamma: the strict variant runs on the
+// indicator-derived γ (Proposition 51) and still satisfies everything,
+// including real-time order, under crashes of cyclic intersections.
+func TestStrictUsesDerivedGamma(t *testing.T) {
+	topo := groups.Figure1()
+	for seed := int64(0); seed < 10; seed++ {
+		pat := failure.NewPattern(5).WithCrash(1, 30)
+		s := NewSystem(topo, pat, Options{Variant: Strict, FD: fd.Options{Delay: 6}}, seed)
+		s.Multicast(0, 0, nil)
+		s.Multicast(2, 1, nil)
+		s.Multicast(3, 2, nil)
+		s.MulticastAt(100, 0, 3, nil)
+		runAndCheck(t, s)
+	}
+}
+
+func engineCfg(pat *failure.Pattern, seed int64) engine.Config {
+	return engine.Config{
+		Pattern:  pat,
+		Seed:     seed,
+		Policy:   engine.RandomOrder,
+		MaxSteps: 3_000_000,
+	}
+}

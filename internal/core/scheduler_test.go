@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+// TestRandomScenariosRoundRobin re-runs the soak under the round-robin
+// scheduling policy: correctness must be schedule-independent.
+func TestRandomScenariosRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		sc := genScenario(rng)
+		s := NewSystemWithConfig(sc.topo, sc.pat, Options{FD: fd.Options{Delay: 8}}, engine.Config{
+			Pattern: sc.pat,
+			Seed:    sc.seed,
+			Policy:  engine.RoundRobin,
+		})
+		for _, w := range sc.work {
+			s.MulticastAt(w.at, w.src, w.dst, nil)
+		}
+		if !s.Run() {
+			t.Fatalf("trial %d: round-robin run did not quiesce (%v)", trial, sc.topo)
+		}
+		for _, v := range s.Check() {
+			t.Fatalf("trial %d: %v (topo=%v pat=%v)", trial, v, sc.topo, sc.pat)
+		}
+	}
+}
+
+// TestAdversarialPauses: long asymmetric pauses (one process starved for a
+// long prefix) must not break safety or termination — asynchrony is the
+// model's default.
+func TestAdversarialPauses(t *testing.T) {
+	rng := rand.New(rand.NewSource(909))
+	for trial := 0; trial < 40; trial++ {
+		sc := genScenario(rng)
+		paused := map[groups.Process]failure.Time{}
+		// Starve up to two processes deep into the run.
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			paused[groups.Process(rng.Intn(sc.topo.NumProcesses()))] = failure.Time(200 + rng.Intn(300))
+		}
+		s := NewSystemWithConfig(sc.topo, sc.pat, Options{FD: fd.Options{Delay: 8}}, engine.Config{
+			Pattern:     sc.pat,
+			Seed:        sc.seed,
+			Policy:      engine.RandomOrder,
+			PausedUntil: paused,
+		})
+		for _, w := range sc.work {
+			s.MulticastAt(w.at, w.src, w.dst, nil)
+		}
+		if !s.Run() {
+			t.Fatalf("trial %d: paused run did not quiesce (%v)", trial, sc.topo)
+		}
+		for _, v := range s.Check() {
+			t.Fatalf("trial %d: %v (topo=%v pat=%v paused=%v)", trial, v, sc.topo, sc.pat, paused)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+	"repro/internal/msg"
+	"repro/internal/uc"
+)
+
+// PairKey identifies a log: the canonical unordered pair of groups whose
+// intersection the log serves; a == b identifies a group log LOG_g.
+type PairKey struct{ A, B groups.GroupID }
+
+// CanonPair returns the canonical key for (g, h).
+func CanonPair(g, h groups.GroupID) PairKey {
+	if g > h {
+		g, h = h, g
+	}
+	return PairKey{g, h}
+}
+
+// consKey identifies a consensus object CONS_{m,f} (Algorithm 1, line 3):
+// the message and the family of groups agreeing on its final position.
+type consKey struct {
+	m   msg.ID
+	fam groups.GroupSet
+}
+
+// Delivery is one delivery event of the run's global trace.
+type Delivery struct {
+	P groups.Process
+	M msg.ID
+	T failure.Time
+	// Seq is the global sequence number of the event (total order of the
+	// linearized run, used by the checkers).
+	Seq int
+}
+
+// Options configure a run of the protocol.
+type Options struct {
+	// Variant selects the problem flavour (default Vanilla).
+	Variant Variant
+	// ChargeObjects enables the §4.3 universal-construction cost model on
+	// every log (step charges + message counts). Correctness is unaffected.
+	ChargeObjects bool
+	// QuorumGate makes every action on a message of group g wait until the
+	// current Σ_g quorum lies inside the engine's active participant set —
+	// the shared objects of g are built from Σ_g ∧ Ω_g, so their operations
+	// only complete when a quorum responds. Full-participation runs are
+	// unaffected (ideal quorums are always alive); the necessity emulations
+	// rely on it to make restricted instances block exactly when the paper
+	// says they must.
+	QuorumGate bool
+	// OnDeliver, when set, observes every delivery (the extraction
+	// algorithms chain multicasts off deliveries).
+	OnDeliver func(p groups.Process, m *msg.Message, t failure.Time)
+	// FD tunes the ideal detector histories.
+	FD fd.Options
+}
+
+// Shared holds the state shared by every node of a run: the topology, the
+// message registry, the shared objects, the detector bundle, and the global
+// delivery trace.
+type Shared struct {
+	Topo *groups.Topology
+	Reg  *msg.Registry
+	Mu   *fd.Mu
+	Opt  Options
+
+	logs map[PairKey]*uc.Log
+	cons map[consKey]*consensusObject
+
+	// seqs are the group-sequential lists L_g of the Proposition 1
+	// reduction: client multicasts enter here, and a sender only hands its
+	// message to Algorithm 1 once every predecessor of L_g is delivered
+	// locally.
+	seqs map[groups.GroupID][]msg.ID
+
+	// requestedAt records when each message was handed to multicast() —
+	// the left endpoint of the real-time relation ⇝.
+	requestedAt map[msg.ID]failure.Time
+	// firstDelivered records the first delivery time of each message — the
+	// right endpoint of ⇝.
+	firstDelivered map[msg.ID]failure.Time
+
+	deliveries []Delivery
+	seq        int
+	version    int64
+
+	// gammaOverride substitutes another γ implementation for the ideal one
+	// (ablations and the necessity emulations plug in theirs here).
+	gammaOverride fd.Gamma
+}
+
+// Gamma returns the γ in effect for this run. The strict variant derives
+// its γ from the indicator detectors (Proposition 51: ∧1^{g∩h} ≥ γ), so
+// its detector is exactly (∧ Σ_{g∩h} ∧ 1^{g∩h}) ∧ (∧ Ω_g) — the §6.1
+// rewriting.
+func (sh *Shared) Gamma() fd.Gamma {
+	if sh.gammaOverride != nil {
+		return sh.gammaOverride
+	}
+	if sh.Opt.Variant == Strict {
+		return fd.NewDerivedGamma(sh.Topo, sh.Mu)
+	}
+	return sh.Mu.Gamma()
+}
+
+// OverrideGamma substitutes a γ implementation (for ablations and
+// emulation-driven runs); call before the run starts.
+func (sh *Shared) OverrideGamma(g fd.Gamma) { sh.gammaOverride = g }
+
+// consensusObject is CONS_{m,f}: first proposal wins, hosts charged.
+type consensusObject struct {
+	hosts   groups.ProcSet
+	decided bool
+	value   int
+}
+
+// NewShared builds the shared state of a run.
+func NewShared(topo *groups.Topology, pat *failure.Pattern, opt Options) *Shared {
+	if opt.Variant == 0 {
+		opt.Variant = Vanilla
+	}
+	sh := &Shared{
+		Topo:           topo,
+		Reg:            msg.NewRegistry(),
+		Mu:             fd.NewMu(topo, pat, opt.FD),
+		Opt:            opt,
+		logs:           make(map[PairKey]*uc.Log),
+		cons:           make(map[consKey]*consensusObject),
+		seqs:           make(map[groups.GroupID][]msg.ID),
+		requestedAt:    make(map[msg.ID]failure.Time),
+		firstDelivered: make(map[msg.ID]failure.Time),
+	}
+	k := topo.NumGroups()
+	for g := 0; g < k; g++ {
+		gid := groups.GroupID(g)
+		for h := g; h < k; h++ {
+			hid := groups.GroupID(h)
+			inter := topo.Intersection(gid, hid)
+			if inter.Empty() {
+				continue
+			}
+			name := fmt.Sprintf("LOG_g%d", g)
+			if g != h {
+				name = fmt.Sprintf("LOG_g%d∩g%d", g, h)
+			}
+			// The fallback consensus is hosted by the lower-numbered group
+			// ("atop some group, say g"); under StronglyGenuine the
+			// intersection hosts itself (Ω_{g∩h} ∧ Σ_{g∩h} are available).
+			slow := topo.Group(gid)
+			if opt.Variant == StronglyGenuine {
+				slow = inter
+			}
+			sh.logs[PairKey{gid, hid}] = uc.New(name, inter, slow, opt.ChargeObjects)
+		}
+	}
+	return sh
+}
+
+// Log returns LOG_{g∩h} (LOG_g when g == h); it panics when g∩h = ∅, which
+// indicates a caller bug.
+func (sh *Shared) Log(g, h groups.GroupID) *uc.Log {
+	l, ok := sh.logs[CanonPair(g, h)]
+	if !ok {
+		panic(fmt.Sprintf("core: no log for g%d∩g%d", g, h))
+	}
+	return l
+}
+
+// GroupLog returns LOG_g.
+func (sh *Shared) GroupLog(g groups.GroupID) *uc.Log { return sh.Log(g, g) }
+
+// Cons returns CONS_{m,f}, lazily created. The object is hosted by dst(m)
+// (consensus is solvable in each group from Σ_g ∧ Ω_g).
+func (sh *Shared) Cons(m msg.ID, fam groups.GroupSet) *consensusObject {
+	key := consKey{m: m, fam: fam}
+	if o, ok := sh.cons[key]; ok {
+		return o
+	}
+	o := &consensusObject{hosts: sh.Topo.Group(sh.Reg.Get(m).Dst)}
+	sh.cons[key] = o
+	return o
+}
+
+// Request registers a client multicast: the message enters the group-
+// sequential list L_g immediately; the sending node passes it to
+// Algorithm 1 once its L_g predecessors are delivered locally.
+func (sh *Shared) Request(src groups.Process, dst groups.GroupID, payload []byte, now failure.Time) *msg.Message {
+	if !sh.Topo.Group(dst).Has(src) {
+		panic(fmt.Sprintf("core: closed dissemination model requires src ∈ dst: p%d ∉ g%d", src, dst))
+	}
+	m := sh.Reg.New(src, dst, payload)
+	sh.seqs[dst] = append(sh.seqs[dst], m.ID)
+	sh.requestedAt[m.ID] = now
+	sh.version++
+	return m
+}
+
+// SeqList returns L_g.
+func (sh *Shared) SeqList(g groups.GroupID) []msg.ID { return sh.seqs[g] }
+
+// RecordDelivery appends to the global delivery trace.
+func (sh *Shared) RecordDelivery(p groups.Process, m msg.ID, t failure.Time) {
+	sh.deliveries = append(sh.deliveries, Delivery{P: p, M: m, T: t, Seq: sh.seq})
+	sh.seq++
+	if _, ok := sh.firstDelivered[m]; !ok {
+		sh.firstDelivered[m] = t
+	}
+	sh.version++
+}
+
+// Deliveries returns the global delivery trace.
+func (sh *Shared) Deliveries() []Delivery { return sh.deliveries }
+
+// RequestedAt returns when the message was requested.
+func (sh *Shared) RequestedAt(m msg.ID) failure.Time { return sh.requestedAt[m] }
+
+// FirstDeliveredAt returns the first delivery time of m; ok is false when m
+// was never delivered.
+func (sh *Shared) FirstDeliveredAt(m msg.ID) (failure.Time, bool) {
+	t, ok := sh.firstDelivered[m]
+	return t, ok
+}

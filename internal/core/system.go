@@ -1,0 +1,80 @@
+package core
+
+import (
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// System wires a topology, a failure pattern, the shared state, one node per
+// process and an engine into a runnable atomic-multicast instance.
+type System struct {
+	Sh    *Shared
+	Nodes []*Node
+	Eng   *engine.Engine
+	Pat   *failure.Pattern
+}
+
+// NewSystem builds a system. The engine seed makes the schedule
+// reproducible.
+func NewSystem(topo *groups.Topology, pat *failure.Pattern, opt Options, seed int64) *System {
+	return NewSystemWithConfig(topo, pat, opt, engine.Config{
+		Pattern: pat,
+		Seed:    seed,
+		Policy:  engine.RandomOrder,
+	})
+}
+
+// NewSystemWithConfig builds a system with full engine control (used by the
+// necessity emulations to restrict participants).
+func NewSystemWithConfig(topo *groups.Topology, pat *failure.Pattern, opt Options, cfg engine.Config) *System {
+	sh := NewShared(topo, pat, opt)
+	nodes := make([]*Node, topo.NumProcesses())
+	autos := make([]engine.Automaton, topo.NumProcesses())
+	for p := 0; p < topo.NumProcesses(); p++ {
+		nodes[p] = NewNode(groups.Process(p), sh)
+		autos[p] = nodes[p]
+	}
+	if cfg.Pattern == nil {
+		cfg.Pattern = pat
+	}
+	// Quiescence must wait out the detector stabilisation delay.
+	if cfg.QuiesceSlack == 0 {
+		cfg.QuiesceSlack = 64 + opt.FD.Delay
+	}
+	return &System{
+		Sh:    sh,
+		Nodes: nodes,
+		Eng:   engine.New(cfg, autos...),
+		Pat:   pat,
+	}
+}
+
+// Multicast issues a client multicast from src to group dst now (before or
+// during the run). It returns the registered message.
+func (s *System) Multicast(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
+	m := s.Sh.Request(src, dst, payload, s.Eng.Now())
+	s.Nodes[src].Multicast(m)
+	return m
+}
+
+// MulticastAt schedules a client multicast at virtual time t.
+func (s *System) MulticastAt(t failure.Time, src groups.Process, dst groups.GroupID, payload []byte) {
+	s.Eng.At(t, func() {
+		if s.Pat.IsAlive(src, t) {
+			s.Multicast(src, dst, payload)
+		}
+	})
+}
+
+// Run drives the system to quiescence; it returns false when the step
+// budget was exhausted first (a liveness failure for the scenarios the
+// tests construct).
+func (s *System) Run() bool { return s.Eng.Run() }
+
+// Node returns the node of process p.
+func (s *System) Node(p groups.Process) *Node { return s.Nodes[p] }
+
+// DeliveredAt returns the local delivery sequence of p.
+func (s *System) DeliveredAt(p groups.Process) []msg.ID { return s.Nodes[p].Delivered() }

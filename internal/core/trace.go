@@ -1,0 +1,44 @@
+package core
+
+import (
+	"repro/internal/check"
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// Trace exports the run evidence for the checkers.
+func (s *System) Trace() *check.Trace {
+	local := make(map[groups.Process][]msg.ID, len(s.Nodes))
+	for _, n := range s.Nodes {
+		local[n.Proc()] = n.Delivered()
+	}
+	multicast := make(map[msg.ID]failure.Time, s.Sh.Reg.Len())
+	for _, m := range s.Sh.Reg.All() {
+		multicast[m.ID] = s.Sh.RequestedAt(m.ID)
+	}
+	first := make(map[msg.ID]failure.Time)
+	for _, m := range s.Sh.Reg.All() {
+		if t, ok := s.Sh.FirstDeliveredAt(m.ID); ok {
+			first[m.ID] = t
+		}
+	}
+	return &check.Trace{
+		Topo:           s.Sh.Topo,
+		Pat:            s.Pat,
+		Reg:            s.Sh.Reg,
+		LocalOrder:     local,
+		Multicast:      multicast,
+		FirstDelivered: first,
+		TookSteps:      s.Eng.TookSteps,
+	}
+}
+
+// Check runs every checker appropriate for the system's variant and returns
+// the violations (empty means the run satisfied the specification).
+func (s *System) Check() []*check.Violation {
+	tr := s.Trace()
+	strict := s.Sh.Opt.Variant == Strict
+	pairwise := s.Sh.Opt.Variant == Pairwise
+	return check.All(tr, strict, pairwise)
+}

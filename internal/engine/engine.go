@@ -1,0 +1,279 @@
+// Package engine is the deterministic virtual-time runtime the library runs
+// on. It substitutes for the paper's asynchronous message-passing system:
+// processes are action automata; a seeded scheduler picks which process
+// attempts a step next; the virtual clock (one tick per scheduling attempt)
+// is the global time failure patterns and failure-detector histories are
+// indexed by. Runs are reproducible from (topology, pattern, seed).
+//
+// The engine also keeps the per-process step and message accounting used to
+// check the paper's minimality (genuineness) property and to regenerate the
+// performance tables: a process "takes steps" when one of its actions fires
+// or when it is charged for participating in a shared-object operation.
+package engine
+
+import (
+	"math/rand"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+// Automaton is a process automaton. Step attempts to execute one enabled
+// action and reports whether it did. Automata must be deterministic given
+// the shared state and the clock.
+type Automaton interface {
+	// Proc returns the process this automaton runs at.
+	Proc() groups.Process
+	// Step attempts one enabled action.
+	Step(ctx *Ctx) bool
+}
+
+// Ctx carries per-step context into an automaton.
+type Ctx struct {
+	// Now is the current virtual time.
+	Now failure.Time
+	// E is the engine, for accounting and event scheduling.
+	E *Engine
+}
+
+// SchedulingPolicy selects how the engine picks the next process.
+type SchedulingPolicy int
+
+const (
+	// RoundRobin cycles over processes in order.
+	RoundRobin SchedulingPolicy = iota + 1
+	// RandomOrder picks processes uniformly with the engine's seed.
+	RandomOrder
+)
+
+// Config parameterises an engine.
+type Config struct {
+	Pattern *failure.Pattern
+	Seed    int64
+	Policy  SchedulingPolicy
+	// QuiesceSlack extends the time horizon the engine waits past the last
+	// crash before declaring an idle run finished; it must cover detector
+	// stabilisation delays. Default 64.
+	QuiesceSlack failure.Time
+	// Participants restricts which processes take steps (used by the
+	// necessity emulations, which run instances of the algorithm where only
+	// a subset participates). Zero means everyone.
+	Participants groups.ProcSet
+	// PausedUntil delays individual processes: a process takes no steps
+	// before its entry (adversarial asynchrony for tests).
+	PausedUntil map[groups.Process]failure.Time
+	// MaxSteps bounds a run; 0 means the default of 4_000_000 attempts.
+	MaxSteps int64
+}
+
+// Engine drives a set of automata to quiescence.
+type Engine struct {
+	cfg    Config
+	rng    *rand.Rand
+	autos  []Automaton
+	clock  failure.Time
+	events []event
+
+	steps    map[groups.Process]int64 // actions fired
+	charges  map[groups.Process]int64 // shared-object participation charges
+	messages int64                    // synthetic message count
+}
+
+type event struct {
+	at failure.Time
+	fn func()
+}
+
+// New returns an engine over the automata.
+func New(cfg Config, autos ...Automaton) *Engine {
+	if cfg.Policy == 0 {
+		cfg.Policy = RoundRobin
+	}
+	if cfg.QuiesceSlack == 0 {
+		cfg.QuiesceSlack = 64
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 4_000_000
+	}
+	return &Engine{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		autos:   autos,
+		steps:   make(map[groups.Process]int64),
+		charges: make(map[groups.Process]int64),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() failure.Time { return e.clock }
+
+// At schedules fn to run once the clock reaches t (e.g. a client multicast
+// issued mid-run). Events scheduled in the past run on the next tick.
+func (e *Engine) At(t failure.Time, fn func()) {
+	e.events = append(e.events, event{at: t, fn: fn})
+}
+
+// Charge records that p took part in a shared-object operation. The paper's
+// minimality property is checked against steps + charges.
+func (e *Engine) Charge(p groups.Process, n int64) { e.charges[p] += n }
+
+// ChargeSet charges every alive member of the set.
+func (e *Engine) ChargeSet(set groups.ProcSet, n int64) {
+	for _, p := range set.Members() {
+		if e.cfg.Pattern.IsAlive(p, e.clock) {
+			e.charges[p] += n
+		}
+	}
+}
+
+// CountMessages adds n to the synthetic message counter.
+func (e *Engine) CountMessages(n int64) { e.messages += n }
+
+// Steps returns the actions fired by p.
+func (e *Engine) Steps(p groups.Process) int64 { return e.steps[p] }
+
+// Charges returns the shared-object participation charges of p.
+func (e *Engine) Charges(p groups.Process) int64 { return e.charges[p] }
+
+// TookSteps reports whether p did anything observable during the run.
+func (e *Engine) TookSteps(p groups.Process) bool {
+	return e.steps[p] > 0 || e.charges[p] > 0
+}
+
+// TotalSteps returns the total number of actions fired.
+func (e *Engine) TotalSteps() int64 {
+	var n int64
+	for _, v := range e.steps {
+		n += v
+	}
+	return n
+}
+
+// Messages returns the synthetic message counter.
+func (e *Engine) Messages() int64 { return e.messages }
+
+// Pattern returns the engine's failure pattern.
+func (e *Engine) Pattern() *failure.Pattern { return e.cfg.Pattern }
+
+// participates reports whether p is allowed to take steps now.
+func (e *Engine) participates(p groups.Process) bool {
+	if e.cfg.Participants != 0 && !e.cfg.Participants.Has(p) {
+		return false
+	}
+	if until, ok := e.cfg.PausedUntil[p]; ok && e.clock < until {
+		return false
+	}
+	return true
+}
+
+// ActiveParticipants returns the processes currently able to take steps:
+// participating, unpaused, and alive at time t. Quorum-gated shared-object
+// operations only complete when a quorum lies inside this set.
+func (e *Engine) ActiveParticipants(t failure.Time) groups.ProcSet {
+	var out groups.ProcSet
+	for _, a := range e.autos {
+		p := a.Proc()
+		if e.participates(p) && e.cfg.Pattern.IsAlive(p, t) {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// Run drives the automata until quiescence or the step budget runs out. It
+// returns true when the run quiesced (every alive automaton idle with the
+// clock past every scheduled event and the crash/stabilisation horizon).
+func (e *Engine) Run() bool {
+	horizon := e.cfg.Pattern.Horizon()
+	for _, until := range e.cfg.PausedUntil {
+		if until > horizon {
+			horizon = until
+		}
+	}
+	horizon += e.cfg.QuiesceSlack
+	idleStreak := 0
+	next := 0
+	for attempts := int64(0); attempts < e.cfg.MaxSteps; attempts++ {
+		e.clock++
+		e.fireEvents()
+
+		var a Automaton
+		switch e.cfg.Policy {
+		case RandomOrder:
+			a = e.autos[e.rng.Intn(len(e.autos))]
+		default:
+			a = e.autos[next%len(e.autos)]
+			next++
+		}
+		p := a.Proc()
+		if !e.participates(p) || !e.cfg.Pattern.IsAlive(p, e.clock) {
+			idleStreak++
+		} else if a.Step(&Ctx{Now: e.clock, E: e}) {
+			e.steps[p]++
+			idleStreak = 0
+		} else {
+			idleStreak++
+		}
+
+		if idleStreak >= 2*len(e.autos) && e.clock > horizon && !e.pendingEvents() {
+			// One more full sweep after the horizon: time-gated
+			// preconditions (detector stabilisation) may have opened.
+			idleStreak = 0
+			progressed := false
+			for _, b := range e.autos {
+				q := b.Proc()
+				if !e.participates(q) || !e.cfg.Pattern.IsAlive(q, e.clock) {
+					continue
+				}
+				if b.Step(&Ctx{Now: e.clock, E: e}) {
+					e.steps[q]++
+					progressed = true
+				}
+			}
+			if !progressed {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunFor drives the automata for exactly n scheduling attempts (no
+// quiescence detection); it is used by drivers that interleave their own
+// stimuli with execution.
+func (e *Engine) RunFor(n int64) {
+	next := 0
+	for i := int64(0); i < n; i++ {
+		e.clock++
+		e.fireEvents()
+		var a Automaton
+		switch e.cfg.Policy {
+		case RandomOrder:
+			a = e.autos[e.rng.Intn(len(e.autos))]
+		default:
+			a = e.autos[next%len(e.autos)]
+			next++
+		}
+		p := a.Proc()
+		if !e.participates(p) || !e.cfg.Pattern.IsAlive(p, e.clock) {
+			continue
+		}
+		if a.Step(&Ctx{Now: e.clock, E: e}) {
+			e.steps[p]++
+		}
+	}
+}
+
+func (e *Engine) fireEvents() {
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if ev.at <= e.clock {
+			ev.fn()
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	e.events = kept
+}
+
+func (e *Engine) pendingEvents() bool { return len(e.events) > 0 }

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+// counter is a trivial automaton firing n times then idling.
+type counter struct {
+	p     groups.Process
+	left  int
+	fired int
+}
+
+func (c *counter) Proc() groups.Process { return c.p }
+func (c *counter) Step(ctx *Ctx) bool {
+	if c.left == 0 {
+		return false
+	}
+	c.left--
+	c.fired++
+	return true
+}
+
+func TestRunQuiesces(t *testing.T) {
+	a := &counter{p: 0, left: 5}
+	b := &counter{p: 1, left: 3}
+	e := New(Config{Pattern: failure.NewPattern(2), Seed: 1}, a, b)
+	if !e.Run() {
+		t.Fatalf("did not quiesce")
+	}
+	if a.fired != 5 || b.fired != 3 {
+		t.Fatalf("fired %d,%d; want 5,3", a.fired, b.fired)
+	}
+	if e.Steps(0) != 5 || e.Steps(1) != 3 {
+		t.Fatalf("accounting wrong: %d,%d", e.Steps(0), e.Steps(1))
+	}
+	if e.TotalSteps() != 8 {
+		t.Fatalf("TotalSteps = %d", e.TotalSteps())
+	}
+}
+
+func TestCrashedProcessStops(t *testing.T) {
+	a := &counter{p: 0, left: 1 << 30}
+	pat := failure.NewPattern(1).WithCrash(0, 10)
+	e := New(Config{Pattern: pat, Seed: 1}, a)
+	if !e.Run() {
+		t.Fatalf("did not quiesce")
+	}
+	if a.fired > 10 {
+		t.Fatalf("crashed process fired %d times", a.fired)
+	}
+}
+
+func TestParticipantsRestriction(t *testing.T) {
+	a := &counter{p: 0, left: 4}
+	b := &counter{p: 1, left: 4}
+	e := New(Config{
+		Pattern:      failure.NewPattern(2),
+		Seed:         1,
+		Participants: groups.NewProcSet(0),
+	}, a, b)
+	if !e.Run() {
+		t.Fatalf("did not quiesce")
+	}
+	if a.fired != 4 || b.fired != 0 {
+		t.Fatalf("fired %d,%d; want 4,0", a.fired, b.fired)
+	}
+}
+
+func TestPausedUntil(t *testing.T) {
+	a := &counter{p: 0, left: 1}
+	e := New(Config{
+		Pattern:     failure.NewPattern(1),
+		Seed:        1,
+		PausedUntil: map[groups.Process]failure.Time{0: 50},
+	}, a)
+	var firedAt failure.Time
+	wrapped := &hookAutomaton{inner: a, onStep: func(now failure.Time) { firedAt = now }}
+	e = New(Config{
+		Pattern:     failure.NewPattern(1),
+		Seed:        1,
+		PausedUntil: map[groups.Process]failure.Time{0: 50},
+	}, wrapped)
+	if !e.Run() {
+		t.Fatalf("did not quiesce")
+	}
+	if firedAt < 50 {
+		t.Fatalf("paused process fired at %d", firedAt)
+	}
+}
+
+type hookAutomaton struct {
+	inner  Automaton
+	onStep func(failure.Time)
+}
+
+func (h *hookAutomaton) Proc() groups.Process { return h.inner.Proc() }
+func (h *hookAutomaton) Step(ctx *Ctx) bool {
+	if h.inner.Step(ctx) {
+		h.onStep(ctx.Now)
+		return true
+	}
+	return false
+}
+
+func TestScheduledEventsFire(t *testing.T) {
+	a := &counter{p: 0, left: 0}
+	e := New(Config{Pattern: failure.NewPattern(1), Seed: 1}, a)
+	fired := false
+	e.At(20, func() { fired = true })
+	if !e.Run() {
+		t.Fatalf("did not quiesce")
+	}
+	if !fired {
+		t.Fatalf("event did not fire")
+	}
+}
+
+// TestEventUnblocksAutomaton: an event scheduled past the quiescence horizon
+// still fires and can wake an automaton.
+func TestEventUnblocksAutomaton(t *testing.T) {
+	a := &counter{p: 0, left: 0}
+	e := New(Config{Pattern: failure.NewPattern(1), Seed: 1, QuiesceSlack: 4}, a)
+	e.At(200, func() { a.left = 2 })
+	if !e.Run() {
+		t.Fatalf("did not quiesce")
+	}
+	if a.fired != 2 {
+		t.Fatalf("automaton fired %d, want 2", a.fired)
+	}
+}
+
+func TestChargesAndMessages(t *testing.T) {
+	a := &counter{p: 0, left: 1}
+	pat := failure.NewPattern(3).WithCrash(2, 0)
+	e := New(Config{Pattern: pat, Seed: 1}, a)
+	e.RunFor(5)
+	e.ChargeSet(groups.NewProcSet(0, 1, 2), 1)
+	e.CountMessages(6)
+	if e.Charges(0) != 1 || e.Charges(1) != 1 {
+		t.Fatalf("alive charges wrong")
+	}
+	if e.Charges(2) != 0 {
+		t.Fatalf("crashed process charged")
+	}
+	if e.Messages() != 6 {
+		t.Fatalf("messages = %d", e.Messages())
+	}
+	if !e.TookSteps(0) || e.TookSteps(2) {
+		t.Fatalf("TookSteps wrong")
+	}
+}
+
+func TestMaxStepsBudget(t *testing.T) {
+	a := &counter{p: 0, left: 1 << 30}
+	e := New(Config{Pattern: failure.NewPattern(1), Seed: 1, MaxSteps: 100}, a)
+	if e.Run() {
+		t.Fatalf("should have exhausted budget")
+	}
+}
+
+func TestRoundRobinDeterministic(t *testing.T) {
+	run := func() []int {
+		a := &counter{p: 0, left: 3}
+		b := &counter{p: 1, left: 3}
+		e := New(Config{Pattern: failure.NewPattern(2), Seed: 7, Policy: RandomOrder}, a, b)
+		e.RunFor(20)
+		return []int{a.fired, b.fired}
+	}
+	x, y := run(), run()
+	if x[0] != y[0] || x[1] != y[1] {
+		t.Fatalf("random policy not reproducible: %v vs %v", x, y)
+	}
+}

@@ -1,0 +1,196 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+func opts() core.Options {
+	return core.Options{FD: fd.Options{Delay: 6}}
+}
+
+// TestSigmaEmulation_SingleGroup (Theorem 49, |G| = 1): the emulated Σ_g
+// satisfies intersection perpetually and liveness eventually.
+func TestSigmaEmulation_SingleGroup(t *testing.T) {
+	topo := groups.MustNew(3, groups.NewProcSet(0, 1, 2))
+	pat := failure.NewPattern(3).WithCrash(2, 15)
+	em := NewSigmaEmulation(topo, pat, opts(), 1, 0)
+
+	late := em.Horizon() + 50
+	var quorums []groups.ProcSet
+	for _, p := range topo.Group(0).Members() {
+		if !pat.IsCorrect(p) {
+			continue
+		}
+		q, ok := em.Quorum(p, late)
+		if !ok || q.Empty() {
+			t.Fatalf("no quorum at p%d", p)
+		}
+		if !q.SubsetOf(pat.Correct()) {
+			t.Fatalf("stabilised quorum %v not ⊆ Correct %v (liveness)", q, pat.Correct())
+		}
+		quorums = append(quorums, q)
+	}
+	for i := range quorums {
+		for j := range quorums {
+			if quorums[i].Intersect(quorums[j]).Empty() {
+				t.Fatalf("quorums %v and %v disjoint (intersection)", quorums[i], quorums[j])
+			}
+		}
+	}
+}
+
+// TestSigmaEmulation_ResponsiveSets: only subsets containing the correct
+// core of the group are responsive — a solo minority cannot drive the
+// protocol past the quorum gate.
+func TestSigmaEmulation_ResponsiveSets(t *testing.T) {
+	topo := groups.MustNew(3, groups.NewProcSet(0, 1, 2))
+	pat := failure.NewPattern(3) // everyone correct
+	em := NewSigmaEmulation(topo, pat, opts(), 2, 0)
+	resp := em.Responsive(0)
+	full := groups.NewProcSet(0, 1, 2)
+	for _, x := range resp {
+		if x != full {
+			t.Fatalf("restricted instance %v responsive though all of g is correct", x)
+		}
+	}
+	if len(resp) != 1 {
+		t.Fatalf("responsive sets = %v, want only the full group", resp)
+	}
+}
+
+// TestSigmaEmulation_IntersectionPair (Theorem 49, |G| = 2): emulating
+// Σ_{g∩h} for two intersecting groups.
+func TestSigmaEmulation_IntersectionPair(t *testing.T) {
+	topo := groups.MustNew(4,
+		groups.NewProcSet(0, 1, 2), // g
+		groups.NewProcSet(1, 2, 3), // h; g∩h = {1,2}
+	)
+	pat := failure.NewPattern(4).WithCrash(0, 20)
+	em := NewSigmaEmulation(topo, pat, opts(), 3, 0, 1)
+
+	// Outside the intersection: ⊥.
+	if _, ok := em.Quorum(0, em.Horizon()+10); ok {
+		t.Fatalf("Σ_{g∩h} must be ⊥ outside g∩h")
+	}
+	late := em.Horizon() + 50
+	var quorums []groups.ProcSet
+	for _, p := range []groups.Process{1, 2} {
+		q, ok := em.Quorum(p, late)
+		if !ok || q.Empty() {
+			t.Fatalf("no quorum at p%d", p)
+		}
+		if !q.SubsetOf(topo.Intersection(0, 1)) {
+			t.Fatalf("quorum %v outside g∩h", q)
+		}
+		quorums = append(quorums, q)
+	}
+	if quorums[0].Intersect(quorums[1]).Empty() {
+		t.Fatalf("emulated Σ_{g∩h} quorums disjoint: %v %v", quorums[0], quorums[1])
+	}
+}
+
+// TestGammaEmulation_Completeness (Theorem 50, Figure 3): crashing
+// g1∩g2 = {p2} makes families f and f” faulty; the emulation must stop
+// outputting them at correct members while keeping f' alive.
+func TestGammaEmulation_Completeness(t *testing.T) {
+	topo := groups.Figure1()
+	pat := failure.NewPattern(5).WithCrash(1, 10) // p2 crashes
+	em := NewGammaEmulation(topo, pat, opts(), 4, nil)
+
+	late := em.Horizon() + 50
+	out := em.Families(0, late) // p1 belongs to every family
+	alive := map[groups.GroupSet]bool{}
+	for _, f := range out {
+		alive[f.Groups] = true
+	}
+	if alive[groups.NewGroupSet(0, 1, 2)] {
+		t.Errorf("f = {g1,g2,g3} still output though faulty")
+	}
+	if alive[groups.NewGroupSet(0, 1, 2, 3)] {
+		t.Errorf("f'' = G still output though faulty")
+	}
+	if !alive[groups.NewGroupSet(0, 2, 3)] {
+		t.Errorf("f' = {g1,g3,g4} should stay alive (accuracy)")
+	}
+}
+
+// TestGammaEmulation_Accuracy: with no failures, every family stays output
+// (a flag would need a delivery that strictness of the quorum gate forbids).
+func TestGammaEmulation_Accuracy(t *testing.T) {
+	topo := groups.Figure1()
+	pat := failure.NewPattern(5)
+	em := NewGammaEmulation(topo, pat, opts(), 5, nil)
+	out := em.Families(0, em.Horizon()+10)
+	if len(out) != 3 {
+		t.Fatalf("γ emulation dropped a correct family: %d families output, want 3", len(out))
+	}
+}
+
+// TestGammaEmulation_ActiveEdges: after p2's crash the g1-side active edges
+// should be exactly those of the surviving family f' = {g1,g3,g4}.
+func TestGammaEmulation_ActiveEdges(t *testing.T) {
+	topo := groups.Figure1()
+	pat := failure.NewPattern(5).WithCrash(1, 10)
+	em := NewGammaEmulation(topo, pat, opts(), 6, nil)
+	got := em.ActiveEdges(0, 0, em.Horizon()+50) // γ(g1) at p1
+	if got != groups.NewGroupSet(2, 3) {
+		t.Fatalf("γ(g1) = %v, want {g3,g4}", got)
+	}
+}
+
+// TestIndicatorEmulation_Accuracy (Proposition 53): while g∩h is correct,
+// neither restricted instance delivers, so the emulated 1^{g∩h} stays
+// false.
+func TestIndicatorEmulation_Accuracy(t *testing.T) {
+	topo := groups.MustNew(3,
+		groups.NewProcSet(0, 1), // g
+		groups.NewProcSet(1, 2), // h; g∩h = {p1}
+	)
+	pat := failure.NewPattern(3) // p1 correct
+	em := NewIndicatorEmulation(topo, pat, opts(), 7, 0, 1)
+	ag, ah := em.DeliveredAt()
+	if ag != failure.Never || ah != failure.Never {
+		t.Fatalf("restricted instances delivered (%d, %d) though g∩h is correct", ag, ah)
+	}
+	for _, p := range []groups.Process{0, 2} {
+		if em.Faulty(p, em.Horizon()+100) {
+			t.Fatalf("1^{g∩h} fired though g∩h correct (accuracy)")
+		}
+	}
+}
+
+// TestIndicatorEmulation_Completeness: once g∩h crashes, both instances
+// deliver and the emulated indicator fires at the survivors.
+func TestIndicatorEmulation_Completeness(t *testing.T) {
+	topo := groups.MustNew(3,
+		groups.NewProcSet(0, 1),
+		groups.NewProcSet(1, 2),
+	)
+	pat := failure.NewPattern(3).WithCrash(1, 10) // g∩h = {p1} crashes
+	em := NewIndicatorEmulation(topo, pat, opts(), 8, 0, 1)
+	ag, ah := em.DeliveredAt()
+	if ag == failure.Never && ah == failure.Never {
+		t.Fatalf("no instance delivered though g∩h crashed")
+	}
+	late := em.Horizon() + 100
+	for _, p := range []groups.Process{0, 2} {
+		if !em.Faulty(p, late) {
+			t.Fatalf("1^{g∩h} silent at p%d though g∩h crashed (completeness)", p)
+		}
+	}
+	// Outside g ∪ h the detector is ⊥ (false).
+	topo2 := groups.MustNew(4,
+		groups.NewProcSet(0, 1),
+		groups.NewProcSet(1, 2),
+	)
+	pat2 := failure.NewPattern(4).WithCrash(1, 10)
+	em2 := NewIndicatorEmulation(topo2, pat2, opts(), 9, 0, 1)
+	if em2.Faulty(3, em2.Horizon()+100) {
+		t.Fatalf("1^{g∩h} fired outside its scope")
+	}
+}

@@ -1,0 +1,242 @@
+package extract
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// GammaEmulation runs Algorithm 3: for every cyclic family f and closed
+// path π ∈ cpaths(f) whose first edge π[0]∩π[1] is failure-prone, an
+// instance A_π of the multicast algorithm carries identity messages along
+// the path; a message completing the traversal (or meeting the converse
+// orientation) raises failed[π], and a family is excluded once every one of
+// its path classes is flagged.
+type GammaEmulation struct {
+	topo *groups.Topology
+	pat  *failure.Pattern
+
+	// failed[πKey] is the flag of line 3, shared by the correct processes
+	// (the "send to f" of line 9 uses reliable links; we model the signal
+	// as immediately received, which only advances the time at which flags
+	// rise).
+	failed map[string]bool
+	// paths indexes every instance's path by key.
+	paths map[string]pathInstance
+	// progress records the furthest stage each instance reached (-1 when
+	// its first message was never delivered).
+	progress map[string]int
+
+	horizon failure.Time
+}
+
+type pathInstance struct {
+	fam  groups.Family
+	path []groups.GroupID
+}
+
+// pathKey renders a closed path as a map key.
+func pathKey(path []groups.GroupID) string {
+	return fmt.Sprint(path)
+}
+
+// NewGammaEmulation builds and runs the emulation. failureProne tells which
+// process sets may crash in the environment; the paper's construction only
+// instantiates A_π when π[0]∩π[1] is failure-prone (with E = E*, pass a
+// predicate that is always true).
+func NewGammaEmulation(topo *groups.Topology, pat *failure.Pattern, opt core.Options, seed int64, failureProne func(groups.ProcSet) bool) *GammaEmulation {
+	em := &GammaEmulation{
+		topo:     topo,
+		pat:      pat,
+		failed:   make(map[string]bool),
+		paths:    make(map[string]pathInstance),
+		progress: make(map[string]int),
+	}
+	opt.QuorumGate = true
+	for _, fam := range topo.Families() {
+		for _, path := range fam.CPaths {
+			key := pathKey(path)
+			em.paths[key] = pathInstance{fam: fam, path: path}
+			first := topo.Intersection(path[0], path[1])
+			if failureProne == nil || failureProne(first) {
+				em.runInstance(fam, path, opt, seed)
+			}
+		}
+	}
+	// Line 13: a flag also rises when the converse orientation of an
+	// equivalent path delivered its first message mid-way; runInstance
+	// records progress signals, and resolveConverse applies the rule.
+	em.resolveConverse()
+	em.horizon = pat.Horizon() + opt.FD.Delay + 64
+	return em
+}
+
+type gammaRun struct {
+	em       *GammaEmulation
+	path     []groups.GroupID
+	maxStage int
+}
+
+// runInstance executes A_π. The instance's participants are the processes
+// of f outside π[0] ∩ π[|π|-2] (line 2). Processes of π[0]∩π[1] multicast
+// their identity to π[0] (lines 4-5); a process of π[i+1] delivering (-, i)
+// multicasts to π[i+1] (lines 6-10). Reaching stage |π|-3 flags the path
+// (lines 11-14).
+func (em *GammaEmulation) runInstance(fam groups.Family, path []groups.GroupID, opt core.Options, seed int64) {
+	var participants groups.ProcSet
+	for _, g := range fam.Groups.Members() {
+		participants = participants.Union(em.topo.Group(g))
+	}
+	lastEdge := em.topo.Intersection(path[0], path[len(path)-2])
+	participants = participants.Diff(lastEdge)
+
+	run := &gammaRun{em: em, path: path, maxStage: -1}
+	stageOf := make(map[msg.ID]int)
+
+	var sys *core.System
+	opt.OnDeliver = func(p groups.Process, m *msg.Message, t failure.Time) {
+		i, ok := stageOf[m.ID]
+		if !ok {
+			return
+		}
+		if i > run.maxStage {
+			run.maxStage = i
+		}
+		// signal(π, i): p ∈ π[i+1] forwards (lines 6-10).
+		if i < len(path)-2 && em.topo.Group(path[i+1]).Has(p) {
+			next := path[i+1]
+			already := false
+			for id, st := range stageOf {
+				if st == i+1 && sys.Sh.Reg.Get(id).Src == p {
+					already = true
+					break
+				}
+			}
+			if !already && participants.Has(p) {
+				sys.Eng.At(t+1, func() {
+					if em.pat.IsAlive(p, t+1) {
+						mm := sys.Multicast(p, next, []byte{byte(i + 1)})
+						stageOf[mm.ID] = i + 1
+					}
+				})
+			}
+		}
+	}
+	sys = core.NewSystemWithConfig(em.topo, em.pat, opt, engine.Config{
+		Pattern:      em.pat,
+		Seed:         seed,
+		Policy:       engine.RandomOrder,
+		Participants: participants,
+		MaxSteps:     400_000,
+	})
+	// Lines 4-5: processes of π[0]∩π[1] multicast (p, 0) to π[0].
+	for _, p := range em.topo.Intersection(path[0], path[1]).Members() {
+		if participants.Has(p) {
+			m := sys.Multicast(p, path[0], []byte{0})
+			stageOf[m.ID] = 0
+		}
+	}
+	sys.Run()
+
+	// Line 12: a signal (π, |π|-3) flags the path.
+	if run.maxStage >= len(path)-3 {
+		em.failed[pathKey(path)] = true
+	}
+	// Record partial progress for the converse-orientation rule (line 13).
+	em.progress[pathKey(path)] = run.maxStage
+}
+
+// resolveConverse applies the precondition of line 13: path π is flagged
+// when some equivalent path π' of the converse direction delivered its
+// first message at a group of π, i.e. both directions made progress past
+// their first edges.
+func (em *GammaEmulation) resolveConverse() {
+	for key, inst := range em.paths {
+		if em.failed[key] {
+			continue
+		}
+		iProg, ok := em.progress[key]
+		if !ok || iProg < 0 {
+			continue
+		}
+		for key2, inst2 := range em.paths {
+			if key2 == key || !groups.PathsEquivalent(inst.path, inst2.path) {
+				continue
+			}
+			if groups.PathDirection(inst.path) == groups.PathDirection(inst2.path) {
+				continue
+			}
+			jProg, ok := em.progress[key2]
+			if ok && jProg >= 0 {
+				em.failed[key] = true
+				em.failed[key2] = true
+			}
+		}
+	}
+}
+
+// Families answers a query of the emulated γ at (p, t): the families of
+// F(p) for which some closed path has no flagged equivalent (line 16).
+// Flags in this emulation are evaluated at the end of the runs, so queries
+// are meaningful from the emulation horizon on.
+func (em *GammaEmulation) Families(p groups.Process, t failure.Time) []groups.Family {
+	var out []groups.Family
+	for _, fam := range em.topo.FamiliesOfProcess(p) {
+		if em.familyAlive(fam) {
+			out = append(out, fam)
+		}
+	}
+	return out
+}
+
+// ActiveEdges derives the ring-granular waiting set from the emulated
+// flags: h is active for g when some unflagged closed path uses edge (g,h).
+func (em *GammaEmulation) ActiveEdges(p groups.Process, g groups.GroupID, t failure.Time) groups.GroupSet {
+	var out groups.GroupSet
+	for _, fam := range em.topo.FamiliesOfProcess(p) {
+		if !fam.Groups.Has(g) {
+			continue
+		}
+		for _, path := range fam.CPaths {
+			if em.classFlagged(path) {
+				continue
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if path[i] == g {
+					out = out.Add(path[i+1])
+				}
+				if path[i+1] == g {
+					out = out.Add(path[i])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// familyAlive: ∃π ∈ cpaths(f) with every equivalent path unflagged.
+func (em *GammaEmulation) familyAlive(fam groups.Family) bool {
+	for _, path := range fam.CPaths {
+		if !em.classFlagged(path) {
+			return true
+		}
+	}
+	return false
+}
+
+// classFlagged reports whether some path equivalent to path carries a flag.
+func (em *GammaEmulation) classFlagged(path []groups.GroupID) bool {
+	for key, inst := range em.paths {
+		if em.failed[key] && groups.PathsEquivalent(inst.path, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// Horizon returns the stabilisation time of the emulation.
+func (em *GammaEmulation) Horizon() failure.Time { return em.horizon }

@@ -1,0 +1,284 @@
+package extract
+
+import (
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+	"repro/internal/sim"
+)
+
+// OmegaExtraction implements Algorithm 5 / Appendix B: the CHT-style
+// extraction of Ω_{g∩h} from a strongly genuine solution A and its failure
+// detector D. Each process samples D, simulates the runs of A induced by
+// the samples from a family of initial configurations (the processes of
+// g∩h each multicast one message, to g or to h), tags the simulation forest
+// with the valencies of the deliveries, and extracts an eventually-correct
+// leader of g∩h from a critical index — univalent critical pairs give the
+// connecting process (Proposition 71), bivalent roots give the deciding
+// process of a decision gadget (Proposition 72).
+//
+// The simulated A is the leader-sequencer automaton of internal/sim; D is
+// the ideal leader history over g∩h. The forest is explored to a bounded
+// depth along a fair sampling sequence, which is enough for the tags of
+// these finite protocols to stabilise.
+type OmegaExtraction struct {
+	topo  *groups.Topology
+	pat   *failure.Pattern
+	g, h  groups.GroupID
+	inter groups.ProcSet
+	scope groups.ProcSet
+
+	auto  *sim.LeaderMulticast
+	omega fd.Omega
+	dag   *SampleDAG
+	path  []SampleVertex
+	depth int
+
+	// chain is the Proposition 70 traversal J_0 .. J_v: J_i has the first
+	// i members of g∩h (ascending) multicast to h and the rest to g.
+	chain []*simTree
+}
+
+// simTree is one simulation tree Υ_i.
+type simTree struct {
+	root *simNode
+}
+
+// simNode is a schedule of the tree, stored with its configuration and
+// accumulated tags.
+type simNode struct {
+	cfg      *sim.Config
+	step     sim.Step // the step leading here (zero at the root)
+	children []*simNode
+	tags     map[groups.GroupID]bool
+	depth    int
+}
+
+// NewOmegaExtraction builds the forest and tags it. depth bounds the
+// explored schedules (20–40 covers the leader protocol's full executions
+// for the small intersections the construction enumerates).
+func NewOmegaExtraction(topo *groups.Topology, pat *failure.Pattern, g, h groups.GroupID, opt fd.Options, depth int) *OmegaExtraction {
+	inter := topo.Intersection(g, h)
+	if inter.Empty() {
+		panic("extract: Algorithm 5 needs intersecting groups")
+	}
+	e := &OmegaExtraction{
+		topo:  topo,
+		pat:   pat,
+		g:     g,
+		h:     h,
+		inter: inter,
+		scope: topo.Group(g).Union(topo.Group(h)),
+		auto:  &sim.LeaderMulticast{Topo: topo, G: g, H: h},
+		omega: fd.NewOmega(pat, inter, opt),
+		depth: depth,
+	}
+	// Collaborative sampling (Appendix B.1): the simulation schedules are
+	// induced by a fair path of the shared sampling DAG.
+	rounds := depth/e.scope.Count() + 2
+	e.dag = BuildSampleDAG(pat, e.omega, e.scope, rounds)
+	e.path = e.dag.FullPath()
+	if len(e.path) < depth {
+		e.depth = len(e.path)
+	}
+	members := inter.Members()
+	for i := 0; i <= len(members); i++ {
+		cfg := sim.NewConfig(e.auto, topo.NumProcesses())
+		for j, q := range members {
+			dst := e.g
+			if j < i {
+				dst = e.h
+			}
+			cfg.Inject(q, q, "GO", int64(dst), 0)
+		}
+		tree := &simTree{root: &simNode{cfg: cfg, tags: map[groups.GroupID]bool{}}}
+		e.explore(tree.root)
+		e.chain = append(e.chain, tree)
+	}
+	return e
+}
+
+// sampleAt returns the k-th vertex of the extraction's sampling path
+// (crashed processes take no samples, so every vertex is a live step).
+func (e *OmegaExtraction) sampleAt(k int) (groups.Process, sim.FDValue, bool) {
+	if k >= len(e.path) {
+		return 0, 0, false
+	}
+	v := e.path[k]
+	return v.P, v.D, true
+}
+
+// explore expands a node along the sampling sequence, branching over every
+// buffered message of the sampled process, and computes tags bottom-up.
+func (e *OmegaExtraction) explore(n *simNode) {
+	e.contributeTags(n)
+	if n.depth >= e.depth {
+		return
+	}
+	p, d, more := e.sampleAt(n.depth)
+	if !more {
+		return
+	}
+	pending := n.cfg.PendingFor(p)
+	if len(pending) == 0 {
+		// Only the null step is available; it does not change the
+		// configuration of this protocol, so skip ahead.
+		child := &simNode{cfg: n.cfg, depth: n.depth + 1, tags: map[groups.GroupID]bool{}}
+		n.children = append(n.children, child)
+		e.explore(child)
+		e.mergeTags(n, child)
+		return
+	}
+	for _, seq := range pending {
+		step := sim.Step{P: p, MsgSeq: seq, D: d}
+		child := &simNode{
+			cfg:   n.cfg.Apply(e.auto, step),
+			step:  step,
+			depth: n.depth + 1,
+			tags:  map[groups.GroupID]bool{},
+		}
+		n.children = append(n.children, child)
+		e.explore(child)
+		e.mergeTags(n, child)
+	}
+}
+
+// contributeTags adds the node's own valency evidence: a process of g∩h
+// whose first delivery is addressed to x contributes tag x.
+func (e *OmegaExtraction) contributeTags(n *simNode) {
+	for _, q := range e.inter.Members() {
+		if len(n.cfg.Delivered[q]) == 0 {
+			continue
+		}
+		n.tags[sim.LabelGroup(n.cfg.Delivered[q][0])] = true
+	}
+}
+
+func (e *OmegaExtraction) mergeTags(n, child *simNode) {
+	for t := range child.tags {
+		n.tags[t] = true
+	}
+}
+
+// valency returns (gValent, hValent) of a node.
+func (n *simNode) valency(g, h groups.GroupID) (bool, bool) {
+	return n.tags[g], n.tags[h]
+}
+
+// CriticalIndex implements the Proposition 70 traversal over the chain
+// J_0..J_v: it returns the first critical index and whether it is
+// univalent (with the connecting process) or bivalent.
+func (e *OmegaExtraction) CriticalIndex() (idx int, univalent bool, connecting groups.Process, found bool) {
+	members := e.inter.Members()
+	for i := 0; i+1 <= len(members); i++ {
+		gi, hi := e.chain[i].root.valency(e.g, e.h)
+		gj, hj := e.chain[i+1].root.valency(e.g, e.h)
+		if gi && !hi && hj && !gj {
+			// J_i g-valent, J_{i+1} h-valent, adjacent via members[i].
+			return i, true, members[i], true
+		}
+	}
+	for i := range e.chain {
+		g, h := e.chain[i].root.valency(e.g, e.h)
+		if g && h {
+			return i, false, 0, true
+		}
+	}
+	return 0, false, 0, false
+}
+
+// GadgetKind classifies a decision gadget (Figure 5).
+type GadgetKind int
+
+const (
+	// Fork: the deciding process's steps differ only in the detector
+	// sample taken with the same message.
+	Fork GadgetKind = iota + 1
+	// Hook: the deciding process's steps consume different messages.
+	Hook
+)
+
+// String renders the kind.
+func (k GadgetKind) String() string {
+	if k == Fork {
+		return "fork"
+	}
+	return "hook"
+}
+
+// Gadget locates a decision gadget in tree idx: a bivalent node with a
+// g-valent child and an h-valent child. All children of a node are steps of
+// the same process (the sampling sequence fixes who moves), so that process
+// is the deciding process, and by the Proposition 72 argument it must be
+// correct and — when the index is critical — in g∩h.
+func (e *OmegaExtraction) Gadget(idx int) (groups.Process, bool) {
+	p, _, ok := e.findGadget(e.chain[idx].root)
+	return p, ok
+}
+
+// GadgetKindAt also reports the gadget's Figure 5 shape.
+func (e *OmegaExtraction) GadgetKindAt(idx int) (groups.Process, GadgetKind, bool) {
+	return e.findGadget(e.chain[idx].root)
+}
+
+func (e *OmegaExtraction) findGadget(n *simNode) (groups.Process, GadgetKind, bool) {
+	gv, hv := n.valency(e.g, e.h)
+	if !gv || !hv {
+		return 0, 0, false
+	}
+	var gChild, hChild *simNode
+	for _, c := range n.children {
+		cg, ch := c.valency(e.g, e.h)
+		if cg && !ch && gChild == nil {
+			gChild = c
+		}
+		if ch && !cg && hChild == nil {
+			hChild = c
+		}
+	}
+	if gChild != nil && hChild != nil && gChild.step != (sim.Step{}) {
+		// The deciding process is the one whose step splits the valencies
+		// (every real child of a node is a step of the same process).
+		kind := Hook
+		if gChild.step.MsgSeq == hChild.step.MsgSeq {
+			kind = Fork // same message, different sample
+		}
+		return gChild.step.P, kind, true
+	}
+	for _, c := range n.children {
+		if p, k, ok := e.findGadget(c); ok {
+			return p, k, ok
+		}
+	}
+	return 0, 0, false
+}
+
+// Extract answers a query of the emulated Ω_{g∩h} at process p: ⊥ outside
+// the intersection; otherwise the leader extracted from the forest
+// (Algorithm 5 lines 36-44). The forest is deterministic, so every querying
+// process computes the same value — the agreement half of Ω's leadership.
+func (e *OmegaExtraction) Extract(p groups.Process) (groups.Process, bool) {
+	if !e.inter.Has(p) {
+		return 0, false
+	}
+	idx, univalent, connecting, found := e.CriticalIndex()
+	if found && univalent {
+		return connecting, true
+	}
+	if found {
+		if q, ok := e.Gadget(idx); ok && e.inter.Has(q) {
+			return q, true
+		}
+	}
+	return p, true
+}
+
+// RootTags exposes the root tag sets along the chain (figures/tests).
+func (e *OmegaExtraction) RootTags() [][2]bool {
+	out := make([][2]bool, len(e.chain))
+	for i, tr := range e.chain {
+		g, h := tr.root.valency(e.g, e.h)
+		out[i] = [2]bool{g, h}
+	}
+	return out
+}

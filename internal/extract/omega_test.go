@@ -1,0 +1,151 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+// twoGroups is the Appendix B setting: g = {0,1,2}, h = {1,2,3},
+// g∩h = {1,2}.
+func twoGroups() *groups.Topology {
+	return groups.MustNew(4,
+		groups.NewProcSet(0, 1, 2),
+		groups.NewProcSet(1, 2, 3),
+	)
+}
+
+// TestOmegaExtraction_CriticalIndex (Figure 4 / Proposition 70): in a
+// failure-free run the traversal J_0..J_v finds a critical index — here the
+// mixed configuration is bivalent (both delivery orders reachable).
+func TestOmegaExtraction_CriticalIndex(t *testing.T) {
+	topo := twoGroups()
+	pat := failure.NewPattern(4)
+	e := NewOmegaExtraction(topo, pat, 0, 1, fd.Options{}, 28)
+
+	tags := e.RootTags()
+	// J_0 = (g,g) must be g-valent only; J_2 = (h,h) h-valent only.
+	if !tags[0][0] || tags[0][1] {
+		t.Fatalf("J_0 tags = %v, want g-valent", tags[0])
+	}
+	if !tags[2][1] || tags[2][0] {
+		t.Fatalf("J_2 tags = %v, want h-valent", tags[2])
+	}
+	idx, univalent, _, found := e.CriticalIndex()
+	if !found {
+		t.Fatalf("no critical index found")
+	}
+	if univalent {
+		t.Fatalf("failure-free mixed config should be bivalent critical")
+	}
+	if gv, hv := tags[idx][0], tags[idx][1]; !gv || !hv {
+		t.Fatalf("critical index %d not bivalent: %v", idx, tags[idx])
+	}
+}
+
+// TestOmegaExtraction_Gadgets (Figure 5 / Proposition 72): the bivalent
+// tree contains a decision gadget whose deciding process is a correct
+// member of g∩h.
+func TestOmegaExtraction_Gadgets(t *testing.T) {
+	topo := twoGroups()
+	pat := failure.NewPattern(4)
+	e := NewOmegaExtraction(topo, pat, 0, 1, fd.Options{}, 28)
+	idx, univalent, _, found := e.CriticalIndex()
+	if !found || univalent {
+		t.Fatalf("expected a bivalent critical index")
+	}
+	q, ok := e.Gadget(idx)
+	if !ok {
+		t.Fatalf("no decision gadget located")
+	}
+	if !topo.Intersection(0, 1).Has(q) {
+		t.Fatalf("deciding process p%d outside g∩h", q)
+	}
+	if !pat.IsCorrect(q) {
+		t.Fatalf("deciding process p%d faulty", q)
+	}
+}
+
+// TestOmegaExtraction_UnivalentCritical (Proposition 71): with one member
+// of g∩h initially crashed, adjacent configurations become g-valent and
+// h-valent, and the connecting process — which the extraction returns — is
+// the correct member.
+func TestOmegaExtraction_UnivalentCritical(t *testing.T) {
+	topo := twoGroups()
+	pat := failure.NewPattern(4).WithCrash(2, 0) // p2 ∈ g∩h crashes at once
+	e := NewOmegaExtraction(topo, pat, 0, 1, fd.Options{}, 28)
+
+	idx, univalent, connecting, found := e.CriticalIndex()
+	if !found {
+		t.Fatalf("no critical index")
+	}
+	if !univalent {
+		t.Fatalf("expected univalent critical pair, got bivalent at %d", idx)
+	}
+	if connecting != 1 {
+		t.Fatalf("connecting process = p%d, want p1 (the correct member)", connecting)
+	}
+	if !pat.IsCorrect(connecting) {
+		t.Fatalf("Proposition 71 violated: connecting process faulty")
+	}
+}
+
+// TestOmegaExtraction_Leadership: the emulated Ω_{g∩h} returns the same
+// correct member of g∩h at every querying process — the leadership
+// property.
+func TestOmegaExtraction_Leadership(t *testing.T) {
+	topo := twoGroups()
+	for _, pat := range []*failure.Pattern{
+		failure.NewPattern(4),
+		failure.NewPattern(4).WithCrash(2, 0),
+		failure.NewPattern(4).WithCrash(1, 0),
+		failure.NewPattern(4).WithCrash(0, 0),
+	} {
+		e := NewOmegaExtraction(topo, pat, 0, 1, fd.Options{}, 28)
+		inter := topo.Intersection(0, 1)
+		correct := pat.Correct().Intersect(inter)
+		if correct.Empty() {
+			continue
+		}
+		var leader groups.Process = -1
+		for _, p := range correct.Members() {
+			l, ok := e.Extract(p)
+			if !ok {
+				t.Fatalf("no output inside g∩h")
+			}
+			if !inter.Has(l) {
+				t.Fatalf("extracted leader p%d outside g∩h (pat=%v)", l, pat)
+			}
+			if !pat.IsCorrect(l) {
+				t.Fatalf("extracted leader p%d faulty (pat=%v)", l, pat)
+			}
+			if leader == -1 {
+				leader = l
+			} else if l != leader {
+				t.Fatalf("processes disagree on the leader: p%d vs p%d", l, leader)
+			}
+		}
+		// Outside the intersection: ⊥.
+		if _, ok := e.Extract(0); ok && !inter.Has(0) {
+			t.Fatalf("Ω_{g∩h} answered outside its scope")
+		}
+	}
+}
+
+// TestOmegaExtraction_BiggerIntersection: a three-process intersection
+// exercises the longer chain J_0..J_3.
+func TestOmegaExtraction_BiggerIntersection(t *testing.T) {
+	topo := groups.MustNew(5,
+		groups.NewProcSet(0, 1, 2, 3),
+		groups.NewProcSet(1, 2, 3, 4),
+	)
+	pat := failure.NewPattern(5).WithCrash(3, 0)
+	e := NewOmegaExtraction(topo, pat, 0, 1, fd.Options{}, 36)
+	inter := topo.Intersection(0, 1)
+	l, ok := e.Extract(1)
+	if !ok || !inter.Has(l) || !pat.IsCorrect(l) {
+		t.Fatalf("extraction failed: leader=%v ok=%v", l, ok)
+	}
+}

@@ -1,0 +1,120 @@
+package extract
+
+import (
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+	"repro/internal/sim"
+)
+
+// This file implements the collaborative sampling of Algorithm 5's Sample
+// procedure (Appendix B.1): each process repeatedly queries its detector,
+// adds a vertex (p, d, k) to a DAG with edges from every existing vertex,
+// and exchanges the DAG. Every path through the DAG is a sampling
+// (Proposition 59), and fair extensions of any path exist and replicate at
+// the correct processes (Proposition 60). The Ω-extraction draws its
+// simulation schedules from paths of this DAG.
+
+// SampleVertex is a vertex (p, d, k): the k-th sample d taken by p.
+type SampleVertex struct {
+	P groups.Process
+	D sim.FDValue
+	K int
+	// At is the virtual time the sample was taken (the sampling function τ
+	// of Proposition 59).
+	At failure.Time
+}
+
+// SampleDAG is the shared sampling graph G. Because every new vertex
+// receives edges from all existing vertices (line 15 of Algorithm 5), the
+// DAG's paths are exactly the increasing subsequences of the vertex
+// sequence; the struct stores the sequence and exposes path views.
+type SampleDAG struct {
+	Vertices []SampleVertex
+}
+
+// BuildSampleDAG runs the collaborative sampling for `rounds` rounds over
+// the scope: alive processes take turns querying the leader detector over
+// the intersection (the D of the extraction) and appending vertices. The
+// exchange (lines 16-18) is modelled as immediate — all correct processes
+// share G, which only accelerates replication.
+func BuildSampleDAG(pat *failure.Pattern, omega fd.Omega, scope groups.ProcSet, rounds int) *SampleDAG {
+	dag := &SampleDAG{}
+	counts := make(map[groups.Process]int)
+	members := scope.Members()
+	var t failure.Time = 1
+	for r := 0; r < rounds; r++ {
+		for _, p := range members {
+			t += 4
+			if !pat.IsAlive(p, t) {
+				continue
+			}
+			counts[p]++
+			d := sim.FDValue(p)
+			if l, ok := omega.Leader(p, t); ok {
+				d = sim.FDValue(l)
+			}
+			dag.Vertices = append(dag.Vertices, SampleVertex{P: p, D: d, K: counts[p], At: t})
+		}
+	}
+	return dag
+}
+
+// FullPath returns the maximal path of the DAG (the whole vertex sequence)
+// — a fair sampling when every correct scope member keeps sampling.
+func (d *SampleDAG) FullPath() []SampleVertex {
+	return append([]SampleVertex(nil), d.Vertices...)
+}
+
+// IsSampling checks Proposition 59's conditions on a path: per-process
+// sample counters increase along it, every vertex was taken while its
+// process was alive, and times increase strictly.
+func (d *SampleDAG) IsSampling(path []SampleVertex, pat *failure.Pattern) bool {
+	lastK := make(map[groups.Process]int)
+	var lastT failure.Time = -1
+	for _, v := range path {
+		if v.At <= lastT {
+			return false
+		}
+		lastT = v.At
+		if !pat.IsAlive(v.P, v.At) {
+			return false
+		}
+		if v.K <= lastK[v.P] {
+			return false
+		}
+		lastK[v.P] = v.K
+	}
+	return true
+}
+
+// IsFairFor reports whether the path is P-fair in the Proposition 60 sense
+// up to its horizon: every member of the set appears at least minSteps
+// times.
+func (d *SampleDAG) IsFairFor(path []SampleVertex, set groups.ProcSet, minSteps int) bool {
+	counts := make(map[groups.Process]int)
+	for _, v := range path {
+		counts[v.P]++
+	}
+	for _, p := range set.Members() {
+		if counts[p] < minSteps {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsequence returns the path of the DAG visiting the given vertex
+// indices (which must be increasing); every such path is a sampling.
+func (d *SampleDAG) Subsequence(idx []int) []SampleVertex {
+	out := make([]SampleVertex, 0, len(idx))
+	last := -1
+	for _, i := range idx {
+		if i <= last || i >= len(d.Vertices) {
+			return nil
+		}
+		last = i
+		out = append(out, d.Vertices[i])
+	}
+	return out
+}

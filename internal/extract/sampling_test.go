@@ -1,0 +1,86 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+// TestSampleDAGProposition59: every path of the DAG — including arbitrary
+// subsequences — is a sampling: counters grow, samples are taken alive,
+// times increase.
+func TestSampleDAGProposition59(t *testing.T) {
+	pat := failure.NewPattern(4).WithCrash(2, 30)
+	scope := groups.NewProcSet(0, 1, 2, 3)
+	omega := fd.NewOmega(pat, groups.NewProcSet(1, 2), fd.Options{Delay: 5})
+	dag := BuildSampleDAG(pat, omega, scope, 8)
+
+	if !dag.IsSampling(dag.FullPath(), pat) {
+		t.Fatalf("the full path must be a sampling")
+	}
+	// Subsequences are samplings too (Proposition 59 holds for every path).
+	sub := dag.Subsequence([]int{0, 3, 5, 9})
+	if sub == nil || !dag.IsSampling(sub, pat) {
+		t.Fatalf("subsequence path is not a sampling")
+	}
+	// Non-increasing index sets are rejected.
+	if dag.Subsequence([]int{3, 1}) != nil {
+		t.Fatalf("non-increasing subsequence accepted")
+	}
+}
+
+// TestSampleDAGCrashedStopSampling: a crashed process contributes no
+// vertices after its crash time — its rank freezes, as Algorithm 2's
+// ranking function requires.
+func TestSampleDAGCrashedStopSampling(t *testing.T) {
+	pat := failure.NewPattern(3).WithCrash(1, 20)
+	scope := groups.NewProcSet(0, 1, 2)
+	omega := fd.NewOmega(pat, scope, fd.Options{})
+	dag := BuildSampleDAG(pat, omega, scope, 10)
+	for _, v := range dag.Vertices {
+		if v.P == 1 && v.At > 20 {
+			t.Fatalf("crashed process sampled at t=%d", v.At)
+		}
+	}
+}
+
+// TestSampleDAGFairness (Proposition 60): the full path is fair for the
+// correct processes — each appears at least once per round.
+func TestSampleDAGFairness(t *testing.T) {
+	pat := failure.NewPattern(4).WithCrash(3, 0)
+	scope := groups.NewProcSet(0, 1, 2, 3)
+	omega := fd.NewOmega(pat, scope, fd.Options{})
+	const rounds = 12
+	dag := BuildSampleDAG(pat, omega, scope, rounds)
+	if !dag.IsFairFor(dag.FullPath(), pat.Correct().Intersect(scope), rounds) {
+		t.Fatalf("full path not fair for the correct processes")
+	}
+	if dag.IsFairFor(dag.FullPath(), scope, 1) {
+		t.Fatalf("path cannot be fair for the crashed process")
+	}
+}
+
+// TestSampleDAGStabilisedLeader: after the detector stabilises, every
+// sample carries the same correct leader — the property the extraction's
+// tags converge under.
+func TestSampleDAGStabilisedLeader(t *testing.T) {
+	pat := failure.NewPattern(4).WithCrash(1, 10)
+	inter := groups.NewProcSet(1, 2)
+	scope := groups.NewProcSet(0, 1, 2, 3)
+	omega := fd.NewOmega(pat, inter, fd.Options{Delay: 4})
+	dag := BuildSampleDAG(pat, omega, scope, 20)
+	stab := pat.Horizon() + 4
+	for _, v := range dag.Vertices {
+		if v.At < stab {
+			continue
+		}
+		if !inter.Has(v.P) {
+			continue // outside the detector's scope the sample is ⊥-ish
+		}
+		if groups.Process(v.D) != 2 {
+			t.Fatalf("stabilised sample at p%d is p%d, want p2", v.P, v.D)
+		}
+	}
+}

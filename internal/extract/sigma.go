@@ -1,0 +1,167 @@
+// Package extract implements the necessity side of the paper: emulating the
+// components of μ (and the variations' detectors) out of a black-box
+// solution A to (a variation of) genuine atomic multicast.
+//
+//   - Algorithm 2 emulates Σ_{∩_{g∈G} g} from responsive instances A_{g,x}
+//     (Theorem 49);
+//   - Algorithm 3 emulates γ from per-closed-path instances A_π
+//     (Theorem 50);
+//   - Algorithm 4 emulates 1^{g∩h} from a strict solution (Proposition 53);
+//   - Algorithm 5 (the CHT-style extraction of Ω_{g∩h} from a strongly
+//     genuine solution) lives in omega.go on top of the formal model of
+//     internal/sim.
+//
+// Instances of A are full runs of the core protocol with the engine's
+// participant set restricted — the run of A_{g,x} is exactly a run of the
+// algorithm in which the processes outside x take no steps, which is the
+// indistinguishability the proofs glue runs with.
+package extract
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+// SigmaEmulation runs Algorithm 2 for a set G of at most two intersecting
+// destination groups, emulating Σ_{∩_{g∈G} g}.
+type SigmaEmulation struct {
+	topo *groups.Topology
+	pat  *failure.Pattern
+	gs   []groups.GroupID
+	// inter is ∩_{g∈G} g.
+	inter groups.ProcSet
+	// responsive[gi] is Q_g: the subsets x of g whose instance A_{g,x}
+	// delivered a message.
+	responsive []map[groups.ProcSet]bool
+	// horizon is the virtual time after which every instance has quiesced;
+	// queries are answered relative to it.
+	horizon failure.Time
+}
+
+// NewSigmaEmulation builds and runs the emulation: one instance A_{g,x} per
+// group g ∈ G and subset x ⊆ g, each a restricted run of the core protocol
+// under the same failure pattern (the shared detector history D).
+func NewSigmaEmulation(topo *groups.Topology, pat *failure.Pattern, opt core.Options, seed int64, gs ...groups.GroupID) *SigmaEmulation {
+	if len(gs) == 0 || len(gs) > 2 {
+		panic("extract: Algorithm 2 takes one or two intersecting groups")
+	}
+	opt.QuorumGate = true
+	em := &SigmaEmulation{
+		topo:       topo,
+		pat:        pat,
+		gs:         gs,
+		inter:      topo.Group(gs[0]),
+		responsive: make([]map[groups.ProcSet]bool, len(gs)),
+	}
+	for _, g := range gs[1:] {
+		em.inter = em.inter.Intersect(topo.Group(g))
+	}
+	for gi, g := range gs {
+		em.responsive[gi] = make(map[groups.ProcSet]bool)
+		members := topo.Group(g).Members()
+		// Enumerate the non-empty subsets x of g.
+		for mask := 1; mask < 1<<len(members); mask++ {
+			var x groups.ProcSet
+			for b, p := range members {
+				if mask&(1<<b) != 0 {
+					x = x.Add(p)
+				}
+			}
+			if em.runInstance(g, x, opt, seed) {
+				em.responsive[gi][x] = true
+			}
+		}
+	}
+	em.horizon = pat.Horizon() + opt.FD.Delay + 64
+	return em
+}
+
+// runInstance executes A_{g,x}: every process of x multicasts its identity
+// to g; only x participates. It reports whether some message was delivered.
+func (em *SigmaEmulation) runInstance(g groups.GroupID, x groups.ProcSet, opt core.Options, seed int64) bool {
+	s := core.NewSystemWithConfig(em.topo, em.pat, opt, engine.Config{
+		Pattern:      em.pat,
+		Seed:         seed,
+		Policy:       engine.RandomOrder,
+		Participants: x,
+		MaxSteps:     200_000,
+	})
+	for _, p := range x.Members() {
+		s.Multicast(p, g, []byte{byte(p)})
+	}
+	s.Run()
+	return len(s.Sh.Deliveries()) > 0
+}
+
+// rank implements the ranking function of Bonnet & Raynal used at line 14:
+// the rank of a process grows while it is alive ("alive" messages) and
+// freezes at its crash; the rank of a set is its minimum.
+func (em *SigmaEmulation) rank(x groups.ProcSet, t failure.Time) failure.Time {
+	min := failure.Time(1 << 60)
+	for _, p := range x.Members() {
+		r := t
+		if ct := em.pat.CrashTime(p); ct != failure.Never && ct < t {
+			r = ct
+		}
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// Quorum answers a query of the emulated Σ_{∩g}: ⊥ outside the
+// intersection; otherwise (∪_g qr_g) ∩ (∩_g g) where qr_g is the most
+// responsive quorum of Q_g at time t.
+func (em *SigmaEmulation) Quorum(p groups.Process, t failure.Time) (groups.ProcSet, bool) {
+	if !em.inter.Has(p) {
+		return 0, false
+	}
+	var out groups.ProcSet
+	for gi, g := range em.gs {
+		qr := em.topo.Group(g) // initial value of qr_g (line 4)
+		best := failure.Time(-1)
+		// Deterministic iteration: sort the responsive subsets.
+		keys := make([]groups.ProcSet, 0, len(em.responsive[gi]))
+		for x := range em.responsive[gi] {
+			keys = append(keys, x)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, x := range keys {
+			if r := em.rank(x, t); r > best {
+				best, qr = r, x
+			}
+		}
+		out = out.Union(qr)
+	}
+	out = out.Intersect(em.inter)
+	if out.Empty() {
+		// The paper's range argument (Theorem 49) guarantees non-emptiness
+		// whenever queries are made by processes that are alive; an empty
+		// result would indicate a broken emulation.
+		return 0, false
+	}
+	return out, true
+}
+
+// Responsive exposes Q_g for inspection (tests and the figures tool).
+func (em *SigmaEmulation) Responsive(g groups.GroupID) []groups.ProcSet {
+	for gi, gg := range em.gs {
+		if gg == g {
+			out := make([]groups.ProcSet, 0, len(em.responsive[gi]))
+			for x := range em.responsive[gi] {
+				out = append(out, x)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+	}
+	return nil
+}
+
+// Horizon returns the stabilisation time of the emulation.
+func (em *SigmaEmulation) Horizon() failure.Time { return em.horizon }

@@ -1,0 +1,211 @@
+// Package failure models failure patterns and environments from the
+// unreliable-failure-detector model (Chandra & Toueg, recalled in Appendix A
+// of the paper): a failure pattern is a monotone function F : N → 2^P giving
+// the processes that have crashed by each instant of the global clock.
+package failure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/groups"
+)
+
+// Time is an instant of the simulated global clock. Processes never read it;
+// it only parameterises failure patterns and detector histories.
+type Time int64
+
+// Never marks a process that does not crash in a pattern.
+const Never Time = -1
+
+// Pattern is a failure pattern: for each process, the time at which it
+// crashes (Never if correct). Crashed processes never recover.
+type Pattern struct {
+	n     int
+	crash []Time
+}
+
+// NewPattern returns a pattern over n processes in which nobody crashes.
+func NewPattern(n int) *Pattern {
+	crash := make([]Time, n)
+	for i := range crash {
+		crash[i] = Never
+	}
+	return &Pattern{n: n, crash: crash}
+}
+
+// WithCrash returns a copy of the pattern in which p crashes at time t.
+func (f *Pattern) WithCrash(p groups.Process, t Time) *Pattern {
+	if t < 0 {
+		panic("failure: crash time must be >= 0")
+	}
+	c := f.clone()
+	c.crash[p] = t
+	return c
+}
+
+// WithCrashes returns a copy in which every process of set crashes at t.
+func (f *Pattern) WithCrashes(set groups.ProcSet, t Time) *Pattern {
+	c := f.clone()
+	for _, p := range set.Members() {
+		c.crash[p] = t
+	}
+	return c
+}
+
+func (f *Pattern) clone() *Pattern {
+	return &Pattern{n: f.n, crash: append([]Time(nil), f.crash...)}
+}
+
+// N returns the number of processes the pattern covers.
+func (f *Pattern) N() int { return f.n }
+
+// CrashTime returns when p crashes, or Never.
+func (f *Pattern) CrashTime(p groups.Process) Time { return f.crash[p] }
+
+// CrashedAt returns F(t): the processes crashed at time t.
+func (f *Pattern) CrashedAt(t Time) groups.ProcSet {
+	var s groups.ProcSet
+	for p, ct := range f.crash {
+		if ct != Never && ct <= t {
+			s = s.Add(groups.Process(p))
+		}
+	}
+	return s
+}
+
+// AliveAt returns the processes not crashed at time t.
+func (f *Pattern) AliveAt(t Time) groups.ProcSet {
+	var s groups.ProcSet
+	for p, ct := range f.crash {
+		if ct == Never || ct > t {
+			s = s.Add(groups.Process(p))
+		}
+	}
+	return s
+}
+
+// Faulty returns Faulty(F) = ∪_t F(t): every process that eventually crashes.
+func (f *Pattern) Faulty() groups.ProcSet {
+	var s groups.ProcSet
+	for p, ct := range f.crash {
+		if ct != Never {
+			s = s.Add(groups.Process(p))
+		}
+	}
+	return s
+}
+
+// Correct returns Correct(F): the processes that never crash.
+func (f *Pattern) Correct() groups.ProcSet {
+	var s groups.ProcSet
+	for p, ct := range f.crash {
+		if ct == Never {
+			s = s.Add(groups.Process(p))
+		}
+	}
+	return s
+}
+
+// IsCorrect reports whether p never crashes in the pattern.
+func (f *Pattern) IsCorrect(p groups.Process) bool { return f.crash[p] == Never }
+
+// IsAlive reports whether p has not crashed by time t.
+func (f *Pattern) IsAlive(p groups.Process, t Time) bool {
+	return f.crash[p] == Never || f.crash[p] > t
+}
+
+// SetFaultyAt returns the earliest time at which every member of set has
+// crashed, or Never if some member is correct.
+func (f *Pattern) SetFaultyAt(set groups.ProcSet) Time {
+	var max Time
+	for _, p := range set.Members() {
+		ct := f.crash[p]
+		if ct == Never {
+			return Never
+		}
+		if ct > max {
+			max = ct
+		}
+	}
+	return max
+}
+
+// Horizon returns the largest crash time in the pattern (0 if none): the
+// moment after which the pattern is stable.
+func (f *Pattern) Horizon() Time {
+	var h Time
+	for _, ct := range f.crash {
+		if ct != Never && ct > h {
+			h = ct
+		}
+	}
+	return h
+}
+
+// FamilyFaultyAt returns the earliest time at which family fam of topology
+// topo becomes faulty (every closed path visits a crashed edge), or Never.
+func FamilyFaultyAt(f *Pattern, topo *groups.Topology, fam groups.Family) Time {
+	// Collect candidate times: crash times of processes, sorted. Faultiness
+	// is monotone, so binary search over candidates would work; the sets are
+	// tiny, so a linear scan is clearer.
+	times := make([]Time, 0, f.n)
+	for p := 0; p < f.n; p++ {
+		if ct := f.crash[p]; ct != Never {
+			times = append(times, ct)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, t := range times {
+		if topo.FamilyFaulty(fam, f.CrashedAt(t)) {
+			return t
+		}
+	}
+	return Never
+}
+
+// String renders the pattern.
+func (f *Pattern) String() string {
+	var b strings.Builder
+	b.WriteString("pattern(")
+	first := true
+	for p, ct := range f.crash {
+		if ct == Never {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "p%d@%d", p, ct)
+		first = false
+	}
+	if first {
+		b.WriteString("no crashes")
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Environment is a set of failure patterns, described intensionally by a
+// predicate. The paper's necessity results for γ assume environments where a
+// failure-prone process may crash at any time; AnyTimeCrash captures that.
+type Environment struct {
+	// Name describes the environment.
+	Name string
+	// Contains reports whether a pattern belongs to the environment.
+	Contains func(*Pattern) bool
+}
+
+// AllPatterns is the environment E* of every failure pattern.
+func AllPatterns() Environment {
+	return Environment{Name: "E*", Contains: func(*Pattern) bool { return true }}
+}
+
+// MaxFailures is the environment of patterns with at most k faulty processes.
+func MaxFailures(k int) Environment {
+	return Environment{
+		Name:     fmt.Sprintf("E(f<=%d)", k),
+		Contains: func(f *Pattern) bool { return f.Faulty().Count() <= k },
+	}
+}

@@ -1,0 +1,104 @@
+package failure
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/groups"
+)
+
+func TestPatternBasics(t *testing.T) {
+	f := NewPattern(4).WithCrash(1, 10).WithCrash(3, 5)
+	if f.IsCorrect(1) || !f.IsCorrect(0) {
+		t.Fatalf("correctness wrong")
+	}
+	if got := f.Faulty(); got != groups.NewProcSet(1, 3) {
+		t.Fatalf("Faulty = %v", got)
+	}
+	if got := f.Correct(); got != groups.NewProcSet(0, 2) {
+		t.Fatalf("Correct = %v", got)
+	}
+	if got := f.CrashedAt(4); !got.Empty() {
+		t.Fatalf("CrashedAt(4) = %v", got)
+	}
+	if got := f.CrashedAt(5); got != groups.NewProcSet(3) {
+		t.Fatalf("CrashedAt(5) = %v", got)
+	}
+	if got := f.CrashedAt(100); got != groups.NewProcSet(1, 3) {
+		t.Fatalf("CrashedAt(100) = %v", got)
+	}
+	if got := f.AliveAt(7); got != groups.NewProcSet(0, 1, 2) {
+		t.Fatalf("AliveAt(7) = %v", got)
+	}
+	if f.Horizon() != 10 {
+		t.Fatalf("Horizon = %d", f.Horizon())
+	}
+}
+
+// TestPatternMonotone: F(t) ⊆ F(t+1), the defining property of patterns.
+func TestPatternMonotone(t *testing.T) {
+	check := func(c0, c1, c2 uint8, t0 uint8) bool {
+		f := NewPattern(3).
+			WithCrash(0, Time(c0)).
+			WithCrash(1, Time(c1)).
+			WithCrash(2, Time(c2))
+		a := f.CrashedAt(Time(t0))
+		b := f.CrashedAt(Time(t0) + 1)
+		return a.SubsetOf(b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFaultyAt(t *testing.T) {
+	f := NewPattern(4).WithCrash(0, 3).WithCrash(1, 8)
+	if got := f.SetFaultyAt(groups.NewProcSet(0, 1)); got != 8 {
+		t.Fatalf("SetFaultyAt = %d, want 8", got)
+	}
+	if got := f.SetFaultyAt(groups.NewProcSet(0, 2)); got != Never {
+		t.Fatalf("SetFaultyAt with correct member = %d, want Never", got)
+	}
+}
+
+func TestFamilyFaultyAt(t *testing.T) {
+	topo := groups.Figure1()
+	var fam groups.Family
+	for _, f := range topo.Families() {
+		if f.Groups == groups.NewGroupSet(0, 1, 2) { // f = {g1,g2,g3}
+			fam = f
+		}
+	}
+	// p2 (index 1) = g1∩g2 crashes at 7 → f faulty at 7.
+	pat := NewPattern(5).WithCrash(1, 7)
+	if got := FamilyFaultyAt(pat, topo, fam); got != 7 {
+		t.Fatalf("FamilyFaultyAt = %d, want 7", got)
+	}
+	// No crashes → Never.
+	if got := FamilyFaultyAt(NewPattern(5), topo, fam); got != Never {
+		t.Fatalf("FamilyFaultyAt = %d, want Never", got)
+	}
+}
+
+func TestEnvironments(t *testing.T) {
+	e := MaxFailures(1)
+	if !e.Contains(NewPattern(3).WithCrash(0, 1)) {
+		t.Fatalf("pattern with one crash should be in E(f<=1)")
+	}
+	if e.Contains(NewPattern(3).WithCrash(0, 1).WithCrash(1, 2)) {
+		t.Fatalf("pattern with two crashes should not be in E(f<=1)")
+	}
+	if !AllPatterns().Contains(NewPattern(3)) {
+		t.Fatalf("E* must contain everything")
+	}
+}
+
+func TestWithCrashesAndAlive(t *testing.T) {
+	f := NewPattern(5).WithCrashes(groups.NewProcSet(1, 2), 4)
+	if !f.IsAlive(1, 3) || f.IsAlive(1, 4) {
+		t.Fatalf("IsAlive wrong around crash time")
+	}
+	if f.CrashTime(2) != 4 {
+		t.Fatalf("CrashTime = %d", f.CrashTime(2))
+	}
+}

@@ -1,0 +1,346 @@
+// Package fd provides the failure detectors of the paper: the quorum
+// detector Σ, the leader detector Ω, the new cyclicity detector γ, the
+// indicator detector 1^P, and the perfect detector P — together with set
+// restriction D_P and the conjunction μ = (∧ Σ_{g∩h}) ∧ (∧ Ω_g) ∧ γ.
+//
+// The implementations here are "ideal": their histories are derived from a
+// failure pattern, exactly as a failure-detector history H ∈ D(F) is in the
+// model. A stabilisation delay and a seed introduce the pre-convergence
+// misbehaviour the classes allow (wrong leaders, large quorums) without ever
+// violating their perpetual properties (Σ intersection, γ accuracy, 1^P
+// accuracy, P strong accuracy).
+package fd
+
+import (
+	"math/rand"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+// Sigma is the quorum failure detector Σ_P. Quorum returns ⊥ (false) for
+// processes outside P; any two returned quorums intersect, and eventually
+// quorums at correct processes contain only correct processes.
+type Sigma interface {
+	Quorum(p groups.Process, t failure.Time) (groups.ProcSet, bool)
+}
+
+// Omega is the leader failure detector Ω_P: eventually every correct process
+// of P is returned the same correct leader of P forever.
+type Omega interface {
+	Leader(p groups.Process, t failure.Time) (groups.Process, bool)
+}
+
+// Gamma is the cyclicity failure detector γ: it returns the cyclic families
+// in F(p) the process is currently involved with. Accuracy: an omitted
+// family of F(p) is faulty now. Completeness: a faulty family is eventually
+// omitted forever at correct processes.
+//
+// ActiveEdges refines the family output to the granularity Algorithm 3
+// actually computes (its per-closed-path failed[π] flags): the groups h such
+// that the edge (g,h) lies on a closed path of a family of F(p) that is
+// still alive (none of the path's edges has crashed entirely). Algorithm 1
+// derives its γ(g) waiting set from ActiveEdges; see the GammaGroups note
+// for why the family-granular derivation of the paper can block liveness on
+// dense intersection graphs and why the ring-granular one is both safe and
+// live.
+type Gamma interface {
+	Families(p groups.Process, t failure.Time) []groups.Family
+	ActiveEdges(p groups.Process, g groups.GroupID, t failure.Time) groups.GroupSet
+}
+
+// Indicator is the indicator failure detector 1^P (scoped to some processes):
+// it returns true only if all of P have crashed (accuracy), and eventually
+// returns true forever once they have (completeness).
+type Indicator interface {
+	Faulty(p groups.Process, t failure.Time) bool
+}
+
+// Perfect is the perfect failure detector P: Suspected never contains an
+// alive process (strong accuracy) and eventually contains every crashed
+// process forever (strong completeness).
+type Perfect interface {
+	Suspected(p groups.Process, t failure.Time) groups.ProcSet
+}
+
+// Options tune an ideal detector history.
+type Options struct {
+	// Delay is the stabilisation lag: how long after the enabling event
+	// (a crash, a family fault) the detector output converges.
+	Delay failure.Time
+	// Seed drives pre-stabilisation misbehaviour where the class allows it.
+	Seed int64
+}
+
+// ---------------------------------------------------------------------------
+// Σ
+
+type idealSigma struct {
+	pat   *failure.Pattern
+	scope groups.ProcSet
+	opt   Options
+}
+
+// NewSigma returns an ideal Σ_P for the given pattern, restricted to scope.
+//
+// The history returned is Quorum(p,t) = alive(t) ∩ P before stabilisation
+// and Correct ∩ P afterwards (falling back to alive ∩ P while correct ∩ P is
+// empty). Since alive sets only shrink and contain Correct, any two quorums
+// taken at any times intersect whenever some member of P is correct; when
+// every member of P is faulty the intersection property is only exercised by
+// queries made while callers are alive, which the alive sets satisfy.
+func NewSigma(pat *failure.Pattern, scope groups.ProcSet, opt Options) Sigma {
+	return &idealSigma{pat: pat, scope: scope, opt: opt}
+}
+
+func (s *idealSigma) Quorum(p groups.Process, t failure.Time) (groups.ProcSet, bool) {
+	if !s.scope.Has(p) {
+		return 0, false
+	}
+	correct := s.pat.Correct().Intersect(s.scope)
+	if !correct.Empty() && t >= s.stabTime() {
+		return correct, true
+	}
+	alive := s.pat.AliveAt(t).Intersect(s.scope)
+	if alive.Empty() {
+		// Every member of P crashed; return the full scope (queries at this
+		// point can only come from processes that are themselves crashed in
+		// the pattern, which the model rules out).
+		return s.scope, true
+	}
+	return alive, true
+}
+
+func (s *idealSigma) stabTime() failure.Time { return s.pat.Horizon() + s.opt.Delay }
+
+// ---------------------------------------------------------------------------
+// Ω
+
+type idealOmega struct {
+	pat   *failure.Pattern
+	scope groups.ProcSet
+	opt   Options
+	perm  []groups.Process // pre-stabilisation rotation
+}
+
+// NewOmega returns an ideal Ω_P: before stabilisation the output rotates
+// pseudo-randomly over alive members of P; afterwards it is the smallest
+// correct member of P forever.
+func NewOmega(pat *failure.Pattern, scope groups.ProcSet, opt Options) Omega {
+	members := scope.Members()
+	rng := rand.New(rand.NewSource(opt.Seed + int64(scope)))
+	perm := make([]groups.Process, len(members))
+	for i, j := range rng.Perm(len(members)) {
+		perm[i] = members[j]
+	}
+	return &idealOmega{pat: pat, scope: scope, opt: opt, perm: perm}
+}
+
+func (o *idealOmega) Leader(p groups.Process, t failure.Time) (groups.Process, bool) {
+	if !o.scope.Has(p) {
+		return 0, false
+	}
+	correct := o.pat.Correct().Intersect(o.scope)
+	if !correct.Empty() && t >= o.pat.Horizon()+o.opt.Delay {
+		return correct.Min(), true
+	}
+	if len(o.perm) == 0 {
+		return p, true
+	}
+	// Rotate over the scope, skipping already-crashed processes when one is
+	// available (an Ω history may output crashed processes before
+	// stabilisation; rotating over alive ones keeps runs livelier).
+	alive := o.pat.AliveAt(t).Intersect(o.scope)
+	cand := o.perm[int(t/16)%len(o.perm)]
+	if !alive.Empty() && !alive.Has(cand) {
+		return alive.Min(), true
+	}
+	return cand, true
+}
+
+// ---------------------------------------------------------------------------
+// γ
+
+type idealGamma struct {
+	topo *groups.Topology
+	pat  *failure.Pattern
+	opt  Options
+	// faultyAt[i] is when family i of the topology becomes faulty (Never if
+	// it stays correct in this pattern).
+	faultyAt []failure.Time
+	// pathFaultyAt[i][j] is when path j of family i becomes faulty: the
+	// earliest time one of its edges has crashed entirely.
+	pathFaultyAt [][]failure.Time
+}
+
+// NewGamma returns an ideal γ for the topology and pattern: a family of F(p)
+// is output until Delay after it becomes faulty, then omitted forever. The
+// output therefore satisfies accuracy perpetually and completeness
+// eventually.
+func NewGamma(topo *groups.Topology, pat *failure.Pattern, opt Options) Gamma {
+	fams := topo.Families()
+	faultyAt := make([]failure.Time, len(fams))
+	pathFaultyAt := make([][]failure.Time, len(fams))
+	for i, f := range fams {
+		faultyAt[i] = failure.FamilyFaultyAt(pat, topo, f)
+		pathFaultyAt[i] = make([]failure.Time, len(f.CPaths))
+		for j, path := range f.CPaths {
+			pathFaultyAt[i][j] = pathFaultyTime(topo, pat, path)
+		}
+	}
+	return &idealGamma{
+		topo:         topo,
+		pat:          pat,
+		opt:          opt,
+		faultyAt:     faultyAt,
+		pathFaultyAt: pathFaultyAt,
+	}
+}
+
+// pathFaultyTime returns the earliest time some edge of the closed path has
+// crashed entirely (Never if all edges keep a correct member).
+func pathFaultyTime(topo *groups.Topology, pat *failure.Pattern, path []groups.GroupID) failure.Time {
+	earliest := failure.Never
+	for i := 0; i+1 < len(path); i++ {
+		at := pat.SetFaultyAt(topo.Intersection(path[i], path[i+1]))
+		if at == failure.Never {
+			continue
+		}
+		if earliest == failure.Never || at < earliest {
+			earliest = at
+		}
+	}
+	return earliest
+}
+
+func (g *idealGamma) Families(p groups.Process, t failure.Time) []groups.Family {
+	all := g.topo.Families()
+	mine := g.topo.FamiliesOfProcess(p)
+	out := make([]groups.Family, 0, len(mine))
+	for _, f := range mine {
+		idx := familyIndex(all, f)
+		fa := g.faultyAt[idx]
+		if fa != failure.Never && t >= fa+g.opt.Delay {
+			continue // omitted forever: family is faulty
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// ActiveEdges implements ring-granular γ(g): h is returned when edge (g,h)
+// lies on a closed path, of a family in F(p), none of whose edges has
+// crashed entirely (modulo the stabilisation delay).
+func (g *idealGamma) ActiveEdges(p groups.Process, gid groups.GroupID, t failure.Time) groups.GroupSet {
+	var out groups.GroupSet
+	all := g.topo.Families()
+	for _, f := range g.topo.FamiliesOfProcess(p) {
+		if !f.Groups.Has(gid) {
+			continue
+		}
+		idx := familyIndex(all, f)
+		for j, path := range f.CPaths {
+			fa := g.pathFaultyAt[idx][j]
+			if fa != failure.Never && t >= fa+g.opt.Delay {
+				continue // this cycle class is dead
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if path[i] == gid {
+					out = out.Add(path[i+1])
+				}
+				if path[i+1] == gid {
+					out = out.Add(path[i])
+				}
+			}
+		}
+	}
+	return out
+}
+
+func familyIndex(all []groups.Family, f groups.Family) int {
+	for i := range all {
+		if all[i].Groups == f.Groups {
+			return i
+		}
+	}
+	panic("fd: family not in topology")
+}
+
+// GammaGroups derives the waiting set γ(g) Algorithm 1 uses at lines 18 and
+// 32 from a γ output.
+//
+// The paper derives γ(g) at family granularity ("the groups h such that
+// g∩h ≠ ∅ and g and h belong to a cyclic family output by γ"). On dense
+// intersection graphs this derivation can block liveness: when g∩h crashes
+// entirely but a family containing both g and h stays correct through
+// hamiltonian cycles that avoid the edge (g,h) (e.g. a K4 intersection
+// graph), γ's accuracy forces the family to remain in the output, h remains
+// in γ(g), and the tuples (m,h,-)/(m,h) that only g∩h can write never
+// appear — the claim inside the paper's Lemma 25 ("if g∩h is faulty then
+// eventually every cyclic family with g,h ∈ f is faulty") does not hold for
+// such graphs. We therefore derive γ(g) at the granularity Algorithm 3's
+// emulation really measures — per closed-path class — which restores
+// liveness (the edge (g,h) dies with g∩h, killing every class through it)
+// and preserves safety (a delivery cycle C is itself a closed path; while
+// all of its edges are alive, every edge of C is in the waiting sets, which
+// is all the ordering proof uses).
+func GammaGroups(topo *groups.Topology, gamma Gamma, p groups.Process, g groups.GroupID, t failure.Time) groups.GroupSet {
+	return gamma.ActiveEdges(p, g, t)
+}
+
+// ---------------------------------------------------------------------------
+// 1^P
+
+type idealIndicator struct {
+	pat      *failure.Pattern
+	watched  groups.ProcSet
+	scope    groups.ProcSet
+	opt      Options
+	faultyAt failure.Time
+}
+
+// NewIndicator returns an ideal 1^watched restricted to scope (the paper's
+// 1^{g∩h} has watched = g∩h and scope = g∪h): it returns true from Delay
+// after the whole watched set has crashed, and false before — satisfying
+// accuracy at all times.
+func NewIndicator(pat *failure.Pattern, watched, scope groups.ProcSet, opt Options) Indicator {
+	return &idealIndicator{
+		pat:      pat,
+		watched:  watched,
+		scope:    scope,
+		opt:      opt,
+		faultyAt: pat.SetFaultyAt(watched),
+	}
+}
+
+func (ind *idealIndicator) Faulty(p groups.Process, t failure.Time) bool {
+	if !ind.scope.Has(p) {
+		return false // ⊥ outside the scope
+	}
+	return ind.faultyAt != failure.Never && t >= ind.faultyAt+ind.opt.Delay
+}
+
+// ---------------------------------------------------------------------------
+// Perfect P
+
+type idealPerfect struct {
+	pat *failure.Pattern
+	opt Options
+}
+
+// NewPerfect returns an ideal perfect detector: a process is suspected from
+// Delay after its crash and never before.
+func NewPerfect(pat *failure.Pattern, opt Options) Perfect {
+	return &idealPerfect{pat: pat, opt: opt}
+}
+
+func (pd *idealPerfect) Suspected(p groups.Process, t failure.Time) groups.ProcSet {
+	var s groups.ProcSet
+	for q := 0; q < pd.pat.N(); q++ {
+		ct := pd.pat.CrashTime(groups.Process(q))
+		if ct != failure.Never && t >= ct+pd.opt.Delay {
+			s = s.Add(groups.Process(q))
+		}
+	}
+	return s
+}

@@ -1,0 +1,294 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+func randomPattern(rng *rand.Rand, n int, maxCrash int) *failure.Pattern {
+	pat := failure.NewPattern(n)
+	for p := 0; p < n; p++ {
+		if rng.Intn(3) == 0 && pat.Faulty().Count() < maxCrash {
+			pat = pat.WithCrash(groups.Process(p), failure.Time(rng.Intn(50)))
+		}
+	}
+	return pat
+}
+
+// TestSigmaIntersection checks the perpetual intersection property of Σ:
+// quorums returned at any pair of (process, time) points intersect, as long
+// as the scope has a correct member.
+func TestSigmaIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		pat := randomPattern(rng, 6, 5)
+		scope := groups.ProcSet(rng.Uint64() & 0x3f)
+		if scope.Empty() || scope.Intersect(pat.Correct()).Empty() {
+			continue
+		}
+		sig := NewSigma(pat, scope, Options{Delay: 10, Seed: int64(trial)})
+		type sample struct {
+			q groups.ProcSet
+		}
+		var samples []sample
+		for _, p := range scope.Members() {
+			for _, tm := range []failure.Time{0, 3, 17, 60, 200} {
+				if !pat.IsAlive(p, tm) {
+					continue
+				}
+				q, ok := sig.Quorum(p, tm)
+				if !ok {
+					t.Fatalf("Quorum not available inside scope")
+				}
+				if q.Empty() {
+					t.Fatalf("empty quorum")
+				}
+				if !q.SubsetOf(scope) {
+					t.Fatalf("quorum %v outside scope %v", q, scope)
+				}
+				samples = append(samples, sample{q})
+			}
+		}
+		for i := range samples {
+			for j := range samples {
+				if samples[i].q.Intersect(samples[j].q).Empty() {
+					t.Fatalf("quorums %v and %v do not intersect (pat=%v scope=%v)",
+						samples[i].q, samples[j].q, pat, scope)
+				}
+			}
+		}
+	}
+}
+
+// TestSigmaLiveness: eventually quorums at correct processes contain only
+// correct processes.
+func TestSigmaLiveness(t *testing.T) {
+	pat := failure.NewPattern(4).WithCrash(0, 5).WithCrash(3, 9)
+	scope := groups.NewProcSet(0, 1, 2, 3)
+	sig := NewSigma(pat, scope, Options{Delay: 4})
+	late := pat.Horizon() + 100
+	for _, p := range pat.Correct().Intersect(scope).Members() {
+		q, ok := sig.Quorum(p, late)
+		if !ok || !q.SubsetOf(pat.Correct()) {
+			t.Fatalf("late quorum %v not ⊆ Correct %v", q, pat.Correct())
+		}
+	}
+}
+
+func TestSigmaOutsideScope(t *testing.T) {
+	pat := failure.NewPattern(4)
+	sig := NewSigma(pat, groups.NewProcSet(1, 2), Options{})
+	if _, ok := sig.Quorum(0, 10); ok {
+		t.Fatalf("Σ_P must return ⊥ outside P")
+	}
+}
+
+// TestOmegaLeadership: eventually all correct scope members agree forever on
+// one correct leader.
+func TestOmegaLeadership(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		pat := randomPattern(rng, 6, 5)
+		scope := groups.ProcSet(rng.Uint64() & 0x3f)
+		correct := scope.Intersect(pat.Correct())
+		if correct.Empty() {
+			continue
+		}
+		om := NewOmega(pat, scope, Options{Delay: 8, Seed: int64(trial)})
+		late := pat.Horizon() + 20
+		var leader groups.Process = -1
+		for _, p := range correct.Members() {
+			for _, tm := range []failure.Time{late, late + 5, late + 100} {
+				l, ok := om.Leader(p, tm)
+				if !ok {
+					t.Fatalf("leader unavailable in scope")
+				}
+				if !correct.Has(l) {
+					t.Fatalf("stabilised leader %v not correct member of %v", l, scope)
+				}
+				if leader == -1 {
+					leader = l
+				} else if l != leader {
+					t.Fatalf("leaders disagree after stabilisation: %v vs %v", l, leader)
+				}
+			}
+		}
+	}
+}
+
+func TestOmegaOutsideScope(t *testing.T) {
+	om := NewOmega(failure.NewPattern(3), groups.NewProcSet(0), Options{})
+	if _, ok := om.Leader(2, 0); ok {
+		t.Fatalf("Ω_P must return ⊥ outside P")
+	}
+}
+
+// TestGammaAccuracy: a family of F(p) omitted from the output is faulty at
+// that time (perpetual accuracy).
+func TestGammaAccuracy(t *testing.T) {
+	topo := groups.Figure1()
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		pat := randomPattern(rng, 5, 4)
+		gm := NewGamma(topo, pat, Options{Delay: failure.Time(rng.Intn(10))})
+		for p := 0; p < 5; p++ {
+			proc := groups.Process(p)
+			mine := topo.FamiliesOfProcess(proc)
+			for _, tm := range []failure.Time{0, 5, 25, 80, 300} {
+				out := gm.Families(proc, tm)
+				outSet := map[groups.GroupSet]bool{}
+				for _, f := range out {
+					outSet[f.Groups] = true
+				}
+				for _, f := range mine {
+					if !outSet[f.Groups] {
+						if !topo.FamilyFaulty(f, pat.CrashedAt(tm)) {
+							t.Fatalf("γ omitted correct family %v at t=%d (pat=%v)",
+								f.Groups, tm, pat)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGammaCompleteness: a faulty family is eventually omitted forever.
+func TestGammaCompleteness(t *testing.T) {
+	topo := groups.Figure1()
+	pat := failure.NewPattern(5).WithCrash(1, 10) // p2 crashes → f, f'' faulty
+	gm := NewGamma(topo, pat, Options{Delay: 5})
+	late := pat.Horizon() + 50
+	for _, p := range pat.Correct().Members() {
+		for _, f := range gm.Families(p, late) {
+			if topo.FamilyFaulty(f, pat.CrashedAt(late)) {
+				t.Fatalf("γ still outputs faulty family %v", f.Groups)
+			}
+		}
+	}
+}
+
+// TestGammaFigure1Stabilisation reproduces the §3 narrative: with
+// Correct = {p1,p4,p5}, γ at p1 eventually stabilises to {f'}.
+func TestGammaFigure1Stabilisation(t *testing.T) {
+	topo := groups.Figure1()
+	// p2 and p3 (indices 1, 2) crash.
+	pat := failure.NewPattern(5).WithCrash(1, 10).WithCrash(2, 12)
+	gm := NewGamma(topo, pat, Options{Delay: 3})
+
+	early := gm.Families(0, 0)
+	if len(early) != 3 {
+		t.Fatalf("initially γ(p1) should have 3 families, got %d", len(early))
+	}
+	late := gm.Families(0, 100)
+	if len(late) != 1 || late[0].Groups != groups.NewGroupSet(0, 2, 3) {
+		t.Fatalf("γ(p1) should stabilise to {f'={g1,g3,g4}}, got %v", late)
+	}
+	// Then γ(g1) = {g3, g4} (§3).
+	gg := GammaGroups(topo, gm, 0, 0, 100)
+	if gg != groups.NewGroupSet(2, 3) {
+		t.Fatalf("γ(g1) = %v, want {g3,g4}", gg)
+	}
+}
+
+// TestIndicatorAccuracyCompleteness: 1^P never fires while P has a survivor
+// and eventually fires forever once P crashed.
+func TestIndicatorAccuracyCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		pat := randomPattern(rng, 6, 6)
+		watched := groups.ProcSet(rng.Uint64() & 0x3f)
+		if watched.Empty() {
+			continue
+		}
+		scope := watched.Union(groups.ProcSet(rng.Uint64() & 0x3f))
+		ind := NewIndicator(pat, watched, scope, Options{Delay: 4})
+		for _, p := range scope.Members() {
+			for _, tm := range []failure.Time{0, 7, 33, 200} {
+				if ind.Faulty(p, tm) && !watched.SubsetOf(pat.CrashedAt(tm)) {
+					t.Fatalf("1^P fired while %v not ⊆ crashed %v", watched, pat.CrashedAt(tm))
+				}
+			}
+			if watched.SubsetOf(pat.Faulty()) {
+				late := pat.Horizon() + 100
+				if pat.IsAlive(p, late) && !ind.Faulty(p, late) {
+					t.Fatalf("1^P never fired though %v all crashed", watched)
+				}
+			}
+		}
+	}
+}
+
+// TestPerfectStrongAccuracy: no process suspected before it crashes, and
+// every crashed process eventually suspected.
+func TestPerfectStrongAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		pat := randomPattern(rng, 6, 6)
+		pd := NewPerfect(pat, Options{Delay: failure.Time(rng.Intn(6))})
+		for _, tm := range []failure.Time{0, 4, 18, 90} {
+			sus := pd.Suspected(0, tm)
+			if !sus.SubsetOf(pat.CrashedAt(tm)) {
+				t.Fatalf("perfect detector suspects alive process: %v vs crashed %v",
+					sus, pat.CrashedAt(tm))
+			}
+		}
+		late := pat.Horizon() + 100
+		if got := pd.Suspected(0, late); got != pat.Faulty() {
+			t.Fatalf("suspected %v != faulty %v at late time", got, pat.Faulty())
+		}
+	}
+}
+
+func TestMuBundle(t *testing.T) {
+	topo := groups.Figure1()
+	pat := failure.NewPattern(5).WithCrash(1, 10)
+	mu := NewMu(topo, pat, Options{Delay: 5, Seed: 1})
+
+	// Σ_g for every group; Σ_{g∩h} for intersecting pairs only.
+	if _, ok := mu.SigmaFor(0, 0); !ok {
+		t.Fatalf("Σ_g1 missing")
+	}
+	if _, ok := mu.SigmaFor(1, 3); ok { // g2 ∩ g4 = ∅
+		t.Fatalf("Σ_{g2∩g4} should not exist")
+	}
+	if _, ok := mu.SigmaFor(0, 2); !ok { // g1 ∩ g3 = {p1}
+		t.Fatalf("Σ_{g1∩g3} missing")
+	}
+	if mu.OmegaFor(2) == nil {
+		t.Fatalf("Ω_g3 missing")
+	}
+	if _, ok := mu.IndicatorFor(0, 1); !ok {
+		t.Fatalf("1^{g1∩g2} missing")
+	}
+	if _, ok := mu.OmegaIntersectionFor(0, 2); !ok {
+		t.Fatalf("Ω_{g1∩g3} missing")
+	}
+	// γ(g1) before any fault contains g2, g3, g4.
+	gg := mu.GammaGroupsAt(0, 0, 0)
+	if gg != groups.NewGroupSet(1, 2, 3) {
+		t.Fatalf("γ(g1) at t=0 = %v", gg)
+	}
+}
+
+// TestSigmaRestrictionPair: Σ_{g∩h} quorums live inside the intersection —
+// the property the paper needs beyond Σ_g ∧ Σ_h (footnote 3).
+func TestSigmaRestrictionPair(t *testing.T) {
+	topo := groups.Figure1()
+	pat := failure.NewPattern(5)
+	mu := NewMu(topo, pat, Options{})
+	sig, ok := mu.SigmaFor(0, 2) // g1∩g3 = {p1}
+	if !ok {
+		t.Fatal("missing Σ_{g1∩g3}")
+	}
+	q, ok := sig.Quorum(0, 0)
+	if !ok || q != groups.NewProcSet(0) {
+		t.Fatalf("Σ_{g1∩g3} quorum = %v, want {p1}", q)
+	}
+	if _, ok := sig.Quorum(1, 0); ok {
+		t.Fatalf("Σ_{g1∩g3} must be ⊥ at p2")
+	}
+}

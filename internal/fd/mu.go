@@ -1,0 +1,104 @@
+package fd
+
+import (
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+// Mu is the candidate failure detector of the paper,
+// μ = (∧_{g,h∈G} Σ_{g∩h}) ∧ (∧_{g∈G} Ω_g) ∧ γ, plus the optional components
+// used by the variations of §6: the indicators 1^{g∩h} for the strict
+// variation and the leaders Ω_{g∩h} for the strongly genuine one.
+//
+// A conjunction of failure detectors is simply all of them queried against
+// the same failure pattern, so Mu bundles per-scope instances.
+type Mu struct {
+	Topo *groups.Topology
+
+	sigma     map[pairKey]Sigma // Σ_{g∩h}, including g=h (Σ_g)
+	omega     map[groups.GroupID]Omega
+	gamma     Gamma
+	indicator map[pairKey]Indicator // 1^{g∩h}, strict variation
+	omegaInt  map[pairKey]Omega     // Ω_{g∩h}, strongly genuine variation
+	perfect   Perfect               // P, for the [36] comparison
+	pattern   *failure.Pattern
+}
+
+type pairKey struct{ a, b groups.GroupID }
+
+func canonPair(g, h groups.GroupID) pairKey {
+	if g > h {
+		g, h = h, g
+	}
+	return pairKey{g, h}
+}
+
+// NewMu builds an ideal μ (with all optional components) for the topology
+// and failure pattern.
+func NewMu(topo *groups.Topology, pat *failure.Pattern, opt Options) *Mu {
+	m := &Mu{
+		Topo:      topo,
+		sigma:     make(map[pairKey]Sigma),
+		omega:     make(map[groups.GroupID]Omega),
+		indicator: make(map[pairKey]Indicator),
+		omegaInt:  make(map[pairKey]Omega),
+		gamma:     NewGamma(topo, pat, opt),
+		perfect:   NewPerfect(pat, opt),
+		pattern:   pat,
+	}
+	k := topo.NumGroups()
+	for g := 0; g < k; g++ {
+		gid := groups.GroupID(g)
+		m.omega[gid] = NewOmega(pat, topo.Group(gid), opt)
+		for h := g; h < k; h++ {
+			hid := groups.GroupID(h)
+			inter := topo.Intersection(gid, hid)
+			if inter.Empty() {
+				continue
+			}
+			key := canonPair(gid, hid)
+			m.sigma[key] = NewSigma(pat, inter, opt)
+			if g != h {
+				scope := topo.Group(gid).Union(topo.Group(hid))
+				m.indicator[key] = NewIndicator(pat, inter, scope, opt)
+				m.omegaInt[key] = NewOmega(pat, inter, opt)
+			}
+		}
+	}
+	return m
+}
+
+// SigmaFor returns Σ_{g∩h} (Σ_g when g == h); ok is false when g∩h = ∅.
+func (m *Mu) SigmaFor(g, h groups.GroupID) (Sigma, bool) {
+	s, ok := m.sigma[canonPair(g, h)]
+	return s, ok
+}
+
+// OmegaFor returns Ω_g.
+func (m *Mu) OmegaFor(g groups.GroupID) Omega { return m.omega[g] }
+
+// Gamma returns the cyclicity detector γ.
+func (m *Mu) Gamma() Gamma { return m.gamma }
+
+// IndicatorFor returns 1^{g∩h}; ok is false when g = h or g∩h = ∅.
+func (m *Mu) IndicatorFor(g, h groups.GroupID) (Indicator, bool) {
+	ind, ok := m.indicator[canonPair(g, h)]
+	return ind, ok
+}
+
+// OmegaIntersectionFor returns Ω_{g∩h}; ok is false when g = h or g∩h = ∅.
+func (m *Mu) OmegaIntersectionFor(g, h groups.GroupID) (Omega, bool) {
+	o, ok := m.omegaInt[canonPair(g, h)]
+	return o, ok
+}
+
+// Perfect returns the perfect detector P over all processes.
+func (m *Mu) Perfect() Perfect { return m.perfect }
+
+// Pattern returns the failure pattern the histories are derived from.
+func (m *Mu) Pattern() *failure.Pattern { return m.pattern }
+
+// GammaGroupsAt is a convenience wrapper for GammaGroups over this μ.
+func (m *Mu) GammaGroupsAt(p groups.Process, g groups.GroupID, t failure.Time) groups.GroupSet {
+	return GammaGroups(m.Topo, m.gamma, p, g, t)
+}

@@ -1,0 +1,184 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+// TestProp51_DerivedGammaIsValid: the γ built from indicators satisfies
+// accuracy (perpetually) and completeness (eventually) on random patterns —
+// Proposition 51: ∧ 1^{g∩h} ≥ γ.
+func TestProp51_DerivedGammaIsValid(t *testing.T) {
+	topo := groups.Figure1()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		pat := randomPattern(rng, 5, 4)
+		mu := NewMu(topo, pat, Options{Delay: failure.Time(1 + rng.Intn(6))})
+		dg := NewDerivedGamma(topo, mu)
+
+		for p := 0; p < 5; p++ {
+			proc := groups.Process(p)
+			for _, tm := range []failure.Time{0, 10, 40, 200} {
+				out := map[groups.GroupSet]bool{}
+				for _, f := range dg.Families(proc, tm) {
+					out[f.Groups] = true
+				}
+				for _, f := range topo.FamiliesOfProcess(proc) {
+					if !out[f.Groups] && !topo.FamilyFaulty(f, pat.CrashedAt(tm)) {
+						t.Fatalf("trial %d: derived γ dropped correct family %v at t=%d (pat=%v)",
+							trial, f.Groups, tm, pat)
+					}
+				}
+			}
+			// Completeness at correct processes, late.
+			if !pat.IsCorrect(proc) {
+				continue
+			}
+			late := pat.Horizon() + 100
+			for _, f := range dg.Families(proc, late) {
+				if topo.FamilyFaulty(f, pat.CrashedAt(late)) {
+					t.Fatalf("trial %d: derived γ kept faulty family %v", trial, f.Groups)
+				}
+			}
+		}
+	}
+}
+
+// TestProp51_RandomTopologies extends the derived-γ validity check to
+// random topologies, including dense (K4-like) intersection graphs.
+func TestProp51_RandomTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(3)
+		k := 3 + rng.Intn(2)
+		gs := make([]groups.ProcSet, k)
+		for i := range gs {
+			var g groups.ProcSet
+			for g.Count() < 2+rng.Intn(2) {
+				g = g.Add(groups.Process(rng.Intn(n)))
+			}
+			gs[i] = g
+		}
+		topo := groups.MustNew(n, gs...)
+		pat := randomPattern(rng, n, n-1)
+		mu := NewMu(topo, pat, Options{Delay: 3})
+		dg := NewDerivedGamma(topo, mu)
+		for p := 0; p < n; p++ {
+			proc := groups.Process(p)
+			for _, tm := range []failure.Time{0, 20, 300} {
+				out := map[groups.GroupSet]bool{}
+				for _, f := range dg.Families(proc, tm) {
+					out[f.Groups] = true
+				}
+				for _, f := range topo.FamiliesOfProcess(proc) {
+					if !out[f.Groups] && !topo.FamilyFaulty(f, pat.CrashedAt(tm)) {
+						t.Fatalf("trial %d: accuracy broken on %v", trial, topo)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProp51_DerivedMatchesIdealEventually: after stabilisation the derived
+// γ agrees with the ideal γ on the Figure 1 scenario.
+func TestProp51_DerivedMatchesIdealEventually(t *testing.T) {
+	topo := groups.Figure1()
+	pat := failure.NewPattern(5).WithCrash(1, 10)
+	mu := NewMu(topo, pat, Options{Delay: 4})
+	dg := NewDerivedGamma(topo, mu)
+	late := failure.Time(200)
+
+	ideal := map[groups.GroupSet]bool{}
+	for _, f := range mu.Gamma().Families(0, late) {
+		ideal[f.Groups] = true
+	}
+	derived := map[groups.GroupSet]bool{}
+	for _, f := range dg.Families(0, late) {
+		derived[f.Groups] = true
+	}
+	if len(ideal) != len(derived) {
+		t.Fatalf("derived %v != ideal %v", derived, ideal)
+	}
+	for k := range ideal {
+		if !derived[k] {
+			t.Fatalf("derived γ missing %v", k)
+		}
+	}
+	// Ring-granular view agrees too.
+	if got, want := dg.ActiveEdges(0, 0, late), mu.GammaGroupsAt(0, 0, late); got != want {
+		t.Fatalf("derived γ(g1) = %v, ideal %v", got, want)
+	}
+}
+
+// TestCor52_GammaCannotBuildIndicator replays Corollary 52's separation
+// argument with concrete histories: the γ histories of two patterns — one
+// where a third group h' of a family is initially faulty and g∩h correct,
+// one where additionally g∩h is faulty from the start — are identical
+// (both make every family containing g,h faulty immediately), yet a correct
+// emulation of 1^{g∩h} must output false forever in the first and
+// eventually true in the second. No transformation from γ alone can tell
+// them apart.
+func TestCor52_GammaCannotBuildIndicator(t *testing.T) {
+	topo := groups.Figure1()
+	// Families containing both g1 and g2: f = {g1,g2,g3} and f'' = G. Make
+	// them faulty from the start by crashing g1∩g3 ... p1 (index 0) kills
+	// every family. g1∩g2 = {p2} (index 1).
+	patA := failure.NewPattern(5).WithCrash(0, 0)                 // g∩h = {p2} correct
+	patB := failure.NewPattern(5).WithCrash(0, 0).WithCrash(1, 0) // g∩h faulty too
+	gmA := NewGamma(topo, patA, Options{})
+	gmB := NewGamma(topo, patB, Options{})
+
+	// Identical γ histories at every surviving process of g ⊕ h and time.
+	for _, p := range []groups.Process{2} { // p3 ∈ g2 \ g1 survives in both
+		for _, tm := range []failure.Time{0, 5, 50, 500} {
+			a := gmA.Families(p, tm)
+			b := gmB.Families(p, tm)
+			if len(a) != len(b) {
+				t.Fatalf("γ histories differ (%d vs %d families) — separation broken", len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Groups != b[i].Groups {
+					t.Fatalf("γ histories differ at t=%d", tm)
+				}
+			}
+		}
+	}
+	// Yet the indicator must answer differently.
+	indA := NewIndicator(patA, topo.Intersection(0, 1), topo.Group(0).Union(topo.Group(1)), Options{})
+	indB := NewIndicator(patB, topo.Intersection(0, 1), topo.Group(0).Union(topo.Group(1)), Options{})
+	if indA.Faulty(2, 500) {
+		t.Fatalf("1^{g∩h} must stay false while g∩h is correct")
+	}
+	if !indB.Faulty(2, 500) {
+		t.Fatalf("1^{g∩h} must eventually fire once g∩h crashed")
+	}
+}
+
+// TestPerfectBuildsIndicators: the P ⇒ 1^{g∩h} reduction of the ≤ P row.
+func TestPerfectBuildsIndicators(t *testing.T) {
+	topo := groups.Figure1()
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 60; trial++ {
+		pat := randomPattern(rng, 5, 5)
+		pd := NewPerfect(pat, Options{Delay: failure.Time(rng.Intn(5))})
+		watched := topo.Intersection(0, 1) // g1∩g2
+		scope := topo.Group(0).Union(topo.Group(1))
+		ind := &DerivedIndicatorFromPerfect{P: pd, Watched: watched, Scope: scope}
+		for _, p := range scope.Members() {
+			for _, tm := range []failure.Time{0, 7, 30, 200} {
+				if ind.Faulty(p, tm) && !watched.SubsetOf(pat.CrashedAt(tm)) {
+					t.Fatalf("trial %d: derived indicator fired early", trial)
+				}
+			}
+			if watched.SubsetOf(pat.Faulty()) && pat.IsCorrect(p) {
+				if !ind.Faulty(p, pat.Horizon()+100) {
+					t.Fatalf("trial %d: derived indicator never fired", trial)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package groups
+
+// Figure1 builds the running example of the paper (Figure 1): five processes
+// p1..p5 (numbered 0..4 here) and four destination groups
+//
+//	g1 = {p1,p2}, g2 = {p2,p3}, g3 = {p1,p3,p4}, g4 = {p1,p4,p5}.
+//
+// Its cyclic families are f = {g1,g2,g3}, f' = {g1,g3,g4} and f” = G.
+func Figure1() *Topology {
+	return MustNew(5,
+		NewProcSet(0, 1),    // g1 = {p1,p2}
+		NewProcSet(1, 2),    // g2 = {p2,p3}
+		NewProcSet(0, 2, 3), // g3 = {p1,p3,p4}
+		NewProcSet(0, 3, 4), // g4 = {p1,p4,p5}
+	)
+}

@@ -1,0 +1,130 @@
+package groups
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForceHamiltonian checks hamiltonicity of the intersection graph of a
+// family by trying every permutation — the reference implementation the
+// backtracking search is validated against.
+func bruteForceHamiltonian(t *Topology, f []GroupID) bool {
+	n := len(f)
+	if n < 3 {
+		return false
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == n {
+			// Closed: every consecutive pair plus the wrap edge intersect.
+			for i := 0; i < n; i++ {
+				a, b := f[perm[i]], f[perm[(i+1)%n]]
+				if !t.Intersecting(a, b) {
+					return false
+				}
+			}
+			return true
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if try(k + 1) {
+				perm[k], perm[i] = perm[i], perm[k]
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return try(1) // fix the start to kill rotations
+}
+
+// TestFamiliesMatchBruteForce cross-checks the cyclic-family enumeration
+// against the permutation-based reference on random topologies.
+func TestFamiliesMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 80; trial++ {
+		n := 4 + rng.Intn(3)
+		k := 3 + rng.Intn(3)
+		gs := make([]ProcSet, k)
+		for i := range gs {
+			var g ProcSet
+			for g.Count() < 2 {
+				g = g.Add(Process(rng.Intn(n)))
+			}
+			gs[i] = g
+		}
+		topo := MustNew(n, gs...)
+		isFamily := map[GroupSet]bool{}
+		for _, f := range topo.Families() {
+			isFamily[f.Groups] = true
+		}
+		// Enumerate every subset of size >= 3 and compare.
+		for mask := GroupSet(1); mask < GroupSet(1)<<uint(k); mask++ {
+			if mask.Count() < 3 {
+				continue
+			}
+			members := make([]GroupID, 0, mask.Count())
+			for _, g := range mask.Members() {
+				members = append(members, g)
+			}
+			want := bruteForceHamiltonian(topo, members)
+			if got := isFamily[mask]; got != want {
+				t.Fatalf("trial %d: family %v: enumeration=%v brute=%v (%v)",
+					trial, mask, got, want, topo)
+			}
+		}
+	}
+}
+
+// TestCPathsMatchBruteForceCount: the closed paths found per family agree
+// with the brute-force count of distinct hamiltonian cycles from the
+// canonical start (both orientations).
+func TestCPathsMatchBruteForceCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 40; trial++ {
+		topo := randomTopology(rng, 6, 4)
+		for _, f := range topo.Families() {
+			members := f.Groups.Members()
+			n := len(members)
+			// Count permutations fixing the first element whose cycles are
+			// valid — exactly what hamiltonianCycles enumerates.
+			count := 0
+			perm := make([]int, n)
+			for i := range perm {
+				perm[i] = i
+			}
+			var rec func(k int)
+			rec = func(k int) {
+				if k == n {
+					ok := true
+					for i := 0; i < n; i++ {
+						a := members[perm[i]]
+						b := members[perm[(i+1)%n]]
+						if !topo.Intersecting(a, b) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						count++
+					}
+					return
+				}
+				for i := k; i < n; i++ {
+					perm[k], perm[i] = perm[i], perm[k]
+					rec(k + 1)
+					perm[k], perm[i] = perm[i], perm[k]
+				}
+			}
+			rec(1)
+			if count != len(f.CPaths) {
+				t.Fatalf("trial %d: family %v: %d cpaths, brute force %d",
+					trial, f.Groups, len(f.CPaths), count)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package groups
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcSetBasics(t *testing.T) {
+	s := NewProcSet(0, 3, 5)
+	if got := s.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if !s.Has(3) || s.Has(1) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	s = s.Add(1)
+	if !s.Has(1) {
+		t.Fatalf("Add failed")
+	}
+	s = s.Remove(3)
+	if s.Has(3) {
+		t.Fatalf("Remove failed")
+	}
+	if got := s.Min(); got != 0 {
+		t.Fatalf("Min = %d, want 0", got)
+	}
+}
+
+func TestProcSetMembersRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		s := ProcSet(raw)
+		rebuilt := NewProcSet(s.Members()...)
+		return rebuilt == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSetAlgebra(t *testing.T) {
+	f := func(a, b uint64) bool {
+		s, u := ProcSet(a), ProcSet(b)
+		inter := s.Intersect(u)
+		union := s.Union(u)
+		diff := s.Diff(u)
+		if !inter.SubsetOf(s) || !inter.SubsetOf(u) {
+			return false
+		}
+		if !s.SubsetOf(union) || !u.SubsetOf(union) {
+			return false
+		}
+		if !diff.SubsetOf(s) || !diff.Intersect(u).Empty() {
+			return false
+		}
+		// |A∪B| = |A| + |B| - |A∩B|
+		return union.Count() == s.Count()+u.Count()-inter.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSetMembersSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s := ProcSet(rng.Uint64())
+		ms := s.Members()
+		for j := 1; j < len(ms); j++ {
+			if ms[j-1] >= ms[j] {
+				t.Fatalf("Members not sorted: %v", ms)
+			}
+		}
+	}
+}
+
+func TestProcSetString(t *testing.T) {
+	if got := NewProcSet(0, 2).String(); got != "{p0,p2}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := ProcSet(0).String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestProcSetMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ProcSet(0).Min()
+}
+
+func TestGroupSetBasics(t *testing.T) {
+	s := NewGroupSet(1, 3)
+	if !s.Has(1) || !s.Has(3) || s.Has(0) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if got := s.Count(); got != 2 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := s.String(); got != "{g1,g3}" {
+		t.Fatalf("String = %q", got)
+	}
+	union := s.Union(NewGroupSet(0))
+	if union.Count() != 3 {
+		t.Fatalf("Union wrong: %v", union)
+	}
+	if !s.Intersect(NewGroupSet(3, 5)).Has(3) {
+		t.Fatalf("Intersect wrong")
+	}
+}

@@ -1,0 +1,423 @@
+package groups
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// GroupID identifies a destination group within a Topology. Groups are
+// numbered from 0 in the order they were declared.
+type GroupID int
+
+// GroupSet is a set of groups represented as a bitmask, bounding a topology
+// to 64 destination groups.
+type GroupSet uint64
+
+// NewGroupSet builds a set from the given groups.
+func NewGroupSet(gs ...GroupID) GroupSet {
+	var s GroupSet
+	for _, g := range gs {
+		s = s.Add(g)
+	}
+	return s
+}
+
+// Add returns the set with g added.
+func (s GroupSet) Add(g GroupID) GroupSet { return s | 1<<uint(g) }
+
+// Has reports whether g is in the set.
+func (s GroupSet) Has(g GroupID) bool { return s&(1<<uint(g)) != 0 }
+
+// Count returns the number of members.
+func (s GroupSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Union returns s ∪ t.
+func (s GroupSet) Union(t GroupSet) GroupSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s GroupSet) Intersect(t GroupSet) GroupSet { return s & t }
+
+// Empty reports whether the set has no members.
+func (s GroupSet) Empty() bool { return s == 0 }
+
+// Members returns the groups in increasing order.
+func (s GroupSet) Members() []GroupID {
+	out := make([]GroupID, 0, s.Count())
+	for v := uint64(s); v != 0; v &= v - 1 {
+		out = append(out, GroupID(bits.TrailingZeros64(v)))
+	}
+	return out
+}
+
+// String renders the set as {g0,g2,...}.
+func (s GroupSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, g := range s.Members() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "g%d", g)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Topology is an immutable description of the processes and destination
+// groups of an atomic multicast instance. It precomputes the intersection
+// structure and every cyclic family, which the γ failure detector and the
+// core algorithm consult on the hot path.
+type Topology struct {
+	n        int       // number of processes
+	groups   []ProcSet // members per group
+	all      ProcSet   // union of all groups
+	families []Family  // every cyclic family, sorted by GroupSet
+	byGroup  [][]int   // family indices containing each group
+	byProc   [][]int   // family indices f with p in some group intersection of f
+	groupsOf []GroupSet
+}
+
+// Family is a cyclic family: a set of destination groups whose intersection
+// graph is hamiltonian, together with its closed paths (hamiltonian cycles).
+type Family struct {
+	// Groups is the set of destination groups in the family.
+	Groups GroupSet
+	// CPaths holds the closed paths of the family: each path visits every
+	// group exactly once and returns to its start (π[0] == π[len-1]). Both
+	// orientations and all rotations starting at the smallest group are
+	// included, matching cpaths(f) up to the canonical start.
+	CPaths [][]GroupID
+}
+
+// ErrTooMany is returned when a topology exceeds the bitset capacity.
+var ErrTooMany = errors.New("groups: too many processes or groups (max 64)")
+
+// New builds a topology over n processes with the given destination groups.
+// Every group must be a non-empty subset of [0,n).
+func New(n int, gs ...ProcSet) (*Topology, error) {
+	if n <= 0 || n > MaxProcesses {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooMany, n)
+	}
+	if len(gs) > 64 {
+		return nil, fmt.Errorf("%w: %d groups", ErrTooMany, len(gs))
+	}
+	var all ProcSet
+	limit := ProcSet(0)
+	for p := 0; p < n; p++ {
+		limit = limit.Add(Process(p))
+	}
+	for i, g := range gs {
+		if g.Empty() {
+			return nil, fmt.Errorf("groups: group g%d is empty", i)
+		}
+		if !g.SubsetOf(limit) {
+			return nil, fmt.Errorf("groups: group g%d=%v has members outside [0,%d)", i, g, n)
+		}
+		all = all.Union(g)
+	}
+	t := &Topology{
+		n:        n,
+		groups:   append([]ProcSet(nil), gs...),
+		all:      all,
+		groupsOf: make([]GroupSet, n),
+	}
+	for gi, g := range t.groups {
+		for _, p := range g.Members() {
+			t.groupsOf[p] = t.groupsOf[p].Add(GroupID(gi))
+		}
+	}
+	t.computeFamilies()
+	return t, nil
+}
+
+// MustNew is New, panicking on error. It is intended for tests and examples
+// with literal topologies.
+func MustNew(n int, gs ...ProcSet) *Topology {
+	t, err := New(n, gs...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumProcesses returns the number of processes in the topology.
+func (t *Topology) NumProcesses() int { return t.n }
+
+// NumGroups returns the number of destination groups.
+func (t *Topology) NumGroups() int { return len(t.groups) }
+
+// Group returns the member set of group g.
+func (t *Topology) Group(g GroupID) ProcSet { return t.groups[g] }
+
+// AllProcesses returns the union of all destination groups.
+func (t *Topology) AllProcesses() ProcSet { return t.all }
+
+// GroupsOf returns G(p): the groups containing process p.
+func (t *Topology) GroupsOf(p Process) GroupSet { return t.groupsOf[p] }
+
+// Intersection returns g ∩ h as a process set.
+func (t *Topology) Intersection(g, h GroupID) ProcSet {
+	return t.groups[g].Intersect(t.groups[h])
+}
+
+// Intersecting reports whether g and h share at least one process.
+func (t *Topology) Intersecting(g, h GroupID) bool {
+	return !t.Intersection(g, h).Empty()
+}
+
+// IntersectionGraph returns the adjacency sets of the intersection graph of
+// the given family: adj[i] holds the indices j≠i with f[i] ∩ f[j] ≠ ∅.
+func (t *Topology) IntersectionGraph(f []GroupID) [][]int {
+	adj := make([][]int, len(f))
+	for i := range f {
+		for j := range f {
+			if i != j && t.Intersecting(f[i], f[j]) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
+
+// Families returns every cyclic family of the topology (the set F).
+func (t *Topology) Families() []Family { return t.families }
+
+// FamiliesOf returns F(g): the cyclic families containing group g.
+func (t *Topology) FamiliesOf(g GroupID) []Family {
+	out := make([]Family, 0, len(t.byGroup[g]))
+	for _, i := range t.byGroup[g] {
+		out = append(out, t.families[i])
+	}
+	return out
+}
+
+// FamiliesOfProcess returns F(p): the cyclic families f such that p belongs
+// to some group intersection of f (∃g,h ∈ f, p ∈ g∩h).
+func (t *Topology) FamiliesOfProcess(p Process) []Family {
+	out := make([]Family, 0, len(t.byProc[p]))
+	for _, i := range t.byProc[p] {
+		out = append(out, t.families[i])
+	}
+	return out
+}
+
+// HasCyclicFamilies reports whether F ≠ ∅.
+func (t *Topology) HasCyclicFamilies() bool { return len(t.families) > 0 }
+
+// FamilyFaulty reports whether the family is faulty given the crashed set:
+// every closed path of the family visits an edge (g,h) with g∩h ⊆ crashed.
+func (t *Topology) FamilyFaulty(f Family, crashed ProcSet) bool {
+	for _, path := range f.CPaths {
+		if !t.pathFaulty(path, crashed) {
+			return false
+		}
+	}
+	return true
+}
+
+// pathFaulty reports whether the closed path visits a faulty edge.
+func (t *Topology) pathFaulty(path []GroupID, crashed ProcSet) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if t.Intersection(path[i], path[i+1]).SubsetOf(crashed) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConsensusFamily returns the set f computed at line 20 of Algorithm 1 for
+// process p and group g: the groups h such that some cyclic family in F(p)
+// contains both g and h with g∩h ≠ ∅. (Lemma 30 proves this set is the same
+// at every process of a correct cyclic family through g.)
+func (t *Topology) ConsensusFamily(p Process, g GroupID) GroupSet {
+	var out GroupSet
+	for _, fi := range t.byProc[p] {
+		f := t.families[fi]
+		if !f.Groups.Has(g) {
+			continue
+		}
+		for _, h := range f.Groups.Members() {
+			if t.Intersecting(g, h) {
+				out = out.Add(h)
+			}
+		}
+	}
+	return out
+}
+
+// IntersectingGroups returns every group h ≠ g with g∩h ≠ ∅.
+func (t *Topology) IntersectingGroups(g GroupID) []GroupID {
+	var out []GroupID
+	for h := range t.groups {
+		if GroupID(h) != g && t.Intersecting(g, GroupID(h)) {
+			out = append(out, GroupID(h))
+		}
+	}
+	return out
+}
+
+// computeFamilies enumerates every subset of groups of size ≥ 3 and keeps the
+// ones whose intersection graph is hamiltonian, recording the closed paths.
+func (t *Topology) computeFamilies() {
+	k := len(t.groups)
+	t.byGroup = make([][]int, k)
+	t.byProc = make([][]int, t.n)
+	if k < 3 {
+		return
+	}
+	for mask := GroupSet(1); mask < GroupSet(1)<<uint(k); mask++ {
+		if mask.Count() < 3 {
+			continue
+		}
+		members := mask.Members()
+		cycles := t.hamiltonianCycles(members)
+		if len(cycles) == 0 {
+			continue
+		}
+		fi := len(t.families)
+		t.families = append(t.families, Family{Groups: mask, CPaths: cycles})
+		for _, g := range members {
+			t.byGroup[g] = append(t.byGroup[g], fi)
+		}
+		var inInter ProcSet
+		for i, g := range members {
+			for _, h := range members[i+1:] {
+				inInter = inInter.Union(t.Intersection(g, h))
+			}
+		}
+		for _, p := range inInter.Members() {
+			t.byProc[p] = append(t.byProc[p], fi)
+		}
+	}
+	sort.Slice(t.families, func(i, j int) bool {
+		return t.families[i].Groups < t.families[j].Groups
+	})
+	// Rebuild indices after sorting.
+	for g := range t.byGroup {
+		t.byGroup[g] = t.byGroup[g][:0]
+	}
+	for p := range t.byProc {
+		t.byProc[p] = t.byProc[p][:0]
+	}
+	for fi, f := range t.families {
+		var inInter ProcSet
+		members := f.Groups.Members()
+		for _, g := range members {
+			t.byGroup[g] = append(t.byGroup[g], fi)
+		}
+		for i, g := range members {
+			for _, h := range members[i+1:] {
+				inInter = inInter.Union(t.Intersection(g, h))
+			}
+		}
+		for _, p := range inInter.Members() {
+			t.byProc[p] = append(t.byProc[p], fi)
+		}
+	}
+}
+
+// hamiltonianCycles returns every hamiltonian cycle of the intersection graph
+// of the given groups as closed paths (first == last). Cycles start at the
+// first group; both orientations are returned since Algorithm 3 distinguishes
+// path directions. Starting points other than the first group describe the
+// same edge sets and are omitted.
+func (t *Topology) hamiltonianCycles(f []GroupID) [][]GroupID {
+	n := len(f)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+		for j := range adj[i] {
+			adj[i][j] = i != j && t.Intersecting(f[i], f[j])
+		}
+	}
+	var out [][]GroupID
+	path := make([]int, 1, n+1)
+	used := make([]bool, n)
+	used[0] = true
+	var rec func()
+	rec = func() {
+		if len(path) == n {
+			last := path[len(path)-1]
+			if adj[last][0] {
+				cyc := make([]GroupID, 0, n+1)
+				for _, i := range path {
+					cyc = append(cyc, f[i])
+				}
+				cyc = append(cyc, f[0])
+				out = append(out, cyc)
+			}
+			return
+		}
+		last := path[len(path)-1]
+		for next := 1; next < n; next++ {
+			if used[next] || !adj[last][next] {
+				continue
+			}
+			used[next] = true
+			path = append(path, next)
+			rec()
+			path = path[:len(path)-1]
+			used[next] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// PathEdges returns the undirected edge set of a closed path as canonical
+// (min,max) group pairs. Two paths are equivalent (π ≡ π') when they have the
+// same edge set.
+func PathEdges(path []GroupID) map[[2]GroupID]bool {
+	edges := make(map[[2]GroupID]bool, len(path))
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if a > b {
+			a, b = b, a
+		}
+		edges[[2]GroupID{a, b}] = true
+	}
+	return edges
+}
+
+// PathsEquivalent reports π ≡ π': the two closed paths visit the same edges.
+func PathsEquivalent(a, b []GroupID) bool {
+	ea, eb := PathEdges(a), PathEdges(b)
+	if len(ea) != len(eb) {
+		return false
+	}
+	for e := range ea {
+		if !eb[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// PathDirection returns +1 or -1 for the orientation of a closed path, using
+// the canonical representation where the path's second element being the
+// smaller of the start's two cycle-neighbours means clockwise (+1).
+func PathDirection(path []GroupID) int {
+	if len(path) < 4 {
+		return 1
+	}
+	next := path[1]
+	prev := path[len(path)-2]
+	if next <= prev {
+		return 1
+	}
+	return -1
+}
+
+// String renders the topology.
+func (t *Topology) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology(n=%d", t.n)
+	for i, g := range t.groups {
+		fmt.Fprintf(&b, ", g%d=%v", i, g)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,371 @@
+package groups
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFigure1_CyclicFamilies reproduces Figure 1 of the paper: the topology
+// has exactly three cyclic families f={g1,g2,g3}, f'={g1,g3,g4} and f”=G.
+func TestFigure1_CyclicFamilies(t *testing.T) {
+	topo := Figure1()
+	fams := topo.Families()
+	if len(fams) != 3 {
+		t.Fatalf("got %d cyclic families, want 3: %v", len(fams), fams)
+	}
+	want := map[GroupSet]bool{
+		NewGroupSet(0, 1, 2):    true, // f = {g1,g2,g3}
+		NewGroupSet(0, 2, 3):    true, // f' = {g1,g3,g4}
+		NewGroupSet(0, 1, 2, 3): true, // f'' = G
+	}
+	for _, f := range fams {
+		if !want[f.Groups] {
+			t.Errorf("unexpected cyclic family %v", f.Groups)
+		}
+		delete(want, f.Groups)
+	}
+	for g := range want {
+		t.Errorf("missing cyclic family %v", g)
+	}
+}
+
+// TestFigure1_FamiliesOfGroup checks F(g2) = {f, f”} as stated in §3.
+func TestFigure1_FamiliesOfGroup(t *testing.T) {
+	topo := Figure1()
+	fams := topo.FamiliesOf(1) // g2 (0-indexed: group 1)
+	if len(fams) != 2 {
+		t.Fatalf("|F(g2)| = %d, want 2", len(fams))
+	}
+	got := map[GroupSet]bool{}
+	for _, f := range fams {
+		got[f.Groups] = true
+	}
+	if !got[NewGroupSet(0, 1, 2)] || !got[NewGroupSet(0, 1, 2, 3)] {
+		t.Fatalf("F(g2) = %v, want {f, f''}", got)
+	}
+}
+
+// TestFigure1_FamiliesOfProcess checks F(p1) = F and F(p5) = ∅ (§3).
+func TestFigure1_FamiliesOfProcess(t *testing.T) {
+	topo := Figure1()
+	if got := len(topo.FamiliesOfProcess(0)); got != 3 { // p1
+		t.Errorf("|F(p1)| = %d, want 3", got)
+	}
+	if got := len(topo.FamiliesOfProcess(4)); got != 0 { // p5
+		t.Errorf("|F(p5)| = %d, want 0", got)
+	}
+}
+
+// TestFigure1_FamilyFaulty checks that f” is faulty when g1∩g2 = {p2}
+// crashes (§3: "This family is faulty when g2 ∩ g1 = {p2} fails").
+func TestFigure1_FamilyFaulty(t *testing.T) {
+	topo := Figure1()
+	crashed := NewProcSet(1) // p2
+	for _, f := range topo.Families() {
+		faulty := topo.FamilyFaulty(f, crashed)
+		switch f.Groups {
+		case NewGroupSet(0, 1, 2): // f contains edge g1-g2 in every cycle
+			if !faulty {
+				t.Errorf("f should be faulty when p2 crashes")
+			}
+		case NewGroupSet(0, 2, 3): // f' does not involve g2
+			if faulty {
+				t.Errorf("f' should stay correct when p2 crashes")
+			}
+		case NewGroupSet(0, 1, 2, 3):
+			if !faulty {
+				t.Errorf("f'' should be faulty when p2 crashes")
+			}
+		}
+	}
+}
+
+func TestFamilyNotFaultyWithoutCrashes(t *testing.T) {
+	topo := Figure1()
+	for _, f := range topo.Families() {
+		if topo.FamilyFaulty(f, 0) {
+			t.Errorf("family %v faulty with no crashes", f.Groups)
+		}
+	}
+}
+
+// TestFamilyFaultyMonotone: faultiness is monotone in the crashed set.
+func TestFamilyFaultyMonotone(t *testing.T) {
+	topo := Figure1()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		crashed := ProcSet(rng.Uint64() & 0x1f)
+		more := crashed.Add(Process(rng.Intn(5)))
+		for _, f := range topo.Families() {
+			if topo.FamilyFaulty(f, crashed) && !topo.FamilyFaulty(f, more) {
+				t.Fatalf("faultiness not monotone: crashed=%v more=%v", crashed, more)
+			}
+		}
+	}
+}
+
+func TestDisjointGroupsHaveNoFamilies(t *testing.T) {
+	topo := MustNew(6,
+		NewProcSet(0, 1),
+		NewProcSet(2, 3),
+		NewProcSet(4, 5),
+	)
+	if topo.HasCyclicFamilies() {
+		t.Fatalf("disjoint groups must have no cyclic family")
+	}
+}
+
+// TestAcyclicChainHasNoFamilies: a chain g0-g1-g2 whose intersection graph is
+// a path is not hamiltonian.
+func TestAcyclicChainHasNoFamilies(t *testing.T) {
+	topo := MustNew(5,
+		NewProcSet(0, 1),
+		NewProcSet(1, 2, 3),
+		NewProcSet(3, 4),
+	)
+	if topo.HasCyclicFamilies() {
+		t.Fatalf("chain topology must be acyclic, got %v", topo.Families())
+	}
+}
+
+// TestTriangleIsCyclic: three pairwise-intersecting groups form one family.
+func TestTriangleIsCyclic(t *testing.T) {
+	topo := MustNew(3,
+		NewProcSet(0, 1),
+		NewProcSet(1, 2),
+		NewProcSet(2, 0),
+	)
+	fams := topo.Families()
+	if len(fams) != 1 {
+		t.Fatalf("got %d families, want 1", len(fams))
+	}
+	f := fams[0]
+	if f.Groups.Count() != 3 {
+		t.Fatalf("family = %v", f.Groups)
+	}
+	// A triangle has two closed paths from the canonical start (both
+	// orientations), equivalent to each other.
+	if len(f.CPaths) != 2 {
+		t.Fatalf("|cpaths| = %d, want 2", len(f.CPaths))
+	}
+	if !PathsEquivalent(f.CPaths[0], f.CPaths[1]) {
+		t.Fatalf("triangle orientations should be equivalent")
+	}
+	if PathDirection(f.CPaths[0]) == 0 {
+		t.Fatalf("direction must be ±1")
+	}
+}
+
+func TestCPathsAreClosedAndComplete(t *testing.T) {
+	topo := Figure1()
+	for _, f := range topo.Families() {
+		for _, path := range f.CPaths {
+			if path[0] != path[len(path)-1] {
+				t.Fatalf("path %v not closed", path)
+			}
+			if len(path) != f.Groups.Count()+1 {
+				t.Fatalf("path %v does not visit all of %v once", path, f.Groups)
+			}
+			seen := GroupSet(0)
+			for _, g := range path[:len(path)-1] {
+				if seen.Has(g) {
+					t.Fatalf("path %v repeats %v", path, g)
+				}
+				seen = seen.Add(g)
+			}
+			if seen != f.Groups {
+				t.Fatalf("path %v misses groups of %v", path, f.Groups)
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if !topo.Intersecting(path[i], path[i+1]) {
+					t.Fatalf("path %v uses non-edge (%v,%v)", path, path[i], path[i+1])
+				}
+			}
+		}
+	}
+}
+
+// TestFourCycleDirections: a 4-cycle has exactly two inequivalent closed
+// paths... no — a plain 4-cycle has a single hamiltonian cycle up to
+// orientation, so cpaths has 2 entries that are equivalent.
+func TestFourCycleOrientations(t *testing.T) {
+	topo := MustNew(4,
+		NewProcSet(0, 1),
+		NewProcSet(1, 2),
+		NewProcSet(2, 3),
+		NewProcSet(3, 0),
+	)
+	fams := topo.Families()
+	if len(fams) != 1 {
+		t.Fatalf("got %d families, want 1", len(fams))
+	}
+	f := fams[0]
+	if len(f.CPaths) != 2 {
+		t.Fatalf("|cpaths| = %d, want 2 (both orientations)", len(f.CPaths))
+	}
+	if !PathsEquivalent(f.CPaths[0], f.CPaths[1]) {
+		t.Fatalf("4-cycle orientations must be edge-equivalent")
+	}
+	dirSum := PathDirection(f.CPaths[0]) + PathDirection(f.CPaths[1])
+	if dirSum != 0 {
+		t.Fatalf("orientations should have opposite directions, got sum %d", dirSum)
+	}
+}
+
+// TestCompleteGraphK4HasMultipleCycleClasses: K4 has three inequivalent
+// hamiltonian cycles.
+func TestCompleteGraphK4HasMultipleCycleClasses(t *testing.T) {
+	// Four groups all sharing process 0 pairwise plus distinct members.
+	topo := MustNew(5,
+		NewProcSet(0, 1),
+		NewProcSet(0, 2),
+		NewProcSet(0, 3),
+		NewProcSet(0, 4),
+	)
+	var full *Family
+	for i := range topo.Families() {
+		f := &topo.Families()[i]
+		if f.Groups.Count() == 4 {
+			full = f
+		}
+	}
+	if full == nil {
+		t.Fatalf("K4 family missing")
+	}
+	classes := 0
+	var reps [][]GroupID
+outer:
+	for _, p := range full.CPaths {
+		for _, r := range reps {
+			if PathsEquivalent(p, r) {
+				continue outer
+			}
+		}
+		reps = append(reps, p)
+		classes++
+	}
+	if classes != 3 {
+		t.Fatalf("K4 has %d cycle classes, want 3", classes)
+	}
+}
+
+func TestConsensusFamilyLemma30(t *testing.T) {
+	// Lemma 30: for f ∈ F with g,g',g'' ∈ f, p ∈ g∩g' and p' ∈ g∩g'',
+	// H(p,g) = H(p',g) where H(q,g) = ConsensusFamily(q,g).
+	topo := Figure1()
+	for _, f := range topo.Families() {
+		members := f.Groups.Members()
+		for _, g := range members {
+			var want GroupSet
+			first := true
+			for _, gp := range members {
+				if gp == g {
+					continue
+				}
+				inter := topo.Intersection(g, gp)
+				for _, p := range inter.Members() {
+					got := topo.ConsensusFamily(p, g)
+					if first {
+						want, first = got, false
+					} else if got != want {
+						t.Fatalf("H(%v,%v)=%v differs from %v (family %v)",
+							p, g, got, want, f.Groups)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLemma30_HEquality_Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		topo := randomTopology(rng, 8, 5)
+		for _, f := range topo.Families() {
+			members := f.Groups.Members()
+			for _, g := range members {
+				var want GroupSet
+				first := true
+				for _, gp := range members {
+					if gp == g || !topo.Intersecting(g, gp) {
+						continue
+					}
+					for _, p := range topo.Intersection(g, gp).Members() {
+						got := topo.ConsensusFamily(p, g)
+						if first {
+							want, first = got, false
+						} else if got != want {
+							t.Fatalf("trial %d: H mismatch on %v", trial, topo)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func randomTopology(rng *rand.Rand, n, k int) *Topology {
+	gs := make([]ProcSet, 0, k)
+	for i := 0; i < k; i++ {
+		var g ProcSet
+		for g.Count() < 2 {
+			g = g.Add(Process(rng.Intn(n)))
+		}
+		// occasionally a third member
+		if rng.Intn(2) == 0 {
+			g = g.Add(Process(rng.Intn(n)))
+		}
+		gs = append(gs, g)
+	}
+	return MustNew(n, gs...)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Errorf("want error for n=0")
+	}
+	if _, err := New(2, ProcSet(0)); err == nil {
+		t.Errorf("want error for empty group")
+	}
+	if _, err := New(2, NewProcSet(5)); err == nil {
+		t.Errorf("want error for out-of-range member")
+	}
+	if _, err := New(65); err == nil {
+		t.Errorf("want error for too many processes")
+	}
+}
+
+func TestGroupsOf(t *testing.T) {
+	topo := Figure1()
+	// p1 (index 0) belongs to g1, g3, g4 = groups 0, 2, 3.
+	if got := topo.GroupsOf(0); got != NewGroupSet(0, 2, 3) {
+		t.Fatalf("G(p1) = %v", got)
+	}
+	// p5 (index 4) only belongs to g4.
+	if got := topo.GroupsOf(4); got != NewGroupSet(3) {
+		t.Fatalf("G(p5) = %v", got)
+	}
+}
+
+func TestIntersectingGroups(t *testing.T) {
+	topo := Figure1()
+	// g2 (index 1) intersects g1 and g3.
+	got := topo.IntersectingGroups(1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("IntersectingGroups(g2) = %v", got)
+	}
+}
+
+func TestIntersectionGraphAdjacency(t *testing.T) {
+	topo := Figure1()
+	all := []GroupID{0, 1, 2, 3}
+	adj := topo.IntersectionGraph(all)
+	// g2 (idx 1) is adjacent to g1 (idx 0) and g3 (idx 2) only.
+	if len(adj[1]) != 2 {
+		t.Fatalf("deg(g2) = %d, want 2", len(adj[1]))
+	}
+	// g1 intersects g2, g3, g4.
+	if len(adj[0]) != 3 {
+		t.Fatalf("deg(g1) = %d, want 3", len(adj[0]))
+	}
+}

@@ -1,0 +1,66 @@
+package logobj
+
+import (
+	"testing"
+
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// FuzzLogOperations feeds arbitrary operation tapes into the log object and
+// checks the sequential-specification invariants of Table 2 after every
+// operation (Claims 2-5 plus head discipline and order totality). Each
+// input byte pair encodes one operation.
+func FuzzLogOperations(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x05, 0x23, 0x81, 0x40})
+	f.Add([]byte{0x00, 0x00, 0x80, 0x01})
+	f.Add([]byte{0x11, 0x91, 0x12, 0x92, 0x13, 0x93})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		l := New("fuzz")
+		type obs struct {
+			pos    int
+			locked bool
+		}
+		prev := map[Datum]obs{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], tape[i+1]
+			d := MsgDatum(msg.ID(op&0x0f) + 1)
+			if op&0x10 != 0 {
+				d = PosDatum(msg.ID(op&0x0f)+1, groups.GroupID(arg&0x3), int(arg&0x7))
+			}
+			if op&0x80 == 0 {
+				l.Append(d)
+			} else if l.Contains(d) {
+				l.BumpAndLock(d, int(arg))
+			}
+			// Invariants after every operation.
+			for dd, o := range prev {
+				cur := l.Pos(dd)
+				if cur == 0 {
+					t.Fatalf("datum %v disappeared (Claim 2)", dd)
+				}
+				if cur < o.pos {
+					t.Fatalf("datum %v moved backwards %d→%d (Claim 3)", dd, o.pos, cur)
+				}
+				if o.locked {
+					if !l.Locked(dd) {
+						t.Fatalf("datum %v unlocked (Claim 4)", dd)
+					}
+					if cur != o.pos {
+						t.Fatalf("locked %v moved %d→%d (Claim 5)", dd, o.pos, cur)
+					}
+				}
+			}
+			items := l.Items()
+			for j := 1; j < len(items); j++ {
+				if !l.Less(items[j-1], items[j]) {
+					t.Fatalf("order not total/sorted at %d", j)
+				}
+			}
+			prev = map[Datum]obs{}
+			for _, dd := range items {
+				prev[dd] = obs{pos: l.Pos(dd), locked: l.Locked(dd)}
+			}
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package logobj implements the shared log object of §4.3: an infinite array
+// of slots holding data items, with operations append, pos, bumpAndLock and
+// locked. Logs are the coordination backbone of Algorithm 1 — one per
+// destination group and one per group intersection.
+//
+// The implementation is an in-memory linearizable object (runs are driven by
+// a sequential scheduler, so linearizability is by construction); the uc
+// package layers the paper's universal construction and its step accounting
+// on top.
+package logobj
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// Kind distinguishes the three shapes of data Algorithm 1 stores in logs.
+type Kind int
+
+const (
+	// KindMsg is a plain message m.
+	KindMsg Kind = iota + 1
+	// KindPos is a tuple (m, h, i): m occupies slot i of LOG_{g∩h}.
+	KindPos
+	// KindStable is a tuple (m, h): m is stabilised in group h.
+	KindStable
+)
+
+// Datum is a data item stored in a log. The total order (<) over data used
+// to break slot ties is the lexicographic order on (Msg, Kind, H, I); in
+// particular two *messages* in the same slot are ordered by message ID,
+// which is the paper's a-priori total order.
+type Datum struct {
+	Kind Kind
+	Msg  msg.ID
+	H    groups.GroupID
+	I    int
+}
+
+// MsgDatum returns the log datum for message m.
+func MsgDatum(m msg.ID) Datum { return Datum{Kind: KindMsg, Msg: m} }
+
+// PosDatum returns the (m, h, i) datum.
+func PosDatum(m msg.ID, h groups.GroupID, i int) Datum {
+	return Datum{Kind: KindPos, Msg: m, H: h, I: i}
+}
+
+// StableDatum returns the (m, h) datum.
+func StableDatum(m msg.ID, h groups.GroupID) Datum {
+	return Datum{Kind: KindStable, Msg: m, H: h}
+}
+
+// Less is the a-priori total order over data items.
+func (d Datum) Less(o Datum) bool {
+	if d.Msg != o.Msg {
+		return d.Msg < o.Msg
+	}
+	if d.Kind != o.Kind {
+		return d.Kind < o.Kind
+	}
+	if d.H != o.H {
+		return d.H < o.H
+	}
+	return d.I < o.I
+}
+
+// String renders the datum.
+func (d Datum) String() string {
+	switch d.Kind {
+	case KindMsg:
+		return fmt.Sprintf("m%d", d.Msg)
+	case KindPos:
+		return fmt.Sprintf("(m%d,g%d,%d)", d.Msg, d.H, d.I)
+	case KindStable:
+		return fmt.Sprintf("(m%d,g%d)", d.Msg, d.H)
+	}
+	return "?"
+}
+
+// Log is the shared log object. Slots are numbered from 1; position 0 means
+// "absent". The zero value is not usable; call New.
+type Log struct {
+	name    string
+	pos     map[Datum]int
+	locked  map[Datum]bool
+	head    int // first free slot after which there are only free slots
+	version int64
+}
+
+// New returns an empty log with a diagnostic name.
+func New(name string) *Log {
+	return &Log{name: name, pos: make(map[Datum]int), locked: make(map[Datum]bool), head: 1}
+}
+
+// Name returns the log's diagnostic name.
+func (l *Log) Name() string { return l.name }
+
+// Version increases on every mutation; idle-detection hooks use it.
+func (l *Log) Version() int64 { return l.version }
+
+// Append inserts d at the head slot and returns its position. If d is
+// already in the log the operation does nothing and returns the current
+// position.
+func (l *Log) Append(d Datum) int {
+	if p, ok := l.pos[d]; ok {
+		return p
+	}
+	p := l.head
+	l.pos[d] = p
+	l.head = p + 1
+	l.version++
+	return p
+}
+
+// Pos returns the position of d, or 0 if d is absent.
+func (l *Log) Pos(d Datum) int { return l.pos[d] }
+
+// Contains reports whether d is in the log.
+func (l *Log) Contains(d Datum) bool { return l.pos[d] != 0 }
+
+// BumpAndLock moves d from its slot s to slot max(k, s) and locks it there.
+// Once locked a datum cannot be bumped anymore, so a second call is a no-op.
+// Calling BumpAndLock on an absent datum is a bug in the caller and panics.
+func (l *Log) BumpAndLock(d Datum, k int) {
+	cur, ok := l.pos[d]
+	if !ok {
+		panic(fmt.Sprintf("logobj: BumpAndLock(%v) on absent datum in %s", d, l.name))
+	}
+	if l.locked[d] {
+		return
+	}
+	if k > cur {
+		l.pos[d] = k
+		if k >= l.head {
+			l.head = k + 1
+		}
+	}
+	l.locked[d] = true
+	l.version++
+}
+
+// Locked reports whether d is locked in the log.
+func (l *Log) Locked(d Datum) bool { return l.locked[d] }
+
+// Less reports d <_L d': both in the log, and either at a lower position or
+// tied on position and smaller in the a-priori order.
+func (l *Log) Less(d, o Datum) bool {
+	pd, ok1 := l.pos[d]
+	po, ok2 := l.pos[o]
+	if !ok1 || !ok2 {
+		return false
+	}
+	if pd != po {
+		return pd < po
+	}
+	return d.Less(o)
+}
+
+// Items returns every datum in <_L order.
+func (l *Log) Items() []Datum {
+	out := make([]Datum, 0, len(l.pos))
+	for d := range l.pos {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return l.Less(out[i], out[j]) })
+	return out
+}
+
+// Messages returns the message IDs present as KindMsg data, in <_L order.
+func (l *Log) Messages() []msg.ID {
+	var out []msg.ID
+	for _, d := range l.Items() {
+		if d.Kind == KindMsg {
+			out = append(out, d.Msg)
+		}
+	}
+	return out
+}
+
+// MessagesBefore returns the message IDs with a KindMsg datum strictly
+// before d in <_L order.
+func (l *Log) MessagesBefore(d Datum) []msg.ID {
+	if !l.Contains(d) {
+		return nil
+	}
+	var out []msg.ID
+	for item, p := range l.pos {
+		if item.Kind != KindMsg {
+			continue
+		}
+		_ = p
+		if l.Less(item, d) {
+			out = append(out, item.Msg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxPosTuple returns max{i : (m,-,i) ∈ L} over KindPos tuples for message
+// m, and whether any such tuple exists (line 19 of Algorithm 1).
+func (l *Log) MaxPosTuple(m msg.ID) (int, bool) {
+	max, found := 0, false
+	for d := range l.pos {
+		if d.Kind == KindPos && d.Msg == m {
+			found = true
+			if d.I > max {
+				max = d.I
+			}
+		}
+	}
+	return max, found
+}
+
+// HasPosTuple reports whether some (m, h, -) tuple is in the log.
+func (l *Log) HasPosTuple(m msg.ID, h groups.GroupID) bool {
+	for d := range l.pos {
+		if d.Kind == KindPos && d.Msg == m && d.H == h {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the log contents.
+func (l *Log) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[", l.name)
+	for i, d := range l.Items() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%v@%d", d, l.pos[d])
+		if l.locked[d] {
+			b.WriteByte('!')
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

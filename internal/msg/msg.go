@@ -1,0 +1,76 @@
+// Package msg defines atomic-multicast messages and their identifiers,
+// shared by the log objects and the multicast algorithms.
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/groups"
+)
+
+// ID identifies a multicast message. IDs also serve as the a-priori total
+// order (<) over messages the paper uses to break ties between data sharing
+// a log slot.
+type ID int64
+
+// None is the null message identifier.
+const None ID = 0
+
+// Message is a multicast message: a sender, a destination group, and an
+// opaque payload. Senders belong to their destination group (closed model).
+type Message struct {
+	ID      ID
+	Src     groups.Process
+	Dst     groups.GroupID
+	Payload []byte
+}
+
+// String renders the message.
+func (m *Message) String() string {
+	return fmt.Sprintf("m%d(src=p%d,dst=g%d)", m.ID, m.Src, m.Dst)
+}
+
+// Registry assigns identifiers and resolves them back to messages. A single
+// registry is shared by every process of a run (message identity is global).
+type Registry struct {
+	next ID
+	byID map[ID]*Message
+}
+
+// NewRegistry returns an empty registry. The first assigned ID is 1 so that
+// None never collides with a real message.
+func NewRegistry() *Registry {
+	return &Registry{next: 1, byID: make(map[ID]*Message)}
+}
+
+// New registers a fresh message.
+func (r *Registry) New(src groups.Process, dst groups.GroupID, payload []byte) *Message {
+	m := &Message{ID: r.next, Src: src, Dst: dst, Payload: payload}
+	r.next++
+	r.byID[m.ID] = m
+	return m
+}
+
+// Get resolves an ID; it panics on unknown IDs, which indicates a bug in the
+// caller (messages are always registered before circulating).
+func (r *Registry) Get(id ID) *Message {
+	m, ok := r.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("msg: unknown message id %d", id))
+	}
+	return m
+}
+
+// Len returns the number of registered messages.
+func (r *Registry) Len() int { return len(r.byID) }
+
+// All returns every registered message in ID order.
+func (r *Registry) All() []*Message {
+	out := make([]*Message, 0, len(r.byID))
+	for id := ID(1); id < r.next; id++ {
+		if m, ok := r.byID[id]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+// Package net is a small in-memory message-passing layer: reliable
+// point-to-point links between processes implemented with goroutines and
+// channels. The quorum-based substrates (internal/register, internal/paxos)
+// run on it; crash injection silences a process's inbox and outbox, which is
+// how fail-stop behaviour surfaces to its peers (no more replies — exactly
+// the asynchronous model's ambiguity that failure detectors resolve).
+package net
+
+import (
+	"sync"
+
+	"repro/internal/groups"
+)
+
+// Packet is a message in flight.
+type Packet struct {
+	From, To groups.Process
+	Kind     string
+	Body     any
+}
+
+// Network connects n processes with reliable FIFO links.
+type Network struct {
+	n      int
+	mu     sync.Mutex
+	closed bool
+	dead   map[groups.Process]bool
+	inbox  []chan Packet
+}
+
+// inboxDepth bounds per-process buffering; the substrates' request/response
+// protocols keep traffic far below it.
+const inboxDepth = 1024
+
+// New builds a network over n processes.
+func New(n int) *Network {
+	nw := &Network{
+		n:     n,
+		dead:  make(map[groups.Process]bool),
+		inbox: make([]chan Packet, n),
+	}
+	for i := range nw.inbox {
+		nw.inbox[i] = make(chan Packet, inboxDepth)
+	}
+	return nw
+}
+
+// N returns the number of processes.
+func (nw *Network) N() int { return nw.n }
+
+// Send delivers a packet to the recipient's inbox. Packets from or to
+// crashed processes are dropped silently, and sends after Close are no-ops
+// (a closed network models the end of the run).
+func (nw *Network) Send(from, to groups.Process, kind string, body any) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.closed || nw.dead[from] || nw.dead[to] {
+		return
+	}
+	// The send is non-blocking and performed under the lock, so it cannot
+	// race with Close closing the channel.
+	select {
+	case nw.inbox[to] <- Packet{From: from, To: to, Kind: kind, Body: body}:
+	default:
+		// Inbox overflow: drop. The substrates retry, so a drop only costs
+		// latency; it cannot violate safety.
+	}
+}
+
+// Broadcast sends to every member of the set.
+func (nw *Network) Broadcast(from groups.Process, set groups.ProcSet, kind string, body any) {
+	for _, p := range set.Members() {
+		nw.Send(from, p, kind, body)
+	}
+}
+
+// Inbox returns the receive channel of p.
+func (nw *Network) Inbox(p groups.Process) <-chan Packet { return nw.inbox[p] }
+
+// Crash silences p: its pending inbox is drained and all future traffic
+// from or to it is dropped.
+func (nw *Network) Crash(p groups.Process) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.dead[p] = true
+	for {
+		select {
+		case <-nw.inbox[p]:
+		default:
+			return
+		}
+	}
+}
+
+// Crashed reports whether p was crashed.
+func (nw *Network) Crashed(p groups.Process) bool {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.dead[p]
+}
+
+// Close stops all future traffic (used at test teardown so server
+// goroutines drain and exit).
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.closed {
+		return
+	}
+	nw.closed = true
+	for _, ch := range nw.inbox {
+		close(ch)
+	}
+}

@@ -1,0 +1,72 @@
+package net
+
+import (
+	"testing"
+
+	"repro/internal/groups"
+)
+
+func TestSendRecv(t *testing.T) {
+	nw := New(2)
+	defer nw.Close()
+	nw.Send(0, 1, "ping", 42)
+	pkt := <-nw.Inbox(1)
+	if pkt.From != 0 || pkt.Kind != "ping" || pkt.Body.(int) != 42 {
+		t.Fatalf("bad packet %+v", pkt)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	nw := New(3)
+	defer nw.Close()
+	nw.Broadcast(0, groups.NewProcSet(0, 1, 2), "hello", nil)
+	for p := 0; p < 3; p++ {
+		pkt := <-nw.Inbox(groups.Process(p))
+		if pkt.Kind != "hello" {
+			t.Fatalf("p%d got %+v", p, pkt)
+		}
+	}
+}
+
+func TestCrashSilences(t *testing.T) {
+	nw := New(2)
+	defer nw.Close()
+	nw.Send(0, 1, "a", nil)
+	nw.Crash(1)
+	if !nw.Crashed(1) {
+		t.Fatalf("Crashed not reported")
+	}
+	// Pending inbox drained; future sends dropped.
+	nw.Send(0, 1, "b", nil)
+	select {
+	case pkt := <-nw.Inbox(1):
+		t.Fatalf("crashed process received %+v", pkt)
+	default:
+	}
+	// Sends *from* a crashed process are dropped too.
+	nw.Send(1, 0, "c", nil)
+	select {
+	case pkt := <-nw.Inbox(0):
+		t.Fatalf("packet from crashed process delivered: %+v", pkt)
+	default:
+	}
+}
+
+func TestCloseEndsInboxes(t *testing.T) {
+	nw := New(1)
+	nw.Close()
+	if _, open := <-nw.Inbox(0); open {
+		t.Fatalf("inbox still open after Close")
+	}
+	// Idempotent close and post-close send are safe.
+	nw.Close()
+	nw.Send(0, 0, "x", nil)
+}
+
+func TestOverflowDropsNotBlocks(t *testing.T) {
+	nw := New(1)
+	defer nw.Close()
+	for i := 0; i < inboxDepth+10; i++ {
+		nw.Send(0, 0, "flood", i) // must not block
+	}
+}

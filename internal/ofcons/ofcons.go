@@ -1,0 +1,189 @@
+// Package ofcons implements the paper's §4 construction path for consensus
+// inside a group, exactly as stated: "Σ_g permits to build shared atomic
+// registers in g. From these registers, we may construct an obstruction-
+// free consensus and boost it with Ω_g" — the alpha of indulgent consensus.
+//
+// The building blocks are adopt-commit objects from atomic registers
+// (collect-based, Gafni's round-by-round construction) chained round by
+// round: a proposal is filtered through AC[1], AC[2], ... carrying adopted
+// values forward; a commit at any round fixes the decision. Running solo a
+// process commits at its first round (obstruction freedom); gating round
+// execution on Ω's leader sample yields termination once the leader
+// stabilises (the boost). Safety never depends on Ω.
+//
+// The registers underneath are the ABD quorum registers of
+// internal/register, so the whole stack is message passing end to end.
+package ofcons
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/groups"
+	"repro/internal/register"
+)
+
+// LeaderFunc is the Ω_g sample at p.
+type LeaderFunc func(p groups.Process) groups.Process
+
+// Consensus is one consensus instance over a scope of processes.
+type Consensus struct {
+	Name   string
+	Scope  groups.ProcSet
+	Leader LeaderFunc
+}
+
+// Client is a per-process handle. It owns register clients for the
+// instance's registers, created lazily from the node.
+type Client struct {
+	cons *Consensus
+	p    groups.Process
+	node *register.Node
+	nw   registerNetwork
+	regs map[string]*register.Client
+}
+
+// registerNetwork materialises named registers for the client.
+type registerNetwork interface {
+	Register(name string) *register.Register
+}
+
+// NewClient builds the consensus client of process p. mkRegister
+// materialises a named MWMR register over the instance's scope (the caller
+// wires the network and quorum system — see the tests).
+func NewClient(cons *Consensus, p groups.Process, node *register.Node, mkRegister func(name string) *register.Register) *Client {
+	return &Client{
+		cons: cons,
+		p:    p,
+		node: node,
+		nw:   mkFunc(mkRegister),
+		regs: make(map[string]*register.Client),
+	}
+}
+
+type mkFunc func(name string) *register.Register
+
+func (f mkFunc) Register(name string) *register.Register { return f(name) }
+
+// reg returns (lazily) the client of a named register.
+func (c *Client) reg(name string) *register.Client {
+	if cl, ok := c.regs[name]; ok {
+		return cl
+	}
+	cl := c.node.Client(c.nw.Register(name))
+	c.regs[name] = cl
+	return cl
+}
+
+// Register names: per round r and participant q, A holds q's round-r
+// proposal and B its phase-2 value; D holds the decision. Values are
+// encoded as v*4 | flags with flag bits: 1 = written, 2 = commit.
+func (c *Client) aName(r int, q groups.Process) string {
+	return fmt.Sprintf("%s/A/%d/%d", c.cons.Name, r, q)
+}
+func (c *Client) bName(r int, q groups.Process) string {
+	return fmt.Sprintf("%s/B/%d/%d", c.cons.Name, r, q)
+}
+func (c *Client) dName() string { return c.cons.Name + "/D" }
+
+const (
+	flagWritten = 1
+	flagCommit  = 2
+)
+
+func pack(v int64, commit bool) int64 {
+	out := v<<2 | flagWritten
+	if commit {
+		out |= flagCommit
+	}
+	return out
+}
+
+func unpack(raw int64) (v int64, commit, written bool) {
+	return raw >> 2, raw&flagCommit != 0, raw&flagWritten != 0
+}
+
+// acPropose runs one adopt-commit round over the registers: write the
+// proposal, collect the others' proposals, derive a phase-2 value, write
+// it, collect phase-2 values (Gafni's commit-adopt).
+func (c *Client) acPropose(r int, v int64) (int64, bool, error) {
+	if !c.reg(c.aName(r, c.p)).Write(pack(v, false)) {
+		return 0, false, errShutdown
+	}
+	// Collect A.
+	allSame := true
+	for _, q := range c.cons.Scope.Members() {
+		raw, ok := c.reg(c.aName(r, q)).Read()
+		if !ok {
+			return 0, false, errShutdown
+		}
+		if w, _, written := unpack(raw); written && w != v {
+			allSame = false
+		}
+	}
+	mine := pack(v, allSame)
+	if !c.reg(c.bName(r, c.p)).Write(mine) {
+		return 0, false, errShutdown
+	}
+	// Collect B.
+	sawCommit := false
+	commitVal := v
+	sawOtherAdopt := false
+	for _, q := range c.cons.Scope.Members() {
+		raw, ok := c.reg(c.bName(r, q)).Read()
+		if !ok {
+			return 0, false, errShutdown
+		}
+		w, committed, written := unpack(raw)
+		if !written {
+			continue
+		}
+		if committed {
+			sawCommit = true
+			commitVal = w
+		} else if w != v {
+			sawOtherAdopt = true
+		}
+	}
+	if sawCommit && !sawOtherAdopt {
+		return commitVal, true, nil
+	}
+	if sawCommit {
+		return commitVal, false, nil // adopt the committed value
+	}
+	return v, false, nil
+}
+
+var errShutdown = fmt.Errorf("ofcons: network shut down")
+
+// Propose decides a value for the instance. Safety comes from the
+// round-by-round adopt-commit chain; liveness from the Ω boost (only the
+// leader sample advances rounds; everyone else spins on the decision
+// register).
+func (c *Client) Propose(v int64) (int64, error) {
+	for r := 1; ; r++ {
+		// Check the decision register first.
+		if raw, ok := c.reg(c.dName()).Read(); !ok {
+			return 0, errShutdown
+		} else if dv, _, written := unpack(raw); written {
+			return dv, nil
+		}
+		// The Ω boost: only the current leader runs rounds.
+		if c.cons.Leader(c.p) != c.p {
+			time.Sleep(200 * time.Microsecond)
+			r-- // stay at the same round while waiting
+			continue
+		}
+		got, committed, err := c.acPropose(r, v)
+		if err != nil {
+			return 0, err
+		}
+		v = got
+		if committed {
+			if !c.reg(c.dName()).Write(pack(v, true)) {
+				return 0, errShutdown
+			}
+			return v, nil
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package ofcons
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/groups"
+	"repro/internal/net"
+	"repro/internal/register"
+)
+
+// cluster wires n processes with ABD registers over majorities and one
+// consensus instance with a fixed leader.
+func cluster(n int, leader groups.Process) (*net.Network, []*Client) {
+	nw := net.New(n)
+	var scope groups.ProcSet
+	for p := 0; p < n; p++ {
+		scope = scope.Add(groups.Process(p))
+	}
+	cons := &Consensus{
+		Name:   "c",
+		Scope:  scope,
+		Leader: func(groups.Process) groups.Process { return leader },
+	}
+	clients := make([]*Client, n)
+	for p := 0; p < n; p++ {
+		node := register.StartNode(nw, groups.Process(p))
+		mk := func(name string) *register.Register {
+			return &register.Register{
+				Name:   name,
+				Scope:  scope,
+				Net:    nw,
+				Quorum: register.Majority{Scope: scope},
+			}
+		}
+		clients[p] = NewClient(cons, groups.Process(p), node, mk)
+	}
+	return nw, clients
+}
+
+// TestSoloLeaderDecidesOwnValue: obstruction freedom — running alone, the
+// leader commits its own proposal at the first round.
+func TestSoloLeaderDecidesOwnValue(t *testing.T) {
+	nw, clients := cluster(3, 0)
+	defer nw.Close()
+	v, err := clients[0].Propose(42)
+	if err != nil || v != 42 {
+		t.Fatalf("solo propose = %d, %v; want 42", v, err)
+	}
+}
+
+// TestAgreementWithRacingProposers: concurrent proposers all learn one
+// value, and it is one of the proposals (validity).
+func TestAgreementWithRacingProposers(t *testing.T) {
+	nw, clients := cluster(5, 2)
+	defer nw.Close()
+	var wg sync.WaitGroup
+	results := make([]int64, 5)
+	for p := 0; p < 5; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v, err := clients[p].Propose(int64(100 + p))
+			if err != nil {
+				t.Errorf("p%d: %v", p, err)
+				return
+			}
+			results[p] = v
+		}(p)
+	}
+	wg.Wait()
+	for p := 1; p < 5; p++ {
+		if results[p] != results[0] {
+			t.Fatalf("agreement violated: %v", results)
+		}
+	}
+	if results[0] < 100 || results[0] > 104 {
+		t.Fatalf("decided %d was never proposed", results[0])
+	}
+}
+
+// TestLateProposerLearnsDecision: a proposal after the decision returns
+// the decided value, not its own.
+func TestLateProposerLearnsDecision(t *testing.T) {
+	nw, clients := cluster(3, 0)
+	defer nw.Close()
+	if v, err := clients[0].Propose(7); err != nil || v != 7 {
+		t.Fatalf("first propose: %d, %v", v, err)
+	}
+	// A non-leader late proposer reads D directly.
+	if v, err := clients[1].Propose(99); err != nil || v != 7 {
+		t.Fatalf("late propose learnt %d, %v; want 7", v, err)
+	}
+}
+
+// TestToleratesMinorityCrash: the register quorums absorb a minority of
+// crashed replicas.
+func TestToleratesMinorityCrash(t *testing.T) {
+	nw, clients := cluster(5, 0)
+	defer nw.Close()
+	nw.Crash(3)
+	nw.Crash(4)
+	v, err := clients[0].Propose(11)
+	if err != nil || v != 11 {
+		t.Fatalf("propose under minority crash = %d, %v", v, err)
+	}
+	if v, err := clients[1].Propose(22); err != nil || v != 11 {
+		t.Fatalf("second proposer learnt %d, %v; want 11", v, err)
+	}
+}
+
+// TestRepeatedInstancesIndependent: separate names decide separately.
+func TestRepeatedInstancesIndependent(t *testing.T) {
+	nw := net.New(3)
+	defer nw.Close()
+	scope := groups.NewProcSet(0, 1, 2)
+	mkFor := func(nodeIdx groups.Process) (*register.Node, func(string) *register.Register) {
+		node := register.StartNode(nw, nodeIdx)
+		return node, func(name string) *register.Register {
+			return &register.Register{
+				Name: name, Scope: scope, Net: nw,
+				Quorum: register.Majority{Scope: scope},
+			}
+		}
+	}
+	node0, mk0 := mkFor(0)
+	mkFor(1) // replicas must run for quorums to form
+	mkFor(2)
+	leader := func(groups.Process) groups.Process { return 0 }
+	c1 := NewClient(&Consensus{Name: "x", Scope: scope, Leader: leader}, 0, node0, mk0)
+	c2 := NewClient(&Consensus{Name: "y", Scope: scope, Leader: leader}, 0, node0, mk0)
+	v1, err1 := c1.Propose(1)
+	v2, err2 := c2.Propose(2)
+	if err1 != nil || err2 != nil || v1 != 1 || v2 != 2 {
+		t.Fatalf("instances interfered: %d/%v, %d/%v", v1, err1, v2, err2)
+	}
+}

@@ -1,0 +1,286 @@
+// Package paxos implements single-decree consensus inside a destination
+// group from Ω_g ∧ Σ_g over message passing — the paper's "consensus is
+// wait-free solvable in g" (§4). It is classic synod consensus: a proposer
+// that believes itself the leader (per Ω) runs prepare/accept phases against
+// quorums (per Σ, realised as majorities); Ω's eventual agreement on one
+// correct leader yields termination, quorum intersection yields agreement
+// regardless of how many leaders race.
+package paxos
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/groups"
+	"repro/internal/net"
+)
+
+// LeaderFunc is the Ω_g interface: the current leader sample at p.
+type LeaderFunc func(p groups.Process) groups.Process
+
+// Instance is one consensus instance replicated over a scope.
+type Instance struct {
+	Name   string
+	Scope  groups.ProcSet
+	Net    *net.Network
+	Leader LeaderFunc
+}
+
+// acceptor is the per-process acceptor state of all instances.
+type acceptor struct {
+	mu       sync.Mutex
+	promised map[string]int64
+	accepted map[string]acceptedVal
+	decided  map[string]int64
+}
+
+type acceptedVal struct {
+	Ballot int64
+	Val    int64
+	Has    bool
+}
+
+type prepareReq struct {
+	Inst   string
+	Ballot int64
+}
+type prepareResp struct {
+	Inst     string
+	Ballot   int64
+	OK       bool
+	Accepted acceptedVal
+}
+type acceptReq struct {
+	Inst   string
+	Ballot int64
+	Val    int64
+}
+type acceptResp struct {
+	Inst   string
+	Ballot int64
+	OK     bool
+}
+type decideMsg struct {
+	Inst string
+	Val  int64
+}
+
+// Node bundles the acceptor role and the proposer plumbing of one process.
+type Node struct {
+	nw   *net.Network
+	p    groups.Process
+	acc  *acceptor
+	resp chan net.Packet
+	done chan struct{}
+
+	mu      sync.Mutex
+	decided map[string]int64
+	watch   map[string][]chan int64
+	opMu    sync.Mutex
+}
+
+// StartNode launches the node's message loop.
+func StartNode(nw *net.Network, p groups.Process) *Node {
+	n := &Node{
+		nw: nw,
+		p:  p,
+		acc: &acceptor{
+			promised: make(map[string]int64),
+			accepted: make(map[string]acceptedVal),
+			decided:  make(map[string]int64),
+		},
+		resp:    make(chan net.Packet, 256),
+		done:    make(chan struct{}),
+		decided: make(map[string]int64),
+		watch:   make(map[string][]chan int64),
+	}
+	go n.loop()
+	return n
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	defer close(n.resp)
+	for pkt := range n.nw.Inbox(n.p) {
+		switch body := pkt.Body.(type) {
+		case prepareReq:
+			n.acc.mu.Lock()
+			ok := body.Ballot > n.acc.promised[body.Inst]
+			if ok {
+				n.acc.promised[body.Inst] = body.Ballot
+			}
+			acc := n.acc.accepted[body.Inst]
+			n.acc.mu.Unlock()
+			n.nw.Send(n.p, pkt.From, "prepare-resp",
+				prepareResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok, Accepted: acc})
+		case acceptReq:
+			n.acc.mu.Lock()
+			ok := body.Ballot >= n.acc.promised[body.Inst]
+			if ok {
+				n.acc.promised[body.Inst] = body.Ballot
+				n.acc.accepted[body.Inst] = acceptedVal{Ballot: body.Ballot, Val: body.Val, Has: true}
+			}
+			n.acc.mu.Unlock()
+			n.nw.Send(n.p, pkt.From, "accept-resp",
+				acceptResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok})
+		case decideMsg:
+			n.recordDecision(body.Inst, body.Val)
+		case prepareResp, acceptResp:
+			select {
+			case n.resp <- pkt:
+			default:
+			}
+		}
+	}
+}
+
+func (n *Node) recordDecision(inst string, v int64) {
+	n.mu.Lock()
+	if _, seen := n.decided[inst]; !seen {
+		n.decided[inst] = v
+		for _, ch := range n.watch[inst] {
+			ch <- v
+		}
+		delete(n.watch, inst)
+	}
+	n.mu.Unlock()
+}
+
+// Decided reports a locally known decision.
+func (n *Node) Decided(inst string) (int64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.decided[inst]
+	return v, ok
+}
+
+// await registers interest in a decision.
+func (n *Node) await(inst string) <-chan int64 {
+	ch := make(chan int64, 1)
+	n.mu.Lock()
+	if v, ok := n.decided[inst]; ok {
+		ch <- v
+	} else {
+		n.watch[inst] = append(n.watch[inst], ch)
+	}
+	n.mu.Unlock()
+	return ch
+}
+
+// Propose runs the synod protocol for the instance until a decision is
+// learnt and returns it. Non-leaders (per Ω) wait for the leader's decision
+// and only proposer-race when their leader sample points at themselves.
+// Propose never returns a wrong value; it returns ok=false only when the
+// network shuts down first.
+func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
+	if got, ok := n.Decided(inst.Name); ok {
+		return got, true
+	}
+	decidedCh := n.await(inst.Name)
+	ballotRound := int64(0)
+	waits := 0
+	for {
+		// Fast path: someone decided.
+		select {
+		case got := <-decidedCh:
+			return got, true
+		case <-n.done:
+			return 0, false
+		default:
+		}
+		// Non-leaders wait for the leader's decision, but hedge after a
+		// while: the decision broadcast may have been dropped, and running
+		// a round is always safe (quorum intersection), only contended.
+		if inst.Leader(n.p) != n.p && waits < 25 {
+			waits++
+			select {
+			case got := <-decidedCh:
+				return got, true
+			case <-n.done:
+				return 0, false
+			case <-time.After(200 * time.Microsecond):
+			}
+			continue
+		}
+		ballotRound++
+		ballot := ballotRound*64 + int64(n.p) + 1
+		if val, ok := n.round(inst, ballot, v); ok {
+			n.nw.Broadcast(n.p, inst.Scope, "decide", decideMsg{Inst: inst.Name, Val: val})
+			n.recordDecision(inst.Name, val)
+			return val, true
+		}
+		select {
+		case got := <-decidedCh:
+			return got, true
+		case <-n.done:
+			return 0, false
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+}
+
+// round runs one prepare/accept round and reports the value it got
+// accepted, or false on a quorum refusal or shutdown.
+func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
+	n.opMu.Lock()
+	defer n.opMu.Unlock()
+	need := inst.Scope.Count()/2 + 1
+
+	// Phase 1: prepare.
+	n.nw.Broadcast(n.p, inst.Scope, "prepare", prepareReq{Inst: inst.Name, Ballot: ballot})
+	oks := 0
+	var best acceptedVal
+	deadline := time.After(2 * time.Millisecond)
+	for oks < need {
+		select {
+		case pkt, open := <-n.resp:
+			if !open {
+				return 0, false
+			}
+			r, isResp := pkt.Body.(prepareResp)
+			if !isResp || r.Inst != inst.Name || r.Ballot != ballot {
+				continue
+			}
+			if !r.OK {
+				return 0, false
+			}
+			if r.Accepted.Has && r.Accepted.Ballot > best.Ballot {
+				best = r.Accepted
+			}
+			oks++
+		case <-deadline:
+			return 0, false
+		}
+	}
+	val := v
+	if best.Has {
+		val = best.Val
+	}
+
+	// Phase 2: accept.
+	n.nw.Broadcast(n.p, inst.Scope, "accept", acceptReq{Inst: inst.Name, Ballot: ballot, Val: val})
+	oks = 0
+	deadline = time.After(2 * time.Millisecond)
+	for oks < need {
+		select {
+		case pkt, open := <-n.resp:
+			if !open {
+				return 0, false
+			}
+			r, isResp := pkt.Body.(acceptResp)
+			if !isResp || r.Inst != inst.Name || r.Ballot != ballot {
+				continue
+			}
+			if !r.OK {
+				return 0, false
+			}
+			oks++
+		case <-deadline:
+			return 0, false
+		}
+	}
+	return val, true
+}
+
+// Wait blocks until the node's loop exits.
+func (n *Node) Wait() { <-n.done }

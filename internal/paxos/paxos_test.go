@@ -1,0 +1,158 @@
+package paxos
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/groups"
+	"repro/internal/net"
+)
+
+func cluster(n int, leader groups.Process) (*net.Network, []*Node, *Instance) {
+	nw := net.New(n)
+	nodes := make([]*Node, n)
+	var scope groups.ProcSet
+	for p := 0; p < n; p++ {
+		nodes[p] = StartNode(nw, groups.Process(p))
+		scope = scope.Add(groups.Process(p))
+	}
+	inst := &Instance{
+		Name:   "c1",
+		Scope:  scope,
+		Net:    nw,
+		Leader: func(groups.Process) groups.Process { return leader },
+	}
+	return nw, nodes, inst
+}
+
+func TestSingleProposerDecides(t *testing.T) {
+	nw, nodes, inst := cluster(3, 0)
+	defer nw.Close()
+	v, ok := nodes[0].Propose(inst, 42)
+	if !ok || v != 42 {
+		t.Fatalf("decide = %d,%v; want 42 (validity)", v, ok)
+	}
+	if got, ok := nodes[0].Decided("c1"); !ok || got != 42 {
+		t.Fatalf("decision not recorded")
+	}
+}
+
+// TestAgreementAcrossProposers: every proposer learns the same value.
+func TestAgreementAcrossProposers(t *testing.T) {
+	nw, nodes, inst := cluster(5, 2)
+	defer nw.Close()
+	var wg sync.WaitGroup
+	results := make([]int64, 5)
+	for p := 0; p < 5; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v, ok := nodes[p].Propose(inst, int64(100+p))
+			if !ok {
+				t.Errorf("p%d: no decision", p)
+				return
+			}
+			results[p] = v
+		}(p)
+	}
+	wg.Wait()
+	for p := 1; p < 5; p++ {
+		if results[p] != results[0] {
+			t.Fatalf("agreement violated: %v", results)
+		}
+	}
+	// Validity: the decision is one of the proposals.
+	if results[0] < 100 || results[0] > 104 {
+		t.Fatalf("decided %d was never proposed", results[0])
+	}
+}
+
+// TestToleratesMinorityCrash: the leader decides with two of five
+// acceptors crashed.
+func TestToleratesMinorityCrash(t *testing.T) {
+	nw, nodes, inst := cluster(5, 0)
+	defer nw.Close()
+	nw.Crash(3)
+	nw.Crash(4)
+	v, ok := nodes[0].Propose(inst, 7)
+	if !ok || v != 7 {
+		t.Fatalf("decide = %d,%v; want 7", v, ok)
+	}
+	// Another correct process learns it too.
+	v2, ok := nodes[1].Propose(inst, 99)
+	if !ok || v2 != 7 {
+		t.Fatalf("late proposer learnt %d, want 7", v2)
+	}
+}
+
+// TestLeaderChangeStillDecides: Ω first points at a crashed process, then
+// stabilises on a correct one; proposals issued under the stabilised
+// leader decide.
+func TestLeaderChangeStillDecides(t *testing.T) {
+	nw := net.New(3)
+	defer nw.Close()
+	nodes := make([]*Node, 3)
+	scope := groups.NewProcSet(0, 1, 2)
+	for p := 0; p < 3; p++ {
+		nodes[p] = StartNode(nw, groups.Process(p))
+	}
+	var mu sync.Mutex
+	leader := groups.Process(2)
+	inst := &Instance{
+		Name:  "c2",
+		Scope: scope,
+		Net:   nw,
+		Leader: func(groups.Process) groups.Process {
+			mu.Lock()
+			defer mu.Unlock()
+			return leader
+		},
+	}
+	nw.Crash(2) // the initial leader is dead
+	var wg sync.WaitGroup
+	results := make([]int64, 2)
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v, ok := nodes[p].Propose(inst, int64(10+p))
+			if ok {
+				results[p] = v
+			}
+		}(p)
+	}
+	// Ω stabilises on p0.
+	mu.Lock()
+	leader = 0
+	mu.Unlock()
+	wg.Wait()
+	if results[0] != results[1] || results[0] == 0 {
+		t.Fatalf("agreement after leader change violated: %v", results)
+	}
+}
+
+// TestSeparateInstancesIndependent: decisions of distinct instances do not
+// mix.
+func TestSeparateInstancesIndependent(t *testing.T) {
+	nw, nodes, inst := cluster(3, 0)
+	defer nw.Close()
+	inst2 := &Instance{Name: "other", Scope: inst.Scope, Net: nw, Leader: inst.Leader}
+	v1, _ := nodes[0].Propose(inst, 1)
+	v2, _ := nodes[0].Propose(inst2, 2)
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("instances interfered: %d, %d", v1, v2)
+	}
+}
+
+func TestShutdownUnblocksProposer(t *testing.T) {
+	nw, nodes, inst := cluster(3, 0)
+	nw.Crash(1)
+	nw.Crash(2)
+	done := make(chan struct{})
+	go func() {
+		nodes[0].Propose(inst, 5) // no quorum: must unblock at Close
+		close(done)
+	}()
+	nw.Close()
+	<-done
+}

@@ -1,0 +1,265 @@
+// Package register implements multi-writer multi-reader atomic registers
+// from quorums over message passing — the ABD construction the paper's §4
+// invokes ("Σ_g permits to build shared atomic registers in g"). Each
+// process of the scope runs a replica; reads and writes complete after a
+// round-trip with a quorum, and reads write back what they return
+// (the read-impose phase), which is what makes the register linearizable.
+package register
+
+import (
+	"sync"
+
+	"repro/internal/groups"
+	"repro/internal/net"
+)
+
+// Quorums abstracts the Σ output: the quorum a process must hear from.
+// Using majorities of the scope realises Σ in environments with a majority
+// of correct processes; an ideal Σ history works in any environment.
+type Quorums interface {
+	// Size returns how many replies from scope members form a quorum for
+	// an operation issued by p.
+	Size(p groups.Process) int
+}
+
+// Majority is the classic majority quorum system over a scope.
+type Majority struct{ Scope groups.ProcSet }
+
+// Size implements Quorums.
+func (m Majority) Size(groups.Process) int { return m.Scope.Count()/2 + 1 }
+
+// TaggedValue is a register value with its ABD timestamp.
+type TaggedValue struct {
+	TS  int64
+	By  groups.Process // timestamp tie-break
+	Val int64
+}
+
+// less orders tagged values.
+func (a TaggedValue) less(b TaggedValue) bool {
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	return a.By < b.By
+}
+
+// Register is one named MWMR atomic register replicated over a scope.
+// Construct the replicas with Serve and the clients with Client.
+type Register struct {
+	Name   string
+	Scope  groups.ProcSet
+	Net    *net.Network
+	Quorum Quorums
+}
+
+// ---------------------------------------------------------------------------
+// Replica
+
+// replica is the per-process server state of all registers (keyed by name).
+type replica struct {
+	mu    sync.Mutex
+	store map[string]TaggedValue
+}
+
+type readReq struct {
+	Reg string
+	Op  int64
+}
+type readResp struct {
+	Reg string
+	Op  int64
+	Cur TaggedValue
+}
+type writeReq struct {
+	Reg string
+	Op  int64
+	Val TaggedValue
+}
+type writeResp struct {
+	Reg string
+	Op  int64
+}
+
+// Serve runs the replica loop of process p until the network closes. Call
+// it in a goroutine; it serves every register name uniformly.
+func Serve(nw *net.Network, p groups.Process) {
+	r := &replica{store: make(map[string]TaggedValue)}
+	for pkt := range nw.Inbox(p) {
+		switch body := pkt.Body.(type) {
+		case readReq:
+			r.mu.Lock()
+			cur := r.store[body.Reg]
+			r.mu.Unlock()
+			nw.Send(p, pkt.From, "read-resp", readResp{Reg: body.Reg, Op: body.Op, Cur: cur})
+		case writeReq:
+			r.mu.Lock()
+			if cur := r.store[body.Reg]; cur.less(body.Val) {
+				r.store[body.Reg] = body.Val
+			}
+			r.mu.Unlock()
+			nw.Send(p, pkt.From, "write-resp", writeResp{Reg: body.Reg, Op: body.Op})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// Client is the per-process client of a register.
+type Client struct {
+	reg  *Register
+	p    groups.Process
+	ops  int64
+	resp chan net.Packet
+	// mu serialises operations sharing a response channel: responses are
+	// matched by operation number, so only one operation may be in flight
+	// per channel. Clients created through Node share the node's mutex.
+	mu *sync.Mutex
+}
+
+// NewClient builds the client of process p. The process must also run
+// Serve(nw, p) and route the "read-resp"/"write-resp" packets it receives
+// to the client with Dispatch — or, simpler, use Node below, which bundles
+// replica and client behind one inbox.
+func (r *Register) NewClient(p groups.Process, resp chan net.Packet) *Client {
+	return &Client{reg: r, p: p, resp: resp, mu: &sync.Mutex{}}
+}
+
+// phase broadcasts a request and awaits a quorum of matching responses.
+func (c *Client) phase(kind string, body any, match func(any) (TaggedValue, bool)) (TaggedValue, bool) {
+	c.reg.Net.Broadcast(c.p, c.reg.Scope, kind, body)
+	need := c.reg.Quorum.Size(c.p)
+	var max TaggedValue
+	got := 0
+	for pkt := range c.resp {
+		v, ok := match(pkt.Body)
+		if !ok {
+			continue
+		}
+		if max.less(v) {
+			max = v
+		}
+		if got++; got >= need {
+			return max, true
+		}
+	}
+	return max, false
+}
+
+// Read performs an ABD read: collect from a quorum, then impose the maximum
+// back onto a quorum before returning it.
+func (c *Client) Read() (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	op := c.ops
+	cur, ok := c.phase("read", readReq{Reg: c.reg.Name, Op: op}, func(b any) (TaggedValue, bool) {
+		if r, isResp := b.(readResp); isResp && r.Reg == c.reg.Name && r.Op == op {
+			return r.Cur, true
+		}
+		return TaggedValue{}, false
+	})
+	if !ok {
+		return 0, false
+	}
+	c.ops++
+	op = c.ops
+	_, ok = c.phase("write", writeReq{Reg: c.reg.Name, Op: op, Val: cur}, func(b any) (TaggedValue, bool) {
+		if r, isResp := b.(writeResp); isResp && r.Reg == c.reg.Name && r.Op == op {
+			return TaggedValue{}, true
+		}
+		return TaggedValue{}, false
+	})
+	return cur.Val, ok
+}
+
+// Write performs an ABD write: read the maximum timestamp from a quorum,
+// then store a higher one with the new value on a quorum.
+func (c *Client) Write(v int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	op := c.ops
+	cur, ok := c.phase("read", readReq{Reg: c.reg.Name, Op: op}, func(b any) (TaggedValue, bool) {
+		if r, isResp := b.(readResp); isResp && r.Reg == c.reg.Name && r.Op == op {
+			return r.Cur, true
+		}
+		return TaggedValue{}, false
+	})
+	if !ok {
+		return false
+	}
+	c.ops++
+	op = c.ops
+	next := TaggedValue{TS: cur.TS + 1, By: c.p, Val: v}
+	_, ok = c.phase("write", writeReq{Reg: c.reg.Name, Op: op, Val: next}, func(b any) (TaggedValue, bool) {
+		if r, isResp := b.(writeResp); isResp && r.Reg == c.reg.Name && r.Op == op {
+			return TaggedValue{}, true
+		}
+		return TaggedValue{}, false
+	})
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Node: replica + client router behind one inbox
+
+// Node bundles the replica and the client routing of one process: packets
+// arriving at p are served (requests) or routed to the pending client
+// operation (responses).
+type Node struct {
+	nw   *net.Network
+	p    groups.Process
+	resp chan net.Packet
+	rep  *replica
+	done chan struct{}
+	opMu sync.Mutex
+}
+
+// StartNode launches the node's demultiplexer goroutine.
+func StartNode(nw *net.Network, p groups.Process) *Node {
+	n := &Node{
+		nw:   nw,
+		p:    p,
+		resp: make(chan net.Packet, 256),
+		rep:  &replica{store: make(map[string]TaggedValue)},
+		done: make(chan struct{}),
+	}
+	go n.loop()
+	return n
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	defer close(n.resp) // unblock pending client phases at shutdown
+	for pkt := range n.nw.Inbox(n.p) {
+		switch body := pkt.Body.(type) {
+		case readReq:
+			n.rep.mu.Lock()
+			cur := n.rep.store[body.Reg]
+			n.rep.mu.Unlock()
+			n.nw.Send(n.p, pkt.From, "read-resp", readResp{Reg: body.Reg, Op: body.Op, Cur: cur})
+		case writeReq:
+			n.rep.mu.Lock()
+			if cur := n.rep.store[body.Reg]; cur.less(body.Val) {
+				n.rep.store[body.Reg] = body.Val
+			}
+			n.rep.mu.Unlock()
+			n.nw.Send(n.p, pkt.From, "write-resp", writeResp{Reg: body.Reg, Op: body.Op})
+		case readResp, writeResp:
+			select {
+			case n.resp <- pkt:
+			default:
+			}
+		}
+	}
+}
+
+// Client returns a client of the register bound to this node's inbox. All
+// clients of a node share one in-flight-operation lock.
+func (n *Node) Client(r *Register) *Client {
+	return &Client{reg: r, p: n.p, resp: n.resp, mu: &n.opMu}
+}
+
+// Wait blocks until the node's loop exits (after Network.Close).
+func (n *Node) Wait() { <-n.done }

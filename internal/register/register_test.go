@@ -1,0 +1,183 @@
+package register
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/groups"
+	"repro/internal/net"
+)
+
+func cluster(n int) (*net.Network, []*Node, *Register) {
+	nw := net.New(n)
+	nodes := make([]*Node, n)
+	var scope groups.ProcSet
+	for p := 0; p < n; p++ {
+		nodes[p] = StartNode(nw, groups.Process(p))
+		scope = scope.Add(groups.Process(p))
+	}
+	reg := &Register{Name: "r", Scope: scope, Net: nw, Quorum: Majority{Scope: scope}}
+	return nw, nodes, reg
+}
+
+func TestWriteThenRead(t *testing.T) {
+	nw, nodes, reg := cluster(3)
+	defer nw.Close()
+	w := nodes[0].Client(reg)
+	if !w.Write(7) {
+		t.Fatalf("write failed")
+	}
+	r := nodes[1].Client(reg)
+	v, ok := r.Read()
+	if !ok || v != 7 {
+		t.Fatalf("read = %d,%v; want 7", v, ok)
+	}
+}
+
+func TestReadFreshRegisterReturnsZero(t *testing.T) {
+	nw, nodes, reg := cluster(3)
+	defer nw.Close()
+	v, ok := nodes[2].Client(reg).Read()
+	if !ok || v != 0 {
+		t.Fatalf("fresh read = %d,%v", v, ok)
+	}
+}
+
+// TestToleratesMinorityCrash: ABD over majorities survives a minority of
+// replica crashes.
+func TestToleratesMinorityCrash(t *testing.T) {
+	nw, nodes, reg := cluster(5)
+	defer nw.Close()
+	if !nodes[0].Client(reg).Write(11) {
+		t.Fatalf("write failed")
+	}
+	nw.Crash(3)
+	nw.Crash(4)
+	if !nodes[1].Client(reg).Write(13) {
+		t.Fatalf("write after crashes failed")
+	}
+	v, ok := nodes[2].Client(reg).Read()
+	if !ok || v != 13 {
+		t.Fatalf("read after crashes = %d,%v; want 13", v, ok)
+	}
+}
+
+// TestMonotoneReads: the read-impose phase makes reads non-decreasing when
+// values are written in increasing order by one writer — the new/old
+// inversion ABD exists to prevent.
+func TestMonotoneReads(t *testing.T) {
+	nw, nodes, reg := cluster(3)
+	defer nw.Close()
+
+	const writes = 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var seen []int64
+
+	wg.Add(1)
+	go func() { // reader on node 1
+		defer wg.Done()
+		c := nodes[1].Client(reg)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, ok := c.Read()
+			if !ok {
+				return
+			}
+			mu.Lock()
+			seen = append(seen, v)
+			mu.Unlock()
+		}
+	}()
+
+	w := nodes[0].Client(reg)
+	for i := int64(1); i <= writes; i++ {
+		if !w.Write(i) {
+			t.Fatalf("write %d failed", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("reads regressed: %v", seen)
+		}
+	}
+}
+
+// TestConcurrentWritersConverge: after concurrent writers finish, every
+// reader sees the same final value, and it is one of the written values.
+func TestConcurrentWritersConverge(t *testing.T) {
+	nw, nodes, reg := cluster(5)
+	defer nw.Close()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			c := nodes[p].Client(reg)
+			for i := 0; i < 10; i++ {
+				c.Write(int64(100*p + i))
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	var final int64 = -1
+	for p := 0; p < 5; p++ {
+		v, ok := nodes[p].Client(reg).Read()
+		if !ok {
+			t.Fatalf("read failed at p%d", p)
+		}
+		if final == -1 {
+			final = v
+		} else if v != final {
+			t.Fatalf("readers disagree: %d vs %d", v, final)
+		}
+	}
+	if final < 0 || final >= 300 {
+		t.Fatalf("final value %d was never written", final)
+	}
+}
+
+// TestMultipleRegistersIndependent: two names on the same cluster do not
+// interfere.
+func TestMultipleRegistersIndependent(t *testing.T) {
+	nw, nodes, regA := cluster(3)
+	defer nw.Close()
+	regB := &Register{Name: "s", Scope: regA.Scope, Net: nw, Quorum: regA.Quorum}
+	if !nodes[0].Client(regA).Write(1) || !nodes[0].Client(regB).Write(2) {
+		t.Fatalf("writes failed")
+	}
+	va, _ := nodes[1].Client(regA).Read()
+	vb, _ := nodes[1].Client(regB).Read()
+	if va != 1 || vb != 2 {
+		t.Fatalf("registers interfered: %d, %d", va, vb)
+	}
+}
+
+func TestShutdownUnblocks(t *testing.T) {
+	nw, nodes, reg := cluster(3)
+	c := nodes[0].Client(reg)
+	nw.Crash(1)
+	nw.Crash(2)
+	done := make(chan struct{})
+	go func() {
+		c.Write(9) // cannot reach a majority; must unblock at Close
+		close(done)
+	}()
+	nw.Close()
+	<-done
+	for _, n := range nodes {
+		n.Wait()
+	}
+}

@@ -1,0 +1,222 @@
+// Package replog is a live universal construction (Herlihy, §4.3 of the
+// paper): the shared log object replicated over message passing by funnelling
+// operations through an unbounded sequence of consensus instances — one
+// slot per operation — each solved by the paxos substrate (Ω ∧ Σ inside the
+// hosting group). Every replica applies the decided operations in slot
+// order to its local copy of the log, so the replicated object linearizes
+// to the sequential specification of internal/logobj.
+//
+// This is the substrate behind the in-memory objects the deterministic
+// engine uses; the engine's charge model (internal/uc) mirrors the costs
+// this package actually pays.
+package replog
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/groups"
+	"repro/internal/logobj"
+	"repro/internal/msg"
+	"repro/internal/net"
+	"repro/internal/paxos"
+)
+
+// opKind is the operation type funnelled through consensus.
+type opKind int64
+
+const (
+	opAppend opKind = iota + 1
+	opBumpAndLock
+)
+
+// Op is one log operation.
+type Op struct {
+	Kind  opKind
+	Datum logobj.Datum
+	K     int
+}
+
+// encode packs an operation into a consensus value. Field widths bound the
+// encodable space (message ids < 2^16, groups < 2^8, positions < 2^16) —
+// far beyond any run the library builds, and checked at encode time.
+func encode(o Op) int64 {
+	if o.Datum.Msg >= 1<<16 || o.Datum.H >= 1<<8 || o.Datum.I >= 1<<16 || o.K >= 1<<16 {
+		panic(fmt.Sprintf("replog: operation out of encodable range: %+v", o))
+	}
+	v := int64(o.Kind)
+	v = v<<2 | int64(o.Datum.Kind)
+	v = v<<16 | int64(o.Datum.Msg)
+	v = v<<8 | int64(o.Datum.H)
+	v = v<<16 | int64(o.Datum.I)
+	v = v<<16 | int64(o.K)
+	return v
+}
+
+// decode unpacks a consensus value.
+func decode(v int64) Op {
+	var o Op
+	o.K = int(v & 0xffff)
+	v >>= 16
+	o.Datum.I = int(v & 0xffff)
+	v >>= 16
+	o.Datum.H = groups.GroupID(v & 0xff)
+	v >>= 8
+	o.Datum.Msg = msg.ID(v & 0xffff)
+	v >>= 16
+	o.Datum.Kind = logobj.Kind(v & 0x3)
+	v >>= 2
+	o.Kind = opKind(v)
+	return o
+}
+
+// Replica is one process's handle on the replicated log: a local copy of
+// the object plus the consensus plumbing to agree on the operation order.
+type Replica struct {
+	name  string
+	p     groups.Process
+	node  *paxos.Node
+	scope groups.ProcSet
+	mkIns func(slot int) *paxos.Instance
+
+	mu      sync.Mutex
+	applied int // operations applied so far
+	local   *logobj.Log
+}
+
+// NewReplica builds the replica of process p. All replicas of a log must
+// share the name, scope and network.
+func NewReplica(name string, p groups.Process, node *paxos.Node, nw *net.Network, scope groups.ProcSet, leader paxos.LeaderFunc) *Replica {
+	r := &Replica{
+		name:  name,
+		p:     p,
+		node:  node,
+		scope: scope,
+		local: logobj.New(name),
+	}
+	r.mkIns = func(slot int) *paxos.Instance {
+		return &paxos.Instance{
+			Name:   fmt.Sprintf("%s/%d", name, slot),
+			Scope:  scope,
+			Net:    nw,
+			Leader: leader,
+		}
+	}
+	return r
+}
+
+// Append funnels LOG.append(d) through consensus and returns the position
+// of d in the replicated log, or false at shutdown.
+func (r *Replica) Append(d logobj.Datum) (int, bool) {
+	if !r.submit(Op{Kind: opAppend, Datum: d}) {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.local.Pos(d), true
+}
+
+// BumpAndLock funnels LOG.bumpAndLock(d, k) through consensus.
+func (r *Replica) BumpAndLock(d logobj.Datum, k int) bool {
+	return r.submit(Op{Kind: opBumpAndLock, Datum: d, K: k})
+}
+
+// submit proposes the operation at successive slots until it is decided,
+// applying every decided operation along the way.
+func (r *Replica) submit(o Op) bool {
+	want := encode(o)
+	for {
+		r.mu.Lock()
+		slot := r.applied
+		r.mu.Unlock()
+		decided, ok := r.node.Propose(r.mkIns(slot), want)
+		if !ok {
+			return false
+		}
+		r.applyAt(slot, decided)
+		if decided == want {
+			return true
+		}
+	}
+}
+
+// SyncWait polls Sync until at least n operations are applied or the
+// timeout elapses, and reports success. Decide broadcasts are asynchronous,
+// so a passive replica may learn a decision a moment after the proposer
+// returns.
+func (r *Replica) SyncWait(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.Sync()
+		if r.Applied() >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Sync applies every operation decided up to the replica's current horizon
+// (catch-up for replicas that did not propose).
+func (r *Replica) Sync() {
+	for {
+		r.mu.Lock()
+		slot := r.applied
+		r.mu.Unlock()
+		v, ok := r.node.Decided(fmt.Sprintf("%s/%d", r.name, slot))
+		if !ok {
+			return
+		}
+		r.applyAt(slot, v)
+	}
+}
+
+// applyAt applies the decided operation of a slot exactly once, in order.
+func (r *Replica) applyAt(slot int, v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if slot != r.applied {
+		return // already applied (or a gap, which submit will revisit)
+	}
+	o := decode(v)
+	switch o.Kind {
+	case opAppend:
+		r.local.Append(o.Datum)
+	case opBumpAndLock:
+		if r.local.Contains(o.Datum) {
+			r.local.BumpAndLock(o.Datum, o.K)
+		}
+	}
+	r.applied++
+}
+
+// Snapshot returns the datum order of the local copy.
+func (r *Replica) Snapshot() []logobj.Datum {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.local.Items()
+}
+
+// Pos returns the local position of d.
+func (r *Replica) Pos(d logobj.Datum) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.local.Pos(d)
+}
+
+// Locked reports whether d is locked locally.
+func (r *Replica) Locked(d logobj.Datum) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.local.Locked(d)
+}
+
+// Applied returns how many operations this replica has applied.
+func (r *Replica) Applied() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}

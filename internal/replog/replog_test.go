@@ -1,0 +1,161 @@
+package replog
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/groups"
+	"repro/internal/logobj"
+	"repro/internal/msg"
+	"repro/internal/net"
+	"repro/internal/paxos"
+)
+
+func cluster(n int) (*net.Network, []*Replica) {
+	nw := net.New(n)
+	var scope groups.ProcSet
+	for p := 0; p < n; p++ {
+		scope = scope.Add(groups.Process(p))
+	}
+	leader := func(groups.Process) groups.Process { return 0 }
+	reps := make([]*Replica, n)
+	for p := 0; p < n; p++ {
+		node := paxos.StartNode(nw, groups.Process(p))
+		reps[p] = NewReplica("LOG", groups.Process(p), node, nw, scope, leader)
+	}
+	return nw, reps
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(kind uint8, m uint16, h uint8, i uint16, k uint16) bool {
+		o := Op{
+			Kind:  opKind(kind%2 + 1),
+			Datum: logobj.Datum{Kind: logobj.Kind(kind%3 + 1), Msg: msg.ID(m), H: groups.GroupID(h), I: int(i)},
+			K:     int(k),
+		}
+		return decode(encode(o)) == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendReplicates(t *testing.T) {
+	nw, reps := cluster(3)
+	defer nw.Close()
+	pos, ok := reps[0].Append(logobj.MsgDatum(1))
+	if !ok || pos != 1 {
+		t.Fatalf("append: pos=%d ok=%v", pos, ok)
+	}
+	pos2, ok := reps[1].Append(logobj.MsgDatum(2))
+	if !ok || pos2 != 2 {
+		t.Fatalf("second append from another replica: pos=%d ok=%v", pos2, ok)
+	}
+	// Catch-up: replica 2 syncs to the same state.
+	if !reps[2].SyncWait(2, time.Second) {
+		t.Fatalf("replica 2 did not catch up: %d items", len(reps[2].Snapshot()))
+	}
+	if got := len(reps[2].Snapshot()); got != 2 {
+		t.Fatalf("replica 2 has %d items, want 2", got)
+	}
+}
+
+func TestBumpAndLockReplicates(t *testing.T) {
+	nw, reps := cluster(3)
+	defer nw.Close()
+	reps[0].Append(logobj.MsgDatum(1))
+	if !reps[1].BumpAndLock(logobj.MsgDatum(1), 7) {
+		t.Fatalf("bump failed")
+	}
+	if !reps[0].SyncWait(2, time.Second) {
+		t.Fatalf("replica 0 did not catch up")
+	}
+	if got := reps[0].Pos(logobj.MsgDatum(1)); got != 7 {
+		t.Fatalf("pos after replicated bump = %d, want 7", got)
+	}
+	if !reps[0].Locked(logobj.MsgDatum(1)) {
+		t.Fatalf("lock not replicated")
+	}
+}
+
+// TestConcurrentAppendsAgree: replicas appending concurrently converge on
+// one operation order, i.e. identical snapshots.
+func TestConcurrentAppendsAgree(t *testing.T) {
+	nw, reps := cluster(3)
+	defer nw.Close()
+
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				reps[p].Append(logobj.MsgDatum(msg.ID(10*p + i + 1)))
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Fence: submitting one more operation walks a replica through every
+	// earlier slot, so after its fence decides it has applied all 15
+	// concurrent appends (decide broadcasts alone may still be in flight).
+	for p := 0; p < 3; p++ {
+		if _, ok := reps[p].Append(logobj.MsgDatum(msg.ID(100 + p))); !ok {
+			t.Fatalf("fence append failed at replica %d", p)
+		}
+	}
+	ref := reps[0].Snapshot()
+	if len(ref) < 15 {
+		t.Fatalf("replica 0 has %d items, want >= 15", len(ref))
+	}
+	// All replicas agree on the common prefix of the operation order.
+	minLen := len(ref)
+	for p := 1; p < 3; p++ {
+		if l := len(reps[p].Snapshot()); l < minLen {
+			minLen = l
+		}
+	}
+	for p := 1; p < 3; p++ {
+		got := reps[p].Snapshot()
+		for i := 0; i < minLen; i++ {
+			if got[i] != ref[i] {
+				t.Fatalf("replicas diverge at %d: %v vs %v", i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMinorityCrashKeepsAvailability: two of five replicas crash, the rest
+// keep appending.
+func TestMinorityCrashKeepsAvailability(t *testing.T) {
+	nw, reps := cluster(5)
+	defer nw.Close()
+	reps[0].Append(logobj.MsgDatum(1))
+	nw.Crash(3)
+	nw.Crash(4)
+	pos, ok := reps[1].Append(logobj.MsgDatum(2))
+	if !ok || pos != 2 {
+		t.Fatalf("append after minority crash: pos=%d ok=%v", pos, ok)
+	}
+}
+
+// TestIdempotentHelp: two replicas submitting the same append (helping)
+// leave a single copy.
+func TestIdempotentHelp(t *testing.T) {
+	nw, reps := cluster(3)
+	defer nw.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			reps[p].Append(logobj.MsgDatum(1))
+		}(p)
+	}
+	wg.Wait()
+	reps[2].SyncWait(1, time.Second)
+	if got := len(reps[2].Snapshot()); got != 1 {
+		t.Fatalf("helping duplicated the datum: %d items", got)
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/groups"
+)
+
+// LeaderMulticast is the strongly genuine atomic multicast automaton the
+// Ω-extraction simulates runs of. It solves the restricted instances of
+// Appendix B — the processes of g∩h each multicast a single message to
+// either g or h — with a leader-sequencer protocol driven by a leader-style
+// failure detector over g∩h:
+//
+//	GO  — initial stimulus: the process sends REQ(dst) to its current
+//	      leader sample d;
+//	REQ — the leader assigns the next sequence number and sends ORD to
+//	      every process of g ∪ h;
+//	ORD — processes deliver in sequence-number order (contiguously), each
+//	      only the messages addressed to a group containing it.
+type LeaderMulticast struct {
+	Topo *groups.Topology
+	G, H groups.GroupID
+}
+
+// leaderState is the per-process protocol state.
+type leaderState struct {
+	seq     int64                // leader: next sequence number - 1
+	pending map[int64]ordPayload // out-of-order ORD buffer
+	next    int64                // last contiguously handled sequence
+}
+
+type ordPayload struct {
+	dst    groups.GroupID
+	origin groups.Process
+}
+
+// Clone implements State.
+func (s *leaderState) Clone() State {
+	out := &leaderState{seq: s.seq, next: s.next, pending: make(map[int64]ordPayload, len(s.pending))}
+	for k, v := range s.pending {
+		out.pending[k] = v
+	}
+	return out
+}
+
+// Init implements Automaton.
+func (a *LeaderMulticast) Init(p groups.Process) State {
+	return &leaderState{pending: make(map[int64]ordPayload)}
+}
+
+// Scope returns g ∪ h.
+func (a *LeaderMulticast) Scope() groups.ProcSet {
+	return a.Topo.Group(a.G).Union(a.Topo.Group(a.H))
+}
+
+// DeliveryLabel renders a delivery of origin's message to dst.
+func DeliveryLabel(dst groups.GroupID, origin groups.Process) string {
+	return fmt.Sprintf("g%d:p%d", dst, origin)
+}
+
+// LabelGroup parses the destination group back out of a delivery label.
+func LabelGroup(label string) groups.GroupID {
+	var g, p int
+	fmt.Sscanf(label, "g%d:p%d", &g, &p)
+	return groups.GroupID(g)
+}
+
+// Apply implements Automaton.
+func (a *LeaderMulticast) Apply(p groups.Process, st State, m *Message, d FDValue) (State, []Outgoing, []string) {
+	s, ok := st.(*leaderState)
+	if !ok || m == nil {
+		return st, nil, nil
+	}
+	s = s.Clone().(*leaderState)
+	switch m.Tag {
+	case "GO":
+		// Multicast the initial message to the group encoded in A by
+		// handing it to the current leader sample.
+		return s, []Outgoing{{To: groups.Process(d), Tag: "REQ", A: m.A, B: int64(p)}}, nil
+	case "REQ":
+		s.seq++
+		n := s.seq
+		outs := make([]Outgoing, 0, a.Scope().Count())
+		for _, q := range a.Scope().Members() {
+			outs = append(outs, Outgoing{To: q, Tag: "ORD", A: m.A, B: n<<16 | m.B})
+		}
+		return s, outs, nil
+	case "ORD":
+		n := m.B >> 16
+		origin := groups.Process(m.B & 0xffff)
+		s.pending[n] = ordPayload{dst: groups.GroupID(m.A), origin: origin}
+		var delivered []string
+		for {
+			pl, ok := s.pending[s.next+1]
+			if !ok {
+				break
+			}
+			s.next++
+			delete(s.pending, s.next)
+			if a.Topo.Group(pl.dst).Has(p) {
+				delivered = append(delivered, DeliveryLabel(pl.dst, pl.origin))
+			}
+		}
+		return s, nil, delivered
+	}
+	return s, nil, nil
+}

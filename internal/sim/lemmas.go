@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"repro/internal/groups"
+)
+
+// This file makes the technical lemmas of Appendix A.1 executable: schedule
+// projection (sub-algorithm runs, Lemma 54/55), soundness of a projection
+// (the premise of the indistinguishability lemma), and the gluing of
+// schedules over disjoint process sets (Lemmas 56/57). The extraction
+// proofs rest on these; having them as code lets the tests replay the
+// proofs' run surgeries.
+
+// Project returns S|P: the steps of the processes in the set, in order.
+func Project(s Schedule, set groups.ProcSet) Schedule {
+	out := make(Schedule, 0, len(s))
+	for _, st := range s {
+		if set.Has(st.P) {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Processes returns proc(S): the processes taking steps in the schedule.
+func Processes(s Schedule) groups.ProcSet {
+	var set groups.ProcSet
+	for _, st := range s {
+		set = set.Add(st.P)
+	}
+	return set
+}
+
+// Sound reports whether S|P is sound with respect to S from the initial
+// configuration: every message consumed by a step of P was either present
+// initially or sent by an earlier step of P — i.e. the projection is closed
+// under the happens-before relation, which is what Lemma 55 requires for
+// the projected schedule to be a run.
+func Sound(a Automaton, init *Config, s Schedule, set groups.ProcSet) bool {
+	// Replay s, recording the sender process of every message sequence
+	// number. Initial messages (injected) have no sender.
+	sender := make(map[int]groups.Process)
+	cur := init
+	for _, st := range s {
+		if !cur.Applicable(st) {
+			return false
+		}
+		before := cur.NextSeq
+		next := cur.Apply(a, st)
+		for seq := before; seq < next.NextSeq; seq++ {
+			sender[seq] = st.P
+		}
+		if set.Has(st.P) && st.MsgSeq != 0 {
+			if from, sent := sender[st.MsgSeq]; sent && !set.Has(from) {
+				return false // consumed a message sent outside P
+			}
+		}
+		cur = next
+	}
+	return true
+}
+
+// Applicable reports whether the whole schedule is applicable from the
+// configuration (every step's message is available when taken).
+func Applicable(a Automaton, init *Config, s Schedule) bool {
+	cur := init
+	for _, st := range s {
+		if !cur.Applicable(st) {
+			return false
+		}
+		cur = cur.Apply(a, st)
+	}
+	return true
+}
+
+// Glue concatenates two schedules over disjoint process sets (Lemma 57:
+// the last step of S precedes the first of S' in real time, so S·S' is a
+// run). It reports failure when the process sets intersect or the
+// concatenation is not applicable.
+//
+// Message identity caveat: sequence numbers are assigned in application
+// order, so S' must be re-derived in the glued lineage. Glue therefore
+// takes S' as a *step generator* relative to its own lineage: the caller
+// passes the schedule S' as recorded from init, and Glue remaps its message
+// references by replaying both lineages. Remapping is possible exactly
+// because the two process sets are disjoint — their messages never cross.
+func Glue(a Automaton, init *Config, s1, s2 Schedule) (Schedule, bool) {
+	if !Processes(s1).Intersect(Processes(s2)).Empty() {
+		return nil, false
+	}
+	// Replay s2 from init recording, per consumed sequence number, the
+	// descriptor (From, To, Tag, A, B) so the step can be re-matched in the
+	// glued lineage where numbering differs.
+	type msgKey struct {
+		From, To groups.Process
+		Tag      string
+		A, B     int64
+	}
+	cur := init
+	descr := make([]*msgKey, len(s2))
+	for i, st := range s2 {
+		if st.MsgSeq != 0 {
+			found := false
+			for _, m := range cur.Buff[st.P] {
+				if m.Seq == st.MsgSeq {
+					descr[i] = &msgKey{From: m.From, To: m.To, Tag: m.Tag, A: m.A, B: m.B}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, false
+			}
+		}
+		if !cur.Applicable(st) {
+			return nil, false
+		}
+		cur = cur.Apply(a, st)
+	}
+	// Apply s1, then re-issue s2 steps matching by descriptor.
+	glued := append(Schedule{}, s1...)
+	cur = init
+	for _, st := range s1 {
+		if !cur.Applicable(st) {
+			return nil, false
+		}
+		cur = cur.Apply(a, st)
+	}
+	for i, st := range s2 {
+		re := st
+		if descr[i] != nil {
+			re.MsgSeq = 0
+			for _, m := range cur.Buff[st.P] {
+				if m.From == descr[i].From && m.Tag == descr[i].Tag &&
+					m.A == descr[i].A && m.B == descr[i].B {
+					re.MsgSeq = m.Seq
+					break
+				}
+			}
+			if re.MsgSeq == 0 {
+				return nil, false
+			}
+		}
+		cur = cur.Apply(a, re)
+		glued = append(glued, re)
+	}
+	return glued, true
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/groups"
+)
+
+// disjointSetup builds two disjoint groups over four processes with one
+// initial multicast in each.
+func disjointSetup() (*LeaderMulticast, *Config) {
+	topo := groups.MustNew(4,
+		groups.NewProcSet(0, 1), // g
+		groups.NewProcSet(2, 3), // h (disjoint)
+	)
+	a := &LeaderMulticast{Topo: topo, G: 0, H: 1}
+	c := NewConfig(a, 4)
+	c.Inject(0, 0, "GO", 0, 0) // p0 multicasts to g
+	c.Inject(2, 2, "GO", 1, 0) // p2 multicasts to h
+	return a, c
+}
+
+// driveGroup returns a schedule that runs one group's protocol to
+// completion (leader = the group's first member).
+func driveGroup(a *LeaderMulticast, c *Config, members []groups.Process, leader groups.Process) Schedule {
+	var sched Schedule
+	cur := c
+	for iter := 0; iter < 50; iter++ {
+		progressed := false
+		for _, p := range members {
+			pend := cur.PendingFor(p)
+			if len(pend) == 0 {
+				continue
+			}
+			st := Step{P: p, MsgSeq: pend[0], D: FDValue(leader)}
+			cur = cur.Apply(a, st)
+			sched = append(sched, st)
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return sched
+}
+
+func TestProjectAndProcesses(t *testing.T) {
+	s := Schedule{{P: 0}, {P: 2}, {P: 0}, {P: 3}}
+	if got := Processes(s); got != groups.NewProcSet(0, 2, 3) {
+		t.Fatalf("Processes = %v", got)
+	}
+	proj := Project(s, groups.NewProcSet(0))
+	if len(proj) != 2 || proj[0].P != 0 || proj[1].P != 0 {
+		t.Fatalf("Project = %v", proj)
+	}
+}
+
+// TestLemma55_SoundProjectionIsARun: the projection of a run onto a group
+// whose messages never cross the group boundary is sound and applicable —
+// the indistinguishability surgery of Lemma 55.
+func TestLemma55_SoundProjectionIsARun(t *testing.T) {
+	a, c := disjointSetup()
+	full := driveGroup(a, c, []groups.Process{0, 1}, 0)
+	cAfter := c.ApplySchedule(a, full)
+	full = append(full, driveGroup(a, cAfter, []groups.Process{2, 3}, 2)...)
+
+	gOnly := groups.NewProcSet(0, 1)
+	if !Sound(a, c, full, gOnly) {
+		t.Fatalf("projection onto g should be sound (its messages are internal)")
+	}
+	proj := Project(full, gOnly)
+	if !Applicable(a, c, proj) {
+		t.Fatalf("sound projection should be applicable from the initial config")
+	}
+	// The projected run delivers g's message at g's members.
+	end := c.ApplySchedule(a, proj)
+	if len(end.Delivered[0]) != 1 || len(end.Delivered[1]) != 1 {
+		t.Fatalf("projected run lost deliveries: %v / %v", end.Delivered[0], end.Delivered[1])
+	}
+}
+
+// TestSoundnessDetectsCrossConsumption: with overlapping groups, the
+// shared member consumes messages sent by the other side; projecting one
+// side out is not sound.
+func TestSoundnessDetectsCrossConsumption(t *testing.T) {
+	topo := groups.MustNew(3,
+		groups.NewProcSet(0, 1),
+		groups.NewProcSet(1, 2),
+	)
+	a := &LeaderMulticast{Topo: topo, G: 0, H: 1}
+	c := NewConfig(a, 3)
+	c.Inject(1, 1, "GO", 0, 0) // the shared p1 multicasts to g
+	// p1's GO produces a REQ to the leader p1 itself; then ORD to everyone.
+	sched := driveGroup(a, c, []groups.Process{1, 0, 2}, 1)
+	// Projection onto {p0}: p0 consumes an ORD sent by p1 ∉ {p0} → unsound.
+	if Sound(a, c, sched, groups.NewProcSet(0)) {
+		t.Fatalf("projection should be unsound: p0 consumes p1's ORD")
+	}
+}
+
+// TestLemma57_GluingDisjointRuns: two runs over disjoint process sets from
+// the same initial configuration glue into one run (S · S'), and the glued
+// run's deliveries are the union.
+func TestLemma57_GluingDisjointRuns(t *testing.T) {
+	a, c := disjointSetup()
+	s1 := driveGroup(a, c, []groups.Process{0, 1}, 0)
+	s2 := driveGroup(a, c, []groups.Process{2, 3}, 2)
+
+	glued, ok := Glue(a, c, s1, s2)
+	if !ok {
+		t.Fatalf("disjoint runs should glue")
+	}
+	if len(glued) != len(s1)+len(s2) {
+		t.Fatalf("glued length %d, want %d", len(glued), len(s1)+len(s2))
+	}
+	end := c.ApplySchedule(a, glued)
+	for p := 0; p < 4; p++ {
+		if len(end.Delivered[p]) != 1 {
+			t.Fatalf("glued run deliveries wrong at p%d: %v", p, end.Delivered[p])
+		}
+	}
+}
+
+// TestGlueRejectsOverlap: gluing requires disjoint process sets.
+func TestGlueRejectsOverlap(t *testing.T) {
+	a, c := disjointSetup()
+	s1 := driveGroup(a, c, []groups.Process{0, 1}, 0)
+	if _, ok := Glue(a, c, s1, s1); ok {
+		t.Fatalf("gluing overlapping schedules must fail")
+	}
+}

@@ -1,0 +1,185 @@
+// Package sim is an executable rendition of the formal model of Appendix A:
+// deterministic process automata, atomic steps (p, m, d) that receive one
+// message and one failure-detector sample, configurations with a message
+// buffer, schedules, and their application. The CHT-style extraction of
+// Ω_{g∩h} (Algorithm 5 / Appendix B) simulates runs of a multicast
+// algorithm inside this model.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/groups"
+)
+
+// FDValue is one failure-detector sample, as an opaque integer (for the
+// leader-style detectors used by the extraction it is a process identifier).
+type FDValue int64
+
+// Message is a message in transit. Seq identifies it within a configuration
+// lineage; messages are assigned sequence numbers deterministically when
+// sent, so identical schedules produce identical configurations.
+type Message struct {
+	Seq      int
+	From, To groups.Process
+	Tag      string
+	A, B     int64
+}
+
+// String renders the message.
+func (m *Message) String() string {
+	return fmt.Sprintf("#%d %s(p%d→p%d,%d,%d)", m.Seq, m.Tag, m.From, m.To, m.A, m.B)
+}
+
+// Outgoing is a message being sent by a step.
+type Outgoing struct {
+	To   groups.Process
+	Tag  string
+	A, B int64
+}
+
+// State is a process automaton state. Clone must deep-copy.
+type State interface {
+	Clone() State
+}
+
+// Automaton is a deterministic process automaton in the Appendix A model: a
+// step receives a message (nil for the null message m⊥) and a detector
+// sample, updates the state, sends messages and possibly delivers labels to
+// the application.
+type Automaton interface {
+	Init(p groups.Process) State
+	Apply(p groups.Process, st State, m *Message, d FDValue) (State, []Outgoing, []string)
+}
+
+// Step is one step (p, m, d): process p receives the message with sequence
+// number MsgSeq (0 means the null message) with detector sample D.
+type Step struct {
+	P      groups.Process
+	MsgSeq int
+	D      FDValue
+}
+
+// String renders the step.
+func (s Step) String() string {
+	return fmt.Sprintf("(p%d,#%d,%d)", s.P, s.MsgSeq, s.D)
+}
+
+// Schedule is a sequence of steps.
+type Schedule []Step
+
+// Config is a configuration: the local states, the message buffer (per
+// recipient, in arrival order), the delivery history, and the sequence
+// counter for deterministic message identity.
+type Config struct {
+	N         int
+	States    []State
+	Buff      [][]*Message
+	Delivered [][]string
+	NextSeq   int
+}
+
+// NewConfig builds the initial configuration of an automaton over n
+// processes. Initial messages (the model encodes initial multicasts as
+// pre-loaded buffer contents) may be injected with Inject.
+func NewConfig(a Automaton, n int) *Config {
+	c := &Config{
+		N:         n,
+		States:    make([]State, n),
+		Buff:      make([][]*Message, n),
+		Delivered: make([][]string, n),
+		NextSeq:   1,
+	}
+	for p := 0; p < n; p++ {
+		c.States[p] = a.Init(groups.Process(p))
+	}
+	return c
+}
+
+// Inject adds a message to the buffer (used to seed initial configurations).
+func (c *Config) Inject(from, to groups.Process, tag string, a, b int64) {
+	m := &Message{Seq: c.NextSeq, From: from, To: to, Tag: tag, A: a, B: b}
+	c.NextSeq++
+	c.Buff[to] = append(c.Buff[to], m)
+}
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	out := &Config{
+		N:         c.N,
+		States:    make([]State, c.N),
+		Buff:      make([][]*Message, c.N),
+		Delivered: make([][]string, c.N),
+		NextSeq:   c.NextSeq,
+	}
+	for p := 0; p < c.N; p++ {
+		if c.States[p] != nil {
+			out.States[p] = c.States[p].Clone()
+		}
+		out.Buff[p] = append([]*Message(nil), c.Buff[p]...)
+		out.Delivered[p] = append([]string(nil), c.Delivered[p]...)
+	}
+	return out
+}
+
+// Applicable reports whether step s can be taken: its message (if non-null)
+// must be in the buffer of s.P.
+func (c *Config) Applicable(s Step) bool {
+	if s.MsgSeq == 0 {
+		return true
+	}
+	for _, m := range c.Buff[s.P] {
+		if m.Seq == s.MsgSeq {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply executes one step and returns the successor configuration (the
+// receiver is unchanged).
+func (c *Config) Apply(a Automaton, s Step) *Config {
+	out := c.Clone()
+	var msg *Message
+	if s.MsgSeq != 0 {
+		buf := out.Buff[s.P]
+		for i, m := range buf {
+			if m.Seq == s.MsgSeq {
+				msg = m
+				out.Buff[s.P] = append(append([]*Message(nil), buf[:i]...), buf[i+1:]...)
+				break
+			}
+		}
+		if msg == nil {
+			panic(fmt.Sprintf("sim: step %v not applicable", s))
+		}
+	}
+	st, outs, delivered := a.Apply(s.P, out.States[s.P], msg, s.D)
+	out.States[s.P] = st
+	for _, o := range outs {
+		m := &Message{Seq: out.NextSeq, From: s.P, To: o.To, Tag: o.Tag, A: o.A, B: o.B}
+		out.NextSeq++
+		out.Buff[o.To] = append(out.Buff[o.To], m)
+	}
+	out.Delivered[s.P] = append(out.Delivered[s.P], delivered...)
+	return out
+}
+
+// ApplySchedule applies a schedule from c; it panics when a step is not
+// applicable (schedules are built applicably by construction).
+func (c *Config) ApplySchedule(a Automaton, sched Schedule) *Config {
+	cur := c
+	for _, s := range sched {
+		cur = cur.Apply(a, s)
+	}
+	return cur
+}
+
+// PendingFor returns the sequence numbers of the messages buffered for p.
+func (c *Config) PendingFor(p groups.Process) []int {
+	out := make([]int, 0, len(c.Buff[p]))
+	for _, m := range c.Buff[p] {
+		out = append(out, m.Seq)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Package uc layers the paper's universal construction (§4.3) over the log
+// objects: each operation on LOG_{g∩h} goes through a contention-free fast
+// path — an adopt-commit object among the processes of g∩h — and falls back
+// to consensus hosted by one of the two groups when proposals conflict.
+//
+// Proposition 47 is the point of the construction: when no message is
+// addressed to h during a run, every process replays the operations of
+// LOG_{g∩h} in the same order, the run is contention free, only adopt-commit
+// objects execute, and therefore only the processes of g∩h take steps.
+//
+// The engine runs operations sequentially, so the construction tracks
+// contention logically: an operation conflicts when it races with traffic
+// from the other side of the intersection, which we detect by the
+// destination group that originated it. A log that only ever sees one
+// origin side never conflicts; interleaved origins pay the consensus
+// fallback. Charges and message counts flow into the engine accounting.
+package uc
+
+import (
+	"repro/internal/engine"
+	"repro/internal/groups"
+	"repro/internal/logobj"
+)
+
+// Log is a shared log whose operations are charged per the universal
+// construction. The zero value is unusable; call New.
+type Log struct {
+	inner *logobj.Log
+	// fast is g∩h: the adopt-commit participants.
+	fast groups.ProcSet
+	// slow is the hosting group of the fallback consensus ("say g").
+	slow groups.ProcSet
+	// charging disables accounting when false (plain ideal object).
+	charging bool
+
+	lastOrigin groups.GroupID
+	hasOrigin  bool
+
+	fastOps int64
+	slowOps int64
+}
+
+// New wraps an empty log named name. fast is the intersection g∩h, slow the
+// hosting group for the consensus fallback. When charging is false the log
+// behaves as an ideal object with no accounting.
+func New(name string, fast, slow groups.ProcSet, charging bool) *Log {
+	return &Log{
+		inner:    logobj.New(name),
+		fast:     fast,
+		slow:     slow,
+		charging: charging,
+	}
+}
+
+// Inner exposes the underlying log object (read-mostly helpers).
+func (l *Log) Inner() *logobj.Log { return l.inner }
+
+// FastOps returns how many operations took the adopt-commit fast path.
+func (l *Log) FastOps() int64 { return l.fastOps }
+
+// SlowOps returns how many operations fell back to consensus.
+func (l *Log) SlowOps() int64 { return l.slowOps }
+
+// Append runs LOG.append(d) on behalf of an operation originated by traffic
+// of group origin.
+func (l *Log) Append(ctx *engine.Ctx, origin groups.GroupID, d logobj.Datum) int {
+	l.charge(ctx, origin)
+	return l.inner.Append(d)
+}
+
+// BumpAndLock runs LOG.bumpAndLock(d, k) on behalf of group origin.
+func (l *Log) BumpAndLock(ctx *engine.Ctx, origin groups.GroupID, d logobj.Datum, k int) {
+	l.charge(ctx, origin)
+	l.inner.BumpAndLock(d, k)
+}
+
+// charge applies the §4.3 cost model: same-origin streaks ride the
+// adopt-commit fast path (only g∩h participates); an origin switch means the
+// replicas' proposals for the next slot conflict, so the operation pays a
+// consensus round in the hosting group.
+func (l *Log) charge(ctx *engine.Ctx, origin groups.GroupID) {
+	if !l.charging || ctx == nil {
+		return
+	}
+	contended := l.hasOrigin && l.lastOrigin != origin
+	l.lastOrigin, l.hasOrigin = origin, true
+	if contended {
+		l.slowOps++
+		ctx.E.ChargeSet(l.slow, 1)
+		ctx.E.CountMessages(int64(2 * l.slow.Count()))
+		return
+	}
+	l.fastOps++
+	ctx.E.ChargeSet(l.fast, 1)
+	ctx.E.CountMessages(int64(2 * l.fast.Count()))
+}

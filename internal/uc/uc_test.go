@@ -1,0 +1,93 @@
+package uc
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/logobj"
+)
+
+func ctxFor(pat *failure.Pattern) (*engine.Ctx, *engine.Engine) {
+	e := engine.New(engine.Config{Pattern: pat, Seed: 1})
+	return &engine.Ctx{Now: 1, E: e}, e
+}
+
+// TestProp47_FastPath reproduces Proposition 47: when every operation on
+// LOG_{g∩h} originates from g (no message addressed to h), only the
+// processes of g∩h take steps to implement the log.
+func TestProp47_FastPath(t *testing.T) {
+	inter := groups.NewProcSet(1) // g∩h = {p1}
+	g := groups.NewProcSet(0, 1)  // hosting group g
+	ctx, e := ctxFor(failure.NewPattern(3))
+	l := New("LOG_g∩h", inter, g, true)
+
+	const gid = groups.GroupID(0)
+	l.Append(ctx, gid, logobj.MsgDatum(1))
+	l.Append(ctx, gid, logobj.MsgDatum(2))
+	l.BumpAndLock(ctx, gid, logobj.MsgDatum(1), 3)
+
+	if l.SlowOps() != 0 {
+		t.Fatalf("single-origin run fell back to consensus %d times", l.SlowOps())
+	}
+	if l.FastOps() != 3 {
+		t.Fatalf("fast ops = %d, want 3", l.FastOps())
+	}
+	if e.Charges(0) != 0 {
+		t.Fatalf("p0 ∈ g\\h charged on the contention-free path")
+	}
+	if e.Charges(1) == 0 {
+		t.Fatalf("p1 ∈ g∩h not charged")
+	}
+}
+
+// TestContentionFallsBackToConsensus: interleaved origins pay the hosting
+// group.
+func TestContentionFallsBackToConsensus(t *testing.T) {
+	inter := groups.NewProcSet(1)
+	g := groups.NewProcSet(0, 1)
+	ctx, e := ctxFor(failure.NewPattern(3))
+	l := New("LOG_g∩h", inter, g, true)
+
+	l.Append(ctx, 0, logobj.MsgDatum(1)) // origin g
+	l.Append(ctx, 1, logobj.MsgDatum(2)) // origin h: conflict
+	if l.SlowOps() != 1 {
+		t.Fatalf("slow ops = %d, want 1", l.SlowOps())
+	}
+	if e.Charges(0) == 0 {
+		t.Fatalf("hosting group not charged on fallback")
+	}
+}
+
+// TestChargingOff: a plain object does no accounting.
+func TestChargingOff(t *testing.T) {
+	ctx, e := ctxFor(failure.NewPattern(2))
+	l := New("LOG", groups.NewProcSet(0), groups.NewProcSet(0, 1), false)
+	l.Append(ctx, 0, logobj.MsgDatum(1))
+	l.Append(ctx, 1, logobj.MsgDatum(2))
+	if e.Messages() != 0 || e.Charges(0) != 0 {
+		t.Fatalf("charging-off log still accounted")
+	}
+	if l.FastOps() != 0 && l.SlowOps() != 0 {
+		t.Fatalf("ops counted while charging off")
+	}
+}
+
+// TestSemanticsMatchInner: the wrapper preserves log semantics.
+func TestSemanticsMatchInner(t *testing.T) {
+	ctx, _ := ctxFor(failure.NewPattern(2))
+	l := New("LOG", groups.NewProcSet(0), groups.NewProcSet(0), true)
+	p1 := l.Append(ctx, 0, logobj.MsgDatum(1))
+	p2 := l.Append(ctx, 0, logobj.MsgDatum(2))
+	if p1 != 1 || p2 != 2 {
+		t.Fatalf("positions %d,%d", p1, p2)
+	}
+	l.BumpAndLock(ctx, 0, logobj.MsgDatum(1), 9)
+	if got := l.Inner().Pos(logobj.MsgDatum(1)); got != 9 {
+		t.Fatalf("bump through wrapper broken: %d", got)
+	}
+	if !l.Inner().Locked(logobj.MsgDatum(1)) {
+		t.Fatalf("lock through wrapper broken")
+	}
+}

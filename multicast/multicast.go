@@ -1,0 +1,307 @@
+// Package multicast is the public API of the library: genuine atomic
+// multicast over arbitrary destination groups, driven by the failure
+// detector μ = (∧ Σ_{g∩h}) ∧ (∧ Ω_g) ∧ γ of Sutra (PODC 2022), with the
+// paper's variations available as options.
+//
+// A System is a deterministic virtual-time instance: declare a topology,
+// optionally schedule crashes, issue multicasts, run, and inspect per-node
+// delivery orders. Runs are reproducible from their seed, and every run can
+// be validated against the full problem specification with Validate.
+//
+//	topo := multicast.NewTopology(5).
+//		Group("g1", 0, 1).
+//		Group("g2", 1, 2)
+//	sys, err := multicast.New(topo, multicast.Config{Seed: 42})
+//	...
+//	sys.Multicast(0, "g1", []byte("hello"))
+//	sys.Run()
+//	order := sys.Delivered(1)
+package multicast
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+)
+
+// Ordering selects the problem variation (Table 1 of the paper).
+type Ordering int
+
+const (
+	// GlobalOrder is uniform global total order multicast from μ
+	// (Algorithm 1). The default.
+	GlobalOrder Ordering = iota
+	// StrictOrder additionally respects real time using the indicator
+	// detectors 1^{g∩h} (§6.1); use it under state-machine replication.
+	StrictOrder
+	// PairwiseOrder is the weaker §7 variation, for acyclic topologies.
+	PairwiseOrder
+	// StronglyGenuine hosts the intersection coordination inside g∩h with
+	// Ω_{g∩h} ∧ Σ_{g∩h} so destination groups progress in isolation
+	// (§6.2); meaningful when the topology has no cyclic family.
+	StronglyGenuine
+)
+
+// Topology declares processes and named destination groups.
+type Topology struct {
+	n      int
+	names  []string
+	sets   []groups.ProcSet
+	byName map[string]groups.GroupID
+	err    error
+}
+
+// NewTopology starts a topology over n processes (numbered 0..n-1).
+func NewTopology(n int) *Topology {
+	return &Topology{n: n, byName: make(map[string]groups.GroupID)}
+}
+
+// Group declares a destination group. Declaration order defines group IDs.
+func (t *Topology) Group(name string, members ...int) *Topology {
+	if t.err != nil {
+		return t
+	}
+	if _, dup := t.byName[name]; dup {
+		t.err = fmt.Errorf("multicast: duplicate group %q", name)
+		return t
+	}
+	var s groups.ProcSet
+	for _, m := range members {
+		if m < 0 || m >= t.n {
+			t.err = fmt.Errorf("multicast: member %d of %q out of range", m, name)
+			return t
+		}
+		s = s.Add(groups.Process(m))
+	}
+	t.byName[name] = groups.GroupID(len(t.names))
+	t.names = append(t.names, name)
+	t.sets = append(t.sets, s)
+	return t
+}
+
+// Config tunes a System.
+type Config struct {
+	// Ordering selects the problem variation (default GlobalOrder).
+	Ordering Ordering
+	// Seed makes the schedule reproducible.
+	Seed int64
+	// DetectorDelay is the stabilisation lag of the failure detectors
+	// (how long after a crash μ's components converge). Default 8 ticks.
+	DetectorDelay int64
+	// AccountCosts enables the §4.3 cost model: per-process step charges
+	// and message counts for every shared-object operation.
+	AccountCosts bool
+	// Crashes schedules failures: process → virtual crash time.
+	Crashes map[int]int64
+}
+
+// System is a runnable multicast instance.
+type System struct {
+	topo  *groups.Topology
+	names []string
+	sys   *core.System
+}
+
+// ErrUnknownGroup is returned for group names that were never declared.
+var ErrUnknownGroup = errors.New("multicast: unknown group")
+
+// New builds a system from a topology and a configuration.
+func New(t *Topology, cfg Config) (*System, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	if len(t.sets) == 0 {
+		return nil, errors.New("multicast: no destination groups declared")
+	}
+	topo, err := groups.New(t.n, t.sets...)
+	if err != nil {
+		return nil, err
+	}
+	pat := failure.NewPattern(t.n)
+	for p, at := range cfg.Crashes {
+		if p < 0 || p >= t.n {
+			return nil, fmt.Errorf("multicast: crash of out-of-range process %d", p)
+		}
+		pat = pat.WithCrash(groups.Process(p), failure.Time(at))
+	}
+	delay := cfg.DetectorDelay
+	if delay == 0 {
+		delay = 8
+	}
+	var variant core.Variant
+	switch cfg.Ordering {
+	case StrictOrder:
+		variant = core.Strict
+	case PairwiseOrder:
+		variant = core.Pairwise
+	case StronglyGenuine:
+		variant = core.StronglyGenuine
+	default:
+		variant = core.Vanilla
+	}
+	if cfg.Ordering == PairwiseOrder && topo.HasCyclicFamilies() {
+		return nil, errors.New("multicast: pairwise ordering requires an acyclic topology (F = ∅, §7)")
+	}
+	opt := core.Options{
+		Variant:       variant,
+		ChargeObjects: cfg.AccountCosts,
+		FD:            fd.Options{Delay: failure.Time(delay), Seed: cfg.Seed},
+	}
+	sys := core.NewSystem(topo, pat, opt, cfg.Seed)
+	names := append([]string(nil), t.names...)
+	return &System{topo: topo, names: names, sys: sys}, nil
+}
+
+// groupID resolves a group name.
+func (s *System) groupID(name string) (groups.GroupID, error) {
+	for i, n := range s.names {
+		if n == name {
+			return groups.GroupID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownGroup, name)
+}
+
+// Message identifies an issued multicast.
+type Message struct {
+	ID      int64
+	Src     int
+	Group   string
+	Payload []byte
+}
+
+// Multicast issues a multicast from process src to the named group. The
+// sender must belong to the group (closed dissemination model).
+func (s *System) Multicast(src int, group string, payload []byte) (Message, error) {
+	g, err := s.groupID(group)
+	if err != nil {
+		return Message{}, err
+	}
+	if !s.topo.Group(g).Has(groups.Process(src)) {
+		return Message{}, fmt.Errorf("multicast: sender %d not in group %q", src, group)
+	}
+	m := s.sys.Multicast(groups.Process(src), g, payload)
+	return Message{ID: int64(m.ID), Src: src, Group: group, Payload: payload}, nil
+}
+
+// MulticastAt schedules a multicast at a virtual time (useful together with
+// Crashes to build failure scenarios).
+func (s *System) MulticastAt(at int64, src int, group string, payload []byte) error {
+	g, err := s.groupID(group)
+	if err != nil {
+		return err
+	}
+	if !s.topo.Group(g).Has(groups.Process(src)) {
+		return fmt.Errorf("multicast: sender %d not in group %q", src, group)
+	}
+	s.sys.MulticastAt(failure.Time(at), groups.Process(src), g, payload)
+	return nil
+}
+
+// Run drives the system to quiescence; it returns an error when the step
+// budget is exhausted first.
+func (s *System) Run() error {
+	if !s.sys.Run() {
+		return errors.New("multicast: run did not quiesce within the step budget")
+	}
+	return nil
+}
+
+// Delivery is one delivered message at a process.
+type Delivery struct {
+	Message Message
+	At      int64
+}
+
+// Delivered returns the delivery order at process p.
+func (s *System) Delivered(p int) []Delivery {
+	ids := s.sys.DeliveredAt(groups.Process(p))
+	out := make([]Delivery, 0, len(ids))
+	for _, id := range ids {
+		m := s.sys.Sh.Reg.Get(id)
+		at, _ := s.sys.Sh.FirstDeliveredAt(id)
+		out = append(out, Delivery{
+			Message: Message{
+				ID:      int64(m.ID),
+				Src:     int(m.Src),
+				Group:   s.names[m.Dst],
+				Payload: m.Payload,
+			},
+			At: int64(at),
+		})
+	}
+	return out
+}
+
+// Validate checks the completed run against the specification (integrity,
+// termination, ordering, genuineness — plus real-time order for
+// StrictOrder systems) and returns the violations.
+func (s *System) Validate() []error {
+	var out []error
+	for _, v := range s.sys.Check() {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Steps returns how many protocol actions process p executed — the
+// footprint genuineness constrains.
+func (s *System) Steps(p int) int64 {
+	return s.sys.Eng.Steps(groups.Process(p)) + s.sys.Eng.Charges(groups.Process(p))
+}
+
+// MessagesSent returns the synthetic message count of the run (only
+// populated with Config.AccountCosts).
+func (s *System) MessagesSent() int64 { return s.sys.Eng.Messages() }
+
+// Stats summarises a completed run.
+type Stats struct {
+	// Deliveries is the total number of delivery events.
+	Deliveries int
+	// Steps maps each process to its protocol-step count (actions plus
+	// shared-object participation charges).
+	Steps []int64
+	// Messages is the synthetic protocol-message count (needs
+	// Config.AccountCosts for the shared-object share).
+	Messages int64
+}
+
+// Stats returns the run's summary.
+func (s *System) Stats() Stats {
+	st := Stats{
+		Deliveries: len(s.sys.Sh.Deliveries()),
+		Steps:      make([]int64, s.topo.NumProcesses()),
+		Messages:   s.sys.Eng.Messages(),
+	}
+	for p := 0; p < s.topo.NumProcesses(); p++ {
+		st.Steps[p] = s.Steps(p)
+	}
+	return st
+}
+
+// CyclicFamilies renders the cyclic families of the topology (the structure
+// γ tracks), as lists of group names.
+func (s *System) CyclicFamilies() [][]string {
+	var out [][]string
+	for _, f := range s.topo.Families() {
+		var fam []string
+		for _, g := range f.Groups.Members() {
+			fam = append(fam, s.names[g])
+		}
+		out = append(out, fam)
+	}
+	return out
+}
+
+// internalTrace exposes the run trace to sibling tooling (cmd/, benches).
+func (s *System) internalTrace() *check.Trace { return s.sys.Trace() }
+
+// Core exposes the underlying core system for advanced uses (benchmarks,
+// research tooling). The core API is not covered by compatibility
+// guarantees.
+func (s *System) Core() *core.System { return s.sys }

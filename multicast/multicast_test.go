@@ -1,0 +1,237 @@
+package multicast
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func figure1() *Topology {
+	return NewTopology(5).
+		Group("g1", 0, 1).
+		Group("g2", 1, 2).
+		Group("g3", 0, 2, 3).
+		Group("g4", 0, 3, 4)
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := New(figure1(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Multicast(0, "g1", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Multicast(2, "g3", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs)
+	}
+	got := sys.Delivered(0) // p0 ∈ g1, g3, g4
+	if len(got) != 2 {
+		t.Fatalf("p0 delivered %d, want 2", len(got))
+	}
+	if got[0].Message.Group != "g1" && got[0].Message.Group != "g3" {
+		t.Fatalf("unexpected group %q", got[0].Message.Group)
+	}
+	if !bytes.Equal(sys.Delivered(1)[0].Message.Payload, []byte("a")) {
+		t.Fatalf("payload lost")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := New(NewTopology(3), Config{}); err == nil {
+		t.Fatalf("no groups: want error")
+	}
+	bad := NewTopology(2).Group("g", 5)
+	if _, err := New(bad, Config{}); err == nil {
+		t.Fatalf("out-of-range member: want error")
+	}
+	dup := NewTopology(2).Group("g", 0).Group("g", 1)
+	if _, err := New(dup, Config{}); err == nil {
+		t.Fatalf("duplicate group: want error")
+	}
+}
+
+func TestSenderMustBeMember(t *testing.T) {
+	sys, err := New(figure1(), Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Multicast(4, "g1", nil); err == nil {
+		t.Fatalf("closed model: sender outside group must be rejected")
+	}
+	if _, err := sys.Multicast(0, "nope", nil); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("unknown group error missing: %v", err)
+	}
+}
+
+func TestCrashScenario(t *testing.T) {
+	sys, err := New(figure1(), Config{
+		Seed:    3,
+		Crashes: map[int]int64{1: 40}, // p1 = g1∩g2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Multicast(0, "g1", nil)
+	sys.Multicast(2, "g2", nil)
+	if err := sys.MulticastAt(100, 0, "g3", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs)
+	}
+}
+
+func TestPairwiseRejectsCyclicTopology(t *testing.T) {
+	cyc := NewTopology(3).
+		Group("a", 0, 1).
+		Group("b", 1, 2).
+		Group("c", 2, 0)
+	if _, err := New(cyc, Config{Ordering: PairwiseOrder}); err == nil {
+		t.Fatalf("pairwise ordering on a cyclic topology must be rejected")
+	}
+}
+
+func TestStrictOrderingRuns(t *testing.T) {
+	sys, err := New(figure1(), Config{Ordering: StrictOrder, Seed: 4, Crashes: map[int]int64{1: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Multicast(0, "g1", nil)
+	sys.Multicast(2, "g3", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs)
+	}
+}
+
+func TestGenuinenessFootprint(t *testing.T) {
+	sys, err := New(figure1(), Config{Seed: 5, AccountCosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Multicast(0, "g1", nil) // g1 = {0,1}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 3, 4} {
+		if sys.Steps(p) != 0 {
+			t.Fatalf("p%d took %d steps though untouched", p, sys.Steps(p))
+		}
+	}
+	if sys.MessagesSent() == 0 {
+		t.Fatalf("cost accounting produced no messages")
+	}
+}
+
+func TestStatsSummarise(t *testing.T) {
+	sys, err := New(figure1(), Config{Seed: 11, AccountCosts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Multicast(0, "g1", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Deliveries != 2 { // g1 = {0,1}
+		t.Fatalf("deliveries = %d, want 2", st.Deliveries)
+	}
+	if st.Steps[0] == 0 || st.Steps[4] != 0 {
+		t.Fatalf("steps wrong: %v", st.Steps)
+	}
+	if st.Messages == 0 {
+		t.Fatalf("messages not accounted")
+	}
+}
+
+func TestCyclicFamiliesSurface(t *testing.T) {
+	sys, err := New(figure1(), Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := sys.CyclicFamilies()
+	if len(fams) != 3 {
+		t.Fatalf("families = %v, want 3", fams)
+	}
+}
+
+func TestStronglyGenuineOption(t *testing.T) {
+	topo := NewTopology(5).
+		Group("left", 0, 1, 2).
+		Group("right", 2, 3, 4) // acyclic: F = ∅
+	sys, err := New(topo, Config{Ordering: StronglyGenuine, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Multicast(0, "left", nil)
+	sys.Multicast(3, "right", nil)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatalf("violations: %v", errs)
+	}
+	if fams := sys.CyclicFamilies(); len(fams) != 0 {
+		t.Fatalf("acyclic topology reported families %v", fams)
+	}
+}
+
+func TestMulticastAtRejectsBadSender(t *testing.T) {
+	sys, err := New(figure1(), Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.MulticastAt(10, 4, "g1", nil); err == nil {
+		t.Fatalf("scheduled multicast from non-member must be rejected")
+	}
+	if err := sys.MulticastAt(10, 0, "nope", nil); err == nil {
+		t.Fatalf("scheduled multicast to unknown group must be rejected")
+	}
+}
+
+func TestCoreEscapeHatch(t *testing.T) {
+	sys, err := New(figure1(), Config{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Core() == nil {
+		t.Fatalf("core accessor missing")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []Delivery {
+		sys, err := New(figure1(), Config{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Multicast(0, "g1", nil)
+		sys.Multicast(2, "g2", nil)
+		sys.Multicast(3, "g4", nil)
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Delivered(0)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("diverged")
+	}
+	for i := range a {
+		if a[i].Message.ID != b[i].Message.ID || a[i].At != b[i].At {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
