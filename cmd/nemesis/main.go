@@ -1,0 +1,248 @@
+// Command nemesis replays a seeded fault schedule against a live quorum
+// substrate and checks its safety and post-quiesce liveness obligations.
+// It is the one-line repro for the chaos tests: a failing seed reported as
+//
+//	go run ./cmd/nemesis -seed 7
+//
+// rebuilds the exact per-link fault schedule of the failing run — every
+// drop, delay, duplicate, partition and down/up cycle derives from the
+// seed alone (see internal/chaos) — so the failure replays outside the
+// test harness.
+//
+// Usage:
+//
+//	nemesis -seed 7 -n 5 -duration 2s -substrate register
+//	nemesis -seed 7 -print          # print the fault schedule and exit
+//
+// Substrates: "register" runs a single-writer ABD workload and checks
+// monotone reads; "replog" runs concurrent appends on the replicated log
+// and checks pairwise ordering across replicas. Exit status 1 means a
+// safety or liveness violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/check"
+	"repro/internal/groups"
+	"repro/internal/logobj"
+	"repro/internal/msg"
+	"repro/internal/net"
+	"repro/internal/paxos"
+	"repro/internal/register"
+	"repro/internal/replog"
+)
+
+func main() {
+	var (
+		seedFlag     = flag.Int64("seed", 1, "fault-schedule seed")
+		nFlag        = flag.Int("n", 5, "number of processes")
+		durationFlag = flag.Duration("duration", 2*time.Second, "nemesis run length")
+		subFlag      = flag.String("substrate", "register", "register | replog")
+		printFlag    = flag.Bool("print", false, "print the fault schedule and exit")
+	)
+	flag.Parse()
+
+	if *nFlag < 2 {
+		fmt.Fprintf(os.Stderr, "nemesis: -n %d: a quorum workload needs at least 2 processes\n", *nFlag)
+		os.Exit(2)
+	}
+	if *subFlag != "register" && *subFlag != "replog" {
+		fmt.Fprintf(os.Stderr, "nemesis: unknown substrate %q (want register or replog)\n", *subFlag)
+		os.Exit(2)
+	}
+
+	plan := chaos.NewPlan(*seedFlag, *nFlag, *durationFlag)
+	fmt.Print(plan)
+	if *printFlag {
+		return
+	}
+
+	var err error
+	if *subFlag == "register" {
+		err = runRegister(*seedFlag, *nFlag, plan)
+	} else {
+		err = runReplog(*seedFlag, *nFlag, plan)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", *seedFlag, err)
+		os.Exit(1)
+	}
+	fmt.Printf("OK seed=%d\n", *seedFlag)
+}
+
+// runRegister drives a single-writer / two-reader ABD workload under the
+// plan. Safety: readers never see values regress and never see a value the
+// writer has not written. Liveness after quiesce: every node reads the
+// final written value.
+func runRegister(seed int64, n int, plan chaos.Plan) error {
+	c := chaos.Wrap(net.New(n), seed)
+	defer c.Close()
+	var scope groups.ProcSet
+	nodes := make([]*register.Node, n)
+	for p := 0; p < n; p++ {
+		nodes[p] = register.StartNode(c, groups.Process(p))
+		scope = scope.Add(groups.Process(p))
+	}
+	reg := &register.Register{
+		Name: "r", Scope: scope, Net: c,
+		Quorum: register.Majority{Scope: scope},
+	}
+
+	nm := &chaos.Nemesis{C: c, Plan: plan}
+	nmDone := nm.Go()
+
+	var lastWritten int64
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		w := nodes[0].Client(reg)
+		for v := int64(1); ; v++ {
+			if !w.Write(v) {
+				return
+			}
+			lastWritten = v
+			select {
+			case <-nmDone:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
+
+	readers := 2
+	if n < 3 {
+		readers = n - 1
+	}
+	seqs := make([][]int64, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := nodes[1+i].Client(reg)
+			for {
+				select {
+				case <-writerDone:
+					return
+				default:
+				}
+				v, ok := r.Read()
+				if !ok {
+					return
+				}
+				seqs[i] = append(seqs[i], v)
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+	}
+	<-nmDone
+	<-writerDone
+	wg.Wait()
+
+	fmt.Printf("workload: %d writes, readers saw %d reads, stats %+v\n",
+		lastWritten, len(seqs[0]), c.Stats())
+
+	for i, seq := range seqs {
+		for j := 1; j < len(seq); j++ {
+			if seq[j] < seq[j-1] {
+				return fmt.Errorf("reader %d regressed: %d after %d", i, seq[j], seq[j-1])
+			}
+		}
+		for _, v := range seq {
+			if v < 0 || v > lastWritten {
+				return fmt.Errorf("reader %d saw invented value %d (last written %d)", i, v, lastWritten)
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		v, ok := nodes[p].Client(reg).Read()
+		if !ok || v != lastWritten {
+			return fmt.Errorf("p%d post-quiesce read = %d,%v; want %d", p, v, ok, lastWritten)
+		}
+	}
+	return nil
+}
+
+// runReplog drives concurrent appends on the replicated log under the
+// plan. Safety: the pairwise-ordering checker over the replicas' local
+// apply orders (the paper's Ordering property restricted to one scope).
+// Liveness after quiesce: every replica applies the full history.
+func runReplog(seed int64, n int, plan chaos.Plan) error {
+	c := chaos.Wrap(net.New(n), seed)
+	defer c.Close()
+	var scope groups.ProcSet
+	for p := 0; p < n; p++ {
+		scope = scope.Add(groups.Process(p))
+	}
+	leader := func(groups.Process) groups.Process { return 0 }
+	reps := make([]*replog.Replica, n)
+	for p := 0; p < n; p++ {
+		node := paxos.StartNode(c, groups.Process(p))
+		reps[p] = replog.NewReplica("LOG", groups.Process(p), node, c, scope, leader)
+	}
+
+	nm := &chaos.Nemesis{C: c, Plan: plan}
+	nmDone := nm.Go()
+
+	// Each replica appends distinct ids until the nemesis quiesces. An
+	// append may stall inside a partition window; it must complete after.
+	var total int64
+	var totalMu sync.Mutex
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				id := msg.ID(i*n + p + 1)
+				if _, ok := reps[p].Append(logobj.MsgDatum(id)); !ok {
+					return
+				}
+				totalMu.Lock()
+				total++
+				totalMu.Unlock()
+				select {
+				case <-nmDone:
+					return
+				case <-time.After(500 * time.Microsecond):
+				}
+			}
+		}()
+	}
+	<-nmDone
+	wg.Wait()
+
+	// Fence: one more append per replica walks it through every decided
+	// slot, then every replica must reach the full history.
+	for p := 0; p < n; p++ {
+		if _, ok := reps[p].Append(logobj.MsgDatum(msg.ID(60000 + p))); !ok {
+			return fmt.Errorf("fence append failed at replica %d", p)
+		}
+		total++
+	}
+	for p := 0; p < n; p++ {
+		if !reps[p].SyncWait(int(total), 10*time.Second) {
+			return fmt.Errorf("replica %d applied %d of %d after quiesce", p, reps[p].Applied(), total)
+		}
+	}
+	fmt.Printf("workload: %d appends, stats %+v\n", total, c.Stats())
+
+	orders := make(map[groups.Process][]msg.ID, n)
+	for p, r := range reps {
+		for _, d := range r.Snapshot() {
+			orders[groups.Process(p)] = append(orders[groups.Process(p)], d.Msg)
+		}
+	}
+	if v := check.PairwiseOrdering(&check.Trace{LocalOrder: orders}); v != nil {
+		return fmt.Errorf("log order violation: %v", v)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/groups"
+)
+
+// EventKind enumerates nemesis actions.
+type EventKind int
+
+const (
+	// EvFaults swaps the probabilistic fault mix.
+	EvFaults EventKind = iota
+	// EvPartition installs a two-sided partition.
+	EvPartition
+	// EvIsolate cuts one process from everyone.
+	EvIsolate
+	// EvHeal removes every partition.
+	EvHeal
+	// EvDown takes a process down (recoverable).
+	EvDown
+	// EvUp recovers a down process.
+	EvUp
+	// EvQuiesce clears every fault; every plan ends with it.
+	EvQuiesce
+)
+
+// Event is one scheduled nemesis action.
+type Event struct {
+	At   time.Duration // offset from the start of the run
+	Kind EventKind
+	F    Faults             // EvFaults
+	A, B groups.ProcSet     // EvPartition
+	P    groups.Process     // EvIsolate / EvDown / EvUp
+}
+
+// String renders the event deterministically (for seed-replay transcripts).
+func (e Event) String() string {
+	at := e.At.Round(time.Microsecond)
+	switch e.Kind {
+	case EvFaults:
+		return fmt.Sprintf("%8s faults drop=%.3f dup=%.3f delay=[%s,%s] reorder=%v",
+			at, e.F.Drop, e.F.Dup, e.F.DelayMin, e.F.DelayMax, e.F.Reorder)
+	case EvPartition:
+		return fmt.Sprintf("%8s partition %v | %v", at, e.A, e.B)
+	case EvIsolate:
+		return fmt.Sprintf("%8s isolate p%d", at, e.P)
+	case EvHeal:
+		return fmt.Sprintf("%8s heal", at)
+	case EvDown:
+		return fmt.Sprintf("%8s down p%d", at, e.P)
+	case EvUp:
+		return fmt.Sprintf("%8s up p%d", at, e.P)
+	case EvQuiesce:
+		return fmt.Sprintf("%8s quiesce", at)
+	}
+	return fmt.Sprintf("%8s ?", at)
+}
+
+// Plan is a seeded fault schedule over n processes. Two plans built from
+// the same (seed, n, duration) are identical — that is the reproducibility
+// contract cmd/nemesis exposes.
+type Plan struct {
+	Seed     int64
+	N        int
+	Duration time.Duration
+	Events   []Event
+}
+
+// String renders the whole schedule.
+func (pl Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nemesis plan seed=%d n=%d duration=%s\n", pl.Seed, pl.N, pl.Duration)
+	for _, e := range pl.Events {
+		b.WriteString("  " + e.String() + "\n")
+	}
+	return b.String()
+}
+
+// NewPlan generates the fault schedule for a run of n processes lasting
+// duration. The generator keeps at most a minority of processes cut off
+// (down or isolated) at any instant, so quorums of the full scope survive
+// throughout — the Σ assumption — and it always ends with a quiesce, after
+// which liveness obligations resume (the Ω stabilisation moment).
+func NewPlan(seed int64, n int, duration time.Duration) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	steps := 6 + rng.Intn(7) // 6..12 events plus the final quiesce
+	gap := duration / time.Duration(steps+1)
+	pl := Plan{Seed: seed, N: n, Duration: duration}
+
+	// The generator tracks how many processes are currently unreachable —
+	// severed by a partition (partCut) or taken down (downSet) — and caps
+	// the total at a minority.
+	var partCut groups.ProcSet
+	var downSet groups.ProcSet
+	minority := (n - 1) / 2
+	unreachable := func() int { return partCut.Union(downSet).Count() }
+
+	randFaults := func() Faults {
+		return Faults{
+			Drop:     rng.Float64() * 0.15,
+			Dup:      rng.Float64() * 0.10,
+			DelayMax: time.Duration(rng.Intn(400)) * time.Microsecond,
+			Reorder:  rng.Intn(2) == 0,
+		}
+	}
+	for i := 1; i <= steps; i++ {
+		at := gap * time.Duration(i)
+		ev := Event{At: at}
+		switch roll := rng.Float64(); {
+		case roll < 0.40:
+			ev.Kind, ev.F = EvFaults, randFaults()
+		case roll < 0.55 && unreachable() < minority:
+			// A two-sided partition with a minority side A.
+			size := 1 + rng.Intn(minority-unreachable())
+			var a groups.ProcSet
+			for a.Count() < size {
+				a = a.Add(groups.Process(rng.Intn(n)))
+			}
+			var b groups.ProcSet
+			for p := 0; p < n; p++ {
+				if !a.Has(groups.Process(p)) {
+					b = b.Add(groups.Process(p))
+				}
+			}
+			ev.Kind, ev.A, ev.B = EvPartition, a, b
+			partCut = partCut.Union(a)
+		case roll < 0.65 && unreachable() < minority:
+			ev.Kind, ev.P = EvIsolate, groups.Process(rng.Intn(n))
+			partCut = partCut.Add(ev.P)
+		case roll < 0.80 && unreachable() < minority:
+			ev.Kind, ev.P = EvDown, groups.Process(rng.Intn(n))
+			downSet = downSet.Add(ev.P)
+		case roll < 0.90 && !partCut.Empty():
+			ev.Kind = EvHeal
+			partCut = 0
+		default:
+			// Recover a down process if any, else reshuffle faults.
+			if downs := downSet.Members(); len(downs) > 0 {
+				ev.Kind, ev.P = EvUp, downs[rng.Intn(len(downs))]
+				downSet = downSet.Remove(ev.P)
+			} else {
+				ev.Kind, ev.F = EvFaults, randFaults()
+			}
+		}
+		pl.Events = append(pl.Events, ev)
+	}
+	pl.Events = append(pl.Events, Event{At: duration, Kind: EvQuiesce})
+	return pl
+}
+
+// Apply executes one event against the transport.
+func (c *Chaos) Apply(e Event) {
+	switch e.Kind {
+	case EvFaults:
+		c.SetFaults(e.F)
+	case EvPartition:
+		c.Partition(e.A, e.B)
+	case EvIsolate:
+		c.Isolate(e.P)
+	case EvHeal:
+		c.Heal()
+	case EvDown:
+		c.Down(e.P)
+	case EvUp:
+		c.Up(e.P)
+	case EvQuiesce:
+		c.Quiesce()
+	}
+}
+
+// Nemesis replays a plan against a Chaos transport in real time.
+type Nemesis struct {
+	C    *Chaos
+	Plan Plan
+}
+
+// Run applies the plan's events at their offsets and returns after the
+// final quiesce. It is the blocking form; Go runs it in the background.
+func (nm *Nemesis) Run() {
+	start := time.Now()
+	for _, e := range nm.Plan.Events {
+		if wait := e.At - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		nm.C.Apply(e)
+	}
+	// Defence in depth: whatever the plan contained, end quiet.
+	nm.C.Quiesce()
+}
+
+// Go runs the plan in the background and returns a channel closed when the
+// nemesis has quiesced.
+func (nm *Nemesis) Go() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nm.Run()
+	}()
+	return done
+}

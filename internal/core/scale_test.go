@@ -60,7 +60,7 @@ func TestScaleStress(t *testing.T) {
 // including real-time order, under crashes of cyclic intersections.
 func TestStrictUsesDerivedGamma(t *testing.T) {
 	topo := groups.Figure1()
-	for seed := int64(0); seed < 10; seed++ {
+	for seed := int64(0); seed < table1Seeds(10); seed++ {
 		pat := failure.NewPattern(5).WithCrash(1, 30)
 		s := NewSystem(topo, pat, Options{Variant: Strict, FD: fd.Options{Delay: 6}}, seed)
 		s.Multicast(0, 0, nil)

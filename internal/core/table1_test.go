@@ -13,18 +13,28 @@ import (
 // This file reproduces Table 1 of the paper: the weakest-failure-detector
 // landscape for atomic multicast. Each test is one row (see DESIGN.md §4).
 
+// table1Seeds trims the per-row seed sweeps in -short mode (the tier-1 CI
+// gate); full sweeps run in the test-full and nightly jobs.
+func table1Seeds(full int64) int64 {
+	if testing.Short() {
+		return 3
+	}
+	return full
+}
+
 // TestTable1_MuSufficient (row "genuine, global order: μ"): Algorithm 1
 // under μ solves genuine atomic multicast on the cyclic Figure 1 topology,
 // including runs where cyclic families become faulty.
 func TestTable1_MuSufficient(t *testing.T) {
 	topo := groups.Figure1()
+	seeds := table1Seeds(5)
 	for _, crash := range []groups.ProcSet{
 		0,                       // failure-free
 		groups.NewProcSet(1),    // p2 = g1∩g2: f, f'' faulty
 		groups.NewProcSet(0),    // p1: every family faulty
 		groups.NewProcSet(1, 2), // p2, p3: g2 entirely crashed
 	} {
-		for seed := int64(0); seed < 5; seed++ {
+		for seed := int64(0); seed < seeds; seed++ {
 			pat := failure.NewPattern(5).WithCrashes(crash, 35)
 			s := NewSystem(topo, pat, Options{FD: fd.Options{Delay: 8}}, seed)
 			s.Multicast(0, 0, nil)
@@ -43,7 +53,7 @@ func TestTable1_MuSufficient(t *testing.T) {
 // problem under arbitrary failures.
 func TestTable1_PerfectSufficient(t *testing.T) {
 	topo := groups.Figure1()
-	for seed := int64(0); seed < 10; seed++ {
+	for seed := int64(0); seed < table1Seeds(10); seed++ {
 		pat := failure.NewPattern(5).WithCrash(1, 30).WithCrash(2, 50)
 		s := NewSystem(topo, pat, Options{Variant: Strict, FD: fd.Options{Delay: 4}}, seed)
 		s.Multicast(0, 0, nil)
@@ -97,7 +107,7 @@ func TestTable1_Pairwise(t *testing.T) {
 		groups.NewProcSet(1, 2, 3),
 		groups.NewProcSet(3, 4),
 	)
-	for seed := int64(0); seed < 10; seed++ {
+	for seed := int64(0); seed < table1Seeds(10); seed++ {
 		pat := failure.NewPattern(5).WithCrash(2, 40)
 		s := NewSystem(topo, pat, Options{Variant: Pairwise, FD: fd.Options{Delay: 6}}, seed)
 		s.Multicast(0, 0, nil)
@@ -118,7 +128,7 @@ func TestTable1_StronglyGenuine(t *testing.T) {
 		groups.NewProcSet(0, 1, 2), // g0
 		groups.NewProcSet(2, 3, 4), // g1, intersecting g0 in p2
 	)
-	for seed := int64(0); seed < 10; seed++ {
+	for seed := int64(0); seed < table1Seeds(10); seed++ {
 		pat := failure.NewPattern(5)
 		s := NewSystemWithConfig(topo, pat, Options{Variant: StronglyGenuine}, engine.Config{
 			Pattern:      pat,

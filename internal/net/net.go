@@ -8,6 +8,7 @@ package net
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/groups"
 )
@@ -19,14 +20,39 @@ type Packet struct {
 	Body     any
 }
 
+// Transport is the message-passing fabric the live substrates run on. The
+// reliable Network below implements it, and so does the adversarial wrapper
+// in internal/chaos — every quorum protocol (register, paxos, ofcons,
+// replog) is written against this interface so it runs unmodified over
+// either fabric.
+type Transport interface {
+	// N returns the number of processes.
+	N() int
+	// Send delivers (or drops, or delays — per the fabric) a packet.
+	Send(from, to groups.Process, kind string, body any)
+	// Broadcast sends to every member of the set.
+	Broadcast(from groups.Process, set groups.ProcSet, kind string, body any)
+	// Inbox returns the receive channel of p. It is closed by Close.
+	Inbox(p groups.Process) <-chan Packet
+	// Crash silences p permanently (fail-stop).
+	Crash(p groups.Process)
+	// Crashed reports whether p was crashed.
+	Crashed(p groups.Process) bool
+	// Close ends the run: inboxes close and further sends are no-ops.
+	Close()
+}
+
 // Network connects n processes with reliable FIFO links.
 type Network struct {
-	n      int
-	mu     sync.Mutex
-	closed bool
-	dead   map[groups.Process]bool
-	inbox  []chan Packet
+	n       int
+	dropped atomic.Uint64
+	mu      sync.Mutex
+	closed  bool
+	dead    map[groups.Process]bool
+	inbox   []chan Packet
 }
+
+var _ Transport = (*Network)(nil)
 
 // inboxDepth bounds per-process buffering; the substrates' request/response
 // protocols keep traffic far below it.
@@ -62,10 +88,18 @@ func (nw *Network) Send(from, to groups.Process, kind string, body any) {
 	select {
 	case nw.inbox[to] <- Packet{From: from, To: to, Kind: kind, Body: body}:
 	default:
-		// Inbox overflow: drop. The substrates retry, so a drop only costs
-		// latency; it cannot violate safety.
+		// Inbox overflow: drop, and count it. The substrates retransmit, so
+		// a drop only costs latency and cannot violate safety — but chaos
+		// runs can legitimately fill inboxes, and a silent overflow would be
+		// indistinguishable from injected loss, so the count keeps the two
+		// observable apart.
+		nw.dropped.Add(1)
 	}
 }
+
+// Dropped returns how many packets were dropped on a full inbox since the
+// network was built.
+func (nw *Network) Dropped() uint64 { return nw.dropped.Load() }
 
 // Broadcast sends to every member of the set.
 func (nw *Network) Broadcast(from groups.Process, set groups.ProcSet, kind string, body any) {

@@ -69,4 +69,21 @@ func TestOverflowDropsNotBlocks(t *testing.T) {
 	for i := 0; i < inboxDepth+10; i++ {
 		nw.Send(0, 0, "flood", i) // must not block
 	}
+	if got := nw.Dropped(); got != 10 {
+		t.Fatalf("Dropped() = %d, want 10", got)
+	}
+}
+
+// TestDroppedNotCountedForDeadOrClosed: only inbox overflow counts as a
+// drop; traffic silenced by a crash or by Close is not loss, it is the
+// fail-stop model.
+func TestDroppedNotCountedForDeadOrClosed(t *testing.T) {
+	nw := New(2)
+	nw.Crash(1)
+	nw.Send(0, 1, "x", nil)
+	nw.Close()
+	nw.Send(0, 0, "y", nil)
+	if got := nw.Dropped(); got != 0 {
+		t.Fatalf("Dropped() = %d, want 0", got)
+	}
 }

@@ -18,11 +18,14 @@ import (
 // LeaderFunc is the Ω_g interface: the current leader sample at p.
 type LeaderFunc func(p groups.Process) groups.Process
 
-// Instance is one consensus instance replicated over a scope.
+// Instance is one consensus instance replicated over a scope. Net may be
+// the reliable fabric or the adversarial one (internal/chaos): prepare and
+// accept are idempotent at a fixed ballot, proposers retry rounds under a
+// deadline, and responses are deduplicated by acceptor.
 type Instance struct {
 	Name   string
 	Scope  groups.ProcSet
-	Net    *net.Network
+	Net    net.Transport
 	Leader LeaderFunc
 }
 
@@ -67,7 +70,7 @@ type decideMsg struct {
 
 // Node bundles the acceptor role and the proposer plumbing of one process.
 type Node struct {
-	nw   *net.Network
+	nw   net.Transport
 	p    groups.Process
 	acc  *acceptor
 	resp chan net.Packet
@@ -80,7 +83,7 @@ type Node struct {
 }
 
 // StartNode launches the node's message loop.
-func StartNode(nw *net.Network, p groups.Process) *Node {
+func StartNode(nw net.Transport, p groups.Process) *Node {
 	n := &Node{
 		nw: nw,
 		p:  p,
@@ -179,6 +182,7 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 	decidedCh := n.await(inst.Name)
 	ballotRound := int64(0)
 	waits := 0
+	fails := 0
 	for {
 		// Fast path: someone decided.
 		select {
@@ -209,15 +213,38 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 			n.recordDecision(inst.Name, val)
 			return val, true
 		}
+		// The round failed: likely a ballot duel. Over a slow or lossy
+		// fabric rounds take long enough to overlap, and symmetric retries
+		// livelock (dueling proposers). Back off for a period that grows
+		// with the failure count and is skewed per process so contenders
+		// desynchronise, and send non-leaders back to waiting on the
+		// leader — Ω's boost is what breaks the duel for good.
+		fails++
+		shift := uint(fails)
+		if shift > 4 {
+			shift = 4
+		}
+		backoff := time.Duration(100<<shift)*time.Microsecond +
+			time.Duration(n.p)*137*time.Microsecond
 		select {
 		case got := <-decidedCh:
 			return got, true
 		case <-n.done:
 			return 0, false
-		case <-time.After(100 * time.Microsecond):
+		case <-time.After(backoff):
+		}
+		if inst.Leader(n.p) != n.p {
+			waits = 15 // mostly yield again before the next self-try
 		}
 	}
 }
+
+// phaseDeadline bounds one quorum round trip. It must cover not just the
+// fabric's nominal delay but the host's timer granularity (~1ms on common
+// Linux configs), which a delay-injecting fabric pays once per hop: a
+// deadline near 2×granularity makes every round time out and look like a
+// proposer duel when the packets were merely slow.
+const phaseDeadline = 10 * time.Millisecond
 
 // round runs one prepare/accept round and reports the value it got
 // accepted, or false on a quorum refusal or shutdown.
@@ -226,19 +253,21 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 	defer n.opMu.Unlock()
 	need := inst.Scope.Count()/2 + 1
 
-	// Phase 1: prepare.
+	// Phase 1: prepare. Responses are deduplicated by acceptor: over an
+	// adversarial fabric a packet may be duplicated, and counting the same
+	// acceptor twice would fake a quorum and break intersection.
 	n.nw.Broadcast(n.p, inst.Scope, "prepare", prepareReq{Inst: inst.Name, Ballot: ballot})
-	oks := 0
+	promised := make(map[groups.Process]bool, need)
 	var best acceptedVal
-	deadline := time.After(2 * time.Millisecond)
-	for oks < need {
+	deadline := time.After(phaseDeadline)
+	for len(promised) < need {
 		select {
 		case pkt, open := <-n.resp:
 			if !open {
 				return 0, false
 			}
 			r, isResp := pkt.Body.(prepareResp)
-			if !isResp || r.Inst != inst.Name || r.Ballot != ballot {
+			if !isResp || r.Inst != inst.Name || r.Ballot != ballot || promised[pkt.From] {
 				continue
 			}
 			if !r.OK {
@@ -247,7 +276,7 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 			if r.Accepted.Has && r.Accepted.Ballot > best.Ballot {
 				best = r.Accepted
 			}
-			oks++
+			promised[pkt.From] = true
 		case <-deadline:
 			return 0, false
 		}
@@ -257,24 +286,24 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 		val = best.Val
 	}
 
-	// Phase 2: accept.
+	// Phase 2: accept (deduplicated like phase 1).
 	n.nw.Broadcast(n.p, inst.Scope, "accept", acceptReq{Inst: inst.Name, Ballot: ballot, Val: val})
-	oks = 0
-	deadline = time.After(2 * time.Millisecond)
-	for oks < need {
+	accepted := make(map[groups.Process]bool, need)
+	deadline = time.After(phaseDeadline)
+	for len(accepted) < need {
 		select {
 		case pkt, open := <-n.resp:
 			if !open {
 				return 0, false
 			}
 			r, isResp := pkt.Body.(acceptResp)
-			if !isResp || r.Inst != inst.Name || r.Ballot != ballot {
+			if !isResp || r.Inst != inst.Name || r.Ballot != ballot || accepted[pkt.From] {
 				continue
 			}
 			if !r.OK {
 				return 0, false
 			}
-			oks++
+			accepted[pkt.From] = true
 		case <-deadline:
 			return 0, false
 		}

@@ -1,0 +1,148 @@
+package paxos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/groups"
+	"repro/internal/net"
+)
+
+// chaosCluster wires n paxos nodes over the adversarial fabric.
+func chaosCluster(n int, seed int64, leader groups.Process) (*chaos.Chaos, []*Node, groups.ProcSet) {
+	c := chaos.Wrap(net.New(n), seed)
+	nodes := make([]*Node, n)
+	var scope groups.ProcSet
+	for p := 0; p < n; p++ {
+		nodes[p] = StartNode(c, groups.Process(p))
+		scope = scope.Add(groups.Process(p))
+	}
+	return c, nodes, scope
+}
+
+// TestChaosSingleDecreeAgreement: every node proposes on each of several
+// instances while drops, duplication, delay and reorder are active.
+// Single-decree agreement (all learners of an instance learn one value)
+// and validity (the value was proposed) must hold throughout — quorum
+// intersection owes nothing to the fabric being polite.
+func TestChaosSingleDecreeAgreement(t *testing.T) {
+	const n, instances = 5, 12
+	c, nodes, scope := chaosCluster(n, 3, 0)
+	defer c.Close()
+	c.SetFaults(chaos.Faults{
+		Drop: 0.08, Dup: 0.08, DelayMax: 150 * time.Microsecond, Reorder: true,
+	})
+	leader := func(groups.Process) groups.Process { return 0 }
+
+	results := make([][]int64, n) // results[p][i] = p's decision for instance i
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		results[p] = make([]int64, instances)
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < instances; i++ {
+				inst := &Instance{
+					Name:   fmt.Sprintf("chaos/%d", i),
+					Scope:  scope,
+					Net:    c,
+					Leader: leader,
+				}
+				v, ok := nodes[p].Propose(inst, int64(1000*(p+1)+i))
+				if !ok {
+					t.Errorf("p%d instance %d: no decision", p, i)
+					return
+				}
+				results[p][i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < instances; i++ {
+		for p := 1; p < n; p++ {
+			if results[p][i] != results[0][i] {
+				t.Fatalf("agreement violated at instance %d: %v", i,
+					[]int64{results[0][i], results[p][i]})
+			}
+		}
+		v := results[0][i]
+		valid := false
+		for p := 1; p <= n; p++ {
+			if v == int64(1000*p+i) {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("instance %d decided %d, which nobody proposed", i, v)
+		}
+	}
+	if st := c.Stats(); st.DroppedRandom == 0 && st.Duplicated == 0 {
+		t.Fatalf("fault mix injected nothing: %+v", st)
+	}
+}
+
+// TestChaosIsolatedLeaderOthersDecide: Ω points at a leader the nemesis
+// has cut off. The remaining majority hedges past the silent leader and
+// decides; after heal the isolated leader's own proposal learns the
+// already-decided value instead of overriding it.
+func TestChaosIsolatedLeaderOthersDecide(t *testing.T) {
+	c, nodes, scope := chaosCluster(5, 4, 0)
+	defer c.Close()
+	inst := &Instance{
+		Name:  "iso",
+		Scope: scope,
+		Net:   c,
+		// Ω stuck on p0 — the hedge in Propose is what keeps this live.
+		Leader: func(groups.Process) groups.Process { return 0 },
+	}
+	c.Isolate(0)
+
+	leaderGot := make(chan int64, 1)
+	go func() {
+		v, ok := nodes[0].Propose(inst, 111)
+		if ok {
+			leaderGot <- v
+		}
+	}()
+
+	// The majority side decides without the leader.
+	var wg sync.WaitGroup
+	results := make([]int64, 5)
+	for p := 1; p < 5; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, ok := nodes[p].Propose(inst, int64(200+p))
+			if !ok {
+				t.Errorf("p%d: no decision with leader isolated", p)
+				return
+			}
+			results[p] = v
+		}()
+	}
+	wg.Wait()
+	for p := 2; p < 5; p++ {
+		if results[p] != results[1] {
+			t.Fatalf("agreement violated: %v", results[1:])
+		}
+	}
+	if results[1] == 111 {
+		t.Fatalf("isolated leader's value decided while cut off")
+	}
+
+	c.Heal()
+	select {
+	case v := <-leaderGot:
+		if v != results[1] {
+			t.Fatalf("healed leader learnt %d, cluster decided %d", v, results[1])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("healed leader never learnt the decision")
+	}
+}

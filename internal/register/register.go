@@ -8,6 +8,7 @@ package register
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/groups"
 	"repro/internal/net"
@@ -44,11 +45,14 @@ func (a TaggedValue) less(b TaggedValue) bool {
 }
 
 // Register is one named MWMR atomic register replicated over a scope.
-// Construct the replicas with Serve and the clients with Client.
+// Construct the replicas with Serve and the clients with Client. Net may be
+// the reliable fabric or the adversarial one (internal/chaos): requests are
+// idempotent and retransmitted, so the protocol tolerates loss, delay,
+// duplication and reordering without modification.
 type Register struct {
 	Name   string
 	Scope  groups.ProcSet
-	Net    *net.Network
+	Net    net.Transport
 	Quorum Quorums
 }
 
@@ -82,7 +86,7 @@ type writeResp struct {
 
 // Serve runs the replica loop of process p until the network closes. Call
 // it in a goroutine; it serves every register name uniformly.
-func Serve(nw *net.Network, p groups.Process) {
+func Serve(nw net.Transport, p groups.Process) {
 	r := &replica{store: make(map[string]TaggedValue)}
 	for pkt := range nw.Inbox(p) {
 		switch body := pkt.Body.(type) {
@@ -125,25 +129,44 @@ func (r *Register) NewClient(p groups.Process, resp chan net.Packet) *Client {
 	return &Client{reg: r, p: p, resp: resp, mu: &sync.Mutex{}}
 }
 
-// phase broadcasts a request and awaits a quorum of matching responses.
+// retransmitEvery is the rebroadcast period of a pending phase. On the
+// reliable fabric it never fires (round-trips are microseconds); over an
+// adversarial fabric it restores liveness after drops and overflows.
+const retransmitEvery = time.Millisecond
+
+// phase broadcasts a request and awaits a quorum of matching responses from
+// distinct replicas. Requests are idempotent, so the phase rebroadcasts on a
+// timer until the quorum is assembled — loss costs latency, never safety.
+// Responses are deduplicated by sender: a duplicated packet must not count
+// twice towards the quorum, or quorum intersection (the Σ argument) breaks.
 func (c *Client) phase(kind string, body any, match func(any) (TaggedValue, bool)) (TaggedValue, bool) {
 	c.reg.Net.Broadcast(c.p, c.reg.Scope, kind, body)
 	need := c.reg.Quorum.Size(c.p)
 	var max TaggedValue
-	got := 0
-	for pkt := range c.resp {
-		v, ok := match(pkt.Body)
-		if !ok {
-			continue
-		}
-		if max.less(v) {
-			max = v
-		}
-		if got++; got >= need {
-			return max, true
+	replied := make(map[groups.Process]bool, need)
+	resend := time.NewTicker(retransmitEvery)
+	defer resend.Stop()
+	for {
+		select {
+		case pkt, open := <-c.resp:
+			if !open {
+				return max, false
+			}
+			v, ok := match(pkt.Body)
+			if !ok || replied[pkt.From] {
+				continue
+			}
+			replied[pkt.From] = true
+			if max.less(v) {
+				max = v
+			}
+			if len(replied) >= need {
+				return max, true
+			}
+		case <-resend.C:
+			c.reg.Net.Broadcast(c.p, c.reg.Scope, kind, body)
 		}
 	}
-	return max, false
 }
 
 // Read performs an ABD read: collect from a quorum, then impose the maximum
@@ -208,7 +231,7 @@ func (c *Client) Write(v int64) bool {
 // arriving at p are served (requests) or routed to the pending client
 // operation (responses).
 type Node struct {
-	nw   *net.Network
+	nw   net.Transport
 	p    groups.Process
 	resp chan net.Packet
 	rep  *replica
@@ -217,7 +240,7 @@ type Node struct {
 }
 
 // StartNode launches the node's demultiplexer goroutine.
-func StartNode(nw *net.Network, p groups.Process) *Node {
+func StartNode(nw net.Transport, p groups.Process) *Node {
 	n := &Node{
 		nw:   nw,
 		p:    p,

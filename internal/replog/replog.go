@@ -87,7 +87,7 @@ type Replica struct {
 
 // NewReplica builds the replica of process p. All replicas of a log must
 // share the name, scope and network.
-func NewReplica(name string, p groups.Process, node *paxos.Node, nw *net.Network, scope groups.ProcSet, leader paxos.LeaderFunc) *Replica {
+func NewReplica(name string, p groups.Process, node *paxos.Node, nw net.Transport, scope groups.ProcSet, leader paxos.LeaderFunc) *Replica {
 	r := &Replica{
 		name:  name,
 		p:     p,
