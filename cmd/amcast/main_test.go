@@ -6,44 +6,53 @@ import (
 )
 
 func TestRunBasicScenario(t *testing.T) {
-	err := run("0,1;1,2", "0>0;2>1", "", "vanilla", 1, 8, false)
+	err := run("0,1;1,2", "0>0;2>1", "", "vanilla", "sim", 1, 8, false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunWithCrashAndCosts(t *testing.T) {
-	err := run("0,1;1,2;0,2,3;0,3,4", "0>0;1>1;2>2@20", "1@40", "strict", 2, 6, true)
+	err := run("0,1;1,2;0,2,3;0,3,4", "0>0;1>1;2>2@20", "1@40", "strict", "sim", 2, 6, true)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunPairwiseOnChain(t *testing.T) {
-	if err := run("0,1;1,2,3;3,4", "0>0;4>2", "", "pairwise", 3, 8, false); err != nil {
+	if err := run("0,1;1,2,3;3,4", "0>0;4>2", "", "pairwise", "sim", 3, 8, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunStrongVariant(t *testing.T) {
-	if err := run("0,1,2;2,3,4", "0>0;3>1", "", "strong", 4, 8, false); err != nil {
+	if err := run("0,1,2;2,3,4", "0>0;3>1", "", "strong", "sim", 4, 8, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunLiveBackend(t *testing.T) {
+	if err := run("0,1;1,2;0,2", "0>0;1>1;2>2", "", "vanilla", "live", 1, 8, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunRejectsBadSpecs(t *testing.T) {
 	cases := []struct {
-		groups, msgs, crash, variant string
+		groups, msgs, crash, variant, backend string
+		costs                                 bool
 	}{
-		{"0,x", "0>0", "", "vanilla"},    // bad member
-		{"0,1", "0>0", "1@x", "vanilla"}, // bad crash time
-		{"0,1", "0-0", "", "vanilla"},    // bad message spec
-		{"0,1", "0>0", "", "nonsense"},   // unknown variant
-		{"0,1", "0>0@x", "", "vanilla"},  // bad message time
-		{"0,1", "0>0", "1", "vanilla"},   // crash without time
+		{"0,x", "0>0", "", "vanilla", "sim", false},    // bad member
+		{"0,1", "0>0", "1@x", "vanilla", "sim", false}, // bad crash time
+		{"0,1", "0-0", "", "vanilla", "sim", false},    // bad message spec
+		{"0,1", "0>0", "", "nonsense", "sim", false},   // unknown variant
+		{"0,1", "0>0@x", "", "vanilla", "sim", false},  // bad message time
+		{"0,1", "0>0", "1", "vanilla", "sim", false},   // crash without time
+		{"0,1", "0>0", "", "vanilla", "etcd", false},   // unknown backend
+		{"0,1", "0>0", "", "vanilla", "live", true},    // costs need sim
 	}
 	for _, c := range cases {
-		if err := run(c.groups, c.msgs, c.crash, c.variant, 1, 8, false); err == nil {
+		if err := run(c.groups, c.msgs, c.crash, c.variant, c.backend, 1, 8, c.costs); err == nil {
 			t.Errorf("spec %+v accepted", c)
 		} else if strings.Contains(err.Error(), "panic") {
 			t.Errorf("spec %+v panicked", c)

@@ -11,13 +11,16 @@
 //
 // Usage:
 //
-//	nemesis -seed 7 -n 5 -duration 2s -substrate register
+//	nemesis -seed 7 -n 5 -duration 2s -workload register
 //	nemesis -seed 7 -print          # print the fault schedule and exit
 //
-// Substrates: "register" runs a single-writer ABD workload and checks
-// monotone reads; "replog" runs concurrent appends on the replicated log
-// and checks pairwise ordering across replicas. Exit status 1 means a
-// safety or liveness violation.
+// Workloads (see -h for the list): "register" runs a single-writer ABD
+// workload and checks monotone reads; "replog" runs concurrent appends on
+// the replicated log and checks pairwise ordering across replicas;
+// "multicast" runs the full Algorithm 1 protocol on the live backend over
+// a chain of overlapping groups and checks the atomic-multicast
+// specification. Exit status 1 means a safety or liveness violation,
+// 2 a usage error.
 package main
 
 import (
@@ -29,7 +32,9 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/check"
+	"repro/internal/failure"
 	"repro/internal/groups"
+	"repro/internal/live"
 	"repro/internal/logobj"
 	"repro/internal/msg"
 	"repro/internal/net"
@@ -38,22 +43,56 @@ import (
 	"repro/internal/replog"
 )
 
+// workload is one named nemesis target: a run function driven by the
+// seeded fault plan plus the one-line description shown in -h.
+type workload struct {
+	name string
+	desc string
+	run  func(seed int64, n int, plan chaos.Plan) error
+}
+
+// workloads is the registry, in display order.
+var workloads = []workload{
+	{"register", "single-writer ABD register; checks monotone reads and post-quiesce convergence", runRegister},
+	{"replog", "concurrent appends on one replicated log; checks pairwise ordering across replicas", runReplog},
+	{"multicast", "Algorithm 1 over the live backend on a chain of overlapping groups; checks the full specification", runMulticast},
+}
+
+func lookupWorkload(name string) (workload, bool) {
+	for _, w := range workloads {
+		if w.name == name {
+			return w, true
+		}
+	}
+	return workload{}, false
+}
+
 func main() {
 	var (
 		seedFlag     = flag.Int64("seed", 1, "fault-schedule seed")
 		nFlag        = flag.Int("n", 5, "number of processes")
 		durationFlag = flag.Duration("duration", 2*time.Second, "nemesis run length")
-		subFlag      = flag.String("substrate", "register", "register | replog")
+		workloadFlag = flag.String("workload", "register", "workload name (see list below)")
 		printFlag    = flag.Bool("print", false, "print the fault schedule and exit")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nemesis [flags]\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nworkloads:\n")
+		for _, w := range workloads {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", w.name, w.desc)
+		}
+	}
 	flag.Parse()
 
 	if *nFlag < 2 {
 		fmt.Fprintf(os.Stderr, "nemesis: -n %d: a quorum workload needs at least 2 processes\n", *nFlag)
 		os.Exit(2)
 	}
-	if *subFlag != "register" && *subFlag != "replog" {
-		fmt.Fprintf(os.Stderr, "nemesis: unknown substrate %q (want register or replog)\n", *subFlag)
+	w, ok := lookupWorkload(*workloadFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nemesis: unknown workload %q\n", *workloadFlag)
+		flag.Usage()
 		os.Exit(2)
 	}
 
@@ -63,13 +102,7 @@ func main() {
 		return
 	}
 
-	var err error
-	if *subFlag == "register" {
-		err = runRegister(*seedFlag, *nFlag, plan)
-	} else {
-		err = runReplog(*seedFlag, *nFlag, plan)
-	}
-	if err != nil {
+	if err := w.run(*seedFlag, *nFlag, plan); err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", *seedFlag, err)
 		os.Exit(1)
 	}
@@ -243,6 +276,73 @@ func runReplog(seed int64, n int, plan chaos.Plan) error {
 	}
 	if v := check.PairwiseOrdering(&check.Trace{LocalOrder: orders}); v != nil {
 		return fmt.Errorf("log order violation: %v", v)
+	}
+	return nil
+}
+
+// runMulticast drives the full protocol on the live backend under the
+// plan: a chain of overlapping 3-member groups {0,1,2},{2,3,4},... over
+// n processes, with the unique middle member of every group crashing on
+// a staggered schedule (the shared members stay up, so every group and
+// every pairwise intersection keeps a majority). Correct members
+// multicast until the nemesis quiesces; then every multicast must be
+// delivered at every correct destination member and the whole trace must
+// pass the atomic-multicast specification checkers.
+func runMulticast(seed int64, n int, plan chaos.Plan) error {
+	if n < 3 || n%2 == 0 {
+		return fmt.Errorf("the multicast workload needs an odd -n >= 3 (chain of overlapping 3-member groups), got %d", n)
+	}
+	var sets []groups.ProcSet
+	for p := 0; p+2 < n; p += 2 {
+		var s groups.ProcSet
+		s = s.Add(groups.Process(p)).Add(groups.Process(p + 1)).Add(groups.Process(p + 2))
+		sets = append(sets, s)
+	}
+	topo, err := groups.New(n, sets...)
+	if err != nil {
+		return err
+	}
+	pat := failure.NewPattern(n)
+	ct := failure.Time(120)
+	for p := 1; p < n; p += 2 {
+		pat = pat.WithCrash(groups.Process(p), ct)
+		ct += 60
+	}
+
+	c := chaos.Wrap(net.New(n), seed)
+	sys := live.NewSystem(topo, pat, c, live.Config{})
+	sys.Start()
+	defer sys.Stop()
+
+	nm := &chaos.Nemesis{C: c, Plan: plan}
+	nmDone := nm.Go()
+
+	// Round-robin multicasts from the correct (even-numbered) members of
+	// each group until the fault schedule quiesces.
+	sent := 0
+loop:
+	for i := 0; ; i++ {
+		k := i % len(sets)
+		src := groups.Process(2 * k)
+		if i%2 == 1 {
+			src = groups.Process(2*k + 2)
+		}
+		sys.Multicast(src, groups.GroupID(k), nil)
+		sent++
+		select {
+		case <-nmDone:
+			break loop
+		case <-time.After(35 * time.Millisecond):
+		}
+	}
+
+	if !sys.AwaitDelivery(90 * time.Second) {
+		return fmt.Errorf("post-quiesce delivery incomplete: %d multicasts sent", sent)
+	}
+	sys.Stop()
+	fmt.Printf("workload: %d multicasts, stats %+v\n", sent, c.Stats())
+	if vs := sys.Check(); len(vs) > 0 {
+		return fmt.Errorf("specification violated: %v", vs)
 	}
 	return nil
 }

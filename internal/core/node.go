@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/failure"
@@ -15,6 +16,12 @@ import (
 // attempts to fire one enabled action — multicast (line 5), pending
 // (line 8), commit (line 16), stabilize (line 25), stable (line 30) or
 // deliver (line 34) — scanning the messages it knows about in ID order.
+//
+// The node touches the shared objects only through the Backend interfaces
+// (backend.go), so the same code runs over the deterministic in-memory
+// substrate and over the live replicated one. Under the live backend Step is
+// called from a per-process goroutine and reads may lag the replicas; every
+// guard simply stays false until the local replica catches up.
 type Node struct {
 	p  groups.Process
 	sh *Shared
@@ -25,12 +32,16 @@ type Node struct {
 	delivered []msg.ID
 
 	// outbox holds client multicast requests not yet handed to Algorithm 1
-	// (waiting behind their L_g predecessors), per destination group.
+	// (waiting behind their L_g predecessors), per destination group. The
+	// mutex covers it: clients enqueue from outside the stepping goroutine.
+	boxMu  sync.Mutex
 	outbox map[groups.GroupID][]msg.ID
 
-	// myGroups caches G(p); myPairs the log keys of this process.
+	// myGroups caches G(p); myPairs the log keys of this process; logs the
+	// backend handles for those keys (including the group logs {g,g}).
 	myGroups []groups.GroupID
 	myPairs  []PairKey
+	logs     map[PairKey]LogObject
 }
 
 // NewNode builds the automaton for process p.
@@ -41,6 +52,7 @@ func NewNode(p groups.Process, sh *Shared) *Node {
 		phase:    make(map[msg.ID]Phase),
 		knownSet: make(map[msg.ID]bool),
 		outbox:   make(map[groups.GroupID][]msg.ID),
+		logs:     make(map[PairKey]LogObject),
 	}
 	gs := sh.Topo.GroupsOf(p).Members()
 	n.myGroups = gs
@@ -52,8 +64,17 @@ func NewNode(p groups.Process, sh *Shared) *Node {
 			}
 		}
 	}
+	for _, key := range n.myPairs {
+		n.logs[key] = sh.Backend().Log(p, key.A, key.B)
+	}
 	return n
 }
+
+// log returns this process's handle on LOG_{g∩h}.
+func (n *Node) log(g, h groups.GroupID) LogObject { return n.logs[CanonPair(g, h)] }
+
+// groupLog returns this process's handle on LOG_g.
+func (n *Node) groupLog(g groups.GroupID) LogObject { return n.logs[PairKey{g, g}] }
 
 // Proc implements engine.Automaton.
 func (n *Node) Proc() groups.Process { return n.p }
@@ -64,7 +85,9 @@ func (n *Node) Multicast(m *msg.Message) {
 	if m.Src != n.p {
 		panic("core: Multicast called at a node other than the source")
 	}
+	n.boxMu.Lock()
 	n.outbox[m.Dst] = append(n.outbox[m.Dst], m.ID)
+	n.boxMu.Unlock()
 }
 
 // Phase returns the local phase of m.
@@ -138,7 +161,7 @@ func (n *Node) Step(ctx *engine.Ctx) bool {
 // discover scans the group logs of G(p) for messages not yet tracked.
 func (n *Node) discover() {
 	for _, g := range n.myGroups {
-		for _, id := range n.sh.GroupLog(g).Inner().Messages() {
+		for _, id := range n.groupLog(g).Messages() {
 			if !n.knownSet[id] {
 				n.knownSet[id] = true
 				n.known = append(n.known, id)
@@ -148,35 +171,52 @@ func (n *Node) discover() {
 	sort.Slice(n.known, func(i, j int) bool { return n.known[i] < n.known[j] })
 }
 
+// outboxHead returns the first queued request of group g, if any.
+func (n *Node) outboxHead(g groups.GroupID) (msg.ID, bool) {
+	n.boxMu.Lock()
+	defer n.boxMu.Unlock()
+	box := n.outbox[g]
+	if len(box) == 0 {
+		return msg.None, false
+	}
+	return box[0], true
+}
+
+// outboxPop removes the head request of group g.
+func (n *Node) outboxPop(g groups.GroupID) {
+	n.boxMu.Lock()
+	n.outbox[g] = n.outbox[g][1:]
+	n.boxMu.Unlock()
+}
+
 // tryMulticast implements the Proposition 1 group-sequential gate plus
 // line 5-7 of Algorithm 1: the head of the outbox is appended to LOG_g once
 // every predecessor in L_g is delivered locally; helping appends a stalled
 // predecessor on the sender's behalf.
 func (n *Node) tryMulticast(ctx *engine.Ctx) bool {
 	for _, g := range n.myGroups {
-		box := n.outbox[g]
-		if len(box) == 0 || !n.gateOK(ctx, g) {
+		head, ok := n.outboxHead(g)
+		if !ok || !n.gateOK(ctx, g) {
 			continue
 		}
-		head := box[0]
-		log := n.sh.GroupLog(g)
+		log := n.groupLog(g)
 		for _, prev := range n.sh.SeqList(g) {
 			if prev == head {
 				// Every predecessor is delivered: multicast(head).
-				if n.Phase(head) != PhaseStart || log.Inner().Contains(logobj.MsgDatum(head)) {
+				if n.Phase(head) != PhaseStart || log.Contains(logobj.MsgDatum(head)) {
 					// Someone (or a previous step) already appended it.
-					n.outbox[g] = box[1:]
+					n.outboxPop(g)
 					return true
 				}
 				log.Append(ctx, g, logobj.MsgDatum(head))
-				n.outbox[g] = box[1:]
+				n.outboxPop(g)
 				return true
 			}
 			if n.Phase(prev) == PhaseDeliver {
 				continue
 			}
 			// Help: make sure the predecessor entered Algorithm 1.
-			if !log.Inner().Contains(logobj.MsgDatum(prev)) {
+			if !log.Contains(logobj.MsgDatum(prev)) {
 				log.Append(ctx, g, logobj.MsgDatum(prev))
 				return true
 			}
@@ -190,12 +230,12 @@ func (n *Node) tryMulticast(ctx *engine.Ctx) bool {
 // tryPending implements lines 8-15.
 func (n *Node) tryPending(ctx *engine.Ctx, id msg.ID) bool {
 	g := n.sh.Reg.Get(id).Dst
-	glog := n.sh.GroupLog(g)
-	if !glog.Inner().Contains(logobj.MsgDatum(id)) {
+	glog := n.groupLog(g)
+	if !glog.Contains(logobj.MsgDatum(id)) {
 		return false
 	}
 	// ∀m' <_{LOG_g} m: PHASE[m'] ≥ commit (line 11).
-	for _, prev := range glog.Inner().MessagesBefore(logobj.MsgDatum(id)) {
+	for _, prev := range glog.MessagesBefore(logobj.MsgDatum(id)) {
 		if n.Phase(prev) < PhaseCommit {
 			return false
 		}
@@ -205,7 +245,7 @@ func (n *Node) tryPending(ctx *engine.Ctx, id msg.ID) bool {
 		if !n.sh.Topo.Intersecting(g, h) {
 			continue
 		}
-		i := n.sh.Log(g, h).Append(ctx, g, logobj.MsgDatum(id))
+		i := n.log(g, h).Append(ctx, g, logobj.MsgDatum(id))
 		glog.Append(ctx, g, logobj.PosDatum(id, h, i))
 	}
 	n.phase[id] = PhasePending
@@ -235,7 +275,7 @@ func (n *Node) consensusFamily(g groups.GroupID) groups.GroupSet {
 // tryCommit implements lines 16-24.
 func (n *Node) tryCommit(ctx *engine.Ctx, id msg.ID) bool {
 	g := n.sh.Reg.Get(id).Dst
-	glog := n.sh.GroupLog(g).Inner()
+	glog := n.groupLog(g)
 	// ∀h ∈ γ(g): (m,h,-) ∈ LOG_g (line 18).
 	for _, h := range n.gammaGroups(g, ctx.Now).Members() {
 		if !glog.HasPosTuple(id, h) {
@@ -245,16 +285,18 @@ func (n *Node) tryCommit(ctx *engine.Ctx, id msg.ID) bool {
 	// eff (lines 19-24).
 	k, ok := glog.MaxPosTuple(id)
 	if !ok {
-		// p itself recorded tuples at pending time, so this cannot happen.
-		panic("core: commit without any position tuple")
+		// p records its own tuples at pending time, so they reach the log
+		// before the commit guard can pass; a replicated backend may simply
+		// not have caught up yet.
+		return false
 	}
 	fam := n.consensusFamily(g)
-	k = n.sh.Cons(id, fam).propose(ctx, k)
+	k = n.sh.Backend().Cons(n.p, id, fam).Propose(ctx, k)
 	for _, h := range n.myGroups {
 		if !n.sh.Topo.Intersecting(g, h) {
 			continue
 		}
-		n.sh.Log(g, h).BumpAndLock(ctx, g, logobj.MsgDatum(id), k)
+		n.log(g, h).BumpAndLock(ctx, g, logobj.MsgDatum(id), k)
 	}
 	n.phase[id] = PhaseCommit
 	return true
@@ -263,17 +305,17 @@ func (n *Node) tryCommit(ctx *engine.Ctx, id msg.ID) bool {
 // tryStabilize implements lines 25-29 for the first group h that is ready.
 func (n *Node) tryStabilize(ctx *engine.Ctx, id msg.ID) bool {
 	g := n.sh.Reg.Get(id).Dst
-	glog := n.sh.GroupLog(g)
+	glog := n.groupLog(g)
 	for _, h := range n.myGroups {
 		if h == g || !n.sh.Topo.Intersecting(g, h) {
 			continue
 		}
-		if glog.Inner().Contains(logobj.StableDatum(id, h)) {
+		if glog.Contains(logobj.StableDatum(id, h)) {
 			continue
 		}
 		// ∀m' <_{LOG_{g∩h}} m: PHASE[m'] ≥ stable (line 28).
 		ready := true
-		for _, prev := range n.sh.Log(g, h).Inner().MessagesBefore(logobj.MsgDatum(id)) {
+		for _, prev := range n.log(g, h).MessagesBefore(logobj.MsgDatum(id)) {
 			if n.Phase(prev) < PhaseStable {
 				ready = false
 				break
@@ -292,7 +334,7 @@ func (n *Node) tryStabilize(ctx *engine.Ctx, id msg.ID) bool {
 // strict variant).
 func (n *Node) tryStable(ctx *engine.Ctx, id msg.ID) bool {
 	g := n.sh.Reg.Get(id).Dst
-	glog := n.sh.GroupLog(g).Inner()
+	glog := n.groupLog(g)
 	if n.sh.Opt.Variant == Strict {
 		// Strict variation: wait, for every intersecting group h, either
 		// the tuple (m,h) or the indicator 1^{g∩h} (§6.1, Sufficiency).
@@ -323,7 +365,7 @@ func (n *Node) tryStable(ctx *engine.Ctx, id msg.ID) bool {
 func (n *Node) tryDeliver(ctx *engine.Ctx, id msg.ID) bool {
 	d := logobj.MsgDatum(id)
 	for _, key := range n.myPairs {
-		l := n.sh.logs[key].Inner()
+		l := n.logs[key]
 		if !l.Contains(d) {
 			continue
 		}
@@ -340,17 +382,4 @@ func (n *Node) tryDeliver(ctx *engine.Ctx, id msg.ID) bool {
 		n.sh.Opt.OnDeliver(n.p, n.sh.Reg.Get(id), ctx.Now)
 	}
 	return true
-}
-
-// propose runs CONS_{m,f}.propose with host charging.
-func (o *consensusObject) propose(ctx *engine.Ctx, v int) int {
-	if !o.decided {
-		o.decided = true
-		o.value = v
-	}
-	if ctx != nil {
-		ctx.E.ChargeSet(o.hosts, 1)
-		ctx.E.CountMessages(int64(2 * o.hosts.Count()))
-	}
-	return o.value
 }

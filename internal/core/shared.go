@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/failure"
 	"repro/internal/fd"
@@ -62,16 +63,22 @@ type Options struct {
 }
 
 // Shared holds the state shared by every node of a run: the topology, the
-// message registry, the shared objects, the detector bundle, and the global
-// delivery trace.
+// message registry, the detector bundle, the global delivery trace, and the
+// backend supplying the shared objects (the substrate the protocol runs
+// over — see backend.go).
+//
+// The trace-recording surface (Request, RecordDelivery, SeqList and the
+// accessors) is guarded by a mutex: deterministic runs are sequential, but
+// the live backend steps every node in its own goroutine.
 type Shared struct {
 	Topo *groups.Topology
 	Reg  *msg.Registry
 	Mu   *fd.Mu
 	Opt  Options
 
-	logs map[PairKey]*uc.Log
-	cons map[consKey]*consensusObject
+	be Backend
+
+	mu sync.Mutex
 
 	// seqs are the group-sequential lists L_g of the Proposition 1
 	// reduction: client multicasts enter here, and a sender only hands its
@@ -89,6 +96,7 @@ type Shared struct {
 	deliveries []Delivery
 	seq        int
 	version    int64
+	frozen     bool
 
 	// gammaOverride substitutes another γ implementation for the ideal one
 	// (ablations and the necessity emulations plug in theirs here).
@@ -113,79 +121,57 @@ func (sh *Shared) Gamma() fd.Gamma {
 // emulation-driven runs); call before the run starts.
 func (sh *Shared) OverrideGamma(g fd.Gamma) { sh.gammaOverride = g }
 
-// consensusObject is CONS_{m,f}: first proposal wins, hosts charged.
-type consensusObject struct {
-	hosts   groups.ProcSet
-	decided bool
-	value   int
+// NewShared builds the shared state of a run over the deterministic Sim
+// backend (ideal in-memory objects).
+func NewShared(topo *groups.Topology, pat *failure.Pattern, opt Options) *Shared {
+	sh := newSharedState(topo, pat, opt)
+	sh.be = newSimBackend(topo, sh.Reg, sh.Opt)
+	return sh
 }
 
-// NewShared builds the shared state of a run.
-func NewShared(topo *groups.Topology, pat *failure.Pattern, opt Options) *Shared {
+// NewSharedWithBackend builds the shared state of a run over an explicit
+// backend (internal/live supplies the replicated one). The factory receives
+// the freshly built shared state — backends need its registry to resolve
+// message destinations and its detector bundle to drive leader election.
+func NewSharedWithBackend(topo *groups.Topology, pat *failure.Pattern, opt Options, mk func(sh *Shared) Backend) *Shared {
+	sh := newSharedState(topo, pat, opt)
+	sh.be = mk(sh)
+	return sh
+}
+
+// newSharedState builds everything but the backend.
+func newSharedState(topo *groups.Topology, pat *failure.Pattern, opt Options) *Shared {
 	if opt.Variant == 0 {
 		opt.Variant = Vanilla
 	}
-	sh := &Shared{
+	return &Shared{
 		Topo:           topo,
 		Reg:            msg.NewRegistry(),
 		Mu:             fd.NewMu(topo, pat, opt.FD),
 		Opt:            opt,
-		logs:           make(map[PairKey]*uc.Log),
-		cons:           make(map[consKey]*consensusObject),
 		seqs:           make(map[groups.GroupID][]msg.ID),
 		requestedAt:    make(map[msg.ID]failure.Time),
 		firstDelivered: make(map[msg.ID]failure.Time),
 	}
-	k := topo.NumGroups()
-	for g := 0; g < k; g++ {
-		gid := groups.GroupID(g)
-		for h := g; h < k; h++ {
-			hid := groups.GroupID(h)
-			inter := topo.Intersection(gid, hid)
-			if inter.Empty() {
-				continue
-			}
-			name := fmt.Sprintf("LOG_g%d", g)
-			if g != h {
-				name = fmt.Sprintf("LOG_g%d∩g%d", g, h)
-			}
-			// The fallback consensus is hosted by the lower-numbered group
-			// ("atop some group, say g"); under StronglyGenuine the
-			// intersection hosts itself (Ω_{g∩h} ∧ Σ_{g∩h} are available).
-			slow := topo.Group(gid)
-			if opt.Variant == StronglyGenuine {
-				slow = inter
-			}
-			sh.logs[PairKey{gid, hid}] = uc.New(name, inter, slow, opt.ChargeObjects)
-		}
-	}
-	return sh
 }
 
-// Log returns LOG_{g∩h} (LOG_g when g == h); it panics when g∩h = ∅, which
-// indicates a caller bug.
+// Backend returns the shared-object backend of the run.
+func (sh *Shared) Backend() Backend { return sh.be }
+
+// Log returns the universal-construction log LOG_{g∩h} (LOG_g when g == h)
+// of a Sim-backed run; it panics when g∩h = ∅ or when the run uses another
+// backend. It exists for the invariant tests and the ablations, which
+// inspect the ideal objects directly; protocol code goes through Backend.
 func (sh *Shared) Log(g, h groups.GroupID) *uc.Log {
-	l, ok := sh.logs[CanonPair(g, h)]
+	b, ok := sh.be.(*simBackend)
 	if !ok {
-		panic(fmt.Sprintf("core: no log for g%d∩g%d", g, h))
+		panic(fmt.Sprintf("core: Shared.Log(g%d,g%d) needs the Sim backend (got %T)", g, h, sh.be))
 	}
-	return l
+	return b.ucLog(g, h)
 }
 
-// GroupLog returns LOG_g.
+// GroupLog returns LOG_g (Sim backend only; see Log).
 func (sh *Shared) GroupLog(g groups.GroupID) *uc.Log { return sh.Log(g, g) }
-
-// Cons returns CONS_{m,f}, lazily created. The object is hosted by dst(m)
-// (consensus is solvable in each group from Σ_g ∧ Ω_g).
-func (sh *Shared) Cons(m msg.ID, fam groups.GroupSet) *consensusObject {
-	key := consKey{m: m, fam: fam}
-	if o, ok := sh.cons[key]; ok {
-		return o
-	}
-	o := &consensusObject{hosts: sh.Topo.Group(sh.Reg.Get(m).Dst)}
-	sh.cons[key] = o
-	return o
-}
 
 // Request registers a client multicast: the message enters the group-
 // sequential list L_g immediately; the sending node passes it to
@@ -195,34 +181,66 @@ func (sh *Shared) Request(src groups.Process, dst groups.GroupID, payload []byte
 		panic(fmt.Sprintf("core: closed dissemination model requires src ∈ dst: p%d ∉ g%d", src, dst))
 	}
 	m := sh.Reg.New(src, dst, payload)
+	sh.mu.Lock()
 	sh.seqs[dst] = append(sh.seqs[dst], m.ID)
 	sh.requestedAt[m.ID] = now
 	sh.version++
+	sh.mu.Unlock()
 	return m
 }
 
-// SeqList returns L_g.
-func (sh *Shared) SeqList(g groups.GroupID) []msg.ID { return sh.seqs[g] }
+// SeqList returns a snapshot of L_g.
+func (sh *Shared) SeqList(g groups.GroupID) []msg.ID {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append([]msg.ID(nil), sh.seqs[g]...)
+}
 
 // RecordDelivery appends to the global delivery trace.
 func (sh *Shared) RecordDelivery(p groups.Process, m msg.ID, t failure.Time) {
+	sh.mu.Lock()
+	if sh.frozen {
+		sh.mu.Unlock()
+		return
+	}
 	sh.deliveries = append(sh.deliveries, Delivery{P: p, M: m, T: t, Seq: sh.seq})
 	sh.seq++
 	if _, ok := sh.firstDelivered[m]; !ok {
 		sh.firstDelivered[m] = t
 	}
 	sh.version++
+	sh.mu.Unlock()
 }
 
-// Deliveries returns the global delivery trace.
-func (sh *Shared) Deliveries() []Delivery { return sh.deliveries }
+// Freeze stops trace recording: deliveries after Freeze are dropped. The
+// live runner freezes the trace before tearing the substrate down, so
+// actions completing degraded during shutdown cannot corrupt the evidence
+// the checkers consume.
+func (sh *Shared) Freeze() {
+	sh.mu.Lock()
+	sh.frozen = true
+	sh.mu.Unlock()
+}
+
+// Deliveries returns a snapshot of the global delivery trace.
+func (sh *Shared) Deliveries() []Delivery {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append([]Delivery(nil), sh.deliveries...)
+}
 
 // RequestedAt returns when the message was requested.
-func (sh *Shared) RequestedAt(m msg.ID) failure.Time { return sh.requestedAt[m] }
+func (sh *Shared) RequestedAt(m msg.ID) failure.Time {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.requestedAt[m]
+}
 
 // FirstDeliveredAt returns the first delivery time of m; ok is false when m
 // was never delivered.
 func (sh *Shared) FirstDeliveredAt(m msg.ID) (failure.Time, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	t, ok := sh.firstDelivered[m]
 	return t, ok
 }

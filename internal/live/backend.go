@@ -1,0 +1,234 @@
+// Package live runs Algorithm 1 over the real message-passing stack: every
+// shared log is an internal/replog replicated state machine (per-slot paxos
+// inside its hosting group) and every CONS_{m,f} a dedicated paxos instance,
+// all over a net.Transport — the reliable fabric or the adversarial one
+// (internal/chaos). It is the §4.3 composition made concrete: the node logic
+// of internal/core is substrate-agnostic, and this package supplies the
+// replicated substrate, where the deterministic engine supplies the ideal
+// one.
+//
+// The System type in system.go drives a full run: one goroutine per process
+// stepping its core.Node against this backend, a wall-clock ticker standing
+// in for the virtual clock (failure detectors and crash schedules key on
+// ticks), and trace extraction for internal/check.
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+	"repro/internal/logobj"
+	"repro/internal/msg"
+	"repro/internal/net"
+	"repro/internal/paxos"
+	"repro/internal/replog"
+)
+
+// Backend implements core.Backend over replicated logs and paxos consensus.
+// Each process has one paxos node (acceptor + proposer) on the transport and
+// one replog replica per log it touches; replicas of a log replicate over
+// the log's hosting group.
+type Backend struct {
+	topo   *groups.Topology
+	reg    *msg.Registry
+	nw     net.Transport
+	mu     *fd.Mu
+	clock  func() failure.Time
+	strong bool // StronglyGenuine: host LOG_{g∩h} inside g∩h
+
+	nodes []*paxos.Node
+
+	lk   sync.Mutex
+	reps map[repKey]*replog.Replica
+	cons map[liveConsKey]*liveCons
+}
+
+type repKey struct {
+	p    groups.Process
+	pair core.PairKey
+}
+
+type liveConsKey struct {
+	p   groups.Process
+	m   msg.ID
+	fam groups.GroupSet
+}
+
+var _ core.Backend = (*Backend)(nil)
+
+// NewBackend builds the replicated substrate: one paxos node per process on
+// the transport; replicas and consensus instances are created on demand.
+// clock supplies the current tick for failure-detector queries (leader
+// election follows Ω at the current time).
+func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Transport, clock func() failure.Time, strong bool, pcfg paxos.Config) *Backend {
+	b := &Backend{
+		topo:   topo,
+		reg:    reg,
+		nw:     nw,
+		mu:     mu,
+		clock:  clock,
+		strong: strong,
+		nodes:  make([]*paxos.Node, topo.NumProcesses()),
+		reps:   make(map[repKey]*replog.Replica),
+		cons:   make(map[liveConsKey]*liveCons),
+	}
+	for p := range b.nodes {
+		b.nodes[p] = paxos.StartNodeWithConfig(nw, groups.Process(p), pcfg)
+	}
+	return b
+}
+
+// hosting returns the replication scope of LOG_{g∩h} and the Ω that elects
+// its paxos leader. As in the Sim backend, the lower-numbered group hosts
+// ("atop some group, say g"); under the strongly genuine variation the
+// intersection hosts itself from Ω_{g∩h} ∧ Σ_{g∩h}.
+func (b *Backend) hosting(pair core.PairKey) (groups.ProcSet, fd.Omega) {
+	if pair.A == pair.B {
+		return b.topo.Group(pair.A), b.mu.OmegaFor(pair.A)
+	}
+	if b.strong {
+		if o, ok := b.mu.OmegaIntersectionFor(pair.A, pair.B); ok {
+			return b.topo.Intersection(pair.A, pair.B), o
+		}
+	}
+	return b.topo.Group(pair.A), b.mu.OmegaFor(pair.A)
+}
+
+// leaderFunc adapts an Ω history to the paxos leader interface, sampling it
+// at the backend's current tick. With no leader sample yet the process
+// trusts itself — safe (quorum intersection), merely contended.
+func (b *Backend) leaderFunc(o fd.Omega) paxos.LeaderFunc {
+	return func(q groups.Process) groups.Process {
+		if l, ok := o.Leader(q, b.clock()); ok {
+			return l
+		}
+		return q
+	}
+}
+
+// Log implements core.Backend: p's replica of LOG_{g∩h}, created on first
+// use (the replica starts its apply loop immediately).
+func (b *Backend) Log(p groups.Process, g, h groups.GroupID) core.LogObject {
+	pair := core.CanonPair(g, h)
+	key := repKey{p: p, pair: pair}
+	b.lk.Lock()
+	defer b.lk.Unlock()
+	if r, ok := b.reps[key]; ok {
+		return liveLog{r}
+	}
+	name := fmt.Sprintf("LOG_g%d", pair.A)
+	if pair.A != pair.B {
+		name = fmt.Sprintf("LOG_g%d∩g%d", pair.A, pair.B)
+	}
+	scope, omega := b.hosting(pair)
+	r := replog.NewReplica(name, p, b.nodes[p], b.nw, scope, b.leaderFunc(omega))
+	b.reps[key] = r
+	return liveLog{r}
+}
+
+// Cons implements core.Backend: p's handle on the dedicated paxos instance
+// of CONS_{m,fam}, hosted by dst(m) (consensus is solvable in each group
+// from Σ_g ∧ Ω_g).
+func (b *Backend) Cons(p groups.Process, m msg.ID, fam groups.GroupSet) core.Consensus {
+	key := liveConsKey{p: p, m: m, fam: fam}
+	b.lk.Lock()
+	defer b.lk.Unlock()
+	if c, ok := b.cons[key]; ok {
+		return c
+	}
+	dst := b.reg.Get(m).Dst
+	c := &liveCons{
+		node: b.nodes[p],
+		ins: &paxos.Instance{
+			Name:   fmt.Sprintf("CONS/m%d/f%x", m, uint64(fam)),
+			Scope:  b.topo.Group(dst),
+			Net:    b.nw,
+			Leader: b.leaderFunc(b.mu.OmegaFor(dst)),
+		},
+	}
+	b.cons[key] = c
+	return c
+}
+
+// Sync implements core.Backend: walk p's replicas through every decision
+// already learnt locally before a discovery scan (the apply loops do this
+// continuously; Sync just front-runs them for read freshness).
+func (b *Backend) Sync(p groups.Process) {
+	b.lk.Lock()
+	reps := make([]*replog.Replica, 0, 8)
+	for key, r := range b.reps {
+		if key.p == p {
+			reps = append(reps, r)
+		}
+	}
+	b.lk.Unlock()
+	for _, r := range reps {
+		r.Sync()
+	}
+}
+
+// liveLog adapts a replog replica to the core.LogObject surface. Mutators
+// block until the operation is decided (or the transport shuts down); reads
+// run against the local copy, which may lag the decided prefix — the node
+// guards simply stay false until the apply loop catches up.
+type liveLog struct{ r *replog.Replica }
+
+func (l liveLog) Append(ctx *engine.Ctx, origin groups.GroupID, d logobj.Datum) int {
+	if pos, ok := l.r.Append(d); ok {
+		return pos
+	}
+	return l.r.Pos(d) // shutdown: best-effort local answer
+}
+
+func (l liveLog) BumpAndLock(ctx *engine.Ctx, origin groups.GroupID, d logobj.Datum, k int) {
+	l.r.BumpAndLock(d, k)
+}
+
+func (l liveLog) Contains(d logobj.Datum) bool {
+	var out bool
+	l.r.Read(func(lg *logobj.Log) { out = lg.Contains(d) })
+	return out
+}
+
+func (l liveLog) Messages() []msg.ID {
+	var out []msg.ID
+	l.r.Read(func(lg *logobj.Log) { out = lg.Messages() })
+	return out
+}
+
+func (l liveLog) MessagesBefore(d logobj.Datum) []msg.ID {
+	var out []msg.ID
+	l.r.Read(func(lg *logobj.Log) { out = lg.MessagesBefore(d) })
+	return out
+}
+
+func (l liveLog) HasPosTuple(m msg.ID, h groups.GroupID) bool {
+	var out bool
+	l.r.Read(func(lg *logobj.Log) { out = lg.HasPosTuple(m, h) })
+	return out
+}
+
+func (l liveLog) MaxPosTuple(m msg.ID) (int, bool) {
+	var out int
+	var ok bool
+	l.r.Read(func(lg *logobj.Log) { out, ok = lg.MaxPosTuple(m) })
+	return out, ok
+}
+
+// liveCons adapts a paxos instance to the core.Consensus surface.
+type liveCons struct {
+	node *paxos.Node
+	ins  *paxos.Instance
+}
+
+func (c *liveCons) Propose(ctx *engine.Ctx, v int) int {
+	if got, ok := c.node.Propose(c.ins, int64(v)); ok {
+		return int(got)
+	}
+	return v // shutdown: the value is never observed (trace is frozen)
+}

@@ -1,0 +1,255 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/msg"
+	"repro/internal/net"
+	"repro/internal/paxos"
+)
+
+// Config tunes a live run.
+type Config struct {
+	// Opt configures the protocol (variant, detector options). QuorumGate
+	// must stay false: the live substrate enforces quorum responsiveness
+	// physically (paxos blocks without a majority), not via the engine.
+	Opt core.Options
+	// Paxos tunes the consensus timing (zero fields take defaults).
+	Paxos paxos.Config
+	// TickEvery maps wall time to failure.Time: one tick per interval.
+	// Detector stabilisation and crash schedules key on ticks. Default 1ms.
+	TickEvery time.Duration
+	// StepIdle is how long an idle node sleeps before rescanning its
+	// guards. Default 200µs.
+	StepIdle time.Duration
+}
+
+// System is a live run: Algorithm 1 nodes stepped by goroutines over the
+// replicated backend, with crash injection driven by the failure pattern.
+//
+//	nw := net.New(topo.NumProcesses())       // or chaos.Wrap(...)
+//	sys := live.NewSystem(topo, pat, nw, live.Config{})
+//	sys.Start()
+//	m := sys.Multicast(0, 1, []byte("x"))
+//	ok := sys.AwaitDelivery(10 * time.Second)
+//	sys.Stop()
+//	violations := sys.Check()
+type System struct {
+	Topo  *groups.Topology
+	Pat   *failure.Pattern
+	Sh    *core.Shared
+	Nodes []*core.Node
+	Net   net.Transport
+
+	be   *Backend
+	cfg  Config
+	tick atomic.Int64
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewSystem assembles a live system over the transport. The transport must
+// span topo.NumProcesses() processes; wrap it in chaos.Wrap for fault
+// injection. Call Start to launch it.
+func NewSystem(topo *groups.Topology, pat *failure.Pattern, nw net.Transport, cfg Config) *System {
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = time.Millisecond
+	}
+	if cfg.StepIdle <= 0 {
+		cfg.StepIdle = 200 * time.Microsecond
+	}
+	if cfg.Opt.QuorumGate {
+		panic("live: QuorumGate is an engine-run construct; the live substrate gates on real quorums")
+	}
+	s := &System{
+		Topo: topo,
+		Pat:  pat,
+		Net:  nw,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+	}
+	s.Sh = core.NewSharedWithBackend(topo, pat, cfg.Opt, func(sh *core.Shared) core.Backend {
+		s.be = NewBackend(topo, sh.Reg, sh.Mu, nw, s.now, cfg.Opt.Variant == core.StronglyGenuine, cfg.Paxos)
+		return s.be
+	})
+	s.Nodes = make([]*core.Node, topo.NumProcesses())
+	for p := range s.Nodes {
+		s.Nodes[p] = core.NewNode(groups.Process(p), s.Sh)
+	}
+	return s
+}
+
+// now is the backend's clock: the current tick.
+func (s *System) now() failure.Time { return failure.Time(s.tick.Load()) }
+
+// Now returns the current tick (drivers use it to schedule multicasts
+// relative to the crash schedule).
+func (s *System) Now() failure.Time { return s.now() }
+
+// Start launches the ticker and one stepping goroutine per process.
+func (s *System) Start() {
+	s.wg.Add(1)
+	go s.runClock()
+	for p := range s.Nodes {
+		s.wg.Add(1)
+		go s.runNode(groups.Process(p))
+	}
+}
+
+// runClock advances the tick and applies the failure pattern's crash
+// schedule to the transport: at its crash tick a process goes silent
+// (fail-stop), exactly what the detectors' histories assume.
+func (s *System) runClock() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.TickEvery)
+	defer t.Stop()
+	crashed := make(map[groups.Process]bool)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			now := failure.Time(s.tick.Add(1))
+			for p := 0; p < s.Topo.NumProcesses(); p++ {
+				pp := groups.Process(p)
+				ct := s.Pat.CrashTime(pp)
+				if ct != failure.Never && now >= ct && !crashed[pp] {
+					crashed[pp] = true
+					s.Net.Crash(pp)
+				}
+			}
+		}
+	}
+}
+
+// runNode steps one node until shutdown (or its crash). A step that blocks
+// inside a shared-object operation is unblocked by Net.Close at Stop.
+func (s *System) runNode(p groups.Process) {
+	defer s.wg.Done()
+	n := s.Nodes[p]
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		if s.Net.Crashed(p) {
+			return
+		}
+		if !n.Step(&engine.Ctx{Now: s.now()}) {
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(s.cfg.StepIdle):
+			}
+		}
+	}
+}
+
+// Multicast issues a client multicast from src to group dst. The sender
+// must belong to dst (closed dissemination model, enforced by Shared).
+func (s *System) Multicast(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
+	m := s.Sh.Request(src, dst, payload, s.now())
+	s.Nodes[src].Multicast(m)
+	return m
+}
+
+// allDelivered mirrors the Termination checker's obligation: every
+// multicast message is delivered by every correct member of its
+// destination group.
+func (s *System) allDelivered() bool {
+	type ev struct {
+		p groups.Process
+		m msg.ID
+	}
+	got := make(map[ev]bool)
+	for _, d := range s.Sh.Deliveries() {
+		got[ev{d.P, d.M}] = true
+	}
+	for _, m := range s.Sh.Reg.All() {
+		for _, p := range s.Topo.Group(m.Dst).Members() {
+			if !s.Pat.IsCorrect(p) {
+				continue
+			}
+			if !got[ev{p, m.ID}] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AwaitDelivery blocks until every issued multicast is delivered at every
+// correct destination member, or the timeout elapses; it reports success.
+func (s *System) AwaitDelivery(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.allDelivered() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-s.stop:
+			return s.allDelivered()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Stop freezes the trace and tears the run down: the trace freeze comes
+// first so operations completing degraded during shutdown cannot corrupt
+// the evidence; closing the transport then unblocks every node parked
+// inside a consensus operation.
+func (s *System) Stop() {
+	s.once.Do(func() {
+		s.Sh.Freeze()
+		close(s.stop)
+		s.Net.Close()
+		s.wg.Wait()
+	})
+}
+
+// Trace exports the run evidence for the checkers. TookSteps is nil — wall
+// clock runs have no step ledger, so the Minimality checker is skipped
+// (genuineness is an engine-run property; see internal/check).
+func (s *System) Trace() *check.Trace {
+	local := make(map[groups.Process][]msg.ID)
+	for _, d := range s.Sh.Deliveries() {
+		local[d.P] = append(local[d.P], d.M)
+	}
+	multicast := make(map[msg.ID]failure.Time, s.Sh.Reg.Len())
+	first := make(map[msg.ID]failure.Time)
+	for _, m := range s.Sh.Reg.All() {
+		multicast[m.ID] = s.Sh.RequestedAt(m.ID)
+		if t, ok := s.Sh.FirstDeliveredAt(m.ID); ok {
+			first[m.ID] = t
+		}
+	}
+	return &check.Trace{
+		Topo:           s.Topo,
+		Pat:            s.Pat,
+		Reg:            s.Sh.Reg,
+		LocalOrder:     local,
+		Multicast:      multicast,
+		FirstDelivered: first,
+	}
+}
+
+// Check validates the completed run against the specification and returns
+// the violations (empty means the run satisfied it). Call after Stop, or
+// at a quiescent point.
+func (s *System) Check() []*check.Violation {
+	strict := s.Sh.Opt.Variant == core.Strict
+	pairwise := s.Sh.Opt.Variant == core.Pairwise
+	return check.All(s.Trace(), strict, pairwise)
+}

@@ -4,6 +4,7 @@ package msg
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/groups"
 )
@@ -31,8 +32,11 @@ func (m *Message) String() string {
 }
 
 // Registry assigns identifiers and resolves them back to messages. A single
-// registry is shared by every process of a run (message identity is global).
+// registry is shared by every process of a run (message identity is global);
+// live-backend runs register from the driver while nodes resolve
+// concurrently, hence the lock.
 type Registry struct {
+	mu   sync.RWMutex
 	next ID
 	byID map[ID]*Message
 }
@@ -45,6 +49,8 @@ func NewRegistry() *Registry {
 
 // New registers a fresh message.
 func (r *Registry) New(src groups.Process, dst groups.GroupID, payload []byte) *Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m := &Message{ID: r.next, Src: src, Dst: dst, Payload: payload}
 	r.next++
 	r.byID[m.ID] = m
@@ -54,7 +60,9 @@ func (r *Registry) New(src groups.Process, dst groups.GroupID, payload []byte) *
 // Get resolves an ID; it panics on unknown IDs, which indicates a bug in the
 // caller (messages are always registered before circulating).
 func (r *Registry) Get(id ID) *Message {
+	r.mu.RLock()
 	m, ok := r.byID[id]
+	r.mu.RUnlock()
 	if !ok {
 		panic(fmt.Sprintf("msg: unknown message id %d", id))
 	}
@@ -62,10 +70,16 @@ func (r *Registry) Get(id ID) *Message {
 }
 
 // Len returns the number of registered messages.
-func (r *Registry) Len() int { return len(r.byID) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}
 
 // All returns every registered message in ID order.
 func (r *Registry) All() []*Message {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*Message, 0, len(r.byID))
 	for id := ID(1); id < r.next; id++ {
 		if m, ok := r.byID[id]; ok {

@@ -18,6 +18,56 @@ import (
 // LeaderFunc is the Ω_g interface: the current leader sample at p.
 type LeaderFunc func(p groups.Process) groups.Process
 
+// Config tunes the proposer timing. The zero value means "use the
+// defaults"; chaos tests and the live backend pass adjusted values instead
+// of editing constants.
+type Config struct {
+	// PhaseDeadline bounds one quorum round trip. It must cover not just
+	// the fabric's nominal delay but the host's timer granularity (~1ms on
+	// common Linux configs), which a delay-injecting fabric pays once per
+	// hop: a deadline near 2×granularity makes every round time out and
+	// look like a proposer duel when the packets were merely slow.
+	PhaseDeadline time.Duration
+	// BackoffBase is the base of the exponential retry backoff after a
+	// failed round (doubles per failure, capped at 16×).
+	BackoffBase time.Duration
+	// Stagger is the per-process skew added to every backoff so dueling
+	// proposers desynchronise (p waits p×Stagger extra).
+	Stagger time.Duration
+	// NonLeaderWait is how long a non-leader (per Ω) waits for the
+	// leader's decision between checks before it starts hedging rounds of
+	// its own.
+	NonLeaderWait time.Duration
+}
+
+// DefaultConfig returns the timing the package has always used.
+func DefaultConfig() Config {
+	return Config{
+		PhaseDeadline: 10 * time.Millisecond,
+		BackoffBase:   100 * time.Microsecond,
+		Stagger:       137 * time.Microsecond,
+		NonLeaderWait: 200 * time.Microsecond,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.PhaseDeadline <= 0 {
+		c.PhaseDeadline = d.PhaseDeadline
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.Stagger <= 0 {
+		c.Stagger = d.Stagger
+	}
+	if c.NonLeaderWait <= 0 {
+		c.NonLeaderWait = d.NonLeaderWait
+	}
+	return c
+}
+
 // Instance is one consensus instance replicated over a scope. Net may be
 // the reliable fabric or the adversarial one (internal/chaos): prepare and
 // accept are idempotent at a fixed ballot, proposers retry rounds under a
@@ -68,10 +118,18 @@ type decideMsg struct {
 	Val  int64
 }
 
+// learnReq is the anti-entropy probe: "send me your decision for Inst if
+// you have one". Passive replicas fall back to it when a decide broadcast
+// was dropped by an adversarial fabric; the reply is an ordinary decideMsg.
+type learnReq struct {
+	Inst string
+}
+
 // Node bundles the acceptor role and the proposer plumbing of one process.
 type Node struct {
 	nw   net.Transport
 	p    groups.Process
+	cfg  Config
 	acc  *acceptor
 	resp chan net.Packet
 	done chan struct{}
@@ -82,11 +140,18 @@ type Node struct {
 	opMu    sync.Mutex
 }
 
-// StartNode launches the node's message loop.
+// StartNode launches the node's message loop with the default timing.
 func StartNode(nw net.Transport, p groups.Process) *Node {
+	return StartNodeWithConfig(nw, p, Config{})
+}
+
+// StartNodeWithConfig launches the node's message loop with tuned timing
+// (zero fields fall back to the defaults).
+func StartNodeWithConfig(nw net.Transport, p groups.Process, cfg Config) *Node {
 	n := &Node{
-		nw: nw,
-		p:  p,
+		nw:  nw,
+		p:   p,
+		cfg: cfg.withDefaults(),
 		acc: &acceptor{
 			promised: make(map[string]int64),
 			accepted: make(map[string]acceptedVal),
@@ -128,6 +193,10 @@ func (n *Node) loop() {
 				acceptResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok})
 		case decideMsg:
 			n.recordDecision(body.Inst, body.Val)
+		case learnReq:
+			if v, ok := n.Decided(body.Inst); ok {
+				n.nw.Send(n.p, pkt.From, "decide", decideMsg{Inst: body.Inst, Val: v})
+			}
 		case prepareResp, acceptResp:
 			select {
 			case n.resp <- pkt:
@@ -170,6 +239,22 @@ func (n *Node) await(inst string) <-chan int64 {
 	return ch
 }
 
+// Await returns a channel that delivers the decision of inst once it is
+// learnt locally (immediately if already known). The channel never closes;
+// select against Done for shutdown.
+func (n *Node) Await(inst string) <-chan int64 { return n.await(inst) }
+
+// Done is closed when the node's message loop exits (network shutdown).
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// RequestDecision broadcasts an anti-entropy probe for inst to the scope:
+// any peer that knows the decision replies with it. Safe to call
+// repeatedly; used by replicas whose decide broadcast may have been
+// dropped.
+func (n *Node) RequestDecision(scope groups.ProcSet, inst string) {
+	n.nw.Broadcast(n.p, scope, "learn", learnReq{Inst: inst})
+}
+
 // Propose runs the synod protocol for the instance until a decision is
 // learnt and returns it. Non-leaders (per Ω) wait for the leader's decision
 // and only proposer-race when their leader sample points at themselves.
@@ -202,7 +287,7 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 				return got, true
 			case <-n.done:
 				return 0, false
-			case <-time.After(200 * time.Microsecond):
+			case <-time.After(n.cfg.NonLeaderWait):
 			}
 			continue
 		}
@@ -224,8 +309,7 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 		if shift > 4 {
 			shift = 4
 		}
-		backoff := time.Duration(100<<shift)*time.Microsecond +
-			time.Duration(n.p)*137*time.Microsecond
+		backoff := n.cfg.BackoffBase<<shift + time.Duration(n.p)*n.cfg.Stagger
 		select {
 		case got := <-decidedCh:
 			return got, true
@@ -238,13 +322,6 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 		}
 	}
 }
-
-// phaseDeadline bounds one quorum round trip. It must cover not just the
-// fabric's nominal delay but the host's timer granularity (~1ms on common
-// Linux configs), which a delay-injecting fabric pays once per hop: a
-// deadline near 2×granularity makes every round time out and look like a
-// proposer duel when the packets were merely slow.
-const phaseDeadline = 10 * time.Millisecond
 
 // round runs one prepare/accept round and reports the value it got
 // accepted, or false on a quorum refusal or shutdown.
@@ -259,7 +336,7 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 	n.nw.Broadcast(n.p, inst.Scope, "prepare", prepareReq{Inst: inst.Name, Ballot: ballot})
 	promised := make(map[groups.Process]bool, need)
 	var best acceptedVal
-	deadline := time.After(phaseDeadline)
+	deadline := time.After(n.cfg.PhaseDeadline)
 	for len(promised) < need {
 		select {
 		case pkt, open := <-n.resp:
@@ -289,7 +366,7 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 	// Phase 2: accept (deduplicated like phase 1).
 	n.nw.Broadcast(n.p, inst.Scope, "accept", acceptReq{Inst: inst.Name, Ballot: ballot, Val: val})
 	accepted := make(map[groups.Process]bool, need)
-	deadline = time.After(phaseDeadline)
+	deadline = time.After(n.cfg.PhaseDeadline)
 	for len(accepted) < need {
 		select {
 		case pkt, open := <-n.resp:

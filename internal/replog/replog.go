@@ -71,8 +71,18 @@ func decode(v int64) Op {
 	return o
 }
 
+// nudgeEvery is how often a replica stuck waiting on an undecided slot
+// broadcasts an anti-entropy probe: the decide broadcast for the slot may
+// have been dropped by an adversarial fabric, and some peer (the proposer at
+// least) knows the decision.
+const nudgeEvery = 2 * time.Millisecond
+
 // Replica is one process's handle on the replicated log: a local copy of
 // the object plus the consensus plumbing to agree on the operation order.
+//
+// A background apply loop follows the decided slots in order and applies
+// them to the local copy the moment they are learnt; waiters block on a
+// condition variable signalled per apply, so there is no polling anywhere.
 type Replica struct {
 	name  string
 	p     groups.Process
@@ -81,12 +91,14 @@ type Replica struct {
 	mkIns func(slot int) *paxos.Instance
 
 	mu      sync.Mutex
-	applied int // operations applied so far
+	cond    *sync.Cond // signalled on every apply (and on SyncWait timeout)
+	applied int        // operations applied so far
 	local   *logobj.Log
 }
 
-// NewReplica builds the replica of process p. All replicas of a log must
-// share the name, scope and network.
+// NewReplica builds the replica of process p and starts its apply loop. All
+// replicas of a log must share the name, scope and network. The apply loop
+// stops when the paxos node's message loop exits (network shutdown).
 func NewReplica(name string, p groups.Process, node *paxos.Node, nw net.Transport, scope groups.ProcSet, leader paxos.LeaderFunc) *Replica {
 	r := &Replica{
 		name:  name,
@@ -95,6 +107,7 @@ func NewReplica(name string, p groups.Process, node *paxos.Node, nw net.Transpor
 		scope: scope,
 		local: logobj.New(name),
 	}
+	r.cond = sync.NewCond(&r.mu)
 	r.mkIns = func(slot int) *paxos.Instance {
 		return &paxos.Instance{
 			Name:   fmt.Sprintf("%s/%d", name, slot),
@@ -103,7 +116,41 @@ func NewReplica(name string, p groups.Process, node *paxos.Node, nw net.Transpor
 			Leader: leader,
 		}
 	}
+	go r.applyLoop()
 	return r
+}
+
+// applyLoop drives the replica forward: await the decision of the next
+// unapplied slot, apply it, repeat. While a slot stays undecided it
+// periodically probes the peers (anti-entropy), covering dropped decide
+// broadcasts for slots this replica never proposes in.
+func (r *Replica) applyLoop() {
+	tick := time.NewTicker(nudgeEvery)
+	defer tick.Stop()
+	for {
+		r.mu.Lock()
+		slot := r.applied
+		r.mu.Unlock()
+		inst := fmt.Sprintf("%s/%d", r.name, slot)
+		ch := r.node.Await(inst)
+	waiting:
+		for {
+			select {
+			case v := <-ch:
+				r.applyAt(slot, v)
+				break waiting
+			case <-r.node.Done():
+				return
+			case <-tick.C:
+				// Only probe when the slot is genuinely stalled; if a
+				// concurrent submit advanced us past it, re-resolve.
+				if r.Applied() > slot {
+					break waiting
+				}
+				r.node.RequestDecision(r.scope, inst)
+			}
+		}
+	}
 }
 
 // Append funnels LOG.append(d) through consensus and returns the position
@@ -141,22 +188,26 @@ func (r *Replica) submit(o Op) bool {
 	}
 }
 
-// SyncWait polls Sync until at least n operations are applied or the
-// timeout elapses, and reports success. Decide broadcasts are asynchronous,
-// so a passive replica may learn a decision a moment after the proposer
-// returns.
+// SyncWait blocks until at least n operations are applied or the timeout
+// elapses, and reports success. Decide broadcasts are asynchronous, so a
+// passive replica may learn a decision a moment after the proposer returns;
+// the apply loop wakes this waiter the moment the slot lands.
 func (r *Replica) SyncWait(n int, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		r.Sync()
-		if r.Applied() >= n {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(100 * time.Microsecond)
+	r.Sync() // pick up anything already decided locally
+	timedOut := false
+	timer := time.AfterFunc(timeout, func() {
+		r.mu.Lock()
+		timedOut = true
+		r.mu.Unlock()
+		r.cond.Broadcast()
+	})
+	defer timer.Stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.applied < n && !timedOut {
+		r.cond.Wait()
 	}
+	return r.applied >= n
 }
 
 // Sync applies every operation decided up to the replica's current horizon
@@ -191,6 +242,7 @@ func (r *Replica) applyAt(slot int, v int64) {
 		}
 	}
 	r.applied++
+	r.cond.Broadcast()
 }
 
 // Snapshot returns the datum order of the local copy.
@@ -198,6 +250,15 @@ func (r *Replica) Snapshot() []logobj.Datum {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.local.Items()
+}
+
+// Read runs fn against the local copy under the replica's lock. fn must not
+// retain the log or call back into the replica. The live backend's guard
+// evaluations go through here.
+func (r *Replica) Read(fn func(l *logobj.Log)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.local)
 }
 
 // Pos returns the local position of d.

@@ -1,0 +1,48 @@
+package multicast
+
+import "testing"
+
+// TestLiveBackendFacade runs a small overlapping-group scenario end-to-end
+// over the Live backend through the public API: the same protocol code as
+// the Sim runs, but every log is a paxos-replicated state machine on an
+// in-process transport.
+func TestLiveBackendFacade(t *testing.T) {
+	topo := NewTopology(3).
+		Group("ab", 0, 1).
+		Group("bc", 1, 2)
+	sys, err := New(topo, Config{Backend: Live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Multicast(0, "ab", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Multicast(1, "bc", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Multicast(2, "bc", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.MulticastAt(10, 0, "ab", nil); err == nil {
+		t.Fatal("MulticastAt should be rejected on the Live backend")
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sys.Validate() {
+		t.Errorf("specification violation: %v", v)
+	}
+	if got := len(sys.Delivered(1)); got != 3 {
+		t.Fatalf("p1 is in both groups and should deliver 3 messages, got %d: %v",
+			got, sys.Delivered(1))
+	}
+}
+
+// TestLiveBackendRejectsAccountCosts: the cost model is an engine-run
+// construct.
+func TestLiveBackendRejectsAccountCosts(t *testing.T) {
+	topo := NewTopology(2).Group("g", 0, 1)
+	if _, err := New(topo, Config{Backend: Live, AccountCosts: true}); err == nil {
+		t.Fatal("AccountCosts with Live backend should be rejected")
+	}
+}

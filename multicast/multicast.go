@@ -21,12 +21,16 @@ package multicast
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/fd"
 	"repro/internal/groups"
+	"repro/internal/live"
+	"repro/internal/msg"
+	"repro/internal/net"
 )
 
 // Ordering selects the problem variation (Table 1 of the paper).
@@ -45,6 +49,24 @@ const (
 	// Ω_{g∩h} ∧ Σ_{g∩h} so destination groups progress in isolation
 	// (§6.2); meaningful when the topology has no cyclic family.
 	StronglyGenuine
+)
+
+// Backend selects the substrate the protocol runs over. The node logic is
+// identical on both — see internal/core's Backend interfaces.
+type Backend int
+
+const (
+	// Sim runs over ideal in-memory shared objects inside the
+	// deterministic virtual-time engine: reproducible from the seed,
+	// validated step accounting, crash scheduling in virtual time. The
+	// default.
+	Sim Backend = iota
+	// Live runs over the real message-passing stack: every log a
+	// replicated state machine (internal/replog, paxos per hosting group)
+	// on an in-process transport, nodes stepped by goroutines, crashes
+	// injected on the wire. Wall-clock, so not reproducible step-for-step;
+	// validated by the same specification checkers.
+	Live
 )
 
 // Topology declares processes and named destination groups.
@@ -86,25 +108,34 @@ func (t *Topology) Group(name string, members ...int) *Topology {
 
 // Config tunes a System.
 type Config struct {
+	// Backend selects the substrate (default Sim). With Live, the run is
+	// wall-clock: Crashes times are ticks of roughly a millisecond,
+	// AccountCosts is unavailable, and Run waits for delivery instead of
+	// driving a scheduler.
+	Backend Backend
 	// Ordering selects the problem variation (default GlobalOrder).
 	Ordering Ordering
-	// Seed makes the schedule reproducible.
+	// Seed makes the schedule reproducible (Sim backend).
 	Seed int64
 	// DetectorDelay is the stabilisation lag of the failure detectors
 	// (how long after a crash μ's components converge). Default 8 ticks.
 	DetectorDelay int64
 	// AccountCosts enables the §4.3 cost model: per-process step charges
-	// and message counts for every shared-object operation.
+	// and message counts for every shared-object operation. Sim only.
 	AccountCosts bool
 	// Crashes schedules failures: process → virtual crash time.
 	Crashes map[int]int64
+	// RunTimeout bounds Run on the Live backend (default 60s).
+	RunTimeout time.Duration
 }
 
 // System is a runnable multicast instance.
 type System struct {
 	topo  *groups.Topology
 	names []string
-	sys   *core.System
+	sys   *core.System // Sim backend (nil under Live)
+	lsys  *live.System // Live backend (nil under Sim)
+	tmout time.Duration
 }
 
 // ErrUnknownGroup is returned for group names that were never declared.
@@ -152,8 +183,21 @@ func New(t *Topology, cfg Config) (*System, error) {
 		ChargeObjects: cfg.AccountCosts,
 		FD:            fd.Options{Delay: failure.Time(delay), Seed: cfg.Seed},
 	}
-	sys := core.NewSystem(topo, pat, opt, cfg.Seed)
 	names := append([]string(nil), t.names...)
+	if cfg.Backend == Live {
+		if cfg.AccountCosts {
+			return nil, errors.New("multicast: AccountCosts requires the Sim backend")
+		}
+		opt.ChargeObjects = false
+		tmout := cfg.RunTimeout
+		if tmout <= 0 {
+			tmout = 60 * time.Second
+		}
+		lsys := live.NewSystem(topo, pat, net.New(t.n), live.Config{Opt: opt})
+		lsys.Start()
+		return &System{topo: topo, names: names, lsys: lsys, tmout: tmout}, nil
+	}
+	sys := core.NewSystem(topo, pat, opt, cfg.Seed)
 	return &System{topo: topo, names: names, sys: sys}, nil
 }
 
@@ -185,6 +229,10 @@ func (s *System) Multicast(src int, group string, payload []byte) (Message, erro
 	if !s.topo.Group(g).Has(groups.Process(src)) {
 		return Message{}, fmt.Errorf("multicast: sender %d not in group %q", src, group)
 	}
+	if s.lsys != nil {
+		m := s.lsys.Multicast(groups.Process(src), g, payload)
+		return Message{ID: int64(m.ID), Src: src, Group: group, Payload: payload}, nil
+	}
 	m := s.sys.Multicast(groups.Process(src), g, payload)
 	return Message{ID: int64(m.ID), Src: src, Group: group, Payload: payload}, nil
 }
@@ -199,13 +247,26 @@ func (s *System) MulticastAt(at int64, src int, group string, payload []byte) er
 	if !s.topo.Group(g).Has(groups.Process(src)) {
 		return fmt.Errorf("multicast: sender %d not in group %q", src, group)
 	}
+	if s.lsys != nil {
+		return errors.New("multicast: MulticastAt requires the Sim backend (live runs are wall-clock)")
+	}
 	s.sys.MulticastAt(failure.Time(at), groups.Process(src), g, payload)
 	return nil
 }
 
-// Run drives the system to quiescence; it returns an error when the step
-// budget is exhausted first.
+// Run drives the system to quiescence. On the Sim backend it returns an
+// error when the step budget is exhausted first; on the Live backend it
+// waits until every issued multicast is delivered at every correct
+// destination member (or RunTimeout elapses) and then stops the substrate.
 func (s *System) Run() error {
+	if s.lsys != nil {
+		ok := s.lsys.AwaitDelivery(s.tmout)
+		s.lsys.Stop()
+		if !ok {
+			return errors.New("multicast: live run did not reach full delivery before the timeout")
+		}
+		return nil
+	}
 	if !s.sys.Run() {
 		return errors.New("multicast: run did not quiesce within the step budget")
 	}
@@ -218,13 +279,34 @@ type Delivery struct {
 	At      int64
 }
 
+// shared returns the run's shared state, whichever backend holds it.
+func (s *System) shared() *core.Shared {
+	if s.lsys != nil {
+		return s.lsys.Sh
+	}
+	return s.sys.Sh
+}
+
 // Delivered returns the delivery order at process p.
 func (s *System) Delivered(p int) []Delivery {
-	ids := s.sys.DeliveredAt(groups.Process(p))
+	sh := s.shared()
+	var ids []int64
+	if s.lsys != nil {
+		for _, d := range sh.Deliveries() {
+			if d.P == groups.Process(p) {
+				ids = append(ids, int64(d.M))
+			}
+		}
+	} else {
+		for _, id := range s.sys.DeliveredAt(groups.Process(p)) {
+			ids = append(ids, int64(id))
+		}
+	}
 	out := make([]Delivery, 0, len(ids))
-	for _, id := range ids {
-		m := s.sys.Sh.Reg.Get(id)
-		at, _ := s.sys.Sh.FirstDeliveredAt(id)
+	for _, id64 := range ids {
+		id := msg.ID(id64)
+		m := sh.Reg.Get(id)
+		at, _ := sh.FirstDeliveredAt(id)
 		out = append(out, Delivery{
 			Message: Message{
 				ID:      int64(m.ID),
@@ -243,21 +325,36 @@ func (s *System) Delivered(p int) []Delivery {
 // StrictOrder systems) and returns the violations.
 func (s *System) Validate() []error {
 	var out []error
-	for _, v := range s.sys.Check() {
+	var vs []*check.Violation
+	if s.lsys != nil {
+		vs = s.lsys.Check()
+	} else {
+		vs = s.sys.Check()
+	}
+	for _, v := range vs {
 		out = append(out, v)
 	}
 	return out
 }
 
 // Steps returns how many protocol actions process p executed — the
-// footprint genuineness constrains.
+// footprint genuineness constrains. Live runs have no step ledger and
+// report zero.
 func (s *System) Steps(p int) int64 {
+	if s.lsys != nil {
+		return 0
+	}
 	return s.sys.Eng.Steps(groups.Process(p)) + s.sys.Eng.Charges(groups.Process(p))
 }
 
 // MessagesSent returns the synthetic message count of the run (only
-// populated with Config.AccountCosts).
-func (s *System) MessagesSent() int64 { return s.sys.Eng.Messages() }
+// populated with Config.AccountCosts on the Sim backend).
+func (s *System) MessagesSent() int64 {
+	if s.lsys != nil {
+		return 0
+	}
+	return s.sys.Eng.Messages()
+}
 
 // Stats summarises a completed run.
 type Stats struct {
@@ -274,9 +371,9 @@ type Stats struct {
 // Stats returns the run's summary.
 func (s *System) Stats() Stats {
 	st := Stats{
-		Deliveries: len(s.sys.Sh.Deliveries()),
+		Deliveries: len(s.shared().Deliveries()),
 		Steps:      make([]int64, s.topo.NumProcesses()),
-		Messages:   s.sys.Eng.Messages(),
+		Messages:   s.MessagesSent(),
 	}
 	for p := 0; p < s.topo.NumProcesses(); p++ {
 		st.Steps[p] = s.Steps(p)
@@ -299,9 +396,14 @@ func (s *System) CyclicFamilies() [][]string {
 }
 
 // internalTrace exposes the run trace to sibling tooling (cmd/, benches).
-func (s *System) internalTrace() *check.Trace { return s.sys.Trace() }
+func (s *System) internalTrace() *check.Trace {
+	if s.lsys != nil {
+		return s.lsys.Trace()
+	}
+	return s.sys.Trace()
+}
 
 // Core exposes the underlying core system for advanced uses (benchmarks,
-// research tooling). The core API is not covered by compatibility
-// guarantees.
+// research tooling); nil on the Live backend. The core API is not covered
+// by compatibility guarantees.
 func (s *System) Core() *core.System { return s.sys }
