@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/groups"
 	"repro/internal/live"
 	"repro/internal/net"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,9 +44,10 @@ func main() {
 		seedFlag    = flag.Int64("seed", 1, "scheduler seed (sim backend)")
 		delayFlag   = flag.Int64("delay", 8, "failure-detector stabilisation delay")
 		costsFlag   = flag.Bool("costs", false, "enable the §4.3 cost accounting (sim backend)")
+		reportFlag  = flag.Bool("report", false, "print the obs.RunReport and the tail of the event timeline")
 	)
 	flag.Parse()
-	if err := run(*groupsFlag, *msgsFlag, *crashFlag, *variantFlag, *backendFlag, *seedFlag, *delayFlag, *costsFlag); err != nil {
+	if err := run(*groupsFlag, *msgsFlag, *crashFlag, *variantFlag, *backendFlag, *seedFlag, *delayFlag, *costsFlag, *reportFlag); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -56,7 +59,7 @@ type multicastSpec struct {
 	g   groups.GroupID
 }
 
-func run(groupSpec, msgSpec, crashSpec, variant, backend string, seed, delay int64, costs bool) error {
+func run(groupSpec, msgSpec, crashSpec, variant, backend string, seed, delay int64, costs, wantReport bool) error {
 	var sets []groups.ProcSet
 	maxP := 0
 	for _, gs := range strings.Split(groupSpec, ";") {
@@ -140,6 +143,10 @@ func run(groupSpec, msgSpec, crashSpec, variant, backend string, seed, delay int
 		ChargeObjects: costs,
 		FD:            fd.Options{Delay: failure.Time(delay), Seed: seed},
 	}
+	if wantReport {
+		// Wall stamps only on live — a sim timeline must stay seed-determined.
+		opt.Rec = obs.NewRecorder(obs.Options{WallClock: backend == "live"})
+	}
 
 	fmt.Printf("topology: %v\n", topo)
 	fmt.Printf("pattern:  %v\n", pat)
@@ -147,19 +154,28 @@ func run(groupSpec, msgSpec, crashSpec, variant, backend string, seed, delay int
 
 	switch backend {
 	case "sim":
-		return runSim(topo, pat, opt, seed, msgs, costs)
+		return runSim(topo, pat, opt, seed, msgs, costs, wantReport)
 	case "live":
 		if costs {
 			return fmt.Errorf("-costs requires the sim backend")
 		}
-		return runLive(topo, pat, opt, msgs)
+		return runLive(topo, pat, opt, msgs, wantReport)
 	default:
 		return fmt.Errorf("unknown backend %q (want sim or live)", backend)
 	}
 }
 
+// printReport renders the run report plus the tail of the event timeline.
+func printReport(rep obs.RunReport) {
+	fmt.Printf("\n%s\n", rep.String())
+	if len(rep.Events) > 0 {
+		fmt.Println("\nevent timeline (tail):")
+		rep.WriteTimeline(os.Stdout, 40)
+	}
+}
+
 // runSim drives the deterministic engine over the ideal shared objects.
-func runSim(topo *groups.Topology, pat *failure.Pattern, opt core.Options, seed int64, msgs []multicastSpec, costs bool) error {
+func runSim(topo *groups.Topology, pat *failure.Pattern, opt core.Options, seed int64, msgs []multicastSpec, costs, wantReport bool) error {
 	sys := core.NewSystem(topo, pat, opt, seed)
 	for _, m := range msgs {
 		sys.MulticastAt(m.at, m.src, m.g, nil)
@@ -174,12 +190,15 @@ func runSim(topo *groups.Topology, pat *failure.Pattern, opt core.Options, seed 
 				p, sys.Eng.Steps(groups.Process(p)), sys.Eng.Charges(groups.Process(p)))
 		}
 	}
+	if wantReport {
+		printReport(sys.Report())
+	}
 	return verdict(sys.Check())
 }
 
 // runLive drives the replicated substrate: paxos-backed logs over an
 // in-process transport, ticks of 1ms standing in for virtual time.
-func runLive(topo *groups.Topology, pat *failure.Pattern, opt core.Options, msgs []multicastSpec) error {
+func runLive(topo *groups.Topology, pat *failure.Pattern, opt core.Options, msgs []multicastSpec, wantReport bool) error {
 	sys := live.NewSystem(topo, pat, net.New(topo.NumProcesses()), live.Config{Opt: opt})
 	sys.Start()
 	defer sys.Stop()
@@ -195,6 +214,9 @@ func runLive(topo *groups.Topology, pat *failure.Pattern, opt core.Options, msgs
 	}
 	sys.Stop()
 	report(sys.Sh, topo)
+	if wantReport {
+		printReport(sys.Report())
+	}
 	return verdict(sys.Check())
 }
 

@@ -13,9 +13,17 @@
 // object messages, virtual-time latency), the right units for an
 // asynchronous-model paper; wall-clock throughput of this implementation is
 // in bench_test.go.
+//
+// The live mode measures the replicated substrate instead: wall-clock
+// delivery latency (p50/p99), sustained msgs/sec and real wire packets per
+// delivery, across chain topologies of overlapping 3-member groups and
+// chaos seeds. -json writes the results (BENCH_live.json in CI):
+//
+//	benchtab -short -json BENCH_live.json live
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -28,18 +36,31 @@ import (
 )
 
 func main() {
-	which := ""
-	if len(os.Args) > 1 {
-		which = os.Args[1]
-	}
-	if which == "" || which == "scaling" {
+	var (
+		shortFlag = flag.Bool("short", false, "smaller topologies and message counts (CI budget)")
+		jsonFlag  = flag.String("json", "", "write live-mode results as JSON to this path")
+	)
+	flag.Parse()
+	which := flag.Arg(0)
+	switch which {
+	case "":
 		scaling()
-	}
-	if which == "" || which == "convoy" {
 		convoy()
-	}
-	if which == "" || which == "delay" {
 		delaySweep()
+	case "scaling":
+		scaling()
+	case "convoy":
+		convoy()
+	case "delay":
+		delaySweep()
+	case "live":
+		if err := liveBench(*shortFlag, *jsonFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown mode %q (want scaling, convoy, delay or live)\n", which)
+		os.Exit(2)
 	}
 }
 

@@ -32,12 +32,14 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/check"
+	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/groups"
 	"repro/internal/live"
 	"repro/internal/logobj"
 	"repro/internal/msg"
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/paxos"
 	"repro/internal/register"
 	"repro/internal/replog"
@@ -310,9 +312,24 @@ func runMulticast(seed int64, n int, plan chaos.Plan) error {
 	}
 
 	c := chaos.Wrap(net.New(n), seed)
-	sys := live.NewSystem(topo, pat, c, live.Config{})
+	rec := obs.NewRecorder(obs.Options{WallClock: true})
+	sys := live.NewSystem(topo, pat, c, live.Config{Opt: core.Options{Rec: rec}})
 	sys.Start()
 	defer sys.Stop()
+
+	// On failure, ship the run report with the error: the counters say where
+	// the work went (paxos rounds, probes, chaos injections) and the timeline
+	// tail says what the protocol was doing when it stalled.
+	fail := func(format string, args ...any) error {
+		sys.Stop()
+		rep := sys.Report()
+		fmt.Fprintf(os.Stderr, "%s\n", rep.String())
+		if len(rep.Events) > 0 {
+			fmt.Fprintln(os.Stderr, "event timeline (tail):")
+			rep.WriteTimeline(os.Stderr, 60)
+		}
+		return fmt.Errorf(format, args...)
+	}
 
 	nm := &chaos.Nemesis{C: c, Plan: plan}
 	nmDone := nm.Go()
@@ -337,12 +354,12 @@ loop:
 	}
 
 	if !sys.AwaitDelivery(90 * time.Second) {
-		return fmt.Errorf("post-quiesce delivery incomplete: %d multicasts sent", sent)
+		return fail("post-quiesce delivery incomplete: %d multicasts sent", sent)
 	}
 	sys.Stop()
 	fmt.Printf("workload: %d multicasts, stats %+v\n", sent, c.Stats())
 	if vs := sys.Check(); len(vs) > 0 {
-		return fmt.Errorf("specification violated: %v", vs)
+		return fail("specification violated: %v", vs)
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/groups"
 	"repro/internal/net"
+	"repro/internal/obs"
 )
 
 // Faults is the probabilistic fault mix applied to every packet on every
@@ -193,6 +194,30 @@ func (c *Chaos) Stats() Stats {
 // Dropped sums all loss causes.
 func (s Stats) Dropped() uint64 {
 	return s.DroppedRandom + s.DroppedPartition + s.DroppedDown + s.DroppedOverflow
+}
+
+// InjectionReport returns the fault counters in run-report form. It
+// implements obs.ChaosReporter.
+func (c *Chaos) InjectionReport() *obs.ChaosReport {
+	s := c.Stats()
+	return &obs.ChaosReport{
+		Forwarded:        s.Forwarded,
+		Duplicated:       s.Duplicated,
+		Delayed:          s.Delayed,
+		DroppedRandom:    s.DroppedRandom,
+		DroppedPartition: s.DroppedPartition,
+		DroppedDown:      s.DroppedDown,
+		DroppedOverflow:  s.DroppedOverflow,
+	}
+}
+
+// NetReport exposes the inner transport's traffic counters when it has any,
+// so wrapping a network in a nemesis does not hide its wire accounting.
+func (c *Chaos) NetReport() *obs.NetReport {
+	if nr, ok := c.inner.(obs.NetReporter); ok {
+		return nr.NetReport()
+	}
+	return nil
 }
 
 // separated reports whether an active partition cuts the link (caller holds

@@ -33,9 +33,9 @@ const (
 type Event struct {
 	At   time.Duration // offset from the start of the run
 	Kind EventKind
-	F    Faults             // EvFaults
-	A, B groups.ProcSet     // EvPartition
-	P    groups.Process     // EvIsolate / EvDown / EvUp
+	F    Faults         // EvFaults
+	A, B groups.ProcSet // EvPartition
+	P    groups.Process // EvIsolate / EvDown / EvUp
 }
 
 // String renders the event deterministically (for seed-replay transcripts).

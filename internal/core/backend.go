@@ -7,6 +7,7 @@ import (
 	"repro/internal/groups"
 	"repro/internal/logobj"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/uc"
 )
 
@@ -113,7 +114,9 @@ func newSimBackend(topo *groups.Topology, reg *msg.Registry, opt Options) *simBa
 			if opt.Variant == StronglyGenuine {
 				slow = inter
 			}
-			b.logs[PairKey{gid, hid}] = uc.New(name, inter, slow, opt.ChargeObjects)
+			l := uc.New(name, inter, slow, opt.ChargeObjects)
+			l.Observe(opt.Rec, obs.Pair{A: gid, B: hid})
+			b.logs[PairKey{gid, hid}] = l
 		}
 	}
 	return b
@@ -160,8 +163,8 @@ func (s simLog) BumpAndLock(ctx *engine.Ctx, origin groups.GroupID, d logobj.Dat
 	s.l.BumpAndLock(ctx, origin, d, k)
 }
 
-func (s simLog) Contains(d logobj.Datum) bool      { return s.l.Inner().Contains(d) }
-func (s simLog) Messages() []msg.ID                { return s.l.Inner().Messages() }
+func (s simLog) Contains(d logobj.Datum) bool { return s.l.Inner().Contains(d) }
+func (s simLog) Messages() []msg.ID           { return s.l.Inner().Messages() }
 func (s simLog) MessagesBefore(d logobj.Datum) []msg.ID {
 	return s.l.Inner().MessagesBefore(d)
 }

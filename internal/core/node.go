@@ -208,7 +208,8 @@ func (n *Node) tryMulticast(ctx *engine.Ctx) bool {
 					n.outboxPop(g)
 					return true
 				}
-				log.Append(ctx, g, logobj.MsgDatum(head))
+				v := log.Append(ctx, g, logobj.MsgDatum(head))
+				n.sh.Opt.Rec.Append(n.p, head, g, g, uint8(logobj.KindMsg), v, ctx.Now)
 				n.outboxPop(g)
 				return true
 			}
@@ -217,7 +218,8 @@ func (n *Node) tryMulticast(ctx *engine.Ctx) bool {
 			}
 			// Help: make sure the predecessor entered Algorithm 1.
 			if !log.Contains(logobj.MsgDatum(prev)) {
-				log.Append(ctx, g, logobj.MsgDatum(prev))
+				v := log.Append(ctx, g, logobj.MsgDatum(prev))
+				n.sh.Opt.Rec.Append(n.p, prev, g, g, uint8(logobj.KindMsg), v, ctx.Now)
 				return true
 			}
 			// The predecessor is in flight; wait for its delivery.
@@ -246,7 +248,9 @@ func (n *Node) tryPending(ctx *engine.Ctx, id msg.ID) bool {
 			continue
 		}
 		i := n.log(g, h).Append(ctx, g, logobj.MsgDatum(id))
+		n.sh.Opt.Rec.Append(n.p, id, g, h, uint8(logobj.KindMsg), i, ctx.Now)
 		glog.Append(ctx, g, logobj.PosDatum(id, h, i))
+		n.sh.Opt.Rec.Append(n.p, id, g, g, uint8(logobj.KindPos), i, ctx.Now)
 	}
 	n.phase[id] = PhasePending
 	return true
@@ -291,12 +295,15 @@ func (n *Node) tryCommit(ctx *engine.Ctx, id msg.ID) bool {
 		return false
 	}
 	fam := n.consensusFamily(g)
+	n.sh.Opt.Rec.Propose(n.p, id, g, k, ctx.Now)
 	k = n.sh.Backend().Cons(n.p, id, fam).Propose(ctx, k)
+	n.sh.Opt.Rec.Decide(n.p, id, g, k, ctx.Now)
 	for _, h := range n.myGroups {
 		if !n.sh.Topo.Intersecting(g, h) {
 			continue
 		}
 		n.log(g, h).BumpAndLock(ctx, g, logobj.MsgDatum(id), k)
+		n.sh.Opt.Rec.Bump(n.p, id, g, h, k, ctx.Now)
 	}
 	n.phase[id] = PhaseCommit
 	return true
@@ -325,6 +332,7 @@ func (n *Node) tryStabilize(ctx *engine.Ctx, id msg.ID) bool {
 			continue
 		}
 		glog.Append(ctx, g, logobj.StableDatum(id, h))
+		n.sh.Opt.Rec.Append(n.p, id, g, h, uint8(logobj.KindStable), 0, ctx.Now)
 		return true
 	}
 	return false

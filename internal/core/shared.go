@@ -8,6 +8,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/groups"
 	"repro/internal/msg"
+	"repro/internal/obs"
 	"repro/internal/uc"
 )
 
@@ -60,6 +61,10 @@ type Options struct {
 	OnDeliver func(p groups.Process, m *msg.Message, t failure.Time)
 	// FD tunes the ideal detector histories.
 	FD fd.Options
+	// Rec, when non-nil, collects the run's observability: event timeline,
+	// latency samples and per-pair coordination counts. Every recording
+	// method is nil-safe, so runs without a recorder pay a pointer test.
+	Rec *obs.Recorder
 }
 
 // Shared holds the state shared by every node of a run: the topology, the
@@ -158,6 +163,9 @@ func newSharedState(topo *groups.Topology, pat *failure.Pattern, opt Options) *S
 // Backend returns the shared-object backend of the run.
 func (sh *Shared) Backend() Backend { return sh.be }
 
+// Rec returns the run's recorder (nil when observability is off).
+func (sh *Shared) Rec() *obs.Recorder { return sh.Opt.Rec }
+
 // Log returns the universal-construction log LOG_{g∩h} (LOG_g when g == h)
 // of a Sim-backed run; it panics when g∩h = ∅ or when the run uses another
 // backend. It exists for the invariant tests and the ablations, which
@@ -186,6 +194,7 @@ func (sh *Shared) Request(src groups.Process, dst groups.GroupID, payload []byte
 	sh.requestedAt[m.ID] = now
 	sh.version++
 	sh.mu.Unlock()
+	sh.Opt.Rec.Multicast(src, m.ID, dst, now)
 	return m
 }
 
@@ -210,6 +219,11 @@ func (sh *Shared) RecordDelivery(p groups.Process, m msg.ID, t failure.Time) {
 	}
 	sh.version++
 	sh.mu.Unlock()
+	if rec := sh.Opt.Rec; rec != nil {
+		if mm := sh.Reg.Get(m); mm != nil {
+			rec.Deliver(p, m, mm.Dst, t)
+		}
+	}
 }
 
 // Freeze stops trace recording: deliveries after Freeze are dropped. The

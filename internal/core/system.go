@@ -5,6 +5,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/groups"
 	"repro/internal/msg"
+	"repro/internal/obs"
 )
 
 // System wires a topology, a failure pattern, the shared state, one node per
@@ -72,6 +73,36 @@ func (s *System) MulticastAt(t failure.Time, src groups.Process, dst groups.Grou
 // budget was exhausted first (a liveness failure for the scenarios the
 // tests construct).
 func (s *System) Run() bool { return s.Eng.Run() }
+
+// RunInterruptible is Run with a cancellation hook (see
+// engine.RunInterruptible).
+func (s *System) RunInterruptible(stop func() bool) engine.Outcome {
+	return s.Eng.RunInterruptible(stop)
+}
+
+// Report assembles the run's observability. The recorder part (timeline,
+// latency, coordination) is zero-valued when the run had no recorder; the
+// engine ledgers (steps, charges, synthetic messages) are always present —
+// the Sim backend accounts them unconditionally.
+func (s *System) Report() obs.RunReport {
+	rep := s.Sh.Rec().Report()
+	rep.Backend = "sim"
+	rep.Processes = s.Sh.Topo.NumProcesses()
+	rep.Groups = s.Sh.Topo.NumGroups()
+	rep.Ticks = int64(s.Eng.Now())
+	rep.StepsAccounted = true
+	rep.Steps = make([]int64, rep.Processes)
+	for p := 0; p < rep.Processes; p++ {
+		pr := groups.Process(p)
+		rep.Steps[p] = s.Eng.Steps(pr) + s.Eng.Charges(pr)
+		rep.TotalSteps += rep.Steps[p]
+	}
+	if s.Sh.Opt.ChargeObjects {
+		rep.MessagesAccounted = true
+		rep.Messages = s.Eng.Messages()
+	}
+	return rep
+}
 
 // Node returns the node of process p.
 func (s *System) Node(p groups.Process) *Node { return s.Nodes[p] }

@@ -180,10 +180,29 @@ func (e *Engine) ActiveParticipants(t failure.Time) groups.ProcSet {
 	return out
 }
 
+// Outcome says how a run ended.
+type Outcome int
+
+const (
+	// Quiesced: every alive automaton idle, clock past every scheduled
+	// event and the crash/stabilisation horizon.
+	Quiesced Outcome = iota + 1
+	// BudgetExhausted: MaxSteps attempts without quiescence.
+	BudgetExhausted
+	// Stopped: the caller's stop function fired (context cancellation).
+	Stopped
+)
+
 // Run drives the automata until quiescence or the step budget runs out. It
 // returns true when the run quiesced (every alive automaton idle with the
 // clock past every scheduled event and the crash/stabilisation horizon).
-func (e *Engine) Run() bool {
+func (e *Engine) Run() bool { return e.RunInterruptible(nil) == Quiesced }
+
+// RunInterruptible is Run with a cancellation hook: stop is polled every
+// 1024 scheduling attempts (cheap enough to not perturb hot-loop timing)
+// and ends the run with Stopped when it returns true. A nil stop never
+// interrupts.
+func (e *Engine) RunInterruptible(stop func() bool) Outcome {
 	horizon := e.cfg.Pattern.Horizon()
 	for _, until := range e.cfg.PausedUntil {
 		if until > horizon {
@@ -194,6 +213,9 @@ func (e *Engine) Run() bool {
 	idleStreak := 0
 	next := 0
 	for attempts := int64(0); attempts < e.cfg.MaxSteps; attempts++ {
+		if stop != nil && attempts%1024 == 0 && stop() {
+			return Stopped
+		}
 		e.clock++
 		e.fireEvents()
 
@@ -231,11 +253,11 @@ func (e *Engine) Run() bool {
 				}
 			}
 			if !progressed {
-				return true
+				return Quiesced
 			}
 		}
 	}
-	return false
+	return BudgetExhausted
 }
 
 // RunFor drives the automata for exactly n scheduling attempts (no

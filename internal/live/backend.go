@@ -25,6 +25,7 @@ import (
 	"repro/internal/logobj"
 	"repro/internal/msg"
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/paxos"
 	"repro/internal/replog"
 )
@@ -40,6 +41,7 @@ type Backend struct {
 	mu     *fd.Mu
 	clock  func() failure.Time
 	strong bool // StronglyGenuine: host LOG_{g∩h} inside g∩h
+	rec    *obs.Recorder
 
 	nodes []*paxos.Node
 
@@ -64,8 +66,9 @@ var _ core.Backend = (*Backend)(nil)
 // NewBackend builds the replicated substrate: one paxos node per process on
 // the transport; replicas and consensus instances are created on demand.
 // clock supplies the current tick for failure-detector queries (leader
-// election follows Ω at the current time).
-func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Transport, clock func() failure.Time, strong bool, pcfg paxos.Config) *Backend {
+// election follows Ω at the current time). rec, when non-nil, receives the
+// substrate's counters (paxos work, replog applies, per-pair coordination).
+func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Transport, clock func() failure.Time, strong bool, pcfg paxos.Config, rec *obs.Recorder) *Backend {
 	b := &Backend{
 		topo:   topo,
 		reg:    reg,
@@ -73,10 +76,12 @@ func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Tran
 		mu:     mu,
 		clock:  clock,
 		strong: strong,
+		rec:    rec,
 		nodes:  make([]*paxos.Node, topo.NumProcesses()),
 		reps:   make(map[repKey]*replog.Replica),
 		cons:   make(map[liveConsKey]*liveCons),
 	}
+	pcfg.Counters = rec.Paxos()
 	for p := range b.nodes {
 		b.nodes[p] = paxos.StartNodeWithConfig(nw, groups.Process(p), pcfg)
 	}
@@ -119,7 +124,7 @@ func (b *Backend) Log(p groups.Process, g, h groups.GroupID) core.LogObject {
 	b.lk.Lock()
 	defer b.lk.Unlock()
 	if r, ok := b.reps[key]; ok {
-		return liveLog{r}
+		return b.wrapLog(r, pair)
 	}
 	name := fmt.Sprintf("LOG_g%d", pair.A)
 	if pair.A != pair.B {
@@ -127,8 +132,18 @@ func (b *Backend) Log(p groups.Process, g, h groups.GroupID) core.LogObject {
 	}
 	scope, omega := b.hosting(pair)
 	r := replog.NewReplica(name, p, b.nodes[p], b.nw, scope, b.leaderFunc(omega))
+	r.Observe(b.rec.Replog())
 	b.reps[key] = r
-	return liveLog{r}
+	return b.wrapLog(r, pair)
+}
+
+// wrapLog builds p's LogObject view of a replica, carrying what coordination
+// recording needs: the pair label and the replication scope every mutation
+// coordinates (the live substrate has no adopt-commit fast path — every
+// operation is a replicated slot in the hosting scope).
+func (b *Backend) wrapLog(r *replog.Replica, pair core.PairKey) liveLog {
+	scope, _ := b.hosting(pair)
+	return liveLog{r: r, rec: b.rec, pair: obs.Pair{A: pair.A, B: pair.B}, scope: scope}
 }
 
 // Cons implements core.Backend: p's handle on the dedicated paxos instance
@@ -176,9 +191,15 @@ func (b *Backend) Sync(p groups.Process) {
 // block until the operation is decided (or the transport shuts down); reads
 // run against the local copy, which may lag the decided prefix — the node
 // guards simply stay false until the apply loop catches up.
-type liveLog struct{ r *replog.Replica }
+type liveLog struct {
+	r     *replog.Replica
+	rec   *obs.Recorder
+	pair  obs.Pair
+	scope groups.ProcSet
+}
 
 func (l liveLog) Append(ctx *engine.Ctx, origin groups.GroupID, d logobj.Datum) int {
+	l.rec.Coordination(l.pair, l.scope, false)
 	if pos, ok := l.r.Append(d); ok {
 		return pos
 	}
@@ -186,6 +207,7 @@ func (l liveLog) Append(ctx *engine.Ctx, origin groups.GroupID, d logobj.Datum) 
 }
 
 func (l liveLog) BumpAndLock(ctx *engine.Ctx, origin groups.GroupID, d logobj.Datum, k int) {
+	l.rec.Coordination(l.pair, l.scope, false)
 	l.r.BumpAndLock(d, k)
 }
 

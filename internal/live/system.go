@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/groups"
 	"repro/internal/msg"
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/paxos"
 )
 
@@ -77,7 +79,7 @@ func NewSystem(topo *groups.Topology, pat *failure.Pattern, nw net.Transport, cf
 		stop: make(chan struct{}),
 	}
 	s.Sh = core.NewSharedWithBackend(topo, pat, cfg.Opt, func(sh *core.Shared) core.Backend {
-		s.be = NewBackend(topo, sh.Reg, sh.Mu, nw, s.now, cfg.Opt.Variant == core.StronglyGenuine, cfg.Paxos)
+		s.be = NewBackend(topo, sh.Reg, sh.Mu, nw, s.now, cfg.Opt.Variant == core.StronglyGenuine, cfg.Paxos, cfg.Opt.Rec)
 		return s.be
 	})
 	s.Nodes = make([]*core.Node, topo.NumProcesses())
@@ -190,15 +192,22 @@ func (s *System) allDelivered() bool {
 // AwaitDelivery blocks until every issued multicast is delivered at every
 // correct destination member, or the timeout elapses; it reports success.
 func (s *System) AwaitDelivery(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.AwaitDeliveryCtx(ctx)
+}
+
+// AwaitDeliveryCtx is AwaitDelivery under a caller-supplied context: it
+// blocks until full delivery, context cancellation, or Stop, and reports
+// whether full delivery was reached.
+func (s *System) AwaitDeliveryCtx(ctx context.Context) bool {
 	for {
 		if s.allDelivered() {
 			return true
 		}
-		if time.Now().After(deadline) {
-			return false
-		}
 		select {
+		case <-ctx.Done():
+			return false
 		case <-s.stop:
 			return s.allDelivered()
 		case <-time.After(time.Millisecond):
@@ -243,6 +252,27 @@ func (s *System) Trace() *check.Trace {
 		Multicast:      multicast,
 		FirstDelivered: first,
 	}
+}
+
+// Report assembles the run's observability: the recorder's view (timeline,
+// latency, coordination, paxos/replog counters) decorated with what only
+// this layer knows — the tick clock, the transport's traffic counters, and
+// the nemesis injection counters when the transport is chaos-wrapped. The
+// live substrate keeps no per-process step ledger, so StepsAccounted stays
+// false (steps are an engine-run quantity).
+func (s *System) Report() obs.RunReport {
+	rep := s.Sh.Rec().Report()
+	rep.Backend = "live"
+	rep.Processes = s.Topo.NumProcesses()
+	rep.Groups = s.Topo.NumGroups()
+	rep.Ticks = s.tick.Load()
+	if nr, ok := s.Net.(obs.NetReporter); ok {
+		rep.Net = nr.NetReport()
+	}
+	if cr, ok := s.Net.(obs.ChaosReporter); ok {
+		rep.Chaos = cr.InjectionReport()
+	}
+	return rep
 }
 
 // Check validates the completed run against the specification and returns

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/groups"
+	"repro/internal/obs"
 )
 
 // Packet is a message in flight.
@@ -44,12 +45,13 @@ type Transport interface {
 
 // Network connects n processes with reliable FIFO links.
 type Network struct {
-	n       int
-	dropped atomic.Uint64
-	mu      sync.Mutex
-	closed  bool
-	dead    map[groups.Process]bool
-	inbox   []chan Packet
+	n        int
+	dropped  atomic.Uint64
+	counters *obs.NetCounters
+	mu       sync.Mutex
+	closed   bool
+	dead     map[groups.Process]bool
+	inbox    []chan Packet
 }
 
 var _ Transport = (*Network)(nil)
@@ -61,9 +63,10 @@ const inboxDepth = 1024
 // New builds a network over n processes.
 func New(n int) *Network {
 	nw := &Network{
-		n:     n,
-		dead:  make(map[groups.Process]bool),
-		inbox: make([]chan Packet, n),
+		n:        n,
+		counters: obs.NewNetCounters(n),
+		dead:     make(map[groups.Process]bool),
+		inbox:    make([]chan Packet, n),
 	}
 	for i := range nw.inbox {
 		nw.inbox[i] = make(chan Packet, inboxDepth)
@@ -87,6 +90,7 @@ func (nw *Network) Send(from, to groups.Process, kind string, body any) {
 	// race with Close closing the channel.
 	select {
 	case nw.inbox[to] <- Packet{From: from, To: to, Kind: kind, Body: body}:
+		nw.counters.Sent(from, to, obs.EstimateSize(kind, body))
 	default:
 		// Inbox overflow: drop, and count it. The substrates retransmit, so
 		// a drop only costs latency and cannot violate safety — but chaos
@@ -94,8 +98,13 @@ func (nw *Network) Send(from, to groups.Process, kind string, body any) {
 		// indistinguishable from injected loss, so the count keeps the two
 		// observable apart.
 		nw.dropped.Add(1)
+		nw.counters.Overflow()
 	}
 }
+
+// NetReport returns the per-link traffic counters accumulated so far. It
+// implements obs.NetReporter.
+func (nw *Network) NetReport() *obs.NetReport { return nw.counters.Report() }
 
 // Dropped returns how many packets were dropped on a full inbox since the
 // network was built.

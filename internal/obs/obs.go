@@ -1,0 +1,498 @@
+// Package obs is the run-level observability layer shared by both backends:
+// a lock-cheap recorder of structured run events (multicast issued, log
+// append, bump-and-lock, consensus propose/decide, delivery) with
+// per-message latency samples and per-pair coordination counts, plus atomic
+// counter blocks the live substrate bumps on its hot paths (transport
+// packets/bytes per link, paxos rounds and retransmits, replog applies,
+// chaos injections).
+//
+// The Sim backend stamps events in virtual time, the Live backend in wall
+// time, so one RunReport type (report.go) carries delivery-latency
+// histograms, per-process footprints and per-pair g∩h coordination counts
+// for both substrates. That makes Proposition 47's "contention-free
+// coordination stays inside g∩h" an observable quantity rather than only a
+// checker verdict: in a contention-free run the coordination count of every
+// process outside g∩h is zero.
+//
+// Cost discipline: counters are plain atomics owned by the subsystems; the
+// event timeline takes one short critical section per recorded event and is
+// capped (overflow is counted, never silent). A nil *Recorder is a valid
+// no-op recorder — every method is nil-safe — so uninstrumented runs pay a
+// single pointer test per call site.
+package obs
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// ErrNotAccounted is returned for quantities the run did not measure: step
+// ledgers on the Live backend, synthetic message counts without the §4.3
+// cost model, or any report when observability was disabled. Callers branch
+// on it with errors.Is instead of receiving a fabricated zero.
+var ErrNotAccounted = errors.New("obs: quantity not accounted on this run")
+
+// Level selects how much the recorder keeps.
+type Level int
+
+const (
+	// LevelAll keeps the event timeline, latency samples, coordination
+	// counts and counters. The default.
+	LevelAll Level = iota
+	// LevelCounters drops the event timeline but keeps everything else —
+	// the right setting for long soaks where a full timeline would grow
+	// without bound.
+	LevelCounters
+	// LevelOff records nothing (Report returns ErrNotAccounted upstream).
+	LevelOff
+)
+
+// Kind is the type of a run event.
+type Kind uint8
+
+const (
+	// EvMulticast is a client multicast entering the system.
+	EvMulticast Kind = iota + 1
+	// EvAppend is LOG.append on a group or pair log.
+	EvAppend
+	// EvBump is LOG.bumpAndLock.
+	EvBump
+	// EvPropose is a CONS_{m,f} proposal.
+	EvPropose
+	// EvDecide is the corresponding decision being learnt.
+	EvDecide
+	// EvDeliver is a local delivery.
+	EvDeliver
+)
+
+// String renders the kind for timelines.
+func (k Kind) String() string {
+	switch k {
+	case EvMulticast:
+		return "multicast"
+	case EvAppend:
+		return "append"
+	case EvBump:
+		return "bump"
+	case EvPropose:
+		return "propose"
+	case EvDecide:
+		return "decide"
+	case EvDeliver:
+		return "deliver"
+	}
+	return "?"
+}
+
+// Event is one structured run event. T is the backend's clock — virtual
+// time under Sim, ~1ms ticks under Live — and Wall is the wall-clock offset
+// from the run's start, zero on Sim so that same-seed Sim event streams are
+// bit-identical.
+type Event struct {
+	Seq  int64          `json:"seq"`
+	Kind Kind           `json:"kind"`
+	P    groups.Process `json:"p"`
+	M    msg.ID         `json:"m"`
+	G    groups.GroupID `json:"g"`
+	H    groups.GroupID `json:"h"`
+	Aux  uint8          `json:"aux,omitempty"` // logobj datum kind on appends
+	V    int            `json:"v,omitempty"`   // position / proposed / decided value
+	T    failure.Time   `json:"t"`
+	Wall time.Duration  `json:"wall,omitempty"`
+}
+
+// Pair is the canonical unordered pair of groups whose intersection a log
+// serves (A == B for a group log).
+type Pair struct {
+	A, B groups.GroupID
+}
+
+// Options parameterise a recorder.
+type Options struct {
+	// Level selects how much is kept (default LevelAll).
+	Level Level
+	// WallClock stamps events and latency samples with wall time measured
+	// from NewRecorder. Live runs set it; Sim runs must not (determinism).
+	WallClock bool
+	// MaxEvents caps the timeline; overflow increments a counter instead of
+	// growing without bound. Default 1 << 20.
+	MaxEvents int
+}
+
+// Recorder collects one run's observability. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops).
+type Recorder struct {
+	level Level
+	epoch time.Time // zero ⇒ no wall stamps
+	max   int
+
+	paxos  PaxosCounters
+	replog ReplogCounters
+
+	mu         sync.Mutex
+	seq        int64
+	events     []Event
+	truncated  int64
+	reqTick    map[msg.ID]failure.Time
+	reqWall    map[msg.ID]time.Duration
+	tickLat    []float64
+	wallLat    []float64
+	coord      map[Pair]*pairCoord
+	multicasts int64
+	deliveries int64
+}
+
+type pairCoord struct {
+	ops       int64
+	contended int64
+	perProc   map[groups.Process]int64
+}
+
+// NewRecorder builds a recorder. A LevelOff recorder is returned as nil —
+// the nil-safe methods make that the cheapest possible off switch.
+func NewRecorder(o Options) *Recorder {
+	if o.Level == LevelOff {
+		return nil
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 1 << 20
+	}
+	r := &Recorder{
+		level:   o.Level,
+		max:     o.MaxEvents,
+		reqTick: make(map[msg.ID]failure.Time),
+		reqWall: make(map[msg.ID]time.Duration),
+		coord:   make(map[Pair]*pairCoord),
+	}
+	if o.WallClock {
+		r.epoch = time.Now()
+	}
+	return r
+}
+
+// Paxos returns the recorder's paxos counter block (nil on a nil recorder).
+func (r *Recorder) Paxos() *PaxosCounters {
+	if r == nil {
+		return nil
+	}
+	return &r.paxos
+}
+
+// Replog returns the recorder's replog counter block (nil on a nil recorder).
+func (r *Recorder) Replog() *ReplogCounters {
+	if r == nil {
+		return nil
+	}
+	return &r.replog
+}
+
+// wallNow returns the wall offset since the epoch, or zero when the
+// recorder does not stamp wall time.
+func (r *Recorder) wallNow() time.Duration {
+	if r.epoch.IsZero() {
+		return 0
+	}
+	return time.Since(r.epoch)
+}
+
+// record appends one event under the cap (caller holds r.mu).
+func (r *Recorder) record(e Event) {
+	if r.level != LevelAll {
+		return
+	}
+	if len(r.events) >= r.max {
+		r.truncated++
+		return
+	}
+	e.Seq = r.seq
+	r.seq++
+	r.events = append(r.events, e)
+}
+
+// Multicast records a client multicast entering the system; its timestamp
+// is the left endpoint of every latency sample of m.
+func (r *Recorder) Multicast(p groups.Process, m msg.ID, g groups.GroupID, t failure.Time) {
+	if r == nil {
+		return
+	}
+	w := r.wallNow()
+	r.mu.Lock()
+	r.multicasts++
+	if _, ok := r.reqTick[m]; !ok {
+		r.reqTick[m] = t
+		r.reqWall[m] = w
+	}
+	r.record(Event{Kind: EvMulticast, P: p, M: m, G: g, H: g, T: t, Wall: w})
+	r.mu.Unlock()
+}
+
+// Deliver records a local delivery and takes a latency sample against the
+// multicast time of m.
+func (r *Recorder) Deliver(p groups.Process, m msg.ID, g groups.GroupID, t failure.Time) {
+	if r == nil {
+		return
+	}
+	w := r.wallNow()
+	r.mu.Lock()
+	r.deliveries++
+	if req, ok := r.reqTick[m]; ok {
+		r.tickLat = append(r.tickLat, float64(t-req))
+		if !r.epoch.IsZero() {
+			r.wallLat = append(r.wallLat, float64(w-r.reqWall[m])/float64(time.Millisecond))
+		}
+	}
+	r.record(Event{Kind: EvDeliver, P: p, M: m, G: g, H: g, T: t, Wall: w})
+	r.mu.Unlock()
+}
+
+// Append records LOG_{g∩h}.append (g == h for a group log). aux is the
+// datum kind, v the resulting position when known.
+func (r *Recorder) Append(p groups.Process, m msg.ID, g, h groups.GroupID, aux uint8, v int, t failure.Time) {
+	if r == nil {
+		return
+	}
+	w := r.wallNow()
+	r.mu.Lock()
+	r.record(Event{Kind: EvAppend, P: p, M: m, G: g, H: h, Aux: aux, V: v, T: t, Wall: w})
+	r.mu.Unlock()
+}
+
+// Bump records LOG_{g∩h}.bumpAndLock(m, k).
+func (r *Recorder) Bump(p groups.Process, m msg.ID, g, h groups.GroupID, k int, t failure.Time) {
+	if r == nil {
+		return
+	}
+	w := r.wallNow()
+	r.mu.Lock()
+	r.record(Event{Kind: EvBump, P: p, M: m, G: g, H: h, V: k, T: t, Wall: w})
+	r.mu.Unlock()
+}
+
+// Propose records a CONS_{m,f} proposal of value v by p.
+func (r *Recorder) Propose(p groups.Process, m msg.ID, g groups.GroupID, v int, t failure.Time) {
+	if r == nil {
+		return
+	}
+	w := r.wallNow()
+	r.mu.Lock()
+	r.record(Event{Kind: EvPropose, P: p, M: m, G: g, H: g, V: v, T: t, Wall: w})
+	r.mu.Unlock()
+}
+
+// Decide records the decision of CONS_{m,f} as learnt by p.
+func (r *Recorder) Decide(p groups.Process, m msg.ID, g groups.GroupID, v int, t failure.Time) {
+	if r == nil {
+		return
+	}
+	w := r.wallNow()
+	r.mu.Lock()
+	r.record(Event{Kind: EvDecide, P: p, M: m, G: g, H: g, V: v, T: t, Wall: w})
+	r.mu.Unlock()
+}
+
+// Coordination records one coordination operation on the log of pair,
+// charged to every member of set (the adopt-commit participants g∩h on the
+// fast path, the hosting group on the consensus fallback — Proposition 47's
+// footprint, counted). contended marks the fallback.
+func (r *Recorder) Coordination(pair Pair, set groups.ProcSet, contended bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	pc, ok := r.coord[pair]
+	if !ok {
+		pc = &pairCoord{perProc: make(map[groups.Process]int64)}
+		r.coord[pair] = pc
+	}
+	pc.ops++
+	if contended {
+		pc.contended++
+	}
+	for _, p := range set.Members() {
+		pc.perProc[p]++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot of the event timeline.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// ---------------------------------------------------------------------------
+// Counter blocks bumped by the live substrate's hot paths.
+
+// PaxosCounters count the consensus substrate's work. Retransmits is the
+// sum of failed rounds (retried with a higher ballot) and anti-entropy
+// probes for possibly-dropped decide broadcasts.
+type PaxosCounters struct {
+	Proposals     atomic.Int64
+	Rounds        atomic.Int64
+	RoundFailures atomic.Int64
+	Decisions     atomic.Int64
+	Probes        atomic.Int64
+}
+
+// IncProposal counts one Propose entry (nil-safe, like every Inc method).
+func (c *PaxosCounters) IncProposal() {
+	if c != nil {
+		c.Proposals.Add(1)
+	}
+}
+
+// IncRound counts one prepare/accept round attempt.
+func (c *PaxosCounters) IncRound() {
+	if c != nil {
+		c.Rounds.Add(1)
+	}
+}
+
+// IncRoundFailure counts one failed round (deadline or refusal).
+func (c *PaxosCounters) IncRoundFailure() {
+	if c != nil {
+		c.RoundFailures.Add(1)
+	}
+}
+
+// IncDecision counts one decision learnt for the first time.
+func (c *PaxosCounters) IncDecision() {
+	if c != nil {
+		c.Decisions.Add(1)
+	}
+}
+
+// IncProbe counts one anti-entropy decision probe broadcast.
+func (c *PaxosCounters) IncProbe() {
+	if c != nil {
+		c.Probes.Add(1)
+	}
+}
+
+// ReplogCounters count the replicated-log substrate's work.
+type ReplogCounters struct {
+	Applies atomic.Int64
+	Submits atomic.Int64
+}
+
+// IncApply counts one operation applied to a local replica.
+func (c *ReplogCounters) IncApply() {
+	if c != nil {
+		c.Applies.Add(1)
+	}
+}
+
+// IncSubmit counts one operation funnelled through consensus.
+func (c *ReplogCounters) IncSubmit() {
+	if c != nil {
+		c.Submits.Add(1)
+	}
+}
+
+// NetCounters count transport traffic per directed link. They are owned by
+// the transport (internal/net allocates one per Network) and read through
+// NetReporter at report time.
+type NetCounters struct {
+	n        int
+	packets  []atomic.Int64 // from*n + to
+	bytes    []atomic.Int64
+	overflow atomic.Int64
+}
+
+// NewNetCounters builds counters for n processes.
+func NewNetCounters(n int) *NetCounters {
+	return &NetCounters{
+		n:       n,
+		packets: make([]atomic.Int64, n*n),
+		bytes:   make([]atomic.Int64, n*n),
+	}
+}
+
+// Sent counts one packet of approximately size bytes on from→to.
+func (c *NetCounters) Sent(from, to groups.Process, size int) {
+	if c == nil {
+		return
+	}
+	i := int(from)*c.n + int(to)
+	if i < 0 || i >= len(c.packets) {
+		return
+	}
+	c.packets[i].Add(1)
+	c.bytes[i].Add(int64(size))
+}
+
+// Overflow counts one packet dropped on a full inbox.
+func (c *NetCounters) Overflow() {
+	if c != nil {
+		c.overflow.Add(1)
+	}
+}
+
+// Report snapshots the counters into a NetReport.
+func (c *NetCounters) Report() *NetReport {
+	if c == nil {
+		return nil
+	}
+	r := &NetReport{
+		PerProcessSent: make([]int64, c.n),
+		PerProcessRecv: make([]int64, c.n),
+		OverflowDrops:  c.overflow.Load(),
+	}
+	for f := 0; f < c.n; f++ {
+		for t := 0; t < c.n; t++ {
+			i := f*c.n + t
+			pk := c.packets[i].Load()
+			if pk == 0 {
+				continue
+			}
+			by := c.bytes[i].Load()
+			r.Packets += pk
+			r.Bytes += by
+			r.PerProcessSent[f] += pk
+			r.PerProcessRecv[t] += pk
+			r.PerLink = append(r.PerLink, LinkReport{
+				From: groups.Process(f), To: groups.Process(t), Packets: pk, Bytes: by,
+			})
+		}
+	}
+	return r
+}
+
+// NetReporter is implemented by transports that expose traffic counters
+// (internal/net.Network natively, internal/chaos.Chaos by delegation).
+type NetReporter interface {
+	NetReport() *NetReport
+}
+
+// sizeCache memoises per-type wire-size estimates.
+var sizeCache sync.Map // reflect.Type → int
+
+// EstimateSize approximates the wire footprint of a packet: a fixed header
+// plus the kind string plus the body's in-memory struct size. It is an
+// estimate — variable-length fields inside the body (instance names) are
+// not chased — but it is consistent across runs, which is what comparing
+// configurations needs.
+func EstimateSize(kind string, body any) int {
+	const header = 16
+	if body == nil {
+		return header + len(kind)
+	}
+	t := reflect.TypeOf(body)
+	if sz, ok := sizeCache.Load(t); ok {
+		return header + len(kind) + sz.(int)
+	}
+	sz := int(t.Size())
+	sizeCache.Store(t, sz)
+	return header + len(kind) + sz
+}

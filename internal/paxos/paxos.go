@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/groups"
 	"repro/internal/net"
+	"repro/internal/obs"
 )
 
 // LeaderFunc is the Ω_g interface: the current leader sample at p.
@@ -38,6 +39,9 @@ type Config struct {
 	// leader's decision between checks before it starts hedging rounds of
 	// its own.
 	NonLeaderWait time.Duration
+	// Counters, when non-nil, accumulates proposer/acceptor work for run
+	// reports. All methods are nil-safe, so the hot path stays branch-free.
+	Counters *obs.PaxosCounters
 }
 
 // DefaultConfig returns the timing the package has always used.
@@ -209,6 +213,7 @@ func (n *Node) loop() {
 func (n *Node) recordDecision(inst string, v int64) {
 	n.mu.Lock()
 	if _, seen := n.decided[inst]; !seen {
+		n.cfg.Counters.IncDecision()
 		n.decided[inst] = v
 		for _, ch := range n.watch[inst] {
 			ch <- v
@@ -252,6 +257,7 @@ func (n *Node) Done() <-chan struct{} { return n.done }
 // repeatedly; used by replicas whose decide broadcast may have been
 // dropped.
 func (n *Node) RequestDecision(scope groups.ProcSet, inst string) {
+	n.cfg.Counters.IncProbe()
 	n.nw.Broadcast(n.p, scope, "learn", learnReq{Inst: inst})
 }
 
@@ -261,6 +267,7 @@ func (n *Node) RequestDecision(scope groups.ProcSet, inst string) {
 // Propose never returns a wrong value; it returns ok=false only when the
 // network shuts down first.
 func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
+	n.cfg.Counters.IncProposal()
 	if got, ok := n.Decided(inst.Name); ok {
 		return got, true
 	}
@@ -293,11 +300,13 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 		}
 		ballotRound++
 		ballot := ballotRound*64 + int64(n.p) + 1
+		n.cfg.Counters.IncRound()
 		if val, ok := n.round(inst, ballot, v); ok {
 			n.nw.Broadcast(n.p, inst.Scope, "decide", decideMsg{Inst: inst.Name, Val: val})
 			n.recordDecision(inst.Name, val)
 			return val, true
 		}
+		n.cfg.Counters.IncRoundFailure()
 		// The round failed: likely a ballot duel. Over a slow or lossy
 		// fabric rounds take long enough to overlap, and symmetric retries
 		// livelock (dueling proposers). Back off for a period that grows

@@ -14,12 +14,14 @@ package replog
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/groups"
 	"repro/internal/logobj"
 	"repro/internal/msg"
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/paxos"
 )
 
@@ -90,11 +92,19 @@ type Replica struct {
 	scope groups.ProcSet
 	mkIns func(slot int) *paxos.Instance
 
+	// counters is set via Observe after the apply loop is already running,
+	// hence the atomic pointer rather than a constructor argument.
+	counters atomic.Pointer[obs.ReplogCounters]
+
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled on every apply (and on SyncWait timeout)
 	applied int        // operations applied so far
 	local   *logobj.Log
 }
+
+// Observe attaches run counters to the replica. Safe to call while the
+// apply loop is running; nil detaches.
+func (r *Replica) Observe(c *obs.ReplogCounters) { r.counters.Store(c) }
 
 // NewReplica builds the replica of process p and starts its apply loop. All
 // replicas of a log must share the name, scope and network. The apply loop
@@ -172,6 +182,7 @@ func (r *Replica) BumpAndLock(d logobj.Datum, k int) bool {
 // submit proposes the operation at successive slots until it is decided,
 // applying every decided operation along the way.
 func (r *Replica) submit(o Op) bool {
+	r.counters.Load().IncSubmit()
 	want := encode(o)
 	for {
 		r.mu.Lock()
@@ -242,6 +253,7 @@ func (r *Replica) applyAt(slot int, v int64) {
 		}
 	}
 	r.applied++
+	r.counters.Load().IncApply()
 	r.cond.Broadcast()
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/groups"
 	"repro/internal/logobj"
+	"repro/internal/obs"
 )
 
 // Log is a shared log whose operations are charged per the universal
@@ -38,6 +39,18 @@ type Log struct {
 
 	fastOps int64
 	slowOps int64
+
+	// rec/pair feed per-pair coordination counts into run reports
+	// independently of the charging flag (nil rec records nothing).
+	rec  *obs.Recorder
+	pair obs.Pair
+}
+
+// Observe attaches a recorder: every operation reports the set of processes
+// it coordinated (g∩h on the fast path, the hosting group on the consensus
+// fallback) under the given pair label.
+func (l *Log) Observe(rec *obs.Recorder, pair obs.Pair) {
+	l.rec, l.pair = rec, pair
 }
 
 // New wraps an empty log named name. fast is the intersection g∩h, slow the
@@ -79,11 +92,16 @@ func (l *Log) BumpAndLock(ctx *engine.Ctx, origin groups.GroupID, d logobj.Datum
 // replicas' proposals for the next slot conflict, so the operation pays a
 // consensus round in the hosting group.
 func (l *Log) charge(ctx *engine.Ctx, origin groups.GroupID) {
+	contended := l.hasOrigin && l.lastOrigin != origin
+	l.lastOrigin, l.hasOrigin = origin, true
+	if contended {
+		l.rec.Coordination(l.pair, l.slow, true)
+	} else {
+		l.rec.Coordination(l.pair, l.fast, false)
+	}
 	if !l.charging || ctx == nil {
 		return
 	}
-	contended := l.hasOrigin && l.lastOrigin != origin
-	l.lastOrigin, l.hasOrigin = origin, true
 	if contended {
 		l.slowOps++
 		ctx.E.ChargeSet(l.slow, 1)

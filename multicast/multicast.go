@@ -19,18 +19,21 @@
 package multicast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/check"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/failure"
 	"repro/internal/fd"
 	"repro/internal/groups"
 	"repro/internal/live"
 	"repro/internal/msg"
 	"repro/internal/net"
+	"repro/internal/obs"
 )
 
 // Ordering selects the problem variation (Table 1 of the paper).
@@ -125,21 +128,73 @@ type Config struct {
 	AccountCosts bool
 	// Crashes schedules failures: process → virtual crash time.
 	Crashes map[int]int64
+	// Observe selects the observability level of the run (default
+	// obs.LevelAll: full event timeline, latency samples, coordination
+	// counts). obs.LevelCounters drops the timeline; obs.LevelOff records
+	// nothing, and Report then returns obs.ErrNotAccounted.
+	Observe obs.Level
 	// RunTimeout bounds Run on the Live backend (default 60s).
+	//
+	// Deprecated: pass a deadline via RunContext instead. RunTimeout is kept
+	// for one release as the bound Run() itself applies.
 	RunTimeout time.Duration
+}
+
+// validate normalises the configuration and checks everything that does not
+// need the built topology, returning the first problem found. n is the
+// process count of the topology under construction.
+func (cfg *Config) validate(n int) error {
+	switch cfg.Backend {
+	case Sim, Live:
+	default:
+		return fmt.Errorf("multicast: unknown backend %d", cfg.Backend)
+	}
+	switch cfg.Ordering {
+	case GlobalOrder, StrictOrder, PairwiseOrder, StronglyGenuine:
+	default:
+		return fmt.Errorf("multicast: unknown ordering %d", cfg.Ordering)
+	}
+	if cfg.Backend == Live && cfg.AccountCosts {
+		return errors.New("multicast: AccountCosts requires the Sim backend")
+	}
+	for p, at := range cfg.Crashes {
+		if p < 0 || p >= n {
+			return fmt.Errorf("multicast: crash of out-of-range process %d", p)
+		}
+		if at < 0 {
+			return fmt.Errorf("multicast: negative crash time %d for process %d", at, p)
+		}
+	}
+	if cfg.DetectorDelay == 0 {
+		cfg.DetectorDelay = 8
+	}
+	if cfg.RunTimeout <= 0 {
+		cfg.RunTimeout = 60 * time.Second
+	}
+	return nil
 }
 
 // System is a runnable multicast instance.
 type System struct {
-	topo  *groups.Topology
-	names []string
-	sys   *core.System // Sim backend (nil under Live)
-	lsys  *live.System // Live backend (nil under Sim)
-	tmout time.Duration
+	topo   *groups.Topology
+	names  []string
+	byName map[string]groups.GroupID
+	rec    *obs.Recorder
+	sys    *core.System // Sim backend (nil under Live)
+	lsys   *live.System // Live backend (nil under Sim)
+	tmout  time.Duration
 }
 
 // ErrUnknownGroup is returned for group names that were never declared.
 var ErrUnknownGroup = errors.New("multicast: unknown group")
+
+// ErrRunTimeout is wrapped by Run/RunContext when the run was cut short by
+// a deadline or cancellation before reaching its goal.
+var ErrRunTimeout = errors.New("multicast: run cancelled before completion")
+
+// ErrStepBudget is wrapped by Run/RunContext when a Sim run exhausted its
+// step budget without quiescing (a liveness failure in the scenario).
+var ErrStepBudget = errors.New("multicast: run did not quiesce within the step budget")
 
 // New builds a system from a topology and a configuration.
 func New(t *Topology, cfg Config) (*System, error) {
@@ -149,20 +204,16 @@ func New(t *Topology, cfg Config) (*System, error) {
 	if len(t.sets) == 0 {
 		return nil, errors.New("multicast: no destination groups declared")
 	}
+	if err := cfg.validate(t.n); err != nil {
+		return nil, err
+	}
 	topo, err := groups.New(t.n, t.sets...)
 	if err != nil {
 		return nil, err
 	}
 	pat := failure.NewPattern(t.n)
 	for p, at := range cfg.Crashes {
-		if p < 0 || p >= t.n {
-			return nil, fmt.Errorf("multicast: crash of out-of-range process %d", p)
-		}
 		pat = pat.WithCrash(groups.Process(p), failure.Time(at))
-	}
-	delay := cfg.DetectorDelay
-	if delay == 0 {
-		delay = 8
 	}
 	var variant core.Variant
 	switch cfg.Ordering {
@@ -178,35 +229,35 @@ func New(t *Topology, cfg Config) (*System, error) {
 	if cfg.Ordering == PairwiseOrder && topo.HasCyclicFamilies() {
 		return nil, errors.New("multicast: pairwise ordering requires an acyclic topology (F = ∅, §7)")
 	}
+	rec := obs.NewRecorder(obs.Options{
+		Level:     cfg.Observe,
+		WallClock: cfg.Backend == Live,
+	})
 	opt := core.Options{
 		Variant:       variant,
 		ChargeObjects: cfg.AccountCosts,
-		FD:            fd.Options{Delay: failure.Time(delay), Seed: cfg.Seed},
+		FD:            fd.Options{Delay: failure.Time(cfg.DetectorDelay), Seed: cfg.Seed},
+		Rec:           rec,
 	}
 	names := append([]string(nil), t.names...)
-	if cfg.Backend == Live {
-		if cfg.AccountCosts {
-			return nil, errors.New("multicast: AccountCosts requires the Sim backend")
-		}
-		opt.ChargeObjects = false
-		tmout := cfg.RunTimeout
-		if tmout <= 0 {
-			tmout = 60 * time.Second
-		}
-		lsys := live.NewSystem(topo, pat, net.New(t.n), live.Config{Opt: opt})
-		lsys.Start()
-		return &System{topo: topo, names: names, lsys: lsys, tmout: tmout}, nil
+	byName := make(map[string]groups.GroupID, len(t.byName))
+	for n, g := range t.byName {
+		byName[n] = g
 	}
-	sys := core.NewSystem(topo, pat, opt, cfg.Seed)
-	return &System{topo: topo, names: names, sys: sys}, nil
+	s := &System{topo: topo, names: names, byName: byName, rec: rec, tmout: cfg.RunTimeout}
+	if cfg.Backend == Live {
+		s.lsys = live.NewSystem(topo, pat, net.New(t.n), live.Config{Opt: opt})
+		s.lsys.Start()
+		return s, nil
+	}
+	s.sys = core.NewSystem(topo, pat, opt, cfg.Seed)
+	return s, nil
 }
 
-// groupID resolves a group name.
+// groupID resolves a group name via the map the Topology built (O(1)).
 func (s *System) groupID(name string) (groups.GroupID, error) {
-	for i, n := range s.names {
-		if n == name {
-			return groups.GroupID(i), nil
-		}
+	if g, ok := s.byName[name]; ok {
+		return g, nil
 	}
 	return 0, fmt.Errorf("%w: %q", ErrUnknownGroup, name)
 }
@@ -254,23 +305,47 @@ func (s *System) MulticastAt(at int64, src int, group string, payload []byte) er
 	return nil
 }
 
-// Run drives the system to quiescence. On the Sim backend it returns an
-// error when the step budget is exhausted first; on the Live backend it
-// waits until every issued multicast is delivered at every correct
-// destination member (or RunTimeout elapses) and then stops the substrate.
+// Run drives the system to quiescence. It delegates to RunContext: on the
+// Sim backend under a background context; on the Live backend under the
+// (deprecated) RunTimeout deadline, default 60s.
 func (s *System) Run() error {
+	ctx := context.Background()
 	if s.lsys != nil {
-		ok := s.lsys.AwaitDelivery(s.tmout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.tmout)
+		defer cancel()
+	}
+	return s.RunContext(ctx)
+}
+
+// RunContext drives the system to quiescence under a context. On the Sim
+// backend it steps the deterministic engine, polling the context between
+// scheduling batches; on the Live backend it waits until every issued
+// multicast is delivered at every correct destination member and then stops
+// the substrate — cancellation mid-run stops the substrate cleanly (trace
+// frozen first, then transport closed, then goroutines joined).
+//
+// The error wraps typed sentinels callers can branch on with errors.Is:
+// ErrRunTimeout (with the context's own error) when the context ended the
+// run, ErrStepBudget when a Sim run exhausted its step budget.
+func (s *System) RunContext(ctx context.Context) error {
+	if s.lsys != nil {
+		ok := s.lsys.AwaitDeliveryCtx(ctx)
 		s.lsys.Stop()
 		if !ok {
-			return errors.New("multicast: live run did not reach full delivery before the timeout")
+			return fmt.Errorf("multicast: live run did not reach full delivery: %w (%w)", ErrRunTimeout, context.Cause(ctx))
 		}
 		return nil
 	}
-	if !s.sys.Run() {
-		return errors.New("multicast: run did not quiesce within the step budget")
+	outcome := s.sys.RunInterruptible(func() bool { return ctx.Err() != nil })
+	switch outcome {
+	case engine.Quiesced:
+		return nil
+	case engine.Stopped:
+		return fmt.Errorf("multicast: sim run interrupted: %w (%w)", ErrRunTimeout, context.Cause(ctx))
+	default:
+		return ErrStepBudget
 	}
-	return nil
 }
 
 // Delivery is one delivered message at a process.
@@ -337,9 +412,32 @@ func (s *System) Validate() []error {
 	return out
 }
 
+// Report returns the run's observability: delivery-latency summaries,
+// per-process footprints, per-pair g∩h coordination counts, the event
+// timeline, and — on the Live backend — the substrate counters (transport
+// packets/bytes per link, paxos rounds, replog applies, chaos injections).
+//
+// Quantities the run did not measure surface as obs.ErrNotAccounted — from
+// this method when observability was disabled (Config.Observe ==
+// obs.LevelOff), and from the report's own accessors (RunReport.StepsOf,
+// RunReport.SentMessages) for backend-specific ledgers — never as
+// fabricated zeros.
+func (s *System) Report() (obs.RunReport, error) {
+	if s.rec == nil {
+		return obs.RunReport{}, fmt.Errorf("%w: observability disabled (Config.Observe = LevelOff)", obs.ErrNotAccounted)
+	}
+	if s.lsys != nil {
+		return s.lsys.Report(), nil
+	}
+	return s.sys.Report(), nil
+}
+
 // Steps returns how many protocol actions process p executed — the
 // footprint genuineness constrains. Live runs have no step ledger and
 // report zero.
+//
+// Deprecated: use Report and RunReport.StepsOf, which distinguishes "no
+// ledger" (obs.ErrNotAccounted on the Live backend) from a real zero.
 func (s *System) Steps(p int) int64 {
 	if s.lsys != nil {
 		return 0
@@ -349,6 +447,10 @@ func (s *System) Steps(p int) int64 {
 
 // MessagesSent returns the synthetic message count of the run (only
 // populated with Config.AccountCosts on the Sim backend).
+//
+// Deprecated: use Report and RunReport.SentMessages, which distinguishes
+// "not accounted" (obs.ErrNotAccounted without AccountCosts or on the Live
+// backend) from a real zero.
 func (s *System) MessagesSent() int64 {
 	if s.lsys != nil {
 		return 0
@@ -357,6 +459,10 @@ func (s *System) MessagesSent() int64 {
 }
 
 // Stats summarises a completed run.
+//
+// Deprecated: use obs.RunReport (via Report), which carries the same
+// quantities plus latency, coordination and substrate counters, and errors
+// on unaccounted quantities instead of fabricating zeros.
 type Stats struct {
 	// Deliveries is the total number of delivery events.
 	Deliveries int
@@ -369,6 +475,8 @@ type Stats struct {
 }
 
 // Stats returns the run's summary.
+//
+// Deprecated: use Report.
 func (s *System) Stats() Stats {
 	st := Stats{
 		Deliveries: len(s.shared().Deliveries()),
