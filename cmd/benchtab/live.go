@@ -107,8 +107,9 @@ func liveRun(n int, seed int64, msgs int, pace time.Duration) (obs.RunReport, er
 
 // liveBench measures the replicated substrate across topology sizes and
 // chaos seeds and prints the table; jsonPath != "" also writes the rows as
-// the BENCH_live.json document.
-func liveBench(short bool, jsonPath string) error {
+// the BENCH_live.json document, and baselinePath != "" loads a prior
+// document and prints per-topology deltas against it.
+func liveBench(short bool, jsonPath, baselinePath string) error {
 	sizes := []int{3, 5, 7}
 	seeds := []int64{0, 3}
 	msgs, pace := 48, 2*time.Millisecond
@@ -159,6 +160,11 @@ func liveBench(short bool, jsonPath string) error {
 	fmt.Println("\nshape: latency and wire traffic grow with the chain because neighbouring")
 	fmt.Println("groups share pair logs; a seeded nemesis adds retransmission work (visible")
 	fmt.Println("in pkts/dlv) without moving the median much — indulgence, measured.")
+	if baselinePath != "" {
+		if err := printBaselineDeltas(baselinePath, doc.Runs); err != nil {
+			return err
+		}
+	}
 	if jsonPath == "" {
 		return nil
 	}
@@ -170,5 +176,55 @@ func liveBench(short bool, jsonPath string) error {
 		return err
 	}
 	fmt.Printf("\nwrote %s (%d runs)\n", jsonPath, len(doc.Runs))
+	return nil
+}
+
+// printBaselineDeltas loads a prior BENCH_live.json and prints, per
+// (processes, chaos_seed) row present in both documents, the change in p50,
+// p99 and packets/delivery. Negative percentages are improvements. Rows only
+// one side measured are listed as unmatched rather than silently skipped.
+func printBaselineDeltas(path string, fresh []liveRow) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	var prior liveDoc
+	if err := json.Unmarshal(blob, &prior); err != nil {
+		return fmt.Errorf("-baseline %s: %w", path, err)
+	}
+	type rowKey struct {
+		n    int
+		seed int64
+	}
+	old := make(map[rowKey]liveRow, len(prior.Runs))
+	for _, r := range prior.Runs {
+		old[rowKey{r.Processes, r.ChaosSeed}] = r
+	}
+	pct := func(now, was float64) string {
+		if was == 0 {
+			return "    n/a"
+		}
+		return fmt.Sprintf("%+6.1f%%", 100*(now-was)/was)
+	}
+	header(fmt.Sprintf("Delta vs baseline %s (negative = better)", path))
+	fmt.Printf("%4s %6s | %9s → %9s %7s | %9s → %9s %7s | %8s → %8s %7s\n",
+		"n", "seed", "p50 was", "p50 now", "Δ", "p99 was", "p99 now", "Δ", "pkts was", "pkts now", "Δ")
+	matched := 0
+	for _, r := range fresh {
+		was, ok := old[rowKey{r.Processes, r.ChaosSeed}]
+		if !ok {
+			fmt.Printf("%4d %6d | (no baseline row)\n", r.Processes, r.ChaosSeed)
+			continue
+		}
+		matched++
+		fmt.Printf("%4d %6d | %9.2f → %9.2f %7s | %9.2f → %9.2f %7s | %8.1f → %8.1f %7s\n",
+			r.Processes, r.ChaosSeed,
+			was.P50Ms, r.P50Ms, pct(r.P50Ms, was.P50Ms),
+			was.P99Ms, r.P99Ms, pct(r.P99Ms, was.P99Ms),
+			was.PacketsPerDelivery, r.PacketsPerDelivery, pct(r.PacketsPerDelivery, was.PacketsPerDelivery))
+	}
+	if matched == 0 {
+		return fmt.Errorf("-baseline %s: no rows match the fresh run (different topology set?)", path)
+	}
 	return nil
 }

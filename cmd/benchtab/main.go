@@ -17,15 +17,22 @@
 // The live mode measures the replicated substrate instead: wall-clock
 // delivery latency (p50/p99), sustained msgs/sec and real wire packets per
 // delivery, across chain topologies of overlapping 3-member groups and
-// chaos seeds. -json writes the results (BENCH_live.json in CI):
+// chaos seeds. -json writes the results (BENCH_live.json in CI), -baseline
+// compares the fresh run against a prior document — the before/after of a
+// performance change is one command:
 //
 //	benchtab -short -json BENCH_live.json live
+//	benchtab -baseline BENCH_live.json -json BENCH_new.json live
+//
+// -cpuprofile/-memprofile write pprof profiles of the selected mode.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/baseline"
@@ -37,10 +44,40 @@ import (
 
 func main() {
 	var (
-		shortFlag = flag.Bool("short", false, "smaller topologies and message counts (CI budget)")
-		jsonFlag  = flag.String("json", "", "write live-mode results as JSON to this path")
+		shortFlag    = flag.Bool("short", false, "smaller topologies and message counts (CI budget)")
+		jsonFlag     = flag.String("json", "", "write live-mode results as JSON to this path")
+		baselineFlag = flag.String("baseline", "", "prior BENCH_live.json; live mode prints per-topology deltas against it")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	which := flag.Arg(0)
 	switch which {
 	case "":
@@ -54,7 +91,7 @@ func main() {
 	case "delay":
 		delaySweep()
 	case "live":
-		if err := liveBench(*shortFlag, *jsonFlag); err != nil {
+		if err := liveBench(*shortFlag, *jsonFlag, *baselineFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

@@ -220,7 +220,7 @@ func runReplog(seed int64, n int, plan chaos.Plan) error {
 	reps := make([]*replog.Replica, n)
 	for p := 0; p < n; p++ {
 		node := paxos.StartNode(c, groups.Process(p))
-		reps[p] = replog.NewReplica("LOG", groups.Process(p), node, c, scope, leader)
+		reps[p] = replog.NewReplica("LOG", 1, groups.Process(p), node, c, scope, leader)
 	}
 
 	nm := &chaos.Nemesis{C: c, Plan: plan}

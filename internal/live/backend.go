@@ -130,8 +130,11 @@ func (b *Backend) Log(p groups.Process, g, h groups.GroupID) core.LogObject {
 	if pair.A != pair.B {
 		name = fmt.Sprintf("LOG_g%d∩g%d", pair.A, pair.B)
 	}
+	// The realm packs the canonical pair: distinct pair logs get distinct
+	// Multi-Paxos realms on the shared per-process paxos node.
+	realm := uint64(pair.A)<<32 | uint64(uint32(pair.B))
 	scope, omega := b.hosting(pair)
-	r := replog.NewReplica(name, p, b.nodes[p], b.nw, scope, b.leaderFunc(omega))
+	r := replog.NewReplica(name, realm, p, b.nodes[p], b.nw, scope, b.leaderFunc(omega))
 	r.Observe(b.rec.Replog())
 	b.reps[key] = r
 	return b.wrapLog(r, pair)
@@ -157,10 +160,14 @@ func (b *Backend) Cons(p groups.Process, m msg.ID, fam groups.GroupSet) core.Con
 		return c
 	}
 	dst := b.reg.Get(m).Dst
+	// CONS_{m,f} is a single-shot instance: the message ID is the realm and
+	// the family bitmask the slot, so distinct (m, f) pairs cannot collide
+	// with each other or with any SpaceLog realm. No MultiPaxos — there is
+	// no slot sequence to lease.
 	c := &liveCons{
 		node: b.nodes[p],
 		ins: &paxos.Instance{
-			Name:   fmt.Sprintf("CONS/m%d/f%x", m, uint64(fam)),
+			ID:     paxos.InstanceID{Space: paxos.SpaceCons, Realm: uint64(m), Slot: int64(fam)},
 			Scope:  b.topo.Group(dst),
 			Net:    b.nw,
 			Leader: b.leaderFunc(b.mu.OmegaFor(dst)),

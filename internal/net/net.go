@@ -43,15 +43,27 @@ type Transport interface {
 	Close()
 }
 
-// Network connects n processes with reliable FIFO links.
+// endpoint is the per-process receive state. Each endpoint has its own
+// lock, so senders to different recipients never serialise on a shared
+// mutex — only senders racing for the same inbox (and Close/Crash touching
+// it) contend.
+type endpoint struct {
+	mu     sync.Mutex
+	closed bool // set by Network.Close before the channel is closed
+	ch     chan Packet
+}
+
+// Network connects n processes with reliable FIFO links. The state is
+// sharded per endpoint: crash flags are per-process atomics, the global
+// closed flag is an atomic fast path, and the only lock a send takes is the
+// recipient's own (needed to order the channel send against Close).
 type Network struct {
 	n        int
 	dropped  atomic.Uint64
 	counters *obs.NetCounters
-	mu       sync.Mutex
-	closed   bool
-	dead     map[groups.Process]bool
-	inbox    []chan Packet
+	closed   atomic.Bool
+	dead     []atomic.Bool
+	eps      []endpoint
 }
 
 var _ Transport = (*Network)(nil)
@@ -65,11 +77,11 @@ func New(n int) *Network {
 	nw := &Network{
 		n:        n,
 		counters: obs.NewNetCounters(n),
-		dead:     make(map[groups.Process]bool),
-		inbox:    make([]chan Packet, n),
+		dead:     make([]atomic.Bool, n),
+		eps:      make([]endpoint, n),
 	}
-	for i := range nw.inbox {
-		nw.inbox[i] = make(chan Packet, inboxDepth)
+	for i := range nw.eps {
+		nw.eps[i].ch = make(chan Packet, inboxDepth)
 	}
 	return nw
 }
@@ -81,15 +93,19 @@ func (nw *Network) N() int { return nw.n }
 // crashed processes are dropped silently, and sends after Close are no-ops
 // (a closed network models the end of the run).
 func (nw *Network) Send(from, to groups.Process, kind string, body any) {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	if nw.closed || nw.dead[from] || nw.dead[to] {
+	if nw.closed.Load() || nw.dead[from].Load() || nw.dead[to].Load() {
 		return
 	}
-	// The send is non-blocking and performed under the lock, so it cannot
-	// race with Close closing the channel.
+	ep := &nw.eps[to]
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
+	// The send is non-blocking and performed under the endpoint's lock, so
+	// it cannot race with Close closing the channel.
 	select {
-	case nw.inbox[to] <- Packet{From: from, To: to, Kind: kind, Body: body}:
+	case ep.ch <- Packet{From: from, To: to, Kind: kind, Body: body}:
 		nw.counters.Sent(from, to, obs.EstimateSize(kind, body))
 	default:
 		// Inbox overflow: drop, and count it. The substrates retransmit, so
@@ -118,17 +134,21 @@ func (nw *Network) Broadcast(from groups.Process, set groups.ProcSet, kind strin
 }
 
 // Inbox returns the receive channel of p.
-func (nw *Network) Inbox(p groups.Process) <-chan Packet { return nw.inbox[p] }
+func (nw *Network) Inbox(p groups.Process) <-chan Packet { return nw.eps[p].ch }
 
 // Crash silences p: its pending inbox is drained and all future traffic
 // from or to it is dropped.
 func (nw *Network) Crash(p groups.Process) {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	nw.dead[p] = true
+	nw.dead[p].Store(true)
+	ep := &nw.eps[p]
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return
+	}
 	for {
 		select {
-		case <-nw.inbox[p]:
+		case <-ep.ch:
 		default:
 			return
 		}
@@ -136,22 +156,19 @@ func (nw *Network) Crash(p groups.Process) {
 }
 
 // Crashed reports whether p was crashed.
-func (nw *Network) Crashed(p groups.Process) bool {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.dead[p]
-}
+func (nw *Network) Crashed(p groups.Process) bool { return nw.dead[p].Load() }
 
 // Close stops all future traffic (used at test teardown so server
 // goroutines drain and exit).
 func (nw *Network) Close() {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	if nw.closed {
+	if nw.closed.Swap(true) {
 		return
 	}
-	nw.closed = true
-	for _, ch := range nw.inbox {
-		close(ch)
+	for i := range nw.eps {
+		ep := &nw.eps[i]
+		ep.mu.Lock()
+		ep.closed = true
+		close(ep.ch)
+		ep.mu.Unlock()
 	}
 }

@@ -334,15 +334,24 @@ func (r *Recorder) Events() []Event {
 // ---------------------------------------------------------------------------
 // Counter blocks bumped by the live substrate's hot paths.
 
-// PaxosCounters count the consensus substrate's work. Retransmits is the
-// sum of failed rounds (retried with a higher ballot) and anti-entropy
-// probes for possibly-dropped decide broadcasts.
+// PaxosCounters count the consensus substrate's work. Rounds are the full
+// two-phase synod rounds; FastRounds are the Multi-Paxos steady-state
+// rounds (phase 1 elided under a leader lease). Probes are anti-entropy
+// broadcasts for possibly-dropped decide messages. RespDrops count
+// proposer responses lost to a full response channel; RespStale counts
+// leftovers from prior rounds drained at round start.
 type PaxosCounters struct {
-	Proposals     atomic.Int64
-	Rounds        atomic.Int64
-	RoundFailures atomic.Int64
-	Decisions     atomic.Int64
-	Probes        atomic.Int64
+	Proposals         atomic.Int64
+	Rounds            atomic.Int64
+	RoundFailures     atomic.Int64
+	FastRounds        atomic.Int64
+	FastRoundFailures atomic.Int64
+	LeasesAcquired    atomic.Int64
+	LeasesLost        atomic.Int64
+	Decisions         atomic.Int64
+	Probes            atomic.Int64
+	RespDrops         atomic.Int64
+	RespStale         atomic.Int64
 }
 
 // IncProposal counts one Propose entry (nil-safe, like every Inc method).
@@ -377,6 +386,49 @@ func (c *PaxosCounters) IncDecision() {
 func (c *PaxosCounters) IncProbe() {
 	if c != nil {
 		c.Probes.Add(1)
+	}
+}
+
+// IncFastRound counts one phase-1-elided accept round under a lease.
+func (c *PaxosCounters) IncFastRound() {
+	if c != nil {
+		c.FastRounds.Add(1)
+	}
+}
+
+// IncFastRoundFailure counts one fast round that fell back to the full
+// protocol (NACK, deadline, or concurrent decision).
+func (c *PaxosCounters) IncFastRoundFailure() {
+	if c != nil {
+		c.FastRoundFailures.Add(1)
+	}
+}
+
+// IncLeaseAcquired counts one range prepare installing a proposer lease.
+func (c *PaxosCounters) IncLeaseAcquired() {
+	if c != nil {
+		c.LeasesAcquired.Add(1)
+	}
+}
+
+// IncLeaseLost counts one lease invalidated by an observed higher ballot.
+func (c *PaxosCounters) IncLeaseLost() {
+	if c != nil {
+		c.LeasesLost.Add(1)
+	}
+}
+
+// IncRespDrop counts one proposer response dropped on a full channel.
+func (c *PaxosCounters) IncRespDrop() {
+	if c != nil {
+		c.RespDrops.Add(1)
+	}
+}
+
+// IncRespStale counts one leftover response drained at round start.
+func (c *PaxosCounters) IncRespStale() {
+	if c != nil {
+		c.RespStale.Add(1)
 	}
 }
 

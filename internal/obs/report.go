@@ -85,13 +85,24 @@ type NetReport struct {
 	PerLink        []LinkReport `json:"per_link,omitempty"`
 }
 
-// PaxosReport is the consensus substrate's work in a live run.
+// PaxosReport is the consensus substrate's work in a live run. Rounds are
+// full two-phase synod rounds; FastRounds the phase-1-elided accepts the
+// Multi-Paxos lease enables; the lease counters record fast-path churn
+// (acquisitions via range prepare, invalidations on observed higher
+// ballots). RespDrops/RespStale account proposer-response losses that the
+// old implementation discarded silently.
 type PaxosReport struct {
-	Proposals     int64 `json:"proposals"`
-	Rounds        int64 `json:"rounds"`
-	RoundFailures int64 `json:"round_failures"`
-	Decisions     int64 `json:"decisions"`
-	Probes        int64 `json:"probes"`
+	Proposals         int64 `json:"proposals"`
+	Rounds            int64 `json:"rounds"`
+	RoundFailures     int64 `json:"round_failures"`
+	FastRounds        int64 `json:"fast_rounds"`
+	FastRoundFailures int64 `json:"fast_round_failures"`
+	LeasesAcquired    int64 `json:"leases_acquired"`
+	LeasesLost        int64 `json:"leases_lost"`
+	Decisions         int64 `json:"decisions"`
+	Probes            int64 `json:"probes"`
+	RespDrops         int64 `json:"resp_drops"`
+	RespStale         int64 `json:"resp_stale"`
 }
 
 // ReplogReport is the replicated-log substrate's work in a live run.
@@ -198,13 +209,19 @@ func (r *Recorder) Report() RunReport {
 	} else {
 		out.Wall = 0
 	}
-	if v := r.paxos.Proposals.Load() + r.paxos.Rounds.Load() + r.paxos.Decisions.Load() + r.paxos.Probes.Load(); v > 0 {
+	if v := r.paxos.Proposals.Load() + r.paxos.Rounds.Load() + r.paxos.FastRounds.Load() + r.paxos.Decisions.Load() + r.paxos.Probes.Load(); v > 0 {
 		out.Paxos = &PaxosReport{
-			Proposals:     r.paxos.Proposals.Load(),
-			Rounds:        r.paxos.Rounds.Load(),
-			RoundFailures: r.paxos.RoundFailures.Load(),
-			Decisions:     r.paxos.Decisions.Load(),
-			Probes:        r.paxos.Probes.Load(),
+			Proposals:         r.paxos.Proposals.Load(),
+			Rounds:            r.paxos.Rounds.Load(),
+			RoundFailures:     r.paxos.RoundFailures.Load(),
+			FastRounds:        r.paxos.FastRounds.Load(),
+			FastRoundFailures: r.paxos.FastRoundFailures.Load(),
+			LeasesAcquired:    r.paxos.LeasesAcquired.Load(),
+			LeasesLost:        r.paxos.LeasesLost.Load(),
+			Decisions:         r.paxos.Decisions.Load(),
+			Probes:            r.paxos.Probes.Load(),
+			RespDrops:         r.paxos.RespDrops.Load(),
+			RespStale:         r.paxos.RespStale.Load(),
 		}
 	}
 	if v := r.replog.Applies.Load() + r.replog.Submits.Load(); v > 0 {
@@ -311,8 +328,11 @@ func (r *RunReport) String() string {
 		}
 	}
 	if r.Paxos != nil {
-		fmt.Fprintf(&b, "\n  paxos: %d proposals, %d rounds (%d failed), %d decisions, %d probes",
-			r.Paxos.Proposals, r.Paxos.Rounds, r.Paxos.RoundFailures, r.Paxos.Decisions, r.Paxos.Probes)
+		fmt.Fprintf(&b, "\n  paxos: %d proposals, %d rounds (%d failed), %d fast rounds (%d failed), %d decisions, %d probes",
+			r.Paxos.Proposals, r.Paxos.Rounds, r.Paxos.RoundFailures,
+			r.Paxos.FastRounds, r.Paxos.FastRoundFailures, r.Paxos.Decisions, r.Paxos.Probes)
+		fmt.Fprintf(&b, "\n  leases: %d acquired, %d lost; resp: %d dropped, %d stale",
+			r.Paxos.LeasesAcquired, r.Paxos.LeasesLost, r.Paxos.RespDrops, r.Paxos.RespStale)
 	}
 	if r.Replog != nil {
 		fmt.Fprintf(&b, "\n  replog: %d submits, %d applies", r.Replog.Submits, r.Replog.Applies)

@@ -1,0 +1,40 @@
+package paxos
+
+import (
+	"testing"
+
+	"repro/internal/groups"
+	"repro/internal/net"
+)
+
+// BenchmarkAcceptRound measures the steady-state cost of one replicated
+// slot: the leader holds a Multi-Paxos lease over the realm, so each
+// Propose is a single accept quorum round plus the decide broadcast — the
+// path every replog submit takes once the leader is stable. The first
+// iteration pays the lease acquisition (a full round); all others are
+// phase-1-elided.
+func BenchmarkAcceptRound(b *testing.B) {
+	const n = 3
+	nw := net.New(n)
+	defer nw.Close()
+	nodes := make([]*Node, n)
+	var scope groups.ProcSet
+	for p := 0; p < n; p++ {
+		nodes[p] = StartNode(nw, groups.Process(p))
+		scope = scope.Add(groups.Process(p))
+	}
+	leader := func(groups.Process) groups.Process { return 0 }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inst := &Instance{
+			ID:         InstanceID{Space: SpaceTest, Realm: 1, Slot: int64(i)},
+			Scope:      scope,
+			Net:        nw,
+			Leader:     leader,
+			MultiPaxos: true,
+		}
+		if _, ok := nodes[0].Propose(inst, int64(i)); !ok {
+			b.Fatalf("slot %d did not decide", i)
+		}
+	}
+}

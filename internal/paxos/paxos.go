@@ -1,10 +1,20 @@
-// Package paxos implements single-decree consensus inside a destination
-// group from Ω_g ∧ Σ_g over message passing — the paper's "consensus is
-// wait-free solvable in g" (§4). It is classic synod consensus: a proposer
-// that believes itself the leader (per Ω) runs prepare/accept phases against
-// quorums (per Σ, realised as majorities); Ω's eventual agreement on one
-// correct leader yields termination, quorum intersection yields agreement
-// regardless of how many leaders race.
+// Package paxos implements consensus inside a destination group from
+// Ω_g ∧ Σ_g over message passing — the paper's "consensus is wait-free
+// solvable in g" (§4). The base protocol is classic synod consensus: a
+// proposer that believes itself the leader (per Ω) runs prepare/accept
+// phases against quorums (per Σ, realised as majorities); Ω's eventual
+// agreement on one correct leader yields termination, quorum intersection
+// yields agreement regardless of how many leaders race.
+//
+// On top of the single-decree core sits a Multi-Paxos steady state for
+// slot-structured instance families (the replog substrate): a stable leader
+// prepares once for an entire log — a *lease* covering every slot ≥ k of
+// the realm — after which each slot costs a single accept round plus a
+// decide. Phase 1 is elided until the leader sample changes or a higher
+// ballot is observed (a NACK), at which point the proposer falls back to a
+// full round. The lease is purely a performance device: acceptors apply the
+// standard promise/accept rules (a range promise is just a promise for
+// every covered slot at once), so safety is exactly single-decree Paxos's.
 package paxos
 
 import (
@@ -18,6 +28,39 @@ import (
 
 // LeaderFunc is the Ω_g interface: the current leader sample at p.
 type LeaderFunc func(p groups.Process) groups.Process
+
+// Instance-ID spaces used by this repository's substrates. Spaces partition
+// the instance universe so callers cannot collide; any caller may pick its
+// own value.
+const (
+	// SpaceTest is the default space for tests and ad-hoc instances.
+	SpaceTest uint8 = iota
+	// SpaceLog is the replog substrate: Realm identifies the log, Slot the
+	// position in it. Realms in this space are leasable (Multi-Paxos).
+	SpaceLog
+	// SpaceCons is the dedicated CONS_{m,f} instances of Algorithm 1:
+	// Realm carries the message ID and Slot the family bitmask (single-shot
+	// instances — the slot field is identity, not a log position).
+	SpaceCons
+)
+
+// InstanceID is the comparable identity of one consensus instance. It
+// replaces the old "name/slot" string keys: map lookups on the hot path
+// cost a struct compare instead of a string hash plus an allocation at
+// every fmt.Sprintf call site.
+type InstanceID struct {
+	Space uint8
+	Realm uint64
+	Slot  int64
+}
+
+// realmKey identifies an instance family for lease purposes.
+type realmKey struct {
+	Space uint8
+	Realm uint64
+}
+
+func (id InstanceID) realm() realmKey { return realmKey{Space: id.Space, Realm: id.Realm} }
 
 // Config tunes the proposer timing. The zero value means "use the
 // defaults"; chaos tests and the live backend pass adjusted values instead
@@ -77,18 +120,33 @@ func (c Config) withDefaults() Config {
 // accept are idempotent at a fixed ballot, proposers retry rounds under a
 // deadline, and responses are deduplicated by acceptor.
 type Instance struct {
-	Name   string
+	ID     InstanceID
 	Scope  groups.ProcSet
 	Net    net.Transport
 	Leader LeaderFunc
+	// MultiPaxos opts the instance's realm into the leader-lease fast
+	// path: the realm's slots form one log proposed at by a stable leader,
+	// so a full round doubles as a phase-1 acquisition for all later slots.
+	// Single-shot instances (CONS_{m,f}, tests) leave it false and get the
+	// classic per-instance protocol.
+	MultiPaxos bool
 }
 
 // acceptor is the per-process acceptor state of all instances.
 type acceptor struct {
 	mu       sync.Mutex
-	promised map[string]int64
-	accepted map[string]acceptedVal
-	decided  map[string]int64
+	promised map[InstanceID]int64
+	accepted map[InstanceID]acceptedVal
+	// leases holds range promises: a grant at (ballot, fromSlot) promises
+	// every slot ≥ fromSlot of the realm at once. The effective promise
+	// floor of an instance is the max of its point promise and any
+	// covering range promise.
+	leases map[realmKey]leaseGrant
+}
+
+type leaseGrant struct {
+	Ballot   int64
+	FromSlot int64
 }
 
 type acceptedVal struct {
@@ -97,28 +155,65 @@ type acceptedVal struct {
 	Has    bool
 }
 
-type prepareReq struct {
-	Inst   string
-	Ballot int64
+// floorLocked returns the effective promise floor of inst (caller holds mu).
+func (a *acceptor) floorLocked(inst InstanceID) int64 {
+	f := a.promised[inst]
+	if lg, ok := a.leases[inst.realm()]; ok && inst.Slot >= lg.FromSlot && lg.Ballot > f {
+		f = lg.Ballot
+	}
+	return f
 }
-type prepareResp struct {
-	Inst     string
-	Ballot   int64
-	OK       bool
-	Accepted acceptedVal
-}
-type acceptReq struct {
-	Inst   string
+
+// slotVal is one (slot, ballot, value) triple of a realm — accepted state
+// reported in range grants, or a decided value piggybacked on an accept.
+type slotVal struct {
+	Slot   int64
 	Ballot int64
 	Val    int64
 }
-type acceptResp struct {
-	Inst   string
+
+type prepareReq struct {
+	Inst   InstanceID
 	Ballot int64
-	OK     bool
+	// Range asks for a promise covering every slot ≥ Inst.Slot of the
+	// realm — the Multi-Paxos lease acquisition. A plain single-instance
+	// prepare leaves it false.
+	Range bool
+}
+type prepareResp struct {
+	Inst     InstanceID
+	Ballot   int64
+	OK       bool
+	Promised int64 // on refusal: the floor that beat us (ballot jump hint)
+	Accepted acceptedVal
+	// Range carries, on a range grant, every accepted value of the realm in
+	// slots ≥ Inst.Slot: the adoption obligations of the lease.
+	Range []slotVal
+	// Decided short-circuits the round: the acceptor already knows the
+	// instance's decision and teaches it instead of duelling.
+	Decided bool
+	DecVal  int64
+}
+type acceptReq struct {
+	Inst   InstanceID
+	Ballot int64
+	Val    int64
+	// PrevDecided piggybacks a recent decision of the same realm (in the
+	// steady state: the previous slot) so passive replicas learn it from
+	// the accept stream without waiting on a separate decide broadcast.
+	PrevDecided bool
+	Prev        slotVal
+}
+type acceptResp struct {
+	Inst     InstanceID
+	Ballot   int64
+	OK       bool
+	Promised int64 // on refusal: the floor that beat us
+	Decided  bool
+	DecVal   int64
 }
 type decideMsg struct {
-	Inst string
+	Inst InstanceID
 	Val  int64
 }
 
@@ -126,7 +221,16 @@ type decideMsg struct {
 // you have one". Passive replicas fall back to it when a decide broadcast
 // was dropped by an adversarial fabric; the reply is an ordinary decideMsg.
 type learnReq struct {
-	Inst string
+	Inst InstanceID
+}
+
+// proposerLease is the proposer side of an acquired lease: the ballot a
+// quorum granted for every slot ≥ fromSlot, plus the adoption obligations
+// the grant reported (slots some acceptor had already accepted a value in).
+type proposerLease struct {
+	ballot   int64
+	fromSlot int64
+	adopt    map[int64]acceptedVal // slot → highest-ballot reported value
 }
 
 // Node bundles the acceptor role and the proposer plumbing of one process.
@@ -139,9 +243,15 @@ type Node struct {
 	done chan struct{}
 
 	mu      sync.Mutex
-	decided map[string]int64
-	watch   map[string][]chan int64
+	decided map[InstanceID]int64
+	watch   map[InstanceID][]chan int64
+
+	// opMu serialises this node's proposer rounds; the fields below belong
+	// to the round machinery and are guarded by it.
 	opMu    sync.Mutex
+	leases  map[realmKey]*proposerLease
+	dedup   map[groups.Process]bool // pooled response-dedup set, cleared per phase
+	highest map[realmKey]int64      // highest refusal ballot observed per realm
 }
 
 // StartNode launches the node's message loop with the default timing.
@@ -157,14 +267,17 @@ func StartNodeWithConfig(nw net.Transport, p groups.Process, cfg Config) *Node {
 		p:   p,
 		cfg: cfg.withDefaults(),
 		acc: &acceptor{
-			promised: make(map[string]int64),
-			accepted: make(map[string]acceptedVal),
-			decided:  make(map[string]int64),
+			promised: make(map[InstanceID]int64),
+			accepted: make(map[InstanceID]acceptedVal),
+			leases:   make(map[realmKey]leaseGrant),
 		},
 		resp:    make(chan net.Packet, 256),
 		done:    make(chan struct{}),
-		decided: make(map[string]int64),
-		watch:   make(map[string][]chan int64),
+		decided: make(map[InstanceID]int64),
+		watch:   make(map[InstanceID][]chan int64),
+		leases:  make(map[realmKey]*proposerLease),
+		dedup:   make(map[groups.Process]bool, 8),
+		highest: make(map[realmKey]int64),
 	}
 	go n.loop()
 	return n
@@ -176,25 +289,9 @@ func (n *Node) loop() {
 	for pkt := range n.nw.Inbox(n.p) {
 		switch body := pkt.Body.(type) {
 		case prepareReq:
-			n.acc.mu.Lock()
-			ok := body.Ballot > n.acc.promised[body.Inst]
-			if ok {
-				n.acc.promised[body.Inst] = body.Ballot
-			}
-			acc := n.acc.accepted[body.Inst]
-			n.acc.mu.Unlock()
-			n.nw.Send(n.p, pkt.From, "prepare-resp",
-				prepareResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok, Accepted: acc})
+			n.nw.Send(n.p, pkt.From, "prepare-resp", n.handlePrepare(body))
 		case acceptReq:
-			n.acc.mu.Lock()
-			ok := body.Ballot >= n.acc.promised[body.Inst]
-			if ok {
-				n.acc.promised[body.Inst] = body.Ballot
-				n.acc.accepted[body.Inst] = acceptedVal{Ballot: body.Ballot, Val: body.Val, Has: true}
-			}
-			n.acc.mu.Unlock()
-			n.nw.Send(n.p, pkt.From, "accept-resp",
-				acceptResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok})
+			n.nw.Send(n.p, pkt.From, "accept-resp", n.handleAccept(body))
 		case decideMsg:
 			n.recordDecision(body.Inst, body.Val)
 		case learnReq:
@@ -205,12 +302,70 @@ func (n *Node) loop() {
 			select {
 			case n.resp <- pkt:
 			default:
+				// A full response channel means the proposer is not (or no
+				// longer) listening for this round. The response is dropped,
+				// but never silently: the counter keeps channel-pressure
+				// losses distinguishable from fabric losses.
+				n.cfg.Counters.IncRespDrop()
 			}
 		}
 	}
 }
 
-func (n *Node) recordDecision(inst string, v int64) {
+// handlePrepare runs the acceptor's phase-1 rule. A known decision
+// short-circuits the round: late proposers get taught instead of duelled.
+func (n *Node) handlePrepare(body prepareReq) prepareResp {
+	if v, ok := n.Decided(body.Inst); ok {
+		return prepareResp{Inst: body.Inst, Ballot: body.Ballot, Decided: true, DecVal: v}
+	}
+	a := n.acc
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	floor := a.floorLocked(body.Inst)
+	if body.Ballot <= floor {
+		return prepareResp{Inst: body.Inst, Ballot: body.Ballot, OK: false, Promised: floor}
+	}
+	resp := prepareResp{Inst: body.Inst, Ballot: body.Ballot, OK: true, Accepted: a.accepted[body.Inst]}
+	if body.Range {
+		// Grant a promise for every slot ≥ Inst.Slot of the realm and
+		// report the accepted values the grant must carry (the lease
+		// holder's adoption obligations). The scan is acquisition-only
+		// cost; the steady state never takes this branch.
+		rk := body.Inst.realm()
+		a.leases[rk] = leaseGrant{Ballot: body.Ballot, FromSlot: body.Inst.Slot}
+		for id, av := range a.accepted {
+			if av.Has && id.realm() == rk && id.Slot >= body.Inst.Slot && id != body.Inst {
+				resp.Range = append(resp.Range, slotVal{Slot: id.Slot, Ballot: av.Ballot, Val: av.Val})
+			}
+		}
+	} else {
+		a.promised[body.Inst] = body.Ballot
+	}
+	return resp
+}
+
+// handleAccept runs the acceptor's phase-2 rule and absorbs any decision
+// piggybacked on the request.
+func (n *Node) handleAccept(body acceptReq) acceptResp {
+	if body.PrevDecided {
+		n.recordDecision(InstanceID{Space: body.Inst.Space, Realm: body.Inst.Realm, Slot: body.Prev.Slot}, body.Prev.Val)
+	}
+	if v, ok := n.Decided(body.Inst); ok {
+		return acceptResp{Inst: body.Inst, Ballot: body.Ballot, Decided: true, DecVal: v}
+	}
+	a := n.acc
+	a.mu.Lock()
+	floor := a.floorLocked(body.Inst)
+	ok := body.Ballot >= floor
+	if ok {
+		a.promised[body.Inst] = body.Ballot
+		a.accepted[body.Inst] = acceptedVal{Ballot: body.Ballot, Val: body.Val, Has: true}
+	}
+	a.mu.Unlock()
+	return acceptResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok, Promised: floor}
+}
+
+func (n *Node) recordDecision(inst InstanceID, v int64) {
 	n.mu.Lock()
 	if _, seen := n.decided[inst]; !seen {
 		n.cfg.Counters.IncDecision()
@@ -223,8 +378,21 @@ func (n *Node) recordDecision(inst string, v int64) {
 	n.mu.Unlock()
 }
 
+// SnapshotDecisions copies every decision the node has learnt so far —
+// the verification hook for tests asserting cross-node agreement (two
+// nodes that both decided an instance must hold the same value).
+func (n *Node) SnapshotDecisions() map[InstanceID]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[InstanceID]int64, len(n.decided))
+	for k, v := range n.decided {
+		out[k] = v
+	}
+	return out
+}
+
 // Decided reports a locally known decision.
-func (n *Node) Decided(inst string) (int64, bool) {
+func (n *Node) Decided(inst InstanceID) (int64, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	v, ok := n.decided[inst]
@@ -232,7 +400,7 @@ func (n *Node) Decided(inst string) (int64, bool) {
 }
 
 // await registers interest in a decision.
-func (n *Node) await(inst string) <-chan int64 {
+func (n *Node) await(inst InstanceID) <-chan int64 {
 	ch := make(chan int64, 1)
 	n.mu.Lock()
 	if v, ok := n.decided[inst]; ok {
@@ -247,33 +415,57 @@ func (n *Node) await(inst string) <-chan int64 {
 // Await returns a channel that delivers the decision of inst once it is
 // learnt locally (immediately if already known). The channel never closes;
 // select against Done for shutdown.
-func (n *Node) Await(inst string) <-chan int64 { return n.await(inst) }
+func (n *Node) Await(inst InstanceID) <-chan int64 { return n.await(inst) }
 
 // Done is closed when the node's message loop exits (network shutdown).
 func (n *Node) Done() <-chan struct{} { return n.done }
 
-// RequestDecision broadcasts an anti-entropy probe for inst to the scope:
-// any peer that knows the decision replies with it. Safe to call
+// RequestDecision broadcasts an anti-entropy probe for inst to the scope
+// peers: any one that knows the decision replies with it. Safe to call
 // repeatedly; used by replicas whose decide broadcast may have been
 // dropped.
-func (n *Node) RequestDecision(scope groups.ProcSet, inst string) {
+func (n *Node) RequestDecision(scope groups.ProcSet, inst InstanceID) {
 	n.cfg.Counters.IncProbe()
-	n.nw.Broadcast(n.p, scope, "learn", learnReq{Inst: inst})
+	n.toPeers(scope, "learn", learnReq{Inst: inst})
+}
+
+// toPeers sends to every scope member except this process: the node's own
+// acceptor/learner state is updated directly, so a loopback packet would
+// only burn two trips through the transport.
+func (n *Node) toPeers(scope groups.ProcSet, kind string, body any) {
+	for _, p := range scope.Members() {
+		if p != n.p {
+			n.nw.Send(n.p, p, kind, body)
+		}
+	}
+}
+
+// decideBroadcast teaches the scope a decision (recording it locally first,
+// without a loopback packet).
+func (n *Node) decideBroadcast(inst *Instance, val int64) {
+	n.recordDecision(inst.ID, val)
+	n.toPeers(inst.Scope, "decide", decideMsg{Inst: inst.ID, Val: val})
 }
 
 // Propose runs the synod protocol for the instance until a decision is
 // learnt and returns it. Non-leaders (per Ω) wait for the leader's decision
 // and only proposer-race when their leader sample points at themselves.
+// Leaders of MultiPaxos realms ride the lease fast path when one is held.
 // Propose never returns a wrong value; it returns ok=false only when the
 // network shuts down first.
 func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 	n.cfg.Counters.IncProposal()
-	if got, ok := n.Decided(inst.Name); ok {
+	if got, ok := n.Decided(inst.ID); ok {
 		return got, true
 	}
-	decidedCh := n.await(inst.Name)
+	decidedCh := n.await(inst.ID)
 	ballotRound := int64(0)
-	waits := 0
+	// Non-leaders park on the decision channel for one hedge window before
+	// proposing themselves. One timer for the whole window, not a polling
+	// loop: on hosts with ~1ms timer granularity a loop of N short sleeps
+	// costs N×granularity, which dominated follower-side latency.
+	hedgeWait := 25 * n.cfg.NonLeaderWait
+	mustWait := true
 	fails := 0
 	for {
 		// Fast path: someone decided.
@@ -284,27 +476,52 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 			return 0, false
 		default:
 		}
-		// Non-leaders wait for the leader's decision, but hedge after a
-		// while: the decision broadcast may have been dropped, and running
+		isLeader := inst.Leader(n.p) == n.p
+		// Steady state: a held lease turns the proposal into a single
+		// accept round. Any failure falls through to the full protocol.
+		if isLeader && inst.MultiPaxos {
+			if val, ok := n.fastRound(inst, v); ok {
+				return val, true
+			}
+			select {
+			case got := <-decidedCh:
+				return got, true
+			default:
+			}
+		}
+		// Non-leaders wait for the leader's decision, but hedge after the
+		// window: the decision broadcast may have been dropped, and running
 		// a round is always safe (quorum intersection), only contended.
-		if inst.Leader(n.p) != n.p && waits < 25 {
-			waits++
+		if !isLeader && mustWait {
+			mustWait = false
 			select {
 			case got := <-decidedCh:
 				return got, true
 			case <-n.done:
 				return 0, false
-			case <-time.After(n.cfg.NonLeaderWait):
+			case <-time.After(hedgeWait):
 			}
 			continue
 		}
+		// Jump past every refusal ballot observed for the realm, so one
+		// NACK is enough to out-ballot an incumbent instead of climbing
+		// towards it 64 at a time.
+		n.opMu.Lock()
+		if hb := n.highest[inst.ID.realm()]; hb/64 >= ballotRound {
+			ballotRound = hb/64 + 1
+		}
+		n.opMu.Unlock()
 		ballotRound++
 		ballot := ballotRound*64 + int64(n.p) + 1
 		n.cfg.Counters.IncRound()
 		if val, ok := n.round(inst, ballot, v); ok {
-			n.nw.Broadcast(n.p, inst.Scope, "decide", decideMsg{Inst: inst.Name, Val: val})
-			n.recordDecision(inst.Name, val)
+			n.decideBroadcast(inst, val)
 			return val, true
+		}
+		select {
+		case got := <-decidedCh:
+			return got, true
+		default:
 		}
 		n.cfg.Counters.IncRoundFailure()
 		// The round failed: likely a ballot duel. Over a slow or lossy
@@ -327,42 +544,216 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 		case <-time.After(backoff):
 		}
 		if inst.Leader(n.p) != n.p {
-			waits = 15 // mostly yield again before the next self-try
+			// Yield to the leader again before the next self-try, with a
+			// shorter window than the first (the duel is already on).
+			hedgeWait = 10 * n.cfg.NonLeaderWait
+			mustWait = true
 		}
 	}
 }
 
-// round runs one prepare/accept round and reports the value it got
-// accepted, or false on a quorum refusal or shutdown.
+// drainStale empties the response channel of leftovers from prior rounds
+// (caller holds opMu, so no round is in flight). Responses to the upcoming
+// round cannot exist before its broadcast, so everything pending is stale —
+// but a stale response may still carry a piggybacked decision, which is
+// absorbed rather than thrown away.
+func (n *Node) drainStale() {
+	for {
+		select {
+		case pkt, open := <-n.resp:
+			if !open {
+				return
+			}
+			n.cfg.Counters.IncRespStale()
+			switch r := pkt.Body.(type) {
+			case prepareResp:
+				if r.Decided {
+					n.recordDecision(r.Inst, r.DecVal)
+				}
+			case acceptResp:
+				if r.Decided {
+					n.recordDecision(r.Inst, r.DecVal)
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+// noteRefusal remembers the highest refusal ballot seen for a realm
+// (caller holds opMu).
+func (n *Node) noteRefusal(rk realmKey, promised int64) {
+	if promised > n.highest[rk] {
+		n.highest[rk] = promised
+	}
+}
+
+// fastRound attempts the Multi-Paxos steady-state path: one accept round at
+// the held lease ballot, no phase 1. It reports ok=false when there is no
+// covering lease or the round did not conclude — the lease is dropped on
+// any refusal (a higher ballot is loose) and the caller falls back to the
+// full protocol, which re-acquires. Safety: the lease ballot was granted by
+// a quorum for every slot ≥ fromSlot, so this is phase 2 of a completed
+// phase 1, with adoption obligations carried in lease.adopt.
+func (n *Node) fastRound(inst *Instance, v int64) (int64, bool) {
+	n.opMu.Lock()
+	defer n.opMu.Unlock()
+	rk := inst.ID.realm()
+	lease := n.leases[rk]
+	if lease == nil || inst.ID.Slot < lease.fromSlot {
+		return 0, false
+	}
+	if got, ok := n.Decided(inst.ID); ok {
+		return got, true
+	}
+	n.cfg.Counters.IncFastRound()
+	val := v
+	if av, ok := lease.adopt[inst.ID.Slot]; ok {
+		val = av.Val
+	}
+	req := acceptReq{Inst: inst.ID, Ballot: lease.ballot, Val: val}
+	// Piggyback the previous slot's decision on the accept stream: in the
+	// steady state passive replicas learn slot s-1 from slot s's accept
+	// even when the decide broadcast for s-1 was lost.
+	if inst.ID.Slot > 0 {
+		prev := InstanceID{Space: inst.ID.Space, Realm: inst.ID.Realm, Slot: inst.ID.Slot - 1}
+		if pv, ok := n.Decided(prev); ok {
+			req.PrevDecided = true
+			req.Prev = slotVal{Slot: prev.Slot, Val: pv}
+		}
+	}
+	ok, refused := n.acceptPhase(inst, lease.ballot, req)
+	if !ok {
+		if refused {
+			// A higher ballot is loose in the realm: the lease is stale.
+			n.cfg.Counters.IncLeaseLost()
+			delete(n.leases, rk)
+		}
+		n.cfg.Counters.IncFastRoundFailure()
+		return 0, false
+	}
+	delete(lease.adopt, inst.ID.Slot)
+	n.decideBroadcast(inst, val)
+	return val, true
+}
+
+// acceptPhase runs one accept quorum round at the given ballot (caller
+// holds opMu and has already chosen the value per the adoption rule).
+// refused reports whether failure was a NACK (vs. a deadline).
+func (n *Node) acceptPhase(inst *Instance, ballot int64, req acceptReq) (ok, refused bool) {
+	n.drainStale()
+	need := inst.Scope.Count()/2 + 1
+	clear(n.dedup)
+	// The local acceptor is consulted directly — no loopback packets.
+	if inst.Scope.Has(n.p) {
+		r := n.handleAccept(req)
+		if r.Decided {
+			return false, false // Propose's decided check will pick it up
+		}
+		if !r.OK {
+			n.noteRefusal(inst.ID.realm(), r.Promised)
+			return false, true
+		}
+		n.dedup[n.p] = true
+	}
+	n.toPeers(inst.Scope, "accept", req)
+	deadline := time.After(n.cfg.PhaseDeadline)
+	for len(n.dedup) < need {
+		select {
+		case pkt, open := <-n.resp:
+			if !open {
+				return false, false
+			}
+			r, isResp := pkt.Body.(acceptResp)
+			if !isResp || r.Inst != inst.ID || r.Ballot != ballot || n.dedup[pkt.From] {
+				continue
+			}
+			if r.Decided {
+				n.recordDecision(r.Inst, r.DecVal)
+				return false, false
+			}
+			if !r.OK {
+				n.noteRefusal(inst.ID.realm(), r.Promised)
+				return false, true
+			}
+			n.dedup[pkt.From] = true
+		case <-deadline:
+			return false, false
+		}
+	}
+	return true, false
+}
+
+// round runs one full prepare/accept round and reports the value it got
+// accepted, or false on a quorum refusal, a deadline, or shutdown. When the
+// instance is MultiPaxos and this process is the leader sample, the prepare
+// is a range acquisition: success both decides this slot and installs a
+// proposer lease for every later slot of the realm.
 func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 	n.opMu.Lock()
 	defer n.opMu.Unlock()
+	n.drainStale()
 	need := inst.Scope.Count()/2 + 1
+	acquire := inst.MultiPaxos && inst.Leader(n.p) == n.p
 
 	// Phase 1: prepare. Responses are deduplicated by acceptor: over an
 	// adversarial fabric a packet may be duplicated, and counting the same
 	// acceptor twice would fake a quorum and break intersection.
-	n.nw.Broadcast(n.p, inst.Scope, "prepare", prepareReq{Inst: inst.Name, Ballot: ballot})
-	promised := make(map[groups.Process]bool, need)
+	req := prepareReq{Inst: inst.ID, Ballot: ballot, Range: acquire}
+	clear(n.dedup)
 	var best acceptedVal
+	var rangeAdopt map[int64]acceptedVal
+	mergeRange := func(vals []slotVal) {
+		for _, sv := range vals {
+			if rangeAdopt == nil {
+				rangeAdopt = make(map[int64]acceptedVal, len(vals))
+			}
+			if cur, ok := rangeAdopt[sv.Slot]; !ok || sv.Ballot > cur.Ballot {
+				rangeAdopt[sv.Slot] = acceptedVal{Ballot: sv.Ballot, Val: sv.Val, Has: true}
+			}
+		}
+	}
+	if inst.Scope.Has(n.p) {
+		r := n.handlePrepare(req)
+		if r.Decided {
+			return 0, false
+		}
+		if !r.OK {
+			n.noteRefusal(inst.ID.realm(), r.Promised)
+			return 0, false
+		}
+		if r.Accepted.Has {
+			best = r.Accepted
+		}
+		mergeRange(r.Range)
+		n.dedup[n.p] = true
+	}
+	n.toPeers(inst.Scope, "prepare", req)
 	deadline := time.After(n.cfg.PhaseDeadline)
-	for len(promised) < need {
+	for len(n.dedup) < need {
 		select {
 		case pkt, open := <-n.resp:
 			if !open {
 				return 0, false
 			}
 			r, isResp := pkt.Body.(prepareResp)
-			if !isResp || r.Inst != inst.Name || r.Ballot != ballot || promised[pkt.From] {
+			if !isResp || r.Inst != inst.ID || r.Ballot != ballot || n.dedup[pkt.From] {
 				continue
 			}
+			if r.Decided {
+				n.recordDecision(r.Inst, r.DecVal)
+				return 0, false
+			}
 			if !r.OK {
+				n.noteRefusal(inst.ID.realm(), r.Promised)
 				return 0, false
 			}
 			if r.Accepted.Has && r.Accepted.Ballot > best.Ballot {
 				best = r.Accepted
 			}
-			promised[pkt.From] = true
+			mergeRange(r.Range)
+			n.dedup[pkt.From] = true
 		case <-deadline:
 			return 0, false
 		}
@@ -373,26 +764,24 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 	}
 
 	// Phase 2: accept (deduplicated like phase 1).
-	n.nw.Broadcast(n.p, inst.Scope, "accept", acceptReq{Inst: inst.Name, Ballot: ballot, Val: val})
-	accepted := make(map[groups.Process]bool, need)
-	deadline = time.After(n.cfg.PhaseDeadline)
-	for len(accepted) < need {
-		select {
-		case pkt, open := <-n.resp:
-			if !open {
-				return 0, false
-			}
-			r, isResp := pkt.Body.(acceptResp)
-			if !isResp || r.Inst != inst.Name || r.Ballot != ballot || accepted[pkt.From] {
-				continue
-			}
-			if !r.OK {
-				return 0, false
-			}
-			accepted[pkt.From] = true
-		case <-deadline:
-			return 0, false
+	ok, _ := n.acceptPhase(inst, ballot, acceptReq{Inst: inst.ID, Ballot: ballot, Val: val})
+	if !ok {
+		return 0, false
+	}
+	if acquire {
+		// The quorum granted every slot ≥ this one at this ballot: install
+		// the lease so subsequent slots elide phase 1. Adoption obligations
+		// for this slot are consumed here; the rest ride along.
+		if rangeAdopt == nil {
+			rangeAdopt = make(map[int64]acceptedVal)
 		}
+		delete(rangeAdopt, inst.ID.Slot)
+		n.leases[inst.ID.realm()] = &proposerLease{
+			ballot:   ballot,
+			fromSlot: inst.ID.Slot,
+			adopt:    rangeAdopt,
+		}
+		n.cfg.Counters.IncLeaseAcquired()
 	}
 	return val, true
 }

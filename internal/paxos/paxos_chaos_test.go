@@ -1,7 +1,6 @@
 package paxos
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -47,7 +46,7 @@ func TestChaosSingleDecreeAgreement(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < instances; i++ {
 				inst := &Instance{
-					Name:   fmt.Sprintf("chaos/%d", i),
+					ID:     InstanceID{Space: SpaceTest, Realm: 10, Slot: int64(i)},
 					Scope:  scope,
 					Net:    c,
 					Leader: leader,
@@ -94,7 +93,7 @@ func TestChaosIsolatedLeaderOthersDecide(t *testing.T) {
 	c, nodes, scope := chaosCluster(5, 4, 0)
 	defer c.Close()
 	inst := &Instance{
-		Name:  "iso",
+		ID:    InstanceID{Space: SpaceTest, Realm: 11},
 		Scope: scope,
 		Net:   c,
 		// Ω stuck on p0 — the hedge in Propose is what keeps this live.

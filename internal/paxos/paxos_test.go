@@ -17,7 +17,7 @@ func cluster(n int, leader groups.Process) (*net.Network, []*Node, *Instance) {
 		scope = scope.Add(groups.Process(p))
 	}
 	inst := &Instance{
-		Name:   "c1",
+		ID:     InstanceID{Space: SpaceTest, Realm: 1},
 		Scope:  scope,
 		Net:    nw,
 		Leader: func(groups.Process) groups.Process { return leader },
@@ -32,7 +32,7 @@ func TestSingleProposerDecides(t *testing.T) {
 	if !ok || v != 42 {
 		t.Fatalf("decide = %d,%v; want 42 (validity)", v, ok)
 	}
-	if got, ok := nodes[0].Decided("c1"); !ok || got != 42 {
+	if got, ok := nodes[0].Decided(inst.ID); !ok || got != 42 {
 		t.Fatalf("decision not recorded")
 	}
 }
@@ -99,7 +99,7 @@ func TestLeaderChangeStillDecides(t *testing.T) {
 	var mu sync.Mutex
 	leader := groups.Process(2)
 	inst := &Instance{
-		Name:  "c2",
+		ID:    InstanceID{Space: SpaceTest, Realm: 2},
 		Scope: scope,
 		Net:   nw,
 		Leader: func(groups.Process) groups.Process {
@@ -136,7 +136,7 @@ func TestLeaderChangeStillDecides(t *testing.T) {
 func TestSeparateInstancesIndependent(t *testing.T) {
 	nw, nodes, inst := cluster(3, 0)
 	defer nw.Close()
-	inst2 := &Instance{Name: "other", Scope: inst.Scope, Net: nw, Leader: inst.Leader}
+	inst2 := &Instance{ID: InstanceID{Space: SpaceTest, Realm: 99}, Scope: inst.Scope, Net: nw, Leader: inst.Leader}
 	v1, _ := nodes[0].Propose(inst, 1)
 	v2, _ := nodes[0].Propose(inst2, 2)
 	if v1 != 1 || v2 != 2 {

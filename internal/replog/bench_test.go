@@ -1,0 +1,36 @@
+package replog
+
+import (
+	"testing"
+
+	"repro/internal/groups"
+	"repro/internal/logobj"
+)
+
+// The encode/decode pair sits on the submit hot path: every operation
+// funnelled through consensus is packed to an int64 and unpacked at every
+// replica's apply. Both must stay allocation-free.
+
+var benchOp = Op{
+	Kind:  opBumpAndLock,
+	Datum: logobj.Datum{Kind: logobj.KindPos, Msg: 1234, H: groups.GroupID(7), I: 4321},
+	K:     99,
+}
+
+var sinkVal int64
+var sinkOp Op
+
+func BenchmarkEncode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkVal = encode(benchOp)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	v := encode(benchOp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkOp = decode(v)
+	}
+}

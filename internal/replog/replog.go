@@ -73,11 +73,19 @@ func decode(v int64) Op {
 	return o
 }
 
-// nudgeEvery is how often a replica stuck waiting on an undecided slot
-// broadcasts an anti-entropy probe: the decide broadcast for the slot may
-// have been dropped by an adversarial fabric, and some peer (the proposer at
-// least) knows the decision.
-const nudgeEvery = 2 * time.Millisecond
+// nudgeEvery is how soon a replica stuck waiting on an undecided slot
+// first broadcasts an anti-entropy probe: the decide broadcast for the slot
+// may have been dropped by an adversarial fabric, and some peer (the
+// proposer at least) knows the decision. Probes back off exponentially to
+// probeCap while the slot stays undecided — an idle log's tail slot is
+// indistinguishable from a stalled one, and without the backoff every
+// replica floods the scope with probes whenever the log is merely quiet.
+// The backoff resets each time a slot is applied, so active streams keep
+// the fast first probe and idle logs cost a bounded trickle.
+const (
+	nudgeEvery = 2 * time.Millisecond
+	probeCap   = 64 * time.Millisecond
+)
 
 // Replica is one process's handle on the replicated log: a local copy of
 // the object plus the consensus plumbing to agree on the operation order.
@@ -87,6 +95,7 @@ const nudgeEvery = 2 * time.Millisecond
 // condition variable signalled per apply, so there is no polling anywhere.
 type Replica struct {
 	name  string
+	realm uint64
 	p     groups.Process
 	node  *paxos.Node
 	scope groups.ProcSet
@@ -107,11 +116,18 @@ type Replica struct {
 func (r *Replica) Observe(c *obs.ReplogCounters) { r.counters.Store(c) }
 
 // NewReplica builds the replica of process p and starts its apply loop. All
-// replicas of a log must share the name, scope and network. The apply loop
-// stops when the paxos node's message loop exits (network shutdown).
-func NewReplica(name string, p groups.Process, node *paxos.Node, nw net.Transport, scope groups.ProcSet, leader paxos.LeaderFunc) *Replica {
+// replicas of a log must share the name, realm, scope and network; realm is
+// the log's identity in the paxos instance space (paxos.SpaceLog), so
+// distinct logs on a shared paxos node MUST use distinct realms — a
+// collision would merge their slot sequences, which is a safety violation,
+// not a performance bug. The slots of a realm form one Multi-Paxos log: a
+// stable leader acquires a lease over the whole realm and streams slots
+// through single accept rounds. The apply loop stops when the paxos node's
+// message loop exits (network shutdown).
+func NewReplica(name string, realm uint64, p groups.Process, node *paxos.Node, nw net.Transport, scope groups.ProcSet, leader paxos.LeaderFunc) *Replica {
 	r := &Replica{
 		name:  name,
+		realm: realm,
 		p:     p,
 		node:  node,
 		scope: scope,
@@ -120,14 +136,20 @@ func NewReplica(name string, p groups.Process, node *paxos.Node, nw net.Transpor
 	r.cond = sync.NewCond(&r.mu)
 	r.mkIns = func(slot int) *paxos.Instance {
 		return &paxos.Instance{
-			Name:   fmt.Sprintf("%s/%d", name, slot),
-			Scope:  scope,
-			Net:    nw,
-			Leader: leader,
+			ID:         r.instID(slot),
+			Scope:      scope,
+			Net:        nw,
+			Leader:     leader,
+			MultiPaxos: true,
 		}
 	}
 	go r.applyLoop()
 	return r
+}
+
+// instID is the consensus-instance identity of a slot.
+func (r *Replica) instID(slot int) paxos.InstanceID {
+	return paxos.InstanceID{Space: paxos.SpaceLog, Realm: r.realm, Slot: int64(slot)}
 }
 
 // applyLoop drives the replica forward: await the decision of the next
@@ -135,14 +157,22 @@ func NewReplica(name string, p groups.Process, node *paxos.Node, nw net.Transpor
 // periodically probes the peers (anti-entropy), covering dropped decide
 // broadcasts for slots this replica never proposes in.
 func (r *Replica) applyLoop() {
-	tick := time.NewTicker(nudgeEvery)
-	defer tick.Stop()
+	timer := time.NewTimer(nudgeEvery)
+	defer timer.Stop()
 	for {
 		r.mu.Lock()
 		slot := r.applied
 		r.mu.Unlock()
-		inst := fmt.Sprintf("%s/%d", r.name, slot)
+		inst := r.instID(slot)
 		ch := r.node.Await(inst)
+		wait := nudgeEvery
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
 	waiting:
 		for {
 			select {
@@ -151,13 +181,17 @@ func (r *Replica) applyLoop() {
 				break waiting
 			case <-r.node.Done():
 				return
-			case <-tick.C:
+			case <-timer.C:
 				// Only probe when the slot is genuinely stalled; if a
 				// concurrent submit advanced us past it, re-resolve.
 				if r.Applied() > slot {
 					break waiting
 				}
 				r.node.RequestDecision(r.scope, inst)
+				if wait < probeCap {
+					wait *= 2
+				}
+				timer.Reset(wait)
 			}
 		}
 	}
@@ -165,7 +199,21 @@ func (r *Replica) applyLoop() {
 
 // Append funnels LOG.append(d) through consensus and returns the position
 // of d in the replicated log, or false at shutdown.
+//
+// Helping fast path: append is idempotent, so when the local copy already
+// contains d some decided slot appended it — the operation's effect is in
+// the replicated state and re-submitting it would only decide a no-op slot.
+// Algorithm 1's members all execute the same steps (helping), so in the
+// steady state every follower takes this read-only exit and the log's slot
+// stream carries each operation exactly once, proposed by whoever got
+// there first (usually the paxos leader).
 func (r *Replica) Append(d logobj.Datum) (int, bool) {
+	r.mu.Lock()
+	if pos := r.local.Pos(d); pos != 0 {
+		r.mu.Unlock()
+		return pos, true
+	}
+	r.mu.Unlock()
 	if !r.submit(Op{Kind: opAppend, Datum: d}) {
 		return 0, false
 	}
@@ -174,8 +222,17 @@ func (r *Replica) Append(d logobj.Datum) (int, bool) {
 	return r.local.Pos(d), true
 }
 
-// BumpAndLock funnels LOG.bumpAndLock(d, k) through consensus.
+// BumpAndLock funnels LOG.bumpAndLock(d, k) through consensus. Once d is
+// locked locally a decided slot locked it and any further bumpAndLock is a
+// no-op on the sequential specification, so the helping submit is skipped
+// the same way as Append's.
 func (r *Replica) BumpAndLock(d logobj.Datum, k int) bool {
+	r.mu.Lock()
+	locked := r.local.Locked(d)
+	r.mu.Unlock()
+	if locked {
+		return true
+	}
 	return r.submit(Op{Kind: opBumpAndLock, Datum: d, K: k})
 }
 
@@ -228,7 +285,7 @@ func (r *Replica) Sync() {
 		r.mu.Lock()
 		slot := r.applied
 		r.mu.Unlock()
-		v, ok := r.node.Decided(fmt.Sprintf("%s/%d", r.name, slot))
+		v, ok := r.node.Decided(r.instID(slot))
 		if !ok {
 			return
 		}

@@ -23,7 +23,7 @@ func cluster(n int) (*net.Network, []*Replica) {
 	reps := make([]*Replica, n)
 	for p := 0; p < n; p++ {
 		node := paxos.StartNode(nw, groups.Process(p))
-		reps[p] = NewReplica("LOG", groups.Process(p), node, nw, scope, leader)
+		reps[p] = NewReplica("LOG", 1, groups.Process(p), node, nw, scope, leader)
 	}
 	return nw, reps
 }
