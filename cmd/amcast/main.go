@@ -19,12 +19,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
-	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/cliconf"
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/fd"
@@ -52,90 +50,22 @@ func main() {
 	}
 }
 
-// multicastSpec is one parsed -msgs entry.
-type multicastSpec struct {
-	at  failure.Time
-	src groups.Process
-	g   groups.GroupID
-}
-
 func run(groupSpec, msgSpec, crashSpec, variant, backend string, seed, delay int64, costs, wantReport bool) error {
-	var sets []groups.ProcSet
-	maxP := 0
-	for _, gs := range strings.Split(groupSpec, ";") {
-		var set groups.ProcSet
-		for _, ms := range strings.Split(gs, ",") {
-			p, err := strconv.Atoi(strings.TrimSpace(ms))
-			if err != nil {
-				return fmt.Errorf("bad group member %q: %w", ms, err)
-			}
-			if p > maxP {
-				maxP = p
-			}
-			set = set.Add(groups.Process(p))
-		}
-		sets = append(sets, set)
-	}
-	topo, err := groups.New(maxP+1, sets...)
+	topo, err := cliconf.ParseGroups(groupSpec)
 	if err != nil {
 		return err
 	}
-
-	pat := failure.NewPattern(maxP + 1)
-	if crashSpec != "" {
-		for _, cs := range strings.Split(crashSpec, ";") {
-			parts := strings.Split(cs, "@")
-			if len(parts) != 2 {
-				return fmt.Errorf("bad crash spec %q", cs)
-			}
-			p, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
-			t, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
-			if err1 != nil || err2 != nil {
-				return fmt.Errorf("bad crash spec %q", cs)
-			}
-			pat = pat.WithCrash(groups.Process(p), failure.Time(t))
-		}
+	pat, err := cliconf.ParseCrashes(crashSpec, topo.NumProcesses())
+	if err != nil {
+		return err
 	}
-
-	var v core.Variant
-	switch variant {
-	case "vanilla":
-		v = core.Vanilla
-	case "strict":
-		v = core.Strict
-	case "pairwise":
-		v = core.Pairwise
-	case "strong":
-		v = core.StronglyGenuine
-	default:
-		return fmt.Errorf("unknown variant %q", variant)
+	v, err := cliconf.ParseVariant(variant)
+	if err != nil {
+		return err
 	}
-
-	var msgs []multicastSpec
-	for _, ms := range strings.Split(msgSpec, ";") {
-		at := int64(0)
-		spec := ms
-		if i := strings.Index(ms, "@"); i >= 0 {
-			spec = ms[:i]
-			at, err = strconv.ParseInt(ms[i+1:], 10, 64)
-			if err != nil {
-				return fmt.Errorf("bad message time in %q", ms)
-			}
-		}
-		parts := strings.Split(spec, ">")
-		if len(parts) != 2 {
-			return fmt.Errorf("bad message spec %q", ms)
-		}
-		src, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
-		g, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
-		if err1 != nil || err2 != nil {
-			return fmt.Errorf("bad message spec %q", ms)
-		}
-		msgs = append(msgs, multicastSpec{
-			at:  failure.Time(at),
-			src: groups.Process(src),
-			g:   groups.GroupID(g),
-		})
+	msgs, err := cliconf.ParseMulticasts(msgSpec)
+	if err != nil {
+		return err
 	}
 
 	opt := core.Options{
@@ -175,10 +105,10 @@ func printReport(rep obs.RunReport) {
 }
 
 // runSim drives the deterministic engine over the ideal shared objects.
-func runSim(topo *groups.Topology, pat *failure.Pattern, opt core.Options, seed int64, msgs []multicastSpec, costs, wantReport bool) error {
+func runSim(topo *groups.Topology, pat *failure.Pattern, opt core.Options, seed int64, msgs []cliconf.MulticastSpec, costs, wantReport bool) error {
 	sys := core.NewSystem(topo, pat, opt, seed)
 	for _, m := range msgs {
-		sys.MulticastAt(m.at, m.src, m.g, nil)
+		sys.MulticastAt(m.At, m.Src, m.G, nil)
 	}
 	if !sys.Run() {
 		return fmt.Errorf("run did not quiesce within the step budget")
@@ -198,16 +128,15 @@ func runSim(topo *groups.Topology, pat *failure.Pattern, opt core.Options, seed 
 
 // runLive drives the replicated substrate: paxos-backed logs over an
 // in-process transport, ticks of 1ms standing in for virtual time.
-func runLive(topo *groups.Topology, pat *failure.Pattern, opt core.Options, msgs []multicastSpec, wantReport bool) error {
+func runLive(topo *groups.Topology, pat *failure.Pattern, opt core.Options, msgs []cliconf.MulticastSpec, wantReport bool) error {
 	sys := live.NewSystem(topo, pat, net.New(topo.NumProcesses()), live.Config{Opt: opt})
 	sys.Start()
 	defer sys.Stop()
-	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].at < msgs[j].at })
 	for _, m := range msgs {
-		for sys.Now() < m.at {
+		for sys.Now() < m.At {
 			time.Sleep(time.Millisecond)
 		}
-		sys.Multicast(m.src, m.g, nil)
+		sys.Multicast(m.Src, m.G, nil)
 	}
 	if !sys.AwaitDelivery(60 * time.Second) {
 		return fmt.Errorf("live run did not reach full delivery within 60s")

@@ -1,0 +1,147 @@
+// Command amcastd is the multi-process deployment of the live substrate:
+// one daemon embodies one process of the topology, speaking the binary wire
+// protocol over TCP to its peers. A 3-process run of the Figure-1-style
+// workload is three amcastd invocations (three terminals, or three CI
+// processes) sharing the same scenario flags:
+//
+//	amcastd -id 0 -peers "127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002" \
+//	        -groups "0,1;1,2;0,2" -msgs "0>0;1>1;2>2"
+//	amcastd -id 1 -peers ... (same scenario flags)
+//	amcastd -id 2 -peers ... (same scenario flags)
+//
+// Every daemon must receive identical -groups, -msgs and -crash specs:
+// message IDs are positional in the multicast schedule, so the daemons
+// reconstruct the same schedule independently (the owning daemon issues
+// each multicast, the others observe it). The daemon prints one line
+//
+//	ORDER <id> <msgID> <msgID> ...
+//
+// with its local delivery order — the harness (or the operator, across
+// three terminals) checks pairwise agreement — and "OK <id>" on clean
+// shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cliconf"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/fd"
+	"repro/internal/groups"
+	"repro/internal/live"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		idFlag      = flag.Int("id", -1, "process ID this daemon embodies (index into -peers)")
+		peersFlag   = flag.String("peers", "", "comma-separated host:port per process, indexed by ID")
+		groupsFlag  = flag.String("groups", "0,1;1,2;0,2", "semicolon-separated groups (comma-separated members)")
+		msgsFlag    = flag.String("msgs", "0>0;1>1", "semicolon-separated multicasts src>group[@tick]")
+		crashFlag   = flag.String("crash", "", "semicolon-separated crashes proc@tick")
+		variantFlag = flag.String("variant", "vanilla", "vanilla | strict | pairwise | strong")
+		delayFlag   = flag.Int64("delay", 8, "failure-detector stabilisation delay (ticks)")
+		seedFlag    = flag.Int64("seed", 1, "failure-detector seed (must match across daemons)")
+		timeoutFlag = flag.Duration("timeout", 60*time.Second, "how long to wait for local delivery")
+		lingerFlag  = flag.Duration("linger", 2*time.Second, "how long to stay up after local delivery so peers can finish")
+		reportFlag  = flag.Bool("report", false, "print the obs.RunReport before exiting")
+	)
+	flag.Parse()
+	if err := run(*idFlag, *peersFlag, *groupsFlag, *msgsFlag, *crashFlag, *variantFlag,
+		*delayFlag, *seedFlag, *timeoutFlag, *lingerFlag, *reportFlag); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(id int, peers, groupSpec, msgSpec, crashSpec, variant string,
+	delay, seed int64, timeout, linger time.Duration, wantReport bool) error {
+	topo, err := cliconf.ParseGroups(groupSpec)
+	if err != nil {
+		return err
+	}
+	if id < 0 || id >= topo.NumProcesses() {
+		return fmt.Errorf("-id %d out of range for %d processes", id, topo.NumProcesses())
+	}
+	self := groups.Process(id)
+	addrs, err := cliconf.ParsePeers(peers, topo.NumProcesses())
+	if err != nil {
+		return err
+	}
+	pat, err := cliconf.ParseCrashes(crashSpec, topo.NumProcesses())
+	if err != nil {
+		return err
+	}
+	v, err := cliconf.ParseVariant(variant)
+	if err != nil {
+		return err
+	}
+	msgs, err := cliconf.ParseMulticasts(msgSpec)
+	if err != nil {
+		return err
+	}
+
+	tr, err := wire.Listen(wire.Config{Self: self, Addrs: addrs})
+	if err != nil {
+		return err
+	}
+
+	opt := core.Options{
+		Variant: v,
+		FD:      fd.Options{Delay: failure.Time(delay), Seed: seed},
+	}
+	if wantReport {
+		opt.Rec = obs.NewRecorder(obs.Options{WallClock: true})
+	}
+	sys := live.NewSystem(topo, pat, tr, live.Config{
+		Opt:   opt,
+		Owned: groups.NewProcSet(self),
+	})
+	sys.Start()
+	defer sys.Stop()
+
+	// Walk the schedule in canonical order at every daemon: the owning
+	// daemon issues each multicast, every other daemon observes it, so all
+	// registries assign identical message IDs.
+	for _, m := range msgs {
+		for sys.Now() < m.At {
+			time.Sleep(time.Millisecond)
+		}
+		if m.Src == self {
+			sys.Multicast(m.Src, m.G, nil)
+		} else {
+			sys.Observe(m.Src, m.G, nil)
+		}
+	}
+
+	if !sys.AwaitDelivery(timeout) {
+		return fmt.Errorf("p%d: delivery incomplete after %v", id, timeout)
+	}
+
+	var order []string
+	for _, d := range sys.Sh.Deliveries() {
+		if d.P == self {
+			order = append(order, fmt.Sprintf("%d", d.M))
+		}
+	}
+	fmt.Printf("ORDER %d %s\n", id, strings.Join(order, " "))
+	os.Stdout.Sync()
+
+	// Linger: this daemon's acceptor may still be needed for a peer's
+	// quorum. A real deployment would stay up indefinitely; a scripted run
+	// holds the line long enough for every peer to reach delivery.
+	time.Sleep(linger)
+	sys.Stop()
+	if wantReport {
+		rep := sys.Report()
+		fmt.Printf("%s\n", rep.String())
+	}
+	fmt.Printf("OK %d\n", id)
+	return nil
+}

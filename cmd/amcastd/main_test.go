@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	gonet "net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestThreeProcessSmoke is the multi-process acceptance run: build the
+// daemon, spawn three OS processes over loopback TCP with the Figure-1
+// style cyclic workload (three pairwise-overlapping groups), and assert
+// full delivery, pairwise order agreement, and clean shutdown.
+func TestThreeProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "amcastd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building amcastd: %v\n%s", err, out)
+	}
+
+	addrs := freeAddrs(t, 3)
+	const (
+		groupSpec = "0,1;1,2;0,2"
+		msgSpec   = "0>0;1>1;2>2;0>2;2>1"
+	)
+
+	type result struct {
+		id  int
+		out string
+		err error
+	}
+	results := make(chan result, 3)
+	for id := 0; id < 3; id++ {
+		go func(id int) {
+			cmd := exec.Command(bin,
+				"-id", fmt.Sprint(id),
+				"-peers", strings.Join(addrs, ","),
+				"-groups", groupSpec,
+				"-msgs", msgSpec,
+				"-timeout", "90s",
+				"-linger", "3s",
+			)
+			out, err := cmd.CombinedOutput()
+			results <- result{id: id, out: string(out), err: err}
+		}(id)
+	}
+
+	orders := make(map[int][]string)
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("daemon %d failed: %v\n%s", r.id, r.err, r.out)
+			}
+			if !strings.Contains(r.out, fmt.Sprintf("OK %d", r.id)) {
+				t.Fatalf("daemon %d did not shut down cleanly:\n%s", r.id, r.out)
+			}
+			orders[r.id] = parseOrder(t, r.id, r.out)
+		case <-time.After(2 * time.Minute):
+			t.Fatal("daemons did not finish within 2 minutes")
+		}
+	}
+
+	// Delivery obligations: g0={0,1} carries m1; g1={1,2} m2 and m5;
+	// g2={0,2} m3 and m4 (IDs are positional, 1-based, in -msgs order).
+	want := map[int][]string{
+		0: {"1", "3", "4"},
+		1: {"1", "2", "5"},
+		2: {"2", "3", "4", "5"},
+	}
+	for id, w := range want {
+		if got := append([]string(nil), orders[id]...); !sameSet(got, w) {
+			t.Errorf("daemon %d delivered %v, want the set %v", id, orders[id], w)
+		}
+	}
+
+	// Agreement: any two processes deliver their common messages in the
+	// same relative order.
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			if err := agree(orders[a], orders[b]); err != nil {
+				t.Errorf("p%d vs p%d: %v (orders %v / %v)", a, b, err, orders[a], orders[b])
+			}
+		}
+	}
+}
+
+// freeAddrs reserves n loopback ports by binding and releasing them. The
+// tiny rebind race is acceptable for a smoke test.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := gonet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// parseOrder extracts the daemon's ORDER line.
+func parseOrder(t *testing.T, id int, out string) []string {
+	t.Helper()
+	prefix := fmt.Sprintf("ORDER %d", id)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return strings.Fields(strings.TrimPrefix(line, prefix))
+		}
+	}
+	t.Fatalf("daemon %d printed no ORDER line:\n%s", id, out)
+	return nil
+}
+
+// sameSet reports whether two slices hold the same elements (any order).
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]int, len(a))
+	for _, x := range a {
+		seen[x]++
+	}
+	for _, x := range b {
+		if seen[x] == 0 {
+			return false
+		}
+		seen[x]--
+	}
+	return true
+}
+
+// agree checks pairwise order agreement on the common messages.
+func agree(a, b []string) error {
+	pos := make(map[string]int, len(b))
+	for i, m := range b {
+		pos[m] = i + 1 // 1-based so 0 means absent
+	}
+	last := 0
+	for _, m := range a {
+		p, ok := pos[m], pos[m] != 0
+		if !ok {
+			continue
+		}
+		if p < last {
+			return fmt.Errorf("message %s ordered differently", m)
+		}
+		last = p
+	}
+	return nil
+}

@@ -13,13 +13,22 @@ import (
 	"repro/internal/live"
 	"repro/internal/net"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
+
+// benchSchemaVersion is the BENCH_live.json schema version. Bump it when
+// row or document shape changes meaning; the -baseline delta mode refuses
+// to diff documents from a different version (silently comparing mismatched
+// shapes produced plausible-looking nonsense). Version 2 added the schema
+// field itself, the transport column, and wire-level byte counts.
+const benchSchemaVersion = 2
 
 // liveRow is one measured configuration of the live bench — a row of
 // BENCH_live.json.
 type liveRow struct {
 	Processes          int     `json:"processes"`
 	Groups             int     `json:"groups"`
+	Transport          string  `json:"transport"`
 	ChaosSeed          int64   `json:"chaos_seed"`
 	Multicasts         int64   `json:"multicasts"`
 	Deliveries         int64   `json:"deliveries"`
@@ -32,10 +41,15 @@ type liveRow struct {
 	PacketsPerDelivery float64 `json:"packets_per_delivery"`
 	ChaosInjections    uint64  `json:"chaos_injections,omitempty"`
 	WallMs             float64 `json:"wall_ms"`
+	// Wire traffic (tcp transport only): real encoded bytes on the socket.
+	WireBytesOut   int64 `json:"wire_bytes_out,omitempty"`
+	WireFramesOut  int64 `json:"wire_frames_out,omitempty"`
+	WireReconnects int64 `json:"wire_reconnects,omitempty"`
 }
 
 // liveDoc is the BENCH_live.json document.
 type liveDoc struct {
+	Version   int       `json:"version"`
 	Generated string    `json:"generated"`
 	Short     bool      `json:"short"`
 	Runs      []liveRow `json:"runs"`
@@ -63,12 +77,24 @@ func chainTopo(n int) (*groups.Topology, error) {
 // drain. seed != 0 wraps the transport in the nemesis with a mild fault mix
 // (faults are lifted before the drain so liveness only depends on the
 // protocol, not on the schedule being kind).
-func liveRun(n int, seed int64, msgs int, pace time.Duration) (obs.RunReport, error) {
+func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string) (obs.RunReport, error) {
 	topo, err := chainTopo(n)
 	if err != nil {
 		return obs.RunReport{}, err
 	}
-	var nw net.Transport = net.New(n)
+	var nw net.Transport
+	switch transport {
+	case "mem":
+		nw = net.New(n)
+	case "tcp":
+		f, err := wire.NewFabric(n)
+		if err != nil {
+			return obs.RunReport{}, err
+		}
+		nw = f
+	default:
+		return obs.RunReport{}, fmt.Errorf("unknown transport %q (want mem or tcp)", transport)
+	}
 	var c *chaos.Chaos
 	if seed != 0 {
 		c = chaos.Wrap(nw, seed)
@@ -109,7 +135,7 @@ func liveRun(n int, seed int64, msgs int, pace time.Duration) (obs.RunReport, er
 // chaos seeds and prints the table; jsonPath != "" also writes the rows as
 // the BENCH_live.json document, and baselinePath != "" loads a prior
 // document and prints per-topology deltas against it.
-func liveBench(short bool, jsonPath, baselinePath string) error {
+func liveBench(short bool, jsonPath, baselinePath, transport string) error {
 	sizes := []int{3, 5, 7}
 	seeds := []int64{0, 3}
 	msgs, pace := 48, 2*time.Millisecond
@@ -117,19 +143,20 @@ func liveBench(short bool, jsonPath, baselinePath string) error {
 		sizes = []int{3, 5}
 		msgs = 16
 	}
-	header("Live substrate — wall-clock cost of Algorithm 1 over chain topologies")
+	header(fmt.Sprintf("Live substrate — wall-clock cost of Algorithm 1 over chain topologies (%s transport)", transport))
 	fmt.Printf("%4s %3s %6s | %5s | %9s %9s | %9s | %9s\n",
 		"n", "k", "seed", "msgs", "p50 ms", "p99 ms", "msgs/sec", "pkts/dlv")
-	doc := liveDoc{Generated: time.Now().UTC().Format(time.RFC3339), Short: short}
+	doc := liveDoc{Version: benchSchemaVersion, Generated: time.Now().UTC().Format(time.RFC3339), Short: short}
 	for _, n := range sizes {
 		for _, seed := range seeds {
-			rep, err := liveRun(n, seed, msgs, pace)
+			rep, err := liveRun(n, seed, msgs, pace, transport)
 			if err != nil {
 				return err
 			}
 			row := liveRow{
 				Processes:  rep.Processes,
 				Groups:     rep.Groups,
+				Transport:  transport,
 				ChaosSeed:  seed,
 				Multicasts: rep.Multicasts,
 				Deliveries: rep.Deliveries,
@@ -151,6 +178,11 @@ func liveBench(short bool, jsonPath, baselinePath string) error {
 				row.PacketsPerDelivery = ppd
 			}
 			row.ChaosInjections = rep.Chaos.Injections()
+			if rep.Wire != nil {
+				row.WireBytesOut = rep.Wire.BytesOut
+				row.WireFramesOut = rep.Wire.FramesEncoded
+				row.WireReconnects = rep.Wire.Reconnects
+			}
 			doc.Runs = append(doc.Runs, row)
 			fmt.Printf("%4d %3d %6d | %5d | %9.2f %9.2f | %9.1f | %9.1f\n",
 				row.Processes, row.Groups, seed, row.Multicasts,
@@ -180,9 +212,11 @@ func liveBench(short bool, jsonPath, baselinePath string) error {
 }
 
 // printBaselineDeltas loads a prior BENCH_live.json and prints, per
-// (processes, chaos_seed) row present in both documents, the change in p50,
-// p99 and packets/delivery. Negative percentages are improvements. Rows only
-// one side measured are listed as unmatched rather than silently skipped.
+// (processes, transport, chaos_seed) row present in both documents, the
+// change in p50, p99 and packets/delivery. Negative percentages are
+// improvements. Rows only one side measured are listed as unmatched rather
+// than silently skipped. A baseline from a different schema version is
+// rejected outright: its numbers may mean something else.
 func printBaselineDeltas(path string, fresh []liveRow) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -192,13 +226,18 @@ func printBaselineDeltas(path string, fresh []liveRow) error {
 	if err := json.Unmarshal(blob, &prior); err != nil {
 		return fmt.Errorf("-baseline %s: %w", path, err)
 	}
+	if prior.Version != benchSchemaVersion {
+		return fmt.Errorf("-baseline %s: schema version %d, this binary writes version %d — cross-schema deltas are meaningless; regenerate the baseline with this binary",
+			path, prior.Version, benchSchemaVersion)
+	}
 	type rowKey struct {
-		n    int
-		seed int64
+		n         int
+		transport string
+		seed      int64
 	}
 	old := make(map[rowKey]liveRow, len(prior.Runs))
 	for _, r := range prior.Runs {
-		old[rowKey{r.Processes, r.ChaosSeed}] = r
+		old[rowKey{r.Processes, r.Transport, r.ChaosSeed}] = r
 	}
 	pct := func(now, was float64) string {
 		if was == 0 {
@@ -211,7 +250,7 @@ func printBaselineDeltas(path string, fresh []liveRow) error {
 		"n", "seed", "p50 was", "p50 now", "Δ", "p99 was", "p99 now", "Δ", "pkts was", "pkts now", "Δ")
 	matched := 0
 	for _, r := range fresh {
-		was, ok := old[rowKey{r.Processes, r.ChaosSeed}]
+		was, ok := old[rowKey{r.Processes, r.Transport, r.ChaosSeed}]
 		if !ok {
 			fmt.Printf("%4d %6d | (no baseline row)\n", r.Processes, r.ChaosSeed)
 			continue

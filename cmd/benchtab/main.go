@@ -44,11 +44,12 @@ import (
 
 func main() {
 	var (
-		shortFlag    = flag.Bool("short", false, "smaller topologies and message counts (CI budget)")
-		jsonFlag     = flag.String("json", "", "write live-mode results as JSON to this path")
-		baselineFlag = flag.String("baseline", "", "prior BENCH_live.json; live mode prints per-topology deltas against it")
-		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile   = flag.String("memprofile", "", "write a heap profile to this path at exit")
+		shortFlag     = flag.Bool("short", false, "smaller topologies and message counts (CI budget)")
+		jsonFlag      = flag.String("json", "", "write live-mode results as JSON to this path")
+		baselineFlag  = flag.String("baseline", "", "prior BENCH_live.json; live mode prints per-topology deltas against it")
+		transportFlag = flag.String("transport", "mem", "live-mode transport: mem (in-memory channels) | tcp (loopback sockets + binary codec)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile    = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -91,7 +92,7 @@ func main() {
 	case "delay":
 		delaySweep()
 	case "live":
-		if err := liveBench(*shortFlag, *jsonFlag, *baselineFlag); err != nil {
+		if err := liveBench(*shortFlag, *jsonFlag, *baselineFlag, *transportFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

@@ -248,14 +248,14 @@ func (c *Chaos) Crashed(p groups.Process) bool { return c.inner.Crashed(p) }
 
 // Broadcast sends to every member of the set; each unicast draws its own
 // fault decisions.
-func (c *Chaos) Broadcast(from groups.Process, set groups.ProcSet, kind string, body any) {
+func (c *Chaos) Broadcast(from groups.Process, set groups.ProcSet, t net.MsgType, body any) {
 	for _, p := range set.Members() {
-		c.Send(from, p, kind, body)
+		c.Send(from, p, t, body)
 	}
 }
 
 // Send applies the active faults to one packet and forwards the survivors.
-func (c *Chaos) Send(from, to groups.Process, kind string, body any) {
+func (c *Chaos) Send(from, to groups.Process, t net.MsgType, body any) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -295,7 +295,7 @@ func (c *Chaos) Send(from, to groups.Process, kind string, body any) {
 		}
 		delay = f.DelayMin + time.Duration(r.float()*float64(span))
 	}
-	pkt := net.Packet{From: from, To: to, Kind: kind, Body: body}
+	pkt := net.Packet{From: from, To: to, Type: t, Body: body}
 	for i := 0; i < copies; i++ {
 		c.deliver(l, pkt, delay, f.Reorder)
 	}
@@ -374,7 +374,7 @@ func (c *Chaos) runPipe(pipe chan delayed) {
 // forward hands a surviving packet to the inner transport.
 func (c *Chaos) forward(pkt net.Packet) {
 	c.forwarded.Add(1)
-	c.inner.Send(pkt.From, pkt.To, pkt.Kind, pkt.Body)
+	c.inner.Send(pkt.From, pkt.To, pkt.Type, pkt.Body)
 }
 
 // Close stops the delay machinery, waits for it to drain, and closes the

@@ -9,6 +9,15 @@ import (
 	"repro/internal/net"
 )
 
+// Test message types from the scratch block internal/wire reserves for
+// transport tests (0xF0..0xFE).
+const (
+	tPing net.MsgType = 0xF0 + iota
+	tM
+	tCross
+	tSame
+)
+
 // recv drains up to want packets from the inbox within the timeout and
 // returns their bodies.
 func recv(t *testing.T, nw net.Transport, p groups.Process, want int, timeout time.Duration) []int {
@@ -29,9 +38,9 @@ func recv(t *testing.T, nw net.Transport, p groups.Process, want int, timeout ti
 func TestPassThroughNoFaults(t *testing.T) {
 	c := Wrap(net.New(2), 1)
 	defer c.Close()
-	c.Send(0, 1, "ping", 7)
+	c.Send(0, 1, tPing, 7)
 	pkt := <-c.Inbox(1)
-	if pkt.From != 0 || pkt.Kind != "ping" || pkt.Body.(int) != 7 {
+	if pkt.From != 0 || pkt.Type != tPing || pkt.Body.(int) != 7 {
 		t.Fatalf("bad packet %+v", pkt)
 	}
 	if st := c.Stats(); st.Forwarded != 1 || st.Dropped() != 0 {
@@ -47,7 +56,7 @@ func TestFaultScheduleDeterministic(t *testing.T) {
 		defer c.Close()
 		c.SetFaults(Faults{Drop: 0.5})
 		for i := 0; i < 200; i++ {
-			c.Send(0, 1, "m", i)
+			c.Send(0, 1, tM, i)
 		}
 		return recv(t, c, 1, 200, 50*time.Millisecond)
 	}
@@ -68,7 +77,7 @@ func TestDuplication(t *testing.T) {
 	defer c.Close()
 	c.SetFaults(Faults{Dup: 1.0})
 	for i := 0; i < 10; i++ {
-		c.Send(0, 1, "m", i)
+		c.Send(0, 1, tM, i)
 	}
 	got := recv(t, c, 1, 20, 50*time.Millisecond)
 	if len(got) != 20 {
@@ -83,9 +92,9 @@ func TestPartitionBlocksThenHeals(t *testing.T) {
 	c := Wrap(net.New(4), 5)
 	defer c.Close()
 	c.Partition(groups.NewProcSet(0, 1), groups.NewProcSet(2, 3))
-	c.Send(0, 2, "cross", 1) // severed
-	c.Send(2, 1, "cross", 2) // severed (other direction)
-	c.Send(0, 1, "same", 3)  // same side: delivered
+	c.Send(0, 2, tCross, 1) // severed
+	c.Send(2, 1, tCross, 2) // severed (other direction)
+	c.Send(0, 1, tSame, 3)  // same side: delivered
 	if got := recv(t, c, 1, 1, 50*time.Millisecond); len(got) != 1 || got[0] != 3 {
 		t.Fatalf("same-side packet lost: %v", got)
 	}
@@ -93,7 +102,7 @@ func TestPartitionBlocksThenHeals(t *testing.T) {
 		t.Fatalf("DroppedPartition = %d, want 2", st.DroppedPartition)
 	}
 	c.Heal()
-	c.Send(0, 2, "cross", 4)
+	c.Send(0, 2, tCross, 4)
 	if got := recv(t, c, 2, 1, 50*time.Millisecond); len(got) != 1 || got[0] != 4 {
 		t.Fatalf("post-heal packet lost: %v", got)
 	}
@@ -103,9 +112,9 @@ func TestIsolate(t *testing.T) {
 	c := Wrap(net.New(3), 5)
 	defer c.Close()
 	c.Isolate(1)
-	c.Send(0, 1, "m", 1)
-	c.Send(1, 2, "m", 2)
-	c.Send(0, 2, "m", 3) // unaffected link
+	c.Send(0, 1, tM, 1)
+	c.Send(1, 2, tM, 2)
+	c.Send(0, 2, tM, 3) // unaffected link
 	if got := recv(t, c, 2, 1, 50*time.Millisecond); len(got) != 1 || got[0] != 3 {
 		t.Fatalf("unaffected link broken: %v", got)
 	}
@@ -118,13 +127,13 @@ func TestDownUp(t *testing.T) {
 	c := Wrap(net.New(2), 5)
 	defer c.Close()
 	c.Down(1)
-	c.Send(0, 1, "m", 1)
-	c.Send(1, 0, "m", 2)
+	c.Send(0, 1, tM, 1)
+	c.Send(1, 0, tM, 2)
 	if st := c.Stats(); st.DroppedDown != 2 {
 		t.Fatalf("DroppedDown = %d, want 2", st.DroppedDown)
 	}
 	c.Up(1)
-	c.Send(0, 1, "m", 3)
+	c.Send(0, 1, tM, 3)
 	if got := recv(t, c, 1, 1, 50*time.Millisecond); len(got) != 1 || got[0] != 3 {
 		t.Fatalf("post-recovery packet lost: %v", got)
 	}
@@ -138,7 +147,7 @@ func TestDelayPreservesFIFO(t *testing.T) {
 	c.SetFaults(Faults{DelayMin: 50 * time.Microsecond, DelayMax: 2 * time.Millisecond})
 	const n = 50
 	for i := 0; i < n; i++ {
-		c.Send(0, 1, "m", i)
+		c.Send(0, 1, tM, i)
 	}
 	got := recv(t, c, 1, n, 5*time.Second)
 	if len(got) != n {
@@ -159,7 +168,7 @@ func TestReorderDeliversAll(t *testing.T) {
 	c.SetFaults(Faults{DelayMax: 2 * time.Millisecond, Reorder: true})
 	const n = 50
 	for i := 0; i < n; i++ {
-		c.Send(0, 1, "m", i)
+		c.Send(0, 1, tM, i)
 	}
 	got := recv(t, c, 1, n, 5*time.Second)
 	if len(got) != n {
@@ -182,7 +191,7 @@ func TestQuiesceClearsEverything(t *testing.T) {
 	c.Down(0)
 	c.Isolate(1)
 	c.Quiesce()
-	c.Send(0, 1, "m", 1)
+	c.Send(0, 1, tM, 1)
 	if got := recv(t, c, 1, 1, 50*time.Millisecond); len(got) != 1 {
 		t.Fatalf("post-quiesce packet lost")
 	}
@@ -194,7 +203,7 @@ func TestCloseWithDelayedInFlight(t *testing.T) {
 	c := Wrap(net.New(2), 11)
 	c.SetFaults(Faults{DelayMin: 50 * time.Millisecond, DelayMax: 100 * time.Millisecond})
 	for i := 0; i < 20; i++ {
-		c.Send(0, 1, "m", i)
+		c.Send(0, 1, tM, i)
 	}
 	done := make(chan struct{})
 	go func() {
@@ -238,7 +247,7 @@ func TestNemesisRunQuiesces(t *testing.T) {
 	defer c.Close()
 	nm := &Nemesis{C: c, Plan: NewPlan(21, 3, 30*time.Millisecond)}
 	<-nm.Go()
-	c.Send(0, 1, "m", 1)
+	c.Send(0, 1, tM, 1)
 	if got := recv(t, c, 1, 1, 100*time.Millisecond); len(got) != 1 {
 		t.Fatalf("transport still faulty after nemesis quiesced")
 	}

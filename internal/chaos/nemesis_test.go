@@ -142,7 +142,7 @@ func TestNemesisInjectsFaults(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				c.Broadcast(0, groups.NewProcSet(0, 1, 2), "load", 1)
+				c.Broadcast(0, groups.NewProcSet(0, 1, 2), net.MsgType(0xF4), 1)
 				time.Sleep(50 * time.Microsecond)
 			}
 		}

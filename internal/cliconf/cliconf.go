@@ -1,0 +1,140 @@
+// Package cliconf parses the textual scenario specs the command-line tools
+// share: group lists, multicast schedules, crash schedules, protocol
+// variants, and peer-address lists. cmd/amcast (single-process runs) and
+// cmd/amcastd (one daemon per process) parse identical specs — a
+// multi-process deployment only works if every daemon reconstructs exactly
+// the same scenario, so the parsing lives in one place.
+package cliconf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/groups"
+)
+
+// MulticastSpec is one parsed -msgs entry: src>group[@time].
+type MulticastSpec struct {
+	At  failure.Time
+	Src groups.Process
+	G   groups.GroupID
+}
+
+// ParseGroups parses the -groups spec: semicolon-separated groups, each a
+// comma-separated member list ("0,1;1,2;0,2,3").
+func ParseGroups(spec string) (*groups.Topology, error) {
+	var sets []groups.ProcSet
+	maxP := 0
+	for _, gs := range strings.Split(spec, ";") {
+		var set groups.ProcSet
+		for _, ms := range strings.Split(gs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(ms))
+			if err != nil {
+				return nil, fmt.Errorf("bad group member %q: %w", ms, err)
+			}
+			if p > maxP {
+				maxP = p
+			}
+			set = set.Add(groups.Process(p))
+		}
+		sets = append(sets, set)
+	}
+	return groups.New(maxP+1, sets...)
+}
+
+// ParseCrashes parses the -crash spec ("p@t;q@t", empty allowed) onto a
+// fresh failure pattern over n processes.
+func ParseCrashes(spec string, n int) (*failure.Pattern, error) {
+	pat := failure.NewPattern(n)
+	if spec == "" {
+		return pat, nil
+	}
+	for _, cs := range strings.Split(spec, ";") {
+		parts := strings.Split(cs, "@")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad crash spec %q", cs)
+		}
+		p, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		t, err2 := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad crash spec %q", cs)
+		}
+		pat = pat.WithCrash(groups.Process(p), failure.Time(t))
+	}
+	return pat, nil
+}
+
+// ParseVariant maps the -variant flag onto the protocol variant.
+func ParseVariant(v string) (core.Variant, error) {
+	switch v {
+	case "vanilla":
+		return core.Vanilla, nil
+	case "strict":
+		return core.Strict, nil
+	case "pairwise":
+		return core.Pairwise, nil
+	case "strong":
+		return core.StronglyGenuine, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q", v)
+	}
+}
+
+// ParseMulticasts parses the -msgs spec ("src>g[@time];...") sorted stably
+// by issue time — the canonical schedule order every daemon must follow
+// (message IDs are positional in the registry, so two daemons walking the
+// schedule differently would disagree about which ID names which message).
+func ParseMulticasts(spec string) ([]MulticastSpec, error) {
+	var msgs []MulticastSpec
+	for _, ms := range strings.Split(spec, ";") {
+		at := int64(0)
+		s := ms
+		if i := strings.Index(ms, "@"); i >= 0 {
+			s = ms[:i]
+			var err error
+			at, err = strconv.ParseInt(ms[i+1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad message time in %q", ms)
+			}
+		}
+		parts := strings.Split(s, ">")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad message spec %q", ms)
+		}
+		src, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		g, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad message spec %q", ms)
+		}
+		msgs = append(msgs, MulticastSpec{
+			At:  failure.Time(at),
+			Src: groups.Process(src),
+			G:   groups.GroupID(g),
+		})
+	}
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].At < msgs[j].At })
+	return msgs, nil
+}
+
+// ParsePeers parses the -peers spec: a comma-separated address list indexed
+// by process ID ("127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002").
+func ParsePeers(spec string, n int) ([]string, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("missing -peers address list")
+	}
+	addrs := strings.Split(spec, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+		if addrs[i] == "" {
+			return nil, fmt.Errorf("empty address at index %d in -peers", i)
+		}
+	}
+	if len(addrs) != n {
+		return nil, fmt.Errorf("-peers lists %d addresses for %d processes", len(addrs), n)
+	}
+	return addrs, nil
+}

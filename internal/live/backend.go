@@ -63,12 +63,15 @@ type liveConsKey struct {
 
 var _ core.Backend = (*Backend)(nil)
 
-// NewBackend builds the replicated substrate: one paxos node per process on
-// the transport; replicas and consensus instances are created on demand.
-// clock supplies the current tick for failure-detector queries (leader
-// election follows Ω at the current time). rec, when non-nil, receives the
-// substrate's counters (paxos work, replog applies, per-pair coordination).
-func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Transport, clock func() failure.Time, strong bool, pcfg paxos.Config, rec *obs.Recorder) *Backend {
+// NewBackend builds the replicated substrate: one paxos node per owned
+// process on the transport (owned empty means every process); replicas and
+// consensus instances are created on demand. clock supplies the current
+// tick for failure-detector queries (leader election follows Ω at the
+// current time). rec, when non-nil, receives the substrate's counters
+// (paxos work, replog applies, per-pair coordination). In a multi-process
+// deployment each daemon's backend runs acceptors only for the processes it
+// owns — the rest answer from their own OS processes over the transport.
+func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Transport, clock func() failure.Time, strong bool, pcfg paxos.Config, rec *obs.Recorder, owned groups.ProcSet) *Backend {
 	b := &Backend{
 		topo:   topo,
 		reg:    reg,
@@ -83,6 +86,9 @@ func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Tran
 	}
 	pcfg.Counters = rec.Paxos()
 	for p := range b.nodes {
+		if !owned.Empty() && !owned.Has(groups.Process(p)) {
+			continue
+		}
 		b.nodes[p] = paxos.StartNodeWithConfig(nw, groups.Process(p), pcfg)
 	}
 	return b

@@ -31,6 +31,16 @@ type Config struct {
 	// StepIdle is how long an idle node sleeps before rescanning its
 	// guards. Default 200µs.
 	StepIdle time.Duration
+	// Owned restricts which processes this System instance embodies. Empty
+	// means all of them (the single-OS-process default). A multi-process
+	// deployment (cmd/amcastd) gives each daemon its own process: only
+	// owned processes get stepping goroutines and paxos/replog state, and
+	// delivery obligations are checked for owned processes only — the rest
+	// of the topology lives in peer OS processes reachable over the
+	// transport. Non-owned multicasts must still be announced in the same
+	// global order at every daemon via Observe (message IDs are
+	// positional).
+	Owned groups.ProcSet
 }
 
 // System is a live run: Algorithm 1 nodes stepped by goroutines over the
@@ -79,12 +89,18 @@ func NewSystem(topo *groups.Topology, pat *failure.Pattern, nw net.Transport, cf
 		stop: make(chan struct{}),
 	}
 	s.Sh = core.NewSharedWithBackend(topo, pat, cfg.Opt, func(sh *core.Shared) core.Backend {
-		s.be = NewBackend(topo, sh.Reg, sh.Mu, nw, s.now, cfg.Opt.Variant == core.StronglyGenuine, cfg.Paxos, cfg.Opt.Rec)
+		s.be = NewBackend(topo, sh.Reg, sh.Mu, nw, s.now, cfg.Opt.Variant == core.StronglyGenuine, cfg.Paxos, cfg.Opt.Rec, cfg.Owned)
 		return s.be
 	})
+	// Only owned processes get automatons: building a core.Node eagerly
+	// creates its backend log replicas, and a non-owned process's replicas
+	// live in the daemon that owns it. Slots for non-owned processes stay
+	// nil (Multicast and runNode only ever touch owned ones).
 	s.Nodes = make([]*core.Node, topo.NumProcesses())
 	for p := range s.Nodes {
-		s.Nodes[p] = core.NewNode(groups.Process(p), s.Sh)
+		if s.owns(groups.Process(p)) {
+			s.Nodes[p] = core.NewNode(groups.Process(p), s.Sh)
+		}
 	}
 	return s
 }
@@ -96,11 +112,20 @@ func (s *System) now() failure.Time { return failure.Time(s.tick.Load()) }
 // relative to the crash schedule).
 func (s *System) Now() failure.Time { return s.now() }
 
-// Start launches the ticker and one stepping goroutine per process.
+// owns reports whether this System instance embodies p (all processes when
+// Config.Owned is empty).
+func (s *System) owns(p groups.Process) bool {
+	return s.cfg.Owned.Empty() || s.cfg.Owned.Has(p)
+}
+
+// Start launches the ticker and one stepping goroutine per owned process.
 func (s *System) Start() {
 	s.wg.Add(1)
 	go s.runClock()
 	for p := range s.Nodes {
+		if !s.owns(groups.Process(p)) {
+			continue
+		}
 		s.wg.Add(1)
 		go s.runNode(groups.Process(p))
 	}
@@ -164,6 +189,16 @@ func (s *System) Multicast(src groups.Process, dst groups.GroupID, payload []byt
 	return m
 }
 
+// Observe announces a multicast issued by a process another daemon owns.
+// Message IDs are positional in the registry, so every daemon must see the
+// same multicast schedule in the same order — the owning daemon calls
+// Multicast, every other daemon calls Observe with identical arguments, and
+// both paths register the message and append it to the relevant logs'
+// obligations without enqueueing it at a local (non-owned) sender node.
+func (s *System) Observe(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
+	return s.Sh.Request(src, dst, payload, s.now())
+}
+
 // allDelivered mirrors the Termination checker's obligation: every
 // multicast message is delivered by every correct member of its
 // destination group.
@@ -178,7 +213,9 @@ func (s *System) allDelivered() bool {
 	}
 	for _, m := range s.Sh.Reg.All() {
 		for _, p := range s.Topo.Group(m.Dst).Members() {
-			if !s.Pat.IsCorrect(p) {
+			// Only owned processes can be checked locally: a peer daemon's
+			// deliveries are not visible in this Shared instance.
+			if !s.Pat.IsCorrect(p) || !s.owns(p) {
 				continue
 			}
 			if !got[ev{p, m.ID}] {
@@ -268,6 +305,9 @@ func (s *System) Report() obs.RunReport {
 	rep.Ticks = s.tick.Load()
 	if nr, ok := s.Net.(obs.NetReporter); ok {
 		rep.Net = nr.NetReport()
+	}
+	if wr, ok := s.Net.(obs.WireReporter); ok {
+		rep.Wire = wr.WireReport()
 	}
 	if cr, ok := s.Net.(obs.ChaosReporter); ok {
 		rep.Chaos = cr.InjectionReport()

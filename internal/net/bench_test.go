@@ -34,7 +34,7 @@ func BenchmarkSendConcurrent(b *testing.B) {
 		for pb.Next() {
 			from := groups.Process(i % n)
 			to := groups.Process((i + 1) % n)
-			nw.Send(from, to, "bench", int64(i))
+			nw.Send(from, to, tBench, int64(i))
 			i++
 		}
 	})
@@ -59,7 +59,7 @@ func BenchmarkSendSingle(b *testing.B) {
 	}()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		nw.Send(0, 1, "bench", int64(i))
+		nw.Send(0, 1, tBench, int64(i))
 	}
 	b.StopTimer()
 	close(done)

@@ -14,10 +14,17 @@ import (
 	"repro/internal/obs"
 )
 
+// MsgType is the typed identity of a protocol message — a one-byte wire
+// tag. It replaces the old stringly Packet.Kind: dispatch compares a byte
+// instead of interning strings, and the binary codec (internal/wire) keys
+// its decoder registry on it. The value space is partitioned by protocol in
+// internal/wire; this package treats it as opaque.
+type MsgType uint8
+
 // Packet is a message in flight.
 type Packet struct {
 	From, To groups.Process
-	Kind     string
+	Type     MsgType
 	Body     any
 }
 
@@ -30,9 +37,9 @@ type Transport interface {
 	// N returns the number of processes.
 	N() int
 	// Send delivers (or drops, or delays — per the fabric) a packet.
-	Send(from, to groups.Process, kind string, body any)
+	Send(from, to groups.Process, t MsgType, body any)
 	// Broadcast sends to every member of the set.
-	Broadcast(from groups.Process, set groups.ProcSet, kind string, body any)
+	Broadcast(from groups.Process, set groups.ProcSet, t MsgType, body any)
 	// Inbox returns the receive channel of p. It is closed by Close.
 	Inbox(p groups.Process) <-chan Packet
 	// Crash silences p permanently (fail-stop).
@@ -92,7 +99,7 @@ func (nw *Network) N() int { return nw.n }
 // Send delivers a packet to the recipient's inbox. Packets from or to
 // crashed processes are dropped silently, and sends after Close are no-ops
 // (a closed network models the end of the run).
-func (nw *Network) Send(from, to groups.Process, kind string, body any) {
+func (nw *Network) Send(from, to groups.Process, t MsgType, body any) {
 	if nw.closed.Load() || nw.dead[from].Load() || nw.dead[to].Load() {
 		return
 	}
@@ -105,8 +112,8 @@ func (nw *Network) Send(from, to groups.Process, kind string, body any) {
 	// The send is non-blocking and performed under the endpoint's lock, so
 	// it cannot race with Close closing the channel.
 	select {
-	case ep.ch <- Packet{From: from, To: to, Kind: kind, Body: body}:
-		nw.counters.Sent(from, to, obs.EstimateSize(kind, body))
+	case ep.ch <- Packet{From: from, To: to, Type: t, Body: body}:
+		nw.counters.Sent(from, to, obs.EstimateSize(body))
 	default:
 		// Inbox overflow: drop, and count it. The substrates retransmit, so
 		// a drop only costs latency and cannot violate safety — but chaos
@@ -127,9 +134,9 @@ func (nw *Network) NetReport() *obs.NetReport { return nw.counters.Report() }
 func (nw *Network) Dropped() uint64 { return nw.dropped.Load() }
 
 // Broadcast sends to every member of the set.
-func (nw *Network) Broadcast(from groups.Process, set groups.ProcSet, kind string, body any) {
+func (nw *Network) Broadcast(from groups.Process, set groups.ProcSet, t MsgType, body any) {
 	for _, p := range set.Members() {
-		nw.Send(from, p, kind, body)
+		nw.Send(from, p, t, body)
 	}
 }
 

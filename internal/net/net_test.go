@@ -6,12 +6,26 @@ import (
 	"repro/internal/groups"
 )
 
+// Test message types from the scratch block internal/wire reserves for
+// transport tests (0xF0..0xFE).
+const (
+	tPing MsgType = 0xF0 + iota
+	tHello
+	tA
+	tB
+	tC
+	tX
+	tY
+	tFlood
+	tBench
+)
+
 func TestSendRecv(t *testing.T) {
 	nw := New(2)
 	defer nw.Close()
-	nw.Send(0, 1, "ping", 42)
+	nw.Send(0, 1, tPing, 42)
 	pkt := <-nw.Inbox(1)
-	if pkt.From != 0 || pkt.Kind != "ping" || pkt.Body.(int) != 42 {
+	if pkt.From != 0 || pkt.Type != tPing || pkt.Body.(int) != 42 {
 		t.Fatalf("bad packet %+v", pkt)
 	}
 }
@@ -19,10 +33,10 @@ func TestSendRecv(t *testing.T) {
 func TestBroadcast(t *testing.T) {
 	nw := New(3)
 	defer nw.Close()
-	nw.Broadcast(0, groups.NewProcSet(0, 1, 2), "hello", nil)
+	nw.Broadcast(0, groups.NewProcSet(0, 1, 2), tHello, nil)
 	for p := 0; p < 3; p++ {
 		pkt := <-nw.Inbox(groups.Process(p))
-		if pkt.Kind != "hello" {
+		if pkt.Type != tHello {
 			t.Fatalf("p%d got %+v", p, pkt)
 		}
 	}
@@ -31,20 +45,20 @@ func TestBroadcast(t *testing.T) {
 func TestCrashSilences(t *testing.T) {
 	nw := New(2)
 	defer nw.Close()
-	nw.Send(0, 1, "a", nil)
+	nw.Send(0, 1, tA, nil)
 	nw.Crash(1)
 	if !nw.Crashed(1) {
 		t.Fatalf("Crashed not reported")
 	}
 	// Pending inbox drained; future sends dropped.
-	nw.Send(0, 1, "b", nil)
+	nw.Send(0, 1, tB, nil)
 	select {
 	case pkt := <-nw.Inbox(1):
 		t.Fatalf("crashed process received %+v", pkt)
 	default:
 	}
 	// Sends *from* a crashed process are dropped too.
-	nw.Send(1, 0, "c", nil)
+	nw.Send(1, 0, tC, nil)
 	select {
 	case pkt := <-nw.Inbox(0):
 		t.Fatalf("packet from crashed process delivered: %+v", pkt)
@@ -60,14 +74,14 @@ func TestCloseEndsInboxes(t *testing.T) {
 	}
 	// Idempotent close and post-close send are safe.
 	nw.Close()
-	nw.Send(0, 0, "x", nil)
+	nw.Send(0, 0, tX, nil)
 }
 
 func TestOverflowDropsNotBlocks(t *testing.T) {
 	nw := New(1)
 	defer nw.Close()
 	for i := 0; i < inboxDepth+10; i++ {
-		nw.Send(0, 0, "flood", i) // must not block
+		nw.Send(0, 0, tFlood, i) // must not block
 	}
 	if got := nw.Dropped(); got != 10 {
 		t.Fatalf("Dropped() = %d, want 10", got)
@@ -80,9 +94,9 @@ func TestOverflowDropsNotBlocks(t *testing.T) {
 func TestDroppedNotCountedForDeadOrClosed(t *testing.T) {
 	nw := New(2)
 	nw.Crash(1)
-	nw.Send(0, 1, "x", nil)
+	nw.Send(0, 1, tX, nil)
 	nw.Close()
-	nw.Send(0, 0, "y", nil)
+	nw.Send(0, 0, tY, nil)
 	if got := nw.Dropped(); got != 0 {
 		t.Fatalf("Dropped() = %d, want 0", got)
 	}

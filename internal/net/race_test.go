@@ -1,0 +1,118 @@
+package net
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/groups"
+)
+
+// Race coverage for the per-endpoint lock fast path: Send/Broadcast racing
+// Close and Crash must never panic (send on closed channel) or trip the
+// race detector. The assertions are thin on purpose — the test's value is
+// the schedule it forces under -race, not the values it reads.
+
+const tRace MsgType = 0xFD // scratch block (see internal/wire)
+
+// TestRaceSendVsClose hammers every link while Close lands mid-storm.
+func TestRaceSendVsClose(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		nw := New(4)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p groups.Process) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					nw.Send(p, groups.Process(i%4), tRace, i)
+					nw.Broadcast(p, groups.NewProcSet(0, 1, 2, 3), tRace, i)
+				}
+			}(groups.Process(p))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			nw.Close()
+		}()
+		close(start)
+		wg.Wait()
+		nw.Close() // idempotent
+	}
+}
+
+// TestRaceSendVsCrash races crash injection (which drains the victim's
+// inbox under its endpoint lock) against senders and a draining receiver.
+func TestRaceSendVsCrash(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		nw := New(3)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < 3; p++ {
+			wg.Add(1)
+			go func(p groups.Process) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 200; i++ {
+					nw.Send(p, groups.Process((int(p)+1)%3), tRace, i)
+				}
+			}(groups.Process(p))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			nw.Crash(1)
+			nw.Crash(1) // idempotent
+		}()
+		// A live receiver keeps inbox 2 draining while the storm runs.
+		done := make(chan struct{})
+		go func() {
+			for range nw.Inbox(2) {
+			}
+			close(done)
+		}()
+		close(start)
+		wg.Wait()
+		if !nw.Crashed(1) {
+			t.Fatal("crash flag lost")
+		}
+		nw.Close()
+		<-done
+	}
+}
+
+// TestRaceCrashVsClose races the two teardown paths against each other and
+// against senders: both drain or close the same endpoint channels.
+func TestRaceCrashVsClose(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		nw := New(3)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < 3; p++ {
+			wg.Add(1)
+			go func(p groups.Process) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					nw.Broadcast(p, groups.NewProcSet(0, 1, 2), tRace, i)
+				}
+			}(groups.Process(p))
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			nw.Crash(0)
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			nw.Close()
+		}()
+		close(start)
+		wg.Wait()
+	}
+}

@@ -527,24 +527,66 @@ type NetReporter interface {
 	NetReport() *NetReport
 }
 
+// WireCounters count the socket-level work of a real transport
+// (internal/wire): real encoded bytes rather than EstimateSize guesses,
+// plus the connection-management events the in-memory fabric has no notion
+// of. One instance may be shared by several TCP nodes (the loopback fabric
+// aggregates all of a run's sockets into one report).
+type WireCounters struct {
+	BytesOut      atomic.Int64
+	BytesIn       atomic.Int64
+	FramesEncoded atomic.Int64
+	FramesDecoded atomic.Int64
+	Dials         atomic.Int64
+	Reconnects    atomic.Int64
+	DecodeErrors  atomic.Int64
+	ShortReads    atomic.Int64
+	QueueDrops    atomic.Int64
+}
+
+// Report snapshots the counters into a WireReport.
+func (c *WireCounters) Report() *WireReport {
+	if c == nil {
+		return nil
+	}
+	return &WireReport{
+		BytesOut:      c.BytesOut.Load(),
+		BytesIn:       c.BytesIn.Load(),
+		FramesEncoded: c.FramesEncoded.Load(),
+		FramesDecoded: c.FramesDecoded.Load(),
+		Dials:         c.Dials.Load(),
+		Reconnects:    c.Reconnects.Load(),
+		DecodeErrors:  c.DecodeErrors.Load(),
+		ShortReads:    c.ShortReads.Load(),
+		QueueDrops:    c.QueueDrops.Load(),
+	}
+}
+
+// WireReporter is implemented by transports that run over real sockets
+// (internal/wire.TCP, internal/wire.Fabric).
+type WireReporter interface {
+	WireReport() *WireReport
+}
+
 // sizeCache memoises per-type wire-size estimates.
 var sizeCache sync.Map // reflect.Type → int
 
-// EstimateSize approximates the wire footprint of a packet: a fixed header
-// plus the kind string plus the body's in-memory struct size. It is an
-// estimate — variable-length fields inside the body (instance names) are
-// not chased — but it is consistent across runs, which is what comparing
-// configurations needs.
-func EstimateSize(kind string, body any) int {
+// EstimateSize approximates the wire footprint of an in-memory packet: a
+// fixed header (from/to/type plus framing) plus the body's in-memory struct
+// size. It is an estimate — variable-length fields inside the body are not
+// chased — but it is consistent across runs, which is what comparing
+// configurations needs. The TCP fabric (internal/wire) does not use it: it
+// counts the real encoded frame bytes.
+func EstimateSize(body any) int {
 	const header = 16
 	if body == nil {
-		return header + len(kind)
+		return header
 	}
 	t := reflect.TypeOf(body)
 	if sz, ok := sizeCache.Load(t); ok {
-		return header + len(kind) + sz.(int)
+		return header + sz.(int)
 	}
 	sz := int(t.Size())
 	sizeCache.Store(t, sz)
-	return header + len(kind) + sz
+	return header + sz
 }

@@ -85,6 +85,22 @@ type NetReport struct {
 	PerLink        []LinkReport `json:"per_link,omitempty"`
 }
 
+// WireReport is the socket-level traffic of a run over a real transport
+// (internal/wire). Unlike NetReport's estimated sizes, the byte counts here
+// are real encoded frame bytes; the connection counters (dials, reconnects,
+// short reads) only exist where there are connections to manage.
+type WireReport struct {
+	BytesOut      int64 `json:"bytes_out"`
+	BytesIn       int64 `json:"bytes_in"`
+	FramesEncoded int64 `json:"frames_encoded"`
+	FramesDecoded int64 `json:"frames_decoded"`
+	Dials         int64 `json:"dials"`
+	Reconnects    int64 `json:"reconnects"`
+	DecodeErrors  int64 `json:"decode_errors"`
+	ShortReads    int64 `json:"short_reads"`
+	QueueDrops    int64 `json:"queue_drops"`
+}
+
 // PaxosReport is the consensus substrate's work in a live run. Rounds are
 // full two-phase synod rounds; FastRounds the phase-1-elided accepts the
 // Multi-Paxos lease enables; the lease counters record fast-path churn
@@ -172,6 +188,7 @@ type RunReport struct {
 	Messages          int64 `json:"messages,omitempty"`
 
 	Net    *NetReport    `json:"net,omitempty"`
+	Wire   *WireReport   `json:"wire,omitempty"`
 	Paxos  *PaxosReport  `json:"paxos,omitempty"`
 	Replog *ReplogReport `json:"replog,omitempty"`
 	Chaos  *ChaosReport  `json:"chaos,omitempty"`
@@ -325,6 +342,15 @@ func (r *RunReport) String() string {
 		fmt.Fprintf(&b, "\n  net: %d packets, %d bytes, %d overflow drops", r.Net.Packets, r.Net.Bytes, r.Net.OverflowDrops)
 		if ppd, ok := r.PacketsPerDelivery(); ok {
 			fmt.Fprintf(&b, " (%.1f packets/delivery)", ppd)
+		}
+	}
+	if r.Wire != nil {
+		fmt.Fprintf(&b, "\n  wire: %d frames out (%d B), %d frames in (%d B), %d dials, %d reconnects",
+			r.Wire.FramesEncoded, r.Wire.BytesOut, r.Wire.FramesDecoded, r.Wire.BytesIn,
+			r.Wire.Dials, r.Wire.Reconnects)
+		if n := r.Wire.DecodeErrors + r.Wire.ShortReads + r.Wire.QueueDrops; n > 0 {
+			fmt.Fprintf(&b, " (%d decode errors, %d short reads, %d queue drops)",
+				r.Wire.DecodeErrors, r.Wire.ShortReads, r.Wire.QueueDrops)
 		}
 	}
 	if r.Paxos != nil {

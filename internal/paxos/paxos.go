@@ -24,6 +24,7 @@ import (
 	"repro/internal/groups"
 	"repro/internal/net"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // LeaderFunc is the Ω_g interface: the current leader sample at p.
@@ -136,7 +137,7 @@ type Instance struct {
 type acceptor struct {
 	mu       sync.Mutex
 	promised map[InstanceID]int64
-	accepted map[InstanceID]acceptedVal
+	accepted map[InstanceID]AcceptedVal
 	// leases holds range promises: a grant at (ballot, fromSlot) promises
 	// every slot ≥ fromSlot of the realm at once. The effective promise
 	// floor of an instance is the max of its point promise and any
@@ -149,7 +150,7 @@ type leaseGrant struct {
 	FromSlot int64
 }
 
-type acceptedVal struct {
+type AcceptedVal struct {
 	Ballot int64
 	Val    int64
 	Has    bool
@@ -164,15 +165,15 @@ func (a *acceptor) floorLocked(inst InstanceID) int64 {
 	return f
 }
 
-// slotVal is one (slot, ballot, value) triple of a realm — accepted state
+// SlotVal is one (slot, ballot, value) triple of a realm — accepted state
 // reported in range grants, or a decided value piggybacked on an accept.
-type slotVal struct {
+type SlotVal struct {
 	Slot   int64
 	Ballot int64
 	Val    int64
 }
 
-type prepareReq struct {
+type PrepareReq struct {
 	Inst   InstanceID
 	Ballot int64
 	// Range asks for a promise covering every slot ≥ Inst.Slot of the
@@ -180,21 +181,21 @@ type prepareReq struct {
 	// prepare leaves it false.
 	Range bool
 }
-type prepareResp struct {
+type PrepareResp struct {
 	Inst     InstanceID
 	Ballot   int64
 	OK       bool
 	Promised int64 // on refusal: the floor that beat us (ballot jump hint)
-	Accepted acceptedVal
+	Accepted AcceptedVal
 	// Range carries, on a range grant, every accepted value of the realm in
 	// slots ≥ Inst.Slot: the adoption obligations of the lease.
-	Range []slotVal
+	Range []SlotVal
 	// Decided short-circuits the round: the acceptor already knows the
 	// instance's decision and teaches it instead of duelling.
 	Decided bool
 	DecVal  int64
 }
-type acceptReq struct {
+type AcceptReq struct {
 	Inst   InstanceID
 	Ballot int64
 	Val    int64
@@ -202,9 +203,9 @@ type acceptReq struct {
 	// steady state: the previous slot) so passive replicas learn it from
 	// the accept stream without waiting on a separate decide broadcast.
 	PrevDecided bool
-	Prev        slotVal
+	Prev        SlotVal
 }
-type acceptResp struct {
+type AcceptResp struct {
 	Inst     InstanceID
 	Ballot   int64
 	OK       bool
@@ -212,15 +213,15 @@ type acceptResp struct {
 	Decided  bool
 	DecVal   int64
 }
-type decideMsg struct {
+type DecideMsg struct {
 	Inst InstanceID
 	Val  int64
 }
 
-// learnReq is the anti-entropy probe: "send me your decision for Inst if
+// LearnReq is the anti-entropy probe: "send me your decision for Inst if
 // you have one". Passive replicas fall back to it when a decide broadcast
-// was dropped by an adversarial fabric; the reply is an ordinary decideMsg.
-type learnReq struct {
+// was dropped by an adversarial fabric; the reply is an ordinary DecideMsg.
+type LearnReq struct {
 	Inst InstanceID
 }
 
@@ -230,7 +231,7 @@ type learnReq struct {
 type proposerLease struct {
 	ballot   int64
 	fromSlot int64
-	adopt    map[int64]acceptedVal // slot → highest-ballot reported value
+	adopt    map[int64]AcceptedVal // slot → highest-ballot reported value
 }
 
 // Node bundles the acceptor role and the proposer plumbing of one process.
@@ -268,7 +269,7 @@ func StartNodeWithConfig(nw net.Transport, p groups.Process, cfg Config) *Node {
 		cfg: cfg.withDefaults(),
 		acc: &acceptor{
 			promised: make(map[InstanceID]int64),
-			accepted: make(map[InstanceID]acceptedVal),
+			accepted: make(map[InstanceID]AcceptedVal),
 			leases:   make(map[realmKey]leaseGrant),
 		},
 		resp:    make(chan net.Packet, 256),
@@ -287,18 +288,38 @@ func (n *Node) loop() {
 	defer close(n.done)
 	defer close(n.resp)
 	for pkt := range n.nw.Inbox(n.p) {
-		switch body := pkt.Body.(type) {
-		case prepareReq:
-			n.nw.Send(n.p, pkt.From, "prepare-resp", n.handlePrepare(body))
-		case acceptReq:
-			n.nw.Send(n.p, pkt.From, "accept-resp", n.handleAccept(body))
-		case decideMsg:
-			n.recordDecision(body.Inst, body.Val)
-		case learnReq:
-			if v, ok := n.Decided(body.Inst); ok {
-				n.nw.Send(n.p, pkt.From, "decide", decideMsg{Inst: body.Inst, Val: v})
+		// Dispatch on the one-byte wire tag, not the body's dynamic type: a
+		// byte compare per packet instead of an interface type switch, and
+		// the same switch works whether the body arrived in-memory or was
+		// decoded from a TCP frame.
+		switch pkt.Type {
+		case wire.TPaxPrepare:
+			body, ok := pkt.Body.(PrepareReq)
+			if !ok {
+				continue
 			}
-		case prepareResp, acceptResp:
+			n.nw.Send(n.p, pkt.From, wire.TPaxPrepareResp, n.handlePrepare(body))
+		case wire.TPaxAccept:
+			body, ok := pkt.Body.(AcceptReq)
+			if !ok {
+				continue
+			}
+			n.nw.Send(n.p, pkt.From, wire.TPaxAcceptResp, n.handleAccept(body))
+		case wire.TPaxDecide:
+			body, ok := pkt.Body.(DecideMsg)
+			if !ok {
+				continue
+			}
+			n.recordDecision(body.Inst, body.Val)
+		case wire.TPaxLearn:
+			body, ok := pkt.Body.(LearnReq)
+			if !ok {
+				continue
+			}
+			if v, ok := n.Decided(body.Inst); ok {
+				n.nw.Send(n.p, pkt.From, wire.TPaxDecide, DecideMsg{Inst: body.Inst, Val: v})
+			}
+		case wire.TPaxPrepareResp, wire.TPaxAcceptResp:
 			select {
 			case n.resp <- pkt:
 			default:
@@ -314,18 +335,18 @@ func (n *Node) loop() {
 
 // handlePrepare runs the acceptor's phase-1 rule. A known decision
 // short-circuits the round: late proposers get taught instead of duelled.
-func (n *Node) handlePrepare(body prepareReq) prepareResp {
+func (n *Node) handlePrepare(body PrepareReq) PrepareResp {
 	if v, ok := n.Decided(body.Inst); ok {
-		return prepareResp{Inst: body.Inst, Ballot: body.Ballot, Decided: true, DecVal: v}
+		return PrepareResp{Inst: body.Inst, Ballot: body.Ballot, Decided: true, DecVal: v}
 	}
 	a := n.acc
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	floor := a.floorLocked(body.Inst)
 	if body.Ballot <= floor {
-		return prepareResp{Inst: body.Inst, Ballot: body.Ballot, OK: false, Promised: floor}
+		return PrepareResp{Inst: body.Inst, Ballot: body.Ballot, OK: false, Promised: floor}
 	}
-	resp := prepareResp{Inst: body.Inst, Ballot: body.Ballot, OK: true, Accepted: a.accepted[body.Inst]}
+	resp := PrepareResp{Inst: body.Inst, Ballot: body.Ballot, OK: true, Accepted: a.accepted[body.Inst]}
 	if body.Range {
 		// Grant a promise for every slot ≥ Inst.Slot of the realm and
 		// report the accepted values the grant must carry (the lease
@@ -335,7 +356,7 @@ func (n *Node) handlePrepare(body prepareReq) prepareResp {
 		a.leases[rk] = leaseGrant{Ballot: body.Ballot, FromSlot: body.Inst.Slot}
 		for id, av := range a.accepted {
 			if av.Has && id.realm() == rk && id.Slot >= body.Inst.Slot && id != body.Inst {
-				resp.Range = append(resp.Range, slotVal{Slot: id.Slot, Ballot: av.Ballot, Val: av.Val})
+				resp.Range = append(resp.Range, SlotVal{Slot: id.Slot, Ballot: av.Ballot, Val: av.Val})
 			}
 		}
 	} else {
@@ -346,12 +367,12 @@ func (n *Node) handlePrepare(body prepareReq) prepareResp {
 
 // handleAccept runs the acceptor's phase-2 rule and absorbs any decision
 // piggybacked on the request.
-func (n *Node) handleAccept(body acceptReq) acceptResp {
+func (n *Node) handleAccept(body AcceptReq) AcceptResp {
 	if body.PrevDecided {
 		n.recordDecision(InstanceID{Space: body.Inst.Space, Realm: body.Inst.Realm, Slot: body.Prev.Slot}, body.Prev.Val)
 	}
 	if v, ok := n.Decided(body.Inst); ok {
-		return acceptResp{Inst: body.Inst, Ballot: body.Ballot, Decided: true, DecVal: v}
+		return AcceptResp{Inst: body.Inst, Ballot: body.Ballot, Decided: true, DecVal: v}
 	}
 	a := n.acc
 	a.mu.Lock()
@@ -359,10 +380,10 @@ func (n *Node) handleAccept(body acceptReq) acceptResp {
 	ok := body.Ballot >= floor
 	if ok {
 		a.promised[body.Inst] = body.Ballot
-		a.accepted[body.Inst] = acceptedVal{Ballot: body.Ballot, Val: body.Val, Has: true}
+		a.accepted[body.Inst] = AcceptedVal{Ballot: body.Ballot, Val: body.Val, Has: true}
 	}
 	a.mu.Unlock()
-	return acceptResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok, Promised: floor}
+	return AcceptResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok, Promised: floor}
 }
 
 func (n *Node) recordDecision(inst InstanceID, v int64) {
@@ -426,16 +447,16 @@ func (n *Node) Done() <-chan struct{} { return n.done }
 // dropped.
 func (n *Node) RequestDecision(scope groups.ProcSet, inst InstanceID) {
 	n.cfg.Counters.IncProbe()
-	n.toPeers(scope, "learn", learnReq{Inst: inst})
+	n.toPeers(scope, wire.TPaxLearn, LearnReq{Inst: inst})
 }
 
 // toPeers sends to every scope member except this process: the node's own
 // acceptor/learner state is updated directly, so a loopback packet would
 // only burn two trips through the transport.
-func (n *Node) toPeers(scope groups.ProcSet, kind string, body any) {
+func (n *Node) toPeers(scope groups.ProcSet, t net.MsgType, body any) {
 	for _, p := range scope.Members() {
 		if p != n.p {
-			n.nw.Send(n.p, p, kind, body)
+			n.nw.Send(n.p, p, t, body)
 		}
 	}
 }
@@ -444,7 +465,7 @@ func (n *Node) toPeers(scope groups.ProcSet, kind string, body any) {
 // without a loopback packet).
 func (n *Node) decideBroadcast(inst *Instance, val int64) {
 	n.recordDecision(inst.ID, val)
-	n.toPeers(inst.Scope, "decide", decideMsg{Inst: inst.ID, Val: val})
+	n.toPeers(inst.Scope, wire.TPaxDecide, DecideMsg{Inst: inst.ID, Val: val})
 }
 
 // Propose runs the synod protocol for the instance until a decision is
@@ -566,11 +587,11 @@ func (n *Node) drainStale() {
 			}
 			n.cfg.Counters.IncRespStale()
 			switch r := pkt.Body.(type) {
-			case prepareResp:
+			case PrepareResp:
 				if r.Decided {
 					n.recordDecision(r.Inst, r.DecVal)
 				}
-			case acceptResp:
+			case AcceptResp:
 				if r.Decided {
 					n.recordDecision(r.Inst, r.DecVal)
 				}
@@ -612,7 +633,7 @@ func (n *Node) fastRound(inst *Instance, v int64) (int64, bool) {
 	if av, ok := lease.adopt[inst.ID.Slot]; ok {
 		val = av.Val
 	}
-	req := acceptReq{Inst: inst.ID, Ballot: lease.ballot, Val: val}
+	req := AcceptReq{Inst: inst.ID, Ballot: lease.ballot, Val: val}
 	// Piggyback the previous slot's decision on the accept stream: in the
 	// steady state passive replicas learn slot s-1 from slot s's accept
 	// even when the decide broadcast for s-1 was lost.
@@ -620,7 +641,7 @@ func (n *Node) fastRound(inst *Instance, v int64) (int64, bool) {
 		prev := InstanceID{Space: inst.ID.Space, Realm: inst.ID.Realm, Slot: inst.ID.Slot - 1}
 		if pv, ok := n.Decided(prev); ok {
 			req.PrevDecided = true
-			req.Prev = slotVal{Slot: prev.Slot, Val: pv}
+			req.Prev = SlotVal{Slot: prev.Slot, Val: pv}
 		}
 	}
 	ok, refused := n.acceptPhase(inst, lease.ballot, req)
@@ -641,7 +662,7 @@ func (n *Node) fastRound(inst *Instance, v int64) (int64, bool) {
 // acceptPhase runs one accept quorum round at the given ballot (caller
 // holds opMu and has already chosen the value per the adoption rule).
 // refused reports whether failure was a NACK (vs. a deadline).
-func (n *Node) acceptPhase(inst *Instance, ballot int64, req acceptReq) (ok, refused bool) {
+func (n *Node) acceptPhase(inst *Instance, ballot int64, req AcceptReq) (ok, refused bool) {
 	n.drainStale()
 	need := inst.Scope.Count()/2 + 1
 	clear(n.dedup)
@@ -657,7 +678,7 @@ func (n *Node) acceptPhase(inst *Instance, ballot int64, req acceptReq) (ok, ref
 		}
 		n.dedup[n.p] = true
 	}
-	n.toPeers(inst.Scope, "accept", req)
+	n.toPeers(inst.Scope, wire.TPaxAccept, req)
 	deadline := time.After(n.cfg.PhaseDeadline)
 	for len(n.dedup) < need {
 		select {
@@ -665,8 +686,8 @@ func (n *Node) acceptPhase(inst *Instance, ballot int64, req acceptReq) (ok, ref
 			if !open {
 				return false, false
 			}
-			r, isResp := pkt.Body.(acceptResp)
-			if !isResp || r.Inst != inst.ID || r.Ballot != ballot || n.dedup[pkt.From] {
+			r, isResp := pkt.Body.(AcceptResp)
+			if pkt.Type != wire.TPaxAcceptResp || !isResp || r.Inst != inst.ID || r.Ballot != ballot || n.dedup[pkt.From] {
 				continue
 			}
 			if r.Decided {
@@ -700,17 +721,17 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 	// Phase 1: prepare. Responses are deduplicated by acceptor: over an
 	// adversarial fabric a packet may be duplicated, and counting the same
 	// acceptor twice would fake a quorum and break intersection.
-	req := prepareReq{Inst: inst.ID, Ballot: ballot, Range: acquire}
+	req := PrepareReq{Inst: inst.ID, Ballot: ballot, Range: acquire}
 	clear(n.dedup)
-	var best acceptedVal
-	var rangeAdopt map[int64]acceptedVal
-	mergeRange := func(vals []slotVal) {
+	var best AcceptedVal
+	var rangeAdopt map[int64]AcceptedVal
+	mergeRange := func(vals []SlotVal) {
 		for _, sv := range vals {
 			if rangeAdopt == nil {
-				rangeAdopt = make(map[int64]acceptedVal, len(vals))
+				rangeAdopt = make(map[int64]AcceptedVal, len(vals))
 			}
 			if cur, ok := rangeAdopt[sv.Slot]; !ok || sv.Ballot > cur.Ballot {
-				rangeAdopt[sv.Slot] = acceptedVal{Ballot: sv.Ballot, Val: sv.Val, Has: true}
+				rangeAdopt[sv.Slot] = AcceptedVal{Ballot: sv.Ballot, Val: sv.Val, Has: true}
 			}
 		}
 	}
@@ -729,7 +750,7 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 		mergeRange(r.Range)
 		n.dedup[n.p] = true
 	}
-	n.toPeers(inst.Scope, "prepare", req)
+	n.toPeers(inst.Scope, wire.TPaxPrepare, req)
 	deadline := time.After(n.cfg.PhaseDeadline)
 	for len(n.dedup) < need {
 		select {
@@ -737,8 +758,8 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 			if !open {
 				return 0, false
 			}
-			r, isResp := pkt.Body.(prepareResp)
-			if !isResp || r.Inst != inst.ID || r.Ballot != ballot || n.dedup[pkt.From] {
+			r, isResp := pkt.Body.(PrepareResp)
+			if pkt.Type != wire.TPaxPrepareResp || !isResp || r.Inst != inst.ID || r.Ballot != ballot || n.dedup[pkt.From] {
 				continue
 			}
 			if r.Decided {
@@ -764,7 +785,7 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 	}
 
 	// Phase 2: accept (deduplicated like phase 1).
-	ok, _ := n.acceptPhase(inst, ballot, acceptReq{Inst: inst.ID, Ballot: ballot, Val: val})
+	ok, _ := n.acceptPhase(inst, ballot, AcceptReq{Inst: inst.ID, Ballot: ballot, Val: val})
 	if !ok {
 		return 0, false
 	}
@@ -773,7 +794,7 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 		// the lease so subsequent slots elide phase 1. Adoption obligations
 		// for this slot are consumed here; the rest ride along.
 		if rangeAdopt == nil {
-			rangeAdopt = make(map[int64]acceptedVal)
+			rangeAdopt = make(map[int64]AcceptedVal)
 		}
 		delete(rangeAdopt, inst.ID.Slot)
 		n.leases[inst.ID.realm()] = &proposerLease{

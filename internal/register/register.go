@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/groups"
 	"repro/internal/net"
+	"repro/internal/wire"
 )
 
 // Quorums abstracts the Σ output: the quorum a process must hear from.
@@ -65,21 +66,21 @@ type replica struct {
 	store map[string]TaggedValue
 }
 
-type readReq struct {
+type ReadReq struct {
 	Reg string
 	Op  int64
 }
-type readResp struct {
+type ReadResp struct {
 	Reg string
 	Op  int64
 	Cur TaggedValue
 }
-type writeReq struct {
+type WriteReq struct {
 	Reg string
 	Op  int64
 	Val TaggedValue
 }
-type writeResp struct {
+type WriteResp struct {
 	Reg string
 	Op  int64
 }
@@ -89,19 +90,27 @@ type writeResp struct {
 func Serve(nw net.Transport, p groups.Process) {
 	r := &replica{store: make(map[string]TaggedValue)}
 	for pkt := range nw.Inbox(p) {
-		switch body := pkt.Body.(type) {
-		case readReq:
+		switch pkt.Type {
+		case wire.TRegRead:
+			body, ok := pkt.Body.(ReadReq)
+			if !ok {
+				continue
+			}
 			r.mu.Lock()
 			cur := r.store[body.Reg]
 			r.mu.Unlock()
-			nw.Send(p, pkt.From, "read-resp", readResp{Reg: body.Reg, Op: body.Op, Cur: cur})
-		case writeReq:
+			nw.Send(p, pkt.From, wire.TRegReadResp, ReadResp{Reg: body.Reg, Op: body.Op, Cur: cur})
+		case wire.TRegWrite:
+			body, ok := pkt.Body.(WriteReq)
+			if !ok {
+				continue
+			}
 			r.mu.Lock()
 			if cur := r.store[body.Reg]; cur.less(body.Val) {
 				r.store[body.Reg] = body.Val
 			}
 			r.mu.Unlock()
-			nw.Send(p, pkt.From, "write-resp", writeResp{Reg: body.Reg, Op: body.Op})
+			nw.Send(p, pkt.From, wire.TRegWriteResp, WriteResp{Reg: body.Reg, Op: body.Op})
 		}
 	}
 }
@@ -122,7 +131,7 @@ type Client struct {
 }
 
 // NewClient builds the client of process p. The process must also run
-// Serve(nw, p) and route the "read-resp"/"write-resp" packets it receives
+// Serve(nw, p) and route the read/write response packets it receives
 // to the client with Dispatch — or, simpler, use Node below, which bundles
 // replica and client behind one inbox.
 func (r *Register) NewClient(p groups.Process, resp chan net.Packet) *Client {
@@ -139,8 +148,8 @@ const retransmitEvery = time.Millisecond
 // timer until the quorum is assembled — loss costs latency, never safety.
 // Responses are deduplicated by sender: a duplicated packet must not count
 // twice towards the quorum, or quorum intersection (the Σ argument) breaks.
-func (c *Client) phase(kind string, body any, match func(any) (TaggedValue, bool)) (TaggedValue, bool) {
-	c.reg.Net.Broadcast(c.p, c.reg.Scope, kind, body)
+func (c *Client) phase(t net.MsgType, body any, match func(any) (TaggedValue, bool)) (TaggedValue, bool) {
+	c.reg.Net.Broadcast(c.p, c.reg.Scope, t, body)
 	need := c.reg.Quorum.Size(c.p)
 	var max TaggedValue
 	replied := make(map[groups.Process]bool, need)
@@ -164,7 +173,7 @@ func (c *Client) phase(kind string, body any, match func(any) (TaggedValue, bool
 				return max, true
 			}
 		case <-resend.C:
-			c.reg.Net.Broadcast(c.p, c.reg.Scope, kind, body)
+			c.reg.Net.Broadcast(c.p, c.reg.Scope, t, body)
 		}
 	}
 }
@@ -176,8 +185,8 @@ func (c *Client) Read() (int64, bool) {
 	defer c.mu.Unlock()
 	c.ops++
 	op := c.ops
-	cur, ok := c.phase("read", readReq{Reg: c.reg.Name, Op: op}, func(b any) (TaggedValue, bool) {
-		if r, isResp := b.(readResp); isResp && r.Reg == c.reg.Name && r.Op == op {
+	cur, ok := c.phase(wire.TRegRead, ReadReq{Reg: c.reg.Name, Op: op}, func(b any) (TaggedValue, bool) {
+		if r, isResp := b.(ReadResp); isResp && r.Reg == c.reg.Name && r.Op == op {
 			return r.Cur, true
 		}
 		return TaggedValue{}, false
@@ -187,8 +196,8 @@ func (c *Client) Read() (int64, bool) {
 	}
 	c.ops++
 	op = c.ops
-	_, ok = c.phase("write", writeReq{Reg: c.reg.Name, Op: op, Val: cur}, func(b any) (TaggedValue, bool) {
-		if r, isResp := b.(writeResp); isResp && r.Reg == c.reg.Name && r.Op == op {
+	_, ok = c.phase(wire.TRegWrite, WriteReq{Reg: c.reg.Name, Op: op, Val: cur}, func(b any) (TaggedValue, bool) {
+		if r, isResp := b.(WriteResp); isResp && r.Reg == c.reg.Name && r.Op == op {
 			return TaggedValue{}, true
 		}
 		return TaggedValue{}, false
@@ -203,8 +212,8 @@ func (c *Client) Write(v int64) bool {
 	defer c.mu.Unlock()
 	c.ops++
 	op := c.ops
-	cur, ok := c.phase("read", readReq{Reg: c.reg.Name, Op: op}, func(b any) (TaggedValue, bool) {
-		if r, isResp := b.(readResp); isResp && r.Reg == c.reg.Name && r.Op == op {
+	cur, ok := c.phase(wire.TRegRead, ReadReq{Reg: c.reg.Name, Op: op}, func(b any) (TaggedValue, bool) {
+		if r, isResp := b.(ReadResp); isResp && r.Reg == c.reg.Name && r.Op == op {
 			return r.Cur, true
 		}
 		return TaggedValue{}, false
@@ -215,8 +224,8 @@ func (c *Client) Write(v int64) bool {
 	c.ops++
 	op = c.ops
 	next := TaggedValue{TS: cur.TS + 1, By: c.p, Val: v}
-	_, ok = c.phase("write", writeReq{Reg: c.reg.Name, Op: op, Val: next}, func(b any) (TaggedValue, bool) {
-		if r, isResp := b.(writeResp); isResp && r.Reg == c.reg.Name && r.Op == op {
+	_, ok = c.phase(wire.TRegWrite, WriteReq{Reg: c.reg.Name, Op: op, Val: next}, func(b any) (TaggedValue, bool) {
+		if r, isResp := b.(WriteResp); isResp && r.Reg == c.reg.Name && r.Op == op {
 			return TaggedValue{}, true
 		}
 		return TaggedValue{}, false
@@ -256,20 +265,28 @@ func (n *Node) loop() {
 	defer close(n.done)
 	defer close(n.resp) // unblock pending client phases at shutdown
 	for pkt := range n.nw.Inbox(n.p) {
-		switch body := pkt.Body.(type) {
-		case readReq:
+		switch pkt.Type {
+		case wire.TRegRead:
+			body, ok := pkt.Body.(ReadReq)
+			if !ok {
+				continue
+			}
 			n.rep.mu.Lock()
 			cur := n.rep.store[body.Reg]
 			n.rep.mu.Unlock()
-			n.nw.Send(n.p, pkt.From, "read-resp", readResp{Reg: body.Reg, Op: body.Op, Cur: cur})
-		case writeReq:
+			n.nw.Send(n.p, pkt.From, wire.TRegReadResp, ReadResp{Reg: body.Reg, Op: body.Op, Cur: cur})
+		case wire.TRegWrite:
+			body, ok := pkt.Body.(WriteReq)
+			if !ok {
+				continue
+			}
 			n.rep.mu.Lock()
 			if cur := n.rep.store[body.Reg]; cur.less(body.Val) {
 				n.rep.store[body.Reg] = body.Val
 			}
 			n.rep.mu.Unlock()
-			n.nw.Send(n.p, pkt.From, "write-resp", writeResp{Reg: body.Reg, Op: body.Op})
-		case readResp, writeResp:
+			n.nw.Send(n.p, pkt.From, wire.TRegWriteResp, WriteResp{Reg: body.Reg, Op: body.Op})
+		case wire.TRegReadResp, wire.TRegWriteResp:
 			select {
 			case n.resp <- pkt:
 			default:

@@ -1,0 +1,119 @@
+package register
+
+import (
+	"repro/internal/groups"
+	"repro/internal/wire"
+)
+
+// Wire codecs for the four ABD message bodies. The register name travels as
+// a length-prefixed string — register names are free-form keys (ofcons mints
+// one per round), so unlike process IDs they cannot be squeezed to a byte.
+
+func encTagged(e *wire.Enc, v TaggedValue) {
+	e.I64(v.TS)
+	e.I64(int64(v.By))
+	e.I64(v.Val)
+}
+
+func decTagged(d *wire.Dec) TaggedValue {
+	return TaggedValue{TS: d.I64(), By: groups.Process(d.I64()), Val: d.I64()}
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m ReadReq) MarshalBinary() ([]byte, error) {
+	var e wire.Enc
+	e.Str(m.Reg)
+	e.I64(m.Op)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *ReadReq) UnmarshalBinary(b []byte) error {
+	d := wire.NewDec(b)
+	m.Reg = d.Str()
+	m.Op = d.I64()
+	return d.Close()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m ReadResp) MarshalBinary() ([]byte, error) {
+	var e wire.Enc
+	e.Str(m.Reg)
+	e.I64(m.Op)
+	encTagged(&e, m.Cur)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *ReadResp) UnmarshalBinary(b []byte) error {
+	d := wire.NewDec(b)
+	m.Reg = d.Str()
+	m.Op = d.I64()
+	m.Cur = decTagged(d)
+	return d.Close()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m WriteReq) MarshalBinary() ([]byte, error) {
+	var e wire.Enc
+	e.Str(m.Reg)
+	e.I64(m.Op)
+	encTagged(&e, m.Val)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *WriteReq) UnmarshalBinary(b []byte) error {
+	d := wire.NewDec(b)
+	m.Reg = d.Str()
+	m.Op = d.I64()
+	m.Val = decTagged(d)
+	return d.Close()
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (m WriteResp) MarshalBinary() ([]byte, error) {
+	var e wire.Enc
+	e.Str(m.Reg)
+	e.I64(m.Op)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *WriteResp) UnmarshalBinary(b []byte) error {
+	d := wire.NewDec(b)
+	m.Reg = d.Str()
+	m.Op = d.I64()
+	return d.Close()
+}
+
+func init() {
+	wire.Register(wire.TRegRead, "register.ReadReq", func(b []byte) (any, error) {
+		var m ReadReq
+		if err := m.UnmarshalBinary(b); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+	wire.Register(wire.TRegReadResp, "register.ReadResp", func(b []byte) (any, error) {
+		var m ReadResp
+		if err := m.UnmarshalBinary(b); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+	wire.Register(wire.TRegWrite, "register.WriteReq", func(b []byte) (any, error) {
+		var m WriteReq
+		if err := m.UnmarshalBinary(b); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+	wire.Register(wire.TRegWriteResp, "register.WriteResp", func(b []byte) (any, error) {
+		var m WriteResp
+		if err := m.UnmarshalBinary(b); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+}

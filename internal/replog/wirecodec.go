@@ -1,0 +1,45 @@
+package replog
+
+import (
+	"repro/internal/logobj"
+	"repro/internal/wire"
+)
+
+// Varint wire codec for Op. The bit-packed int64 form (encode/decode in
+// replog.go) stays as the consensus value — paxos decides int64s — but that
+// packing caps message ids at 2^16 and groups at 2^8. On the wire the
+// operation is a first-class frame body with varint fields, so any
+// registered datum round-trips regardless of those caps.
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (o Op) MarshalBinary() ([]byte, error) {
+	var e wire.Enc
+	e.I64(int64(o.Kind))
+	logobj.EncodeDatum(&e, o.Datum)
+	e.I64(int64(o.K))
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (o *Op) UnmarshalBinary(b []byte) error {
+	d := wire.NewDec(b)
+	o.Kind = opKind(d.I64())
+	o.Datum = logobj.DecodeDatum(d)
+	o.K = int(d.I64())
+	switch o.Kind {
+	case opAppend, opBumpAndLock:
+	default:
+		d.Failf("replog: bad op kind %d", o.Kind)
+	}
+	return d.Close()
+}
+
+func init() {
+	wire.Register(wire.TReplogOp, "replog.Op", func(b []byte) (any, error) {
+		var o Op
+		if err := o.UnmarshalBinary(b); err != nil {
+			return nil, err
+		}
+		return o, nil
+	})
+}
