@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// microGate compares candidate micro-benchmark output to the baseline and
+// reports whether any gate failed.
+func microGate(w io.Writer, oldPath, newPath string, alpha, ratioMax float64) (failed bool, err error) {
+	if oldPath == "" || newPath == "" {
+		return false, fmt.Errorf("micro: -old and -new are required")
+	}
+	old, err := parseBench(oldPath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := parseBench(newPath)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(w, "%-40s %12s %12s %8s %8s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "p", "verdict")
+	for _, name := range sortedNames(old, cur) {
+		o, n := old[name], cur[name]
+		switch {
+		case o == nil:
+			fmt.Fprintf(w, "%-40s %12s %12.1f %8s %8s  new (no baseline)\n",
+				name, "-", median(n.NsPerOp), "-", "-")
+			continue
+		case n == nil:
+			fmt.Fprintf(w, "%-40s %12.1f %12s %8s %8s  missing from candidate\n",
+				name, median(o.NsPerOp), "-", "-", "-")
+			failed = true
+			continue
+		}
+		om, nm := median(o.NsPerOp), median(n.NsPerOp)
+		ratio := nm / om
+		p := mannWhitneyP(o.NsPerOp, n.NsPerOp)
+		verdict := "ok"
+		// ns/op: fail only on significant AND large. With too few
+		// repetitions for the test (either side < 3), the ratio alone
+		// gates — there is no significance to lean on.
+		small := len(o.NsPerOp) < 3 || len(n.NsPerOp) < 3
+		if ratio > ratioMax && (small || p < alpha) {
+			verdict = fmt.Sprintf("FAIL: %.2fx slower (p=%.3f)", ratio, p)
+			failed = true
+		}
+		// allocs/op: machine-independent, any growth fails.
+		if oa, ok := o.maxAllocs(); ok {
+			if na, ok2 := n.maxAllocs(); ok2 && na > oa {
+				verdict = fmt.Sprintf("FAIL: allocs/op %d -> %d", oa, na)
+				failed = true
+			}
+		}
+		fmt.Fprintf(w, "%-40s %12.1f %12.1f %8.2f %8.3f  %s\n", name, om, nm, ratio, p, verdict)
+	}
+	return failed, nil
+}
+
+// liveRowKey identifies a benchtab live row across documents.
+type liveRowKey struct {
+	Processes int    `json:"processes"`
+	Groups    int    `json:"groups"`
+	Transport string `json:"transport"`
+	ChaosSeed int64  `json:"chaos_seed"`
+}
+
+// liveRow is the subset of a benchtab live row the gate reads.
+type liveRow struct {
+	liveRowKey
+	DeliveriesPerSec   float64 `json:"deliveries_per_sec"`
+	PacketsPerDelivery float64 `json:"packets_per_delivery"`
+}
+
+type liveDoc struct {
+	Version int       `json:"version"`
+	Runs    []liveRow `json:"runs"`
+}
+
+func loadLive(path string) (*liveDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d liveDoc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(d.Runs) == 0 {
+		return nil, fmt.Errorf("%s: no runs", path)
+	}
+	return &d, nil
+}
+
+// liveGate compares a fresh benchtab live document against a baseline.
+// Only chaos-free rows gate; packets/delivery is the protocol-cost check
+// and deliveries/sec the catastrophic-throughput floor.
+func liveGate(w io.Writer, oldPath, newPath string, pktsSlack, dlvFloor float64) (failed bool, err error) {
+	if oldPath == "" || newPath == "" {
+		return false, fmt.Errorf("live: -old and -new are required")
+	}
+	old, err := loadLive(oldPath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := loadLive(newPath)
+	if err != nil {
+		return false, err
+	}
+	if old.Version != cur.Version {
+		return false, fmt.Errorf("schema version mismatch: baseline v%d vs candidate v%d — regenerate the baseline, cross-schema rows are not comparable", old.Version, cur.Version)
+	}
+	base := make(map[liveRowKey]liveRow, len(old.Runs))
+	for _, r := range old.Runs {
+		base[r.liveRowKey] = r
+	}
+	fmt.Fprintf(w, "%-28s %22s %18s  %s\n", "row", "pkts/dlv old->new", "dlv/sec old->new", "verdict")
+	matched := 0
+	for _, r := range cur.Runs {
+		b, ok := base[r.liveRowKey]
+		label := fmt.Sprintf("n=%d k=%d %s seed=%d", r.Processes, r.Groups, r.Transport, r.ChaosSeed)
+		if !ok {
+			fmt.Fprintf(w, "%-28s %22s %18s  new row (no baseline)\n", label, "-", "-")
+			continue
+		}
+		matched++
+		verdict := "ok"
+		if r.ChaosSeed != 0 {
+			verdict = "info (chaos row, not gated)"
+		} else {
+			if b.PacketsPerDelivery > 0 && r.PacketsPerDelivery > b.PacketsPerDelivery*pktsSlack {
+				verdict = fmt.Sprintf("FAIL: packets/delivery %.1f > %.2fx baseline", r.PacketsPerDelivery, pktsSlack)
+				failed = true
+			}
+			if b.DeliveriesPerSec > 0 && r.DeliveriesPerSec < b.DeliveriesPerSec*dlvFloor {
+				verdict = fmt.Sprintf("FAIL: deliveries/sec %.0f < %.2fx baseline", r.DeliveriesPerSec, dlvFloor)
+				failed = true
+			}
+		}
+		fmt.Fprintf(w, "%-28s %10.1f -> %8.1f %8.0f -> %6.0f  %s\n",
+			label, b.PacketsPerDelivery, r.PacketsPerDelivery,
+			b.DeliveriesPerSec, r.DeliveriesPerSec, verdict)
+	}
+	if matched == 0 {
+		return false, fmt.Errorf("no candidate row matches any baseline row")
+	}
+	return failed, nil
+}

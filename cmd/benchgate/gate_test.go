@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const benchOld = `goos: linux
+BenchmarkBatchCodec-8     1000    100.0 ns/op    48 B/op    2 allocs/op
+BenchmarkBatchCodec-8     1000    102.0 ns/op    48 B/op    2 allocs/op
+BenchmarkBatchCodec-8     1000     98.0 ns/op    48 B/op    2 allocs/op
+BenchmarkBatchCodec-8     1000    101.0 ns/op    48 B/op    2 allocs/op
+BenchmarkBatchCodec-8     1000     99.0 ns/op    48 B/op    2 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	bs, err := parseBench(writeTemp(t, "old.txt", benchOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bs["BenchmarkBatchCodec"]
+	if b == nil {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", bs)
+	}
+	if len(b.NsPerOp) != 5 {
+		t.Fatalf("got %d ns/op samples, want 5", len(b.NsPerOp))
+	}
+	if m, ok := b.maxAllocs(); !ok || m != 2 {
+		t.Fatalf("maxAllocs = %d, %v; want 2, true", m, ok)
+	}
+	if m := median(b.NsPerOp); m != 100.0 {
+		t.Fatalf("median = %v, want 100", m)
+	}
+}
+
+func TestParseBenchNoResults(t *testing.T) {
+	if _, err := parseBench(writeTemp(t, "empty.txt", "PASS\nok repro 0.1s\n")); err == nil {
+		t.Fatalf("expected error on a file with no benchmark lines")
+	}
+}
+
+func TestMannWhitney(t *testing.T) {
+	sep := mannWhitneyP(
+		[]float64{100, 101, 99, 102, 98},
+		[]float64{500, 510, 490, 505, 495})
+	if sep >= 0.05 {
+		t.Fatalf("clearly separated samples: p = %v, want < 0.05", sep)
+	}
+	same := mannWhitneyP(
+		[]float64{100, 101, 99, 102, 98},
+		[]float64{100, 101, 99, 102, 98})
+	if same < 0.5 {
+		t.Fatalf("identical samples: p = %v, want ~1", same)
+	}
+	if p := mannWhitneyP(nil, []float64{1}); p != 1 {
+		t.Fatalf("degenerate input: p = %v, want 1", p)
+	}
+	if p := mannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Fatalf("all tied: p = %v, want 1", p)
+	}
+}
+
+func TestMicroGatePasses(t *testing.T) {
+	// 10% noise-level drift: significant or not, it is below the ratio bar.
+	newer := strings.ReplaceAll(benchOld, "10", "11")
+	var out bytes.Buffer
+	failed, err := microGate(&out,
+		writeTemp(t, "old.txt", benchOld),
+		writeTemp(t, "new.txt", newer), 0.05, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("small drift failed the gate:\n%s", out.String())
+	}
+}
+
+func TestMicroGateCatchesBigSlowdown(t *testing.T) {
+	newer := strings.ReplaceAll(benchOld, " 10", " 40") // ~4x slower
+	newer = strings.ReplaceAll(newer, " 98.0", " 397.0")
+	newer = strings.ReplaceAll(newer, " 99.0", " 399.0")
+	var out bytes.Buffer
+	failed, err := microGate(&out,
+		writeTemp(t, "old.txt", benchOld),
+		writeTemp(t, "new.txt", newer), 0.05, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("4x slowdown passed the gate:\n%s", out.String())
+	}
+}
+
+func TestMicroGateCatchesAllocGrowth(t *testing.T) {
+	newer := strings.ReplaceAll(benchOld, "2 allocs/op", "3 allocs/op")
+	var out bytes.Buffer
+	failed, err := microGate(&out,
+		writeTemp(t, "old.txt", benchOld),
+		writeTemp(t, "new.txt", newer), 0.05, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("allocs/op growth passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op 2 -> 3") {
+		t.Fatalf("verdict does not name the alloc growth:\n%s", out.String())
+	}
+}
+
+func TestMicroGateMissingBenchmarkFails(t *testing.T) {
+	newer := benchOld + "BenchmarkCoalescedFlush-8 100 50.0 ns/op 0 B/op 0 allocs/op\n"
+	var out bytes.Buffer
+	// Benchmark present in baseline but gone from the candidate: fail.
+	failed, err := microGate(&out,
+		writeTemp(t, "old.txt", newer),
+		writeTemp(t, "new.txt", benchOld), 0.05, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("dropped benchmark passed the gate:\n%s", out.String())
+	}
+	// New benchmark with no baseline: informational only.
+	out.Reset()
+	failed, err = microGate(&out,
+		writeTemp(t, "old.txt", benchOld),
+		writeTemp(t, "new.txt", newer), 0.05, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("new benchmark without baseline failed the gate:\n%s", out.String())
+	}
+}
+
+const liveBase = `{"version": 3, "runs": [
+  {"processes": 3, "groups": 2, "transport": "mem", "chaos_seed": 0,
+   "deliveries_per_sec": 8000, "packets_per_delivery": 10.5},
+  {"processes": 3, "groups": 2, "transport": "mem", "chaos_seed": 42,
+   "deliveries_per_sec": 900, "packets_per_delivery": 30.0}
+]}`
+
+func TestLiveGatePasses(t *testing.T) {
+	cand := strings.ReplaceAll(liveBase, "8000", "7500")
+	var out bytes.Buffer
+	failed, err := liveGate(&out,
+		writeTemp(t, "old.json", liveBase),
+		writeTemp(t, "new.json", cand), 1.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("in-bounds run failed the gate:\n%s", out.String())
+	}
+}
+
+func TestLiveGateCatchesPacketBlowup(t *testing.T) {
+	cand := strings.Replace(liveBase, "10.5", "20.0", 1)
+	var out bytes.Buffer
+	failed, err := liveGate(&out,
+		writeTemp(t, "old.json", liveBase),
+		writeTemp(t, "new.json", cand), 1.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("packets/delivery blowup passed the gate:\n%s", out.String())
+	}
+}
+
+func TestLiveGateCatchesThroughputCollapse(t *testing.T) {
+	cand := strings.ReplaceAll(liveBase, "8000", "1000")
+	var out bytes.Buffer
+	failed, err := liveGate(&out,
+		writeTemp(t, "old.json", liveBase),
+		writeTemp(t, "new.json", cand), 1.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("throughput collapse passed the gate:\n%s", out.String())
+	}
+}
+
+func TestLiveGateIgnoresChaosRows(t *testing.T) {
+	// Nemesis rows may swing wildly without gating.
+	cand := strings.ReplaceAll(liveBase, `"deliveries_per_sec": 900`, `"deliveries_per_sec": 5`)
+	cand = strings.Replace(cand, "30.0", "300.0", 1)
+	var out bytes.Buffer
+	failed, err := liveGate(&out,
+		writeTemp(t, "old.json", liveBase),
+		writeTemp(t, "new.json", cand), 1.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("chaos-row swing failed the gate:\n%s", out.String())
+	}
+}
+
+func TestLiveGateRejectsCrossVersion(t *testing.T) {
+	cand := strings.Replace(liveBase, `"version": 3`, `"version": 2`, 1)
+	var out bytes.Buffer
+	if _, err := liveGate(&out,
+		writeTemp(t, "old.json", liveBase),
+		writeTemp(t, "new.json", cand), 1.25, 0.25); err == nil {
+		t.Fatalf("cross-schema comparison was not rejected")
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// bench is the sample set of one benchmark across -count repetitions.
+type bench struct {
+	NsPerOp  []float64 // one per repetition
+	AllocsOp []int64   // one per repetition (present only with -benchmem)
+}
+
+// benchLine matches one result line of `go test -bench` output. The
+// -GOMAXPROCS suffix is stripped so baselines survive core-count changes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op(.*)$`)
+
+// parseBench reads `go test -bench` output into per-benchmark sample sets.
+// Lines that are not benchmark results (package headers, PASS, custom
+// log output) are ignored.
+func parseBench(path string) (map[string]*bench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*bench)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		b := out[m[1]]
+		if b == nil {
+			b = &bench{}
+			out[m[1]] = b
+		}
+		b.NsPerOp = append(b.NsPerOp, ns)
+		// The tail holds "value unit" pairs (B/op, allocs/op, and any
+		// custom testing.B metrics); pick allocs/op when present.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			if fields[i+1] == "allocs/op" {
+				if n, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+					b.AllocsOp = append(b.AllocsOp, n)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines", path)
+	}
+	return out, nil
+}
+
+// maxAllocs is the worst allocs/op over the repetitions (allocs are
+// deterministic per run; the max guards against a flaky low outlier
+// hiding a growth).
+func (b *bench) maxAllocs() (int64, bool) {
+	if len(b.AllocsOp) == 0 {
+		return 0, false
+	}
+	m := b.AllocsOp[0]
+	for _, v := range b.AllocsOp[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m, true
+}
+
+// sortedNames returns the union of benchmark names in deterministic order.
+func sortedNames(a, b map[string]*bench) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for n := range a {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for n := range b {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

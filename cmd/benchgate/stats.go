@@ -1,0 +1,82 @@
+package main
+
+import (
+	"math"
+	"sort"
+)
+
+// median returns the sample median.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitneyP returns the two-sided p-value of the Mann-Whitney U test for
+// samples a vs b, via the normal approximation with tie correction and a
+// 0.5 continuity correction. For the tiny n CI uses (3-10 repetitions) the
+// approximation is coarse, which is fine: the gate also requires a large
+// median ratio, so the p-value is a noise screen, not a precision
+// instrument. Degenerate inputs (empty samples, all values tied) return 1 —
+// never significant.
+func mannWhitneyP(a, b []float64) float64 {
+	na, nb := len(a), len(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	type obs struct {
+		v    float64
+		from int // 0 = a, 1 = b
+	}
+	all := make([]obs, 0, na+nb)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks, accumulating the tie-correction term Σ(t³-t).
+	n := na + nb
+	ranks := make([]float64, n)
+	var tieSum float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieSum += t*t*t - t
+		i = j
+	}
+	var ra float64
+	for i, o := range all {
+		if o.from == 0 {
+			ra += ranks[i]
+		}
+	}
+	u := ra - float64(na*(na+1))/2
+	mu := float64(na) * float64(nb) / 2
+	nn := float64(n)
+	variance := float64(na) * float64(nb) / 12 * ((nn + 1) - tieSum/(nn*(nn-1)))
+	if variance <= 0 {
+		return 1 // every observation tied
+	}
+	z := (math.Abs(u-mu) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	return math.Erfc(z / math.Sqrt2) // 2 * (1 - Φ(z))
+}

@@ -20,8 +20,12 @@ import (
 // row or document shape changes meaning; the -baseline delta mode refuses
 // to diff documents from a different version (silently comparing mismatched
 // shapes produced plausible-looking nonsense). Version 2 added the schema
-// field itself, the transport column, and wire-level byte counts.
-const benchSchemaVersion = 2
+// field itself, the transport column, and wire-level byte counts. Version 3
+// made deliveries/sec a first-class column and added the batching pipeline's
+// shape (ops/batch, window depth peak, frames/flush, write drops) — and the
+// default load changed from a paced open loop to an unthrottled burst, so
+// v2 latency numbers are not comparable.
+const benchSchemaVersion = 3
 
 // liveRow is one measured configuration of the live bench — a row of
 // BENCH_live.json.
@@ -37,14 +41,24 @@ type liveRow struct {
 	P99Ms              float64 `json:"p99_ms"`
 	MaxMs              float64 `json:"max_ms"`
 	MsgsPerSec         float64 `json:"msgs_per_sec"`
+	DeliveriesPerSec   float64 `json:"deliveries_per_sec"`
 	Packets            int64   `json:"packets"`
 	PacketsPerDelivery float64 `json:"packets_per_delivery"`
 	ChaosInjections    uint64  `json:"chaos_injections,omitempty"`
 	WallMs             float64 `json:"wall_ms"`
-	// Wire traffic (tcp transport only): real encoded bytes on the socket.
-	WireBytesOut   int64 `json:"wire_bytes_out,omitempty"`
-	WireFramesOut  int64 `json:"wire_frames_out,omitempty"`
-	WireReconnects int64 `json:"wire_reconnects,omitempty"`
+	// Batching pipeline shape: mean ops per proposed replog batch and the
+	// peak number of outstanding windowed accept rounds in any realm.
+	AvgBatchOps     float64 `json:"avg_batch_ops"`
+	WindowDepthPeak int64   `json:"window_depth_peak"`
+	FwdOps          int64   `json:"fwd_ops,omitempty"`
+	RemoteOps       int64   `json:"remote_ops,omitempty"`
+	// Wire traffic (tcp transport only): real encoded bytes on the socket,
+	// the write loops' coalescing factor, and frames lost to failed flushes.
+	WireBytesOut   int64   `json:"wire_bytes_out,omitempty"`
+	WireFramesOut  int64   `json:"wire_frames_out,omitempty"`
+	WireReconnects int64   `json:"wire_reconnects,omitempty"`
+	FramesPerFlush float64 `json:"frames_per_flush,omitempty"`
+	WireWriteDrops int64   `json:"wire_write_drops,omitempty"`
 }
 
 // liveDoc is the BENCH_live.json document.
@@ -73,10 +87,13 @@ func chainTopo(n int) (*groups.Topology, error) {
 }
 
 // liveRun drives one configuration: msgs multicasts round-robin across the
-// chain's groups, paced to approximate an open load, then a full-delivery
-// drain. seed != 0 wraps the transport in the nemesis with a mild fault mix
-// (faults are lifted before the drain so liveness only depends on the
-// protocol, not on the schedule being kind).
+// chain's groups with the sender rotating through each group's members,
+// then a full-delivery drain. pace == 0 is the default unthrottled burst —
+// the load that exercises the replog batching and the accept window; pace
+// > 0 approximates an open load at that interval (-rate). seed != 0 wraps
+// the transport in the nemesis with a mild fault mix (faults are lifted
+// before the drain so liveness only depends on the protocol, not on the
+// schedule being kind).
 func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string) (obs.RunReport, error) {
 	topo, err := chainTopo(n)
 	if err != nil {
@@ -115,8 +132,13 @@ func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string) 
 	k := topo.NumGroups()
 	for i := 0; i < msgs; i++ {
 		g := i % k
-		sys.Multicast(groups.Process(2*g), groups.GroupID(g), nil)
-		time.Sleep(pace)
+		// Rotate the sender through the group's three members so submit
+		// load spreads instead of serialising behind one process's loop.
+		sender := groups.Process(2*g + (i/k)%3)
+		sys.Multicast(sender, groups.GroupID(g), nil)
+		if pace > 0 {
+			time.Sleep(pace)
+		}
 	}
 	if c != nil {
 		c.SetFaults(chaos.Faults{})
@@ -134,18 +156,27 @@ func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string) 
 // liveBench measures the replicated substrate across topology sizes and
 // chaos seeds and prints the table; jsonPath != "" also writes the rows as
 // the BENCH_live.json document, and baselinePath != "" loads a prior
-// document and prints per-topology deltas against it.
-func liveBench(short bool, jsonPath, baselinePath, transport string) error {
+// document and prints per-topology deltas against it. rate > 0 throttles
+// the load to that many multicasts/sec (the open-loop mode; 0 bursts);
+// count > 0 overrides the per-run message count.
+func liveBench(short bool, jsonPath, baselinePath, transport string, rate float64, count int) error {
 	sizes := []int{3, 5, 7}
 	seeds := []int64{0, 3}
-	msgs, pace := 48, 2*time.Millisecond
+	msgs := 48
 	if short {
 		sizes = []int{3, 5}
 		msgs = 16
 	}
+	if count > 0 {
+		msgs = count
+	}
+	var pace time.Duration
+	if rate > 0 {
+		pace = time.Duration(float64(time.Second) / rate)
+	}
 	header(fmt.Sprintf("Live substrate — wall-clock cost of Algorithm 1 over chain topologies (%s transport)", transport))
-	fmt.Printf("%4s %3s %6s | %5s | %9s %9s | %9s | %9s\n",
-		"n", "k", "seed", "msgs", "p50 ms", "p99 ms", "msgs/sec", "pkts/dlv")
+	fmt.Printf("%4s %3s %6s | %5s | %9s %9s | %9s %9s | %9s %9s\n",
+		"n", "k", "seed", "msgs", "p50 ms", "p99 ms", "dlv/sec", "pkts/dlv", "ops/batch", "win peak")
 	doc := liveDoc{Version: benchSchemaVersion, Generated: time.Now().UTC().Format(time.RFC3339), Short: short}
 	for _, n := range sizes {
 		for _, seed := range seeds {
@@ -170,6 +201,7 @@ func liveBench(short bool, jsonPath, baselinePath, transport string) error {
 			}
 			if rep.Wall > 0 {
 				row.MsgsPerSec = float64(rep.Multicasts) / rep.Wall.Seconds()
+				row.DeliveriesPerSec = float64(rep.Deliveries) / rep.Wall.Seconds()
 			}
 			if rep.Net != nil {
 				row.Packets = rep.Net.Packets
@@ -178,20 +210,33 @@ func liveBench(short bool, jsonPath, baselinePath, transport string) error {
 				row.PacketsPerDelivery = ppd
 			}
 			row.ChaosInjections = rep.Chaos.Injections()
+			row.AvgBatchOps = rep.Replog.MeanBatchOps()
+			if rep.Replog != nil {
+				row.FwdOps = rep.Replog.FwdOps
+				row.RemoteOps = rep.Replog.RemoteOps
+			}
+			if rep.Paxos != nil {
+				row.WindowDepthPeak = rep.Paxos.WindowDepthPeak
+			}
 			if rep.Wire != nil {
 				row.WireBytesOut = rep.Wire.BytesOut
 				row.WireFramesOut = rep.Wire.FramesEncoded
 				row.WireReconnects = rep.Wire.Reconnects
+				row.FramesPerFlush = rep.Wire.FramesPerFlush()
+				row.WireWriteDrops = rep.Wire.WriteDrops
 			}
 			doc.Runs = append(doc.Runs, row)
-			fmt.Printf("%4d %3d %6d | %5d | %9.2f %9.2f | %9.1f | %9.1f\n",
+			fmt.Printf("%4d %3d %6d | %5d | %9.2f %9.2f | %9.1f %9.1f | %9.1f %9d\n",
 				row.Processes, row.Groups, seed, row.Multicasts,
-				row.P50Ms, row.P99Ms, row.MsgsPerSec, row.PacketsPerDelivery)
+				row.P50Ms, row.P99Ms, row.DeliveriesPerSec, row.PacketsPerDelivery,
+				row.AvgBatchOps, row.WindowDepthPeak)
 		}
 	}
 	fmt.Println("\nshape: latency and wire traffic grow with the chain because neighbouring")
 	fmt.Println("groups share pair logs; a seeded nemesis adds retransmission work (visible")
-	fmt.Println("in pkts/dlv) without moving the median much — indulgence, measured.")
+	fmt.Println("in pkts/dlv) without moving the median much — indulgence, measured. The")
+	fmt.Println("burst load keeps the replog batcher and the accept window busy (ops/batch,")
+	fmt.Println("win peak); -rate throttles back to an open load.")
 	if baselinePath != "" {
 		if err := printBaselineDeltas(baselinePath, doc.Runs); err != nil {
 			return err
@@ -245,9 +290,9 @@ func printBaselineDeltas(path string, fresh []liveRow) error {
 		}
 		return fmt.Sprintf("%+6.1f%%", 100*(now-was)/was)
 	}
-	header(fmt.Sprintf("Delta vs baseline %s (negative = better)", path))
-	fmt.Printf("%4s %6s | %9s → %9s %7s | %9s → %9s %7s | %8s → %8s %7s\n",
-		"n", "seed", "p50 was", "p50 now", "Δ", "p99 was", "p99 now", "Δ", "pkts was", "pkts now", "Δ")
+	header(fmt.Sprintf("Delta vs baseline %s (negative = better, except dlv/s)", path))
+	fmt.Printf("%4s %6s | %9s → %9s %7s | %8s → %8s %7s | %8s → %8s %7s\n",
+		"n", "seed", "p50 was", "p50 now", "Δ", "dlv/s was", "dlv/s now", "Δ", "pkts was", "pkts now", "Δ")
 	matched := 0
 	for _, r := range fresh {
 		was, ok := old[rowKey{r.Processes, r.Transport, r.ChaosSeed}]
@@ -256,10 +301,10 @@ func printBaselineDeltas(path string, fresh []liveRow) error {
 			continue
 		}
 		matched++
-		fmt.Printf("%4d %6d | %9.2f → %9.2f %7s | %9.2f → %9.2f %7s | %8.1f → %8.1f %7s\n",
+		fmt.Printf("%4d %6d | %9.2f → %9.2f %7s | %8.1f → %8.1f %7s | %8.1f → %8.1f %7s\n",
 			r.Processes, r.ChaosSeed,
 			was.P50Ms, r.P50Ms, pct(r.P50Ms, was.P50Ms),
-			was.P99Ms, r.P99Ms, pct(r.P99Ms, was.P99Ms),
+			was.DeliveriesPerSec, r.DeliveriesPerSec, pct(r.DeliveriesPerSec, was.DeliveriesPerSec),
 			was.PacketsPerDelivery, r.PacketsPerDelivery, pct(r.PacketsPerDelivery, was.PacketsPerDelivery))
 	}
 	if matched == 0 {

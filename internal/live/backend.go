@@ -90,6 +90,9 @@ func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Tran
 			continue
 		}
 		b.nodes[p] = paxos.StartNodeWithConfig(nw, groups.Process(p), pcfg)
+		// Even a node that never hosts a replog replica must answer
+		// misdirected op forwards with a NACK (see replog.AttachForwarding).
+		replog.AttachForwarding(b.nodes[p], groups.Process(p), nw)
 	}
 	return b
 }
@@ -262,8 +265,8 @@ type liveCons struct {
 }
 
 func (c *liveCons) Propose(ctx *engine.Ctx, v int) int {
-	if got, ok := c.node.Propose(c.ins, int64(v)); ok {
-		return int(got)
+	if got, ok := c.node.Propose(c.ins, paxos.I64Value(int64(v))); ok {
+		return int(got.I64())
 	}
 	return v // shutdown: the value is never observed (trace is frozen)
 }

@@ -120,6 +120,16 @@ func (s *System) owns(p groups.Process) bool {
 
 // Start launches the ticker and one stepping goroutine per owned process.
 func (s *System) Start() {
+	// A crash scheduled at tick 0 means failed-from-the-beginning: enact it
+	// before any stepper runs. Waiting for the first clock tick would give
+	// the process ~TickEvery of life — enough for the batched hot path to
+	// commit a whole run before the "initial" crash lands.
+	for p := 0; p < s.Topo.NumProcesses(); p++ {
+		pp := groups.Process(p)
+		if ct := s.Pat.CrashTime(pp); ct != failure.Never && ct <= 0 {
+			s.Net.Crash(pp)
+		}
+	}
 	s.wg.Add(1)
 	go s.runClock()
 	for p := range s.Nodes {

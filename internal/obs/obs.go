@@ -346,6 +346,9 @@ type PaxosCounters struct {
 	RoundFailures     atomic.Int64
 	FastRounds        atomic.Int64
 	FastRoundFailures atomic.Int64
+	WindowRounds      atomic.Int64
+	WindowFailures    atomic.Int64
+	WindowDepthPeak   atomic.Int64
 	LeasesAcquired    atomic.Int64
 	LeasesLost        atomic.Int64
 	Decisions         atomic.Int64
@@ -404,6 +407,35 @@ func (c *PaxosCounters) IncFastRoundFailure() {
 	}
 }
 
+// IncWindowRound counts one windowed (pipelined) accept round fired.
+func (c *PaxosCounters) IncWindowRound() {
+	if c != nil {
+		c.WindowRounds.Add(1)
+	}
+}
+
+// IncWindowRoundFailure counts one windowed round that ended without a
+// decision (deadline or NACK) — a potential hole the caller repairs.
+func (c *PaxosCounters) IncWindowRoundFailure() {
+	if c != nil {
+		c.WindowFailures.Add(1)
+	}
+}
+
+// NoteWindowDepth records the observed outstanding-round depth of one
+// realm, keeping the run's peak.
+func (c *PaxosCounters) NoteWindowDepth(d int64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.WindowDepthPeak.Load()
+		if d <= cur || c.WindowDepthPeak.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
 // IncLeaseAcquired counts one range prepare installing a proposer lease.
 func (c *PaxosCounters) IncLeaseAcquired() {
 	if c != nil {
@@ -432,10 +464,26 @@ func (c *PaxosCounters) IncRespStale() {
 	}
 }
 
-// ReplogCounters count the replicated-log substrate's work.
+// ReplogCounters count the replicated-log substrate's work. Batches are
+// consensus slots proposed by the batching submit loop; BatchedOps is the
+// total operations those slots carried (BatchedOps/Batches is the mean
+// batch size, the lever that amortises one accept round over many
+// multicasts).
 type ReplogCounters struct {
-	Applies atomic.Int64
-	Submits atomic.Int64
+	Applies    atomic.Int64
+	Submits    atomic.Int64
+	Batches    atomic.Int64
+	BatchedOps atomic.Int64
+	FwdOps     atomic.Int64
+	RemoteOps  atomic.Int64
+}
+
+// AddBatch counts one batch of n operations fired at a consensus slot.
+func (c *ReplogCounters) AddBatch(n int) {
+	if c != nil {
+		c.Batches.Add(1)
+		c.BatchedOps.Add(int64(n))
+	}
 }
 
 // IncApply counts one operation applied to a local replica.
@@ -449,6 +497,20 @@ func (c *ReplogCounters) IncApply() {
 func (c *ReplogCounters) IncSubmit() {
 	if c != nil {
 		c.Submits.Add(1)
+	}
+}
+
+// AddFwd counts n operations forwarded to a realm's leaseholder.
+func (c *ReplogCounters) AddFwd(n int) {
+	if c != nil {
+		c.FwdOps.Add(int64(n))
+	}
+}
+
+// AddRemote counts n forwarded operations accepted into the local batcher.
+func (c *ReplogCounters) AddRemote(n int) {
+	if c != nil {
+		c.RemoteOps.Add(int64(n))
 	}
 }
 
@@ -542,6 +604,17 @@ type WireCounters struct {
 	DecodeErrors  atomic.Int64
 	ShortReads    atomic.Int64
 	QueueDrops    atomic.Int64
+	// WriteDrops counts frames lost inside a write loop — a failed socket
+	// write or a redial discarding the in-flight frame. Send-side queue
+	// overflows are QueueDrops; without this counter, write-side losses
+	// were only visible as Reconnects and chaos bench rows could not
+	// attribute lost frames.
+	WriteDrops atomic.Int64
+	// Flushes/FlushedFrames count the write loops' coalescing: one flush
+	// is one syscall-level write of ≥1 queued frames. FlushedFrames/Flushes
+	// is the mean coalescing factor.
+	Flushes       atomic.Int64
+	FlushedFrames atomic.Int64
 }
 
 // Report snapshots the counters into a WireReport.
@@ -559,6 +632,9 @@ func (c *WireCounters) Report() *WireReport {
 		DecodeErrors:  c.DecodeErrors.Load(),
 		ShortReads:    c.ShortReads.Load(),
 		QueueDrops:    c.QueueDrops.Load(),
+		WriteDrops:    c.WriteDrops.Load(),
+		Flushes:       c.Flushes.Load(),
+		FlushedFrames: c.FlushedFrames.Load(),
 	}
 }
 

@@ -99,6 +99,18 @@ type WireReport struct {
 	DecodeErrors  int64 `json:"decode_errors"`
 	ShortReads    int64 `json:"short_reads"`
 	QueueDrops    int64 `json:"queue_drops"`
+	WriteDrops    int64 `json:"write_drops"`
+	Flushes       int64 `json:"flushes"`
+	FlushedFrames int64 `json:"flushed_frames"`
+}
+
+// FramesPerFlush is the mean write-coalescing factor (0 when the transport
+// never flushed, e.g. a single-process in-memory run).
+func (w *WireReport) FramesPerFlush() float64 {
+	if w == nil || w.Flushes == 0 {
+		return 0
+	}
+	return float64(w.FlushedFrames) / float64(w.Flushes)
 }
 
 // PaxosReport is the consensus substrate's work in a live run. Rounds are
@@ -113,6 +125,9 @@ type PaxosReport struct {
 	RoundFailures     int64 `json:"round_failures"`
 	FastRounds        int64 `json:"fast_rounds"`
 	FastRoundFailures int64 `json:"fast_round_failures"`
+	WindowRounds      int64 `json:"window_rounds"`
+	WindowFailures    int64 `json:"window_failures"`
+	WindowDepthPeak   int64 `json:"window_depth_peak"`
 	LeasesAcquired    int64 `json:"leases_acquired"`
 	LeasesLost        int64 `json:"leases_lost"`
 	Decisions         int64 `json:"decisions"`
@@ -123,8 +138,21 @@ type PaxosReport struct {
 
 // ReplogReport is the replicated-log substrate's work in a live run.
 type ReplogReport struct {
-	Applies int64 `json:"applies"`
-	Submits int64 `json:"submits"`
+	Applies    int64 `json:"applies"`
+	Submits    int64 `json:"submits"`
+	Batches    int64 `json:"batches"`
+	BatchedOps int64 `json:"batched_ops"`
+	FwdOps     int64 `json:"fwd_ops,omitempty"`
+	RemoteOps  int64 `json:"remote_ops,omitempty"`
+}
+
+// MeanBatchOps is the mean operations per proposed batch (0 when the run
+// proposed no batches).
+func (r *ReplogReport) MeanBatchOps() float64 {
+	if r == nil || r.Batches == 0 {
+		return 0
+	}
+	return float64(r.BatchedOps) / float64(r.Batches)
 }
 
 // ChaosReport mirrors the nemesis fault counters when the run's transport
@@ -233,6 +261,9 @@ func (r *Recorder) Report() RunReport {
 			RoundFailures:     r.paxos.RoundFailures.Load(),
 			FastRounds:        r.paxos.FastRounds.Load(),
 			FastRoundFailures: r.paxos.FastRoundFailures.Load(),
+			WindowRounds:      r.paxos.WindowRounds.Load(),
+			WindowFailures:    r.paxos.WindowFailures.Load(),
+			WindowDepthPeak:   r.paxos.WindowDepthPeak.Load(),
 			LeasesAcquired:    r.paxos.LeasesAcquired.Load(),
 			LeasesLost:        r.paxos.LeasesLost.Load(),
 			Decisions:         r.paxos.Decisions.Load(),
@@ -243,8 +274,12 @@ func (r *Recorder) Report() RunReport {
 	}
 	if v := r.replog.Applies.Load() + r.replog.Submits.Load(); v > 0 {
 		out.Replog = &ReplogReport{
-			Applies: r.replog.Applies.Load(),
-			Submits: r.replog.Submits.Load(),
+			Applies:    r.replog.Applies.Load(),
+			Submits:    r.replog.Submits.Load(),
+			Batches:    r.replog.Batches.Load(),
+			BatchedOps: r.replog.BatchedOps.Load(),
+			FwdOps:     r.replog.FwdOps.Load(),
+			RemoteOps:  r.replog.RemoteOps.Load(),
 		}
 	}
 	pairs := make([]Pair, 0, len(r.coord))
@@ -348,20 +383,30 @@ func (r *RunReport) String() string {
 		fmt.Fprintf(&b, "\n  wire: %d frames out (%d B), %d frames in (%d B), %d dials, %d reconnects",
 			r.Wire.FramesEncoded, r.Wire.BytesOut, r.Wire.FramesDecoded, r.Wire.BytesIn,
 			r.Wire.Dials, r.Wire.Reconnects)
-		if n := r.Wire.DecodeErrors + r.Wire.ShortReads + r.Wire.QueueDrops; n > 0 {
-			fmt.Fprintf(&b, " (%d decode errors, %d short reads, %d queue drops)",
-				r.Wire.DecodeErrors, r.Wire.ShortReads, r.Wire.QueueDrops)
+		if r.Wire.Flushes > 0 {
+			fmt.Fprintf(&b, "\n  wire flushes: %d (%.1f frames/flush)", r.Wire.Flushes, r.Wire.FramesPerFlush())
+		}
+		if n := r.Wire.DecodeErrors + r.Wire.ShortReads + r.Wire.QueueDrops + r.Wire.WriteDrops; n > 0 {
+			fmt.Fprintf(&b, " (%d decode errors, %d short reads, %d queue drops, %d write drops)",
+				r.Wire.DecodeErrors, r.Wire.ShortReads, r.Wire.QueueDrops, r.Wire.WriteDrops)
 		}
 	}
 	if r.Paxos != nil {
 		fmt.Fprintf(&b, "\n  paxos: %d proposals, %d rounds (%d failed), %d fast rounds (%d failed), %d decisions, %d probes",
 			r.Paxos.Proposals, r.Paxos.Rounds, r.Paxos.RoundFailures,
 			r.Paxos.FastRounds, r.Paxos.FastRoundFailures, r.Paxos.Decisions, r.Paxos.Probes)
+		if r.Paxos.WindowRounds > 0 {
+			fmt.Fprintf(&b, "\n  window: %d rounds (%d failed), depth peak %d",
+				r.Paxos.WindowRounds, r.Paxos.WindowFailures, r.Paxos.WindowDepthPeak)
+		}
 		fmt.Fprintf(&b, "\n  leases: %d acquired, %d lost; resp: %d dropped, %d stale",
 			r.Paxos.LeasesAcquired, r.Paxos.LeasesLost, r.Paxos.RespDrops, r.Paxos.RespStale)
 	}
 	if r.Replog != nil {
 		fmt.Fprintf(&b, "\n  replog: %d submits, %d applies", r.Replog.Submits, r.Replog.Applies)
+		if r.Replog.Batches > 0 {
+			fmt.Fprintf(&b, ", %d batches (%.1f ops/batch)", r.Replog.Batches, r.Replog.MeanBatchOps())
+		}
 	}
 	if r.Chaos != nil {
 		fmt.Fprintf(&b, "\n  chaos: %d injections (%d dup, %d delay, %d drop)",

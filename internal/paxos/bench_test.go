@@ -33,7 +33,7 @@ func BenchmarkAcceptRound(b *testing.B) {
 			Leader:     leader,
 			MultiPaxos: true,
 		}
-		if _, ok := nodes[0].Propose(inst, int64(i)); !ok {
+		if _, ok := nodes[0].Propose(inst, I64Value(int64(i))); !ok {
 			b.Fatalf("slot %d did not decide", i)
 		}
 	}

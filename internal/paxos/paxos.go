@@ -15,9 +15,22 @@
 // full round. The lease is purely a performance device: acceptors apply the
 // standard promise/accept rules (a range promise is just a promise for
 // every covered slot at once), so safety is exactly single-decree Paxos's.
+//
+// A leased realm additionally supports a *window* of outstanding accept
+// rounds (ProposeWindowed): the lease holder fires phase-2 rounds for
+// several consecutive slots without waiting for each to conclude, and the
+// node's message loop gathers quorums asynchronously. Decisions may land
+// out of slot order; callers (replog) track the decided prefix and apply in
+// order. Safety is untouched — every windowed round is an ordinary phase 2
+// under a completed phase 1 — with one extra obligation enforced here: at a
+// fixed (slot, ballot) the proposer must never send two different values,
+// so the first value fired at a slot under a lease is pinned until the slot
+// decides or the lease dies (see proposerLease.used).
 package paxos
 
 import (
+	"bytes"
+	"encoding/binary"
 	"sync"
 	"time"
 
@@ -29,6 +42,27 @@ import (
 
 // LeaderFunc is the Ω_g interface: the current leader sample at p.
 type LeaderFunc func(p groups.Process) groups.Process
+
+// Value is the opaque consensus value: an immutable byte string. Opaque
+// values let one slot carry structured payloads — the replog substrate
+// packs an entire batch of log operations into a single Value, so one
+// accept round commits many multicasts. Values must not be mutated after
+// being handed to the node (they are shared across goroutines and, over
+// the in-memory fabric, across processes).
+type Value []byte
+
+// I64Value encodes a signed integer as a Value (zigzag varint). The
+// inverse is Value.I64.
+func I64Value(v int64) Value { return Value(binary.AppendVarint(nil, v)) }
+
+// I64 decodes a Value produced by I64Value; malformed input yields 0.
+func (v Value) I64() int64 {
+	x, _ := binary.Varint(v)
+	return x
+}
+
+// Equal reports byte equality of two values.
+func (v Value) Equal(o Value) bool { return bytes.Equal(v, o) }
 
 // Instance-ID spaces used by this repository's substrates. Spaces partition
 // the instance universe so callers cannot collide; any caller may pick its
@@ -83,6 +117,9 @@ type Config struct {
 	// leader's decision between checks before it starts hedging rounds of
 	// its own.
 	NonLeaderWait time.Duration
+	// Window is the maximum number of outstanding windowed accept rounds
+	// per leased realm (ProposeWindowed). 1 degenerates to stop-and-wait.
+	Window int
 	// Counters, when non-nil, accumulates proposer/acceptor work for run
 	// reports. All methods are nil-safe, so the hot path stays branch-free.
 	Counters *obs.PaxosCounters
@@ -95,6 +132,7 @@ func DefaultConfig() Config {
 		BackoffBase:   100 * time.Microsecond,
 		Stagger:       137 * time.Microsecond,
 		NonLeaderWait: 200 * time.Microsecond,
+		Window:        8,
 	}
 }
 
@@ -112,6 +150,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NonLeaderWait <= 0 {
 		c.NonLeaderWait = d.NonLeaderWait
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
 	}
 	return c
 }
@@ -152,7 +193,7 @@ type leaseGrant struct {
 
 type AcceptedVal struct {
 	Ballot int64
-	Val    int64
+	Val    Value
 	Has    bool
 }
 
@@ -170,7 +211,7 @@ func (a *acceptor) floorLocked(inst InstanceID) int64 {
 type SlotVal struct {
 	Slot   int64
 	Ballot int64
-	Val    int64
+	Val    Value
 }
 
 type PrepareReq struct {
@@ -193,12 +234,12 @@ type PrepareResp struct {
 	// Decided short-circuits the round: the acceptor already knows the
 	// instance's decision and teaches it instead of duelling.
 	Decided bool
-	DecVal  int64
+	DecVal  Value
 }
 type AcceptReq struct {
 	Inst   InstanceID
 	Ballot int64
-	Val    int64
+	Val    Value
 	// PrevDecided piggybacks a recent decision of the same realm (in the
 	// steady state: the previous slot) so passive replicas learn it from
 	// the accept stream without waiting on a separate decide broadcast.
@@ -211,11 +252,11 @@ type AcceptResp struct {
 	OK       bool
 	Promised int64 // on refusal: the floor that beat us
 	Decided  bool
-	DecVal   int64
+	DecVal   Value
 }
 type DecideMsg struct {
 	Inst InstanceID
-	Val  int64
+	Val  Value
 }
 
 // LearnReq is the anti-entropy probe: "send me your decision for Inst if
@@ -232,6 +273,38 @@ type proposerLease struct {
 	ballot   int64
 	fromSlot int64
 	adopt    map[int64]AcceptedVal // slot → highest-ballot reported value
+	// used pins the value first fired at a slot under this lease. Phase 1
+	// is elided for leased slots, so a retry (after a deadline) that carried
+	// a *different* value at the same ballot could get both values accepted
+	// at one (slot, ballot) and decide them under distinct quorums — the
+	// one safety obligation the lease optimisation adds. Entries are
+	// cleared when the slot's decision is learnt; the whole map dies with
+	// the lease (a new lease means a new ballot, where phase 1 adoption
+	// re-establishes safety the standard way).
+	used map[int64]Value
+}
+
+// WindowResult is the completion of one windowed accept round. Exactly one
+// result is delivered per successful ProposeWindowed call: OK with the
+// decided value (ours, an adopted one, or a concurrently learnt decision),
+// or !OK when the round ended without a decision (deadline or NACK) — the
+// slot may then be a hole the caller must repair via Propose.
+type WindowResult struct {
+	Inst InstanceID
+	Val  Value
+	OK   bool
+}
+
+// winSlot is one outstanding windowed accept round, completed by the
+// node's message loop (quorum, NACK, foreign decision) or its timer.
+type winSlot struct {
+	inst   Instance
+	ballot int64
+	val    Value
+	acks   map[groups.Process]bool
+	need   int
+	res    chan<- WindowResult
+	timer  *time.Timer
 }
 
 // Node bundles the acceptor role and the proposer plumbing of one process.
@@ -244,15 +317,54 @@ type Node struct {
 	done chan struct{}
 
 	mu      sync.Mutex
-	decided map[InstanceID]int64
-	watch   map[InstanceID][]chan int64
+	decided map[InstanceID]Value
+	watch   map[InstanceID][]chan Value
 
-	// opMu serialises this node's proposer rounds; the fields below belong
-	// to the round machinery and are guarded by it.
-	opMu    sync.Mutex
+	// opMu serialises this node's synchronous proposer rounds; dedup
+	// belongs to that round machinery and is guarded by it.
+	opMu  sync.Mutex
+	dedup map[groups.Process]bool // pooled response-dedup set, cleared per phase
+
+	// leaseMu guards the proposer-lease table and the refusal-ballot
+	// hints. It is separate from opMu so the message loop (which completes
+	// windowed rounds and must drop a NACKed lease) never has to wait for
+	// an in-flight synchronous round.
+	leaseMu sync.Mutex
 	leases  map[realmKey]*proposerLease
-	dedup   map[groups.Process]bool // pooled response-dedup set, cleared per phase
-	highest map[realmKey]int64      // highest refusal ballot observed per realm
+	highest map[realmKey]int64 // highest refusal ballot observed per realm
+
+	// winMu guards the windowed-round table; completions come from the
+	// message loop and from per-round timers.
+	winMu    sync.Mutex
+	wins     map[InstanceID]*winSlot
+	winDepth map[realmKey]int
+
+	// hmu guards the extra-handler table (Handle).
+	hmu      sync.RWMutex
+	handlers map[net.MsgType]func(net.Packet)
+}
+
+// Handle registers fn for a wire type the node's own dispatch does not
+// claim. The transport delivers one inbox per process and this node's loop
+// is its single consumer, so substrates sharing the process — replog's op
+// forwarding, for one — mount their receive path here. fn runs on the loop
+// goroutine and must not block; a paxos-owned type or a duplicate
+// registration is a programming error and panics.
+func (n *Node) Handle(t net.MsgType, fn func(net.Packet)) {
+	switch t {
+	case wire.TPaxPrepare, wire.TPaxPrepareResp, wire.TPaxAccept,
+		wire.TPaxAcceptResp, wire.TPaxDecide, wire.TPaxLearn:
+		panic("paxos: Handle on a paxos-owned wire type")
+	}
+	n.hmu.Lock()
+	defer n.hmu.Unlock()
+	if n.handlers == nil {
+		n.handlers = make(map[net.MsgType]func(net.Packet))
+	}
+	if _, dup := n.handlers[t]; dup {
+		panic("paxos: duplicate Handle registration")
+	}
+	n.handlers[t] = fn
 }
 
 // StartNode launches the node's message loop with the default timing.
@@ -272,13 +384,15 @@ func StartNodeWithConfig(nw net.Transport, p groups.Process, cfg Config) *Node {
 			accepted: make(map[InstanceID]AcceptedVal),
 			leases:   make(map[realmKey]leaseGrant),
 		},
-		resp:    make(chan net.Packet, 256),
-		done:    make(chan struct{}),
-		decided: make(map[InstanceID]int64),
-		watch:   make(map[InstanceID][]chan int64),
-		leases:  make(map[realmKey]*proposerLease),
-		dedup:   make(map[groups.Process]bool, 8),
-		highest: make(map[realmKey]int64),
+		resp:     make(chan net.Packet, 256),
+		done:     make(chan struct{}),
+		decided:  make(map[InstanceID]Value),
+		watch:    make(map[InstanceID][]chan Value),
+		leases:   make(map[realmKey]*proposerLease),
+		dedup:    make(map[groups.Process]bool, 8),
+		highest:  make(map[realmKey]int64),
+		wins:     make(map[InstanceID]*winSlot),
+		winDepth: make(map[realmKey]int),
 	}
 	go n.loop()
 	return n
@@ -319,17 +433,38 @@ func (n *Node) loop() {
 			if v, ok := n.Decided(body.Inst); ok {
 				n.nw.Send(n.p, pkt.From, wire.TPaxDecide, DecideMsg{Inst: body.Inst, Val: v})
 			}
-		case wire.TPaxPrepareResp, wire.TPaxAcceptResp:
-			select {
-			case n.resp <- pkt:
-			default:
-				// A full response channel means the proposer is not (or no
-				// longer) listening for this round. The response is dropped,
-				// but never silently: the counter keeps channel-pressure
-				// losses distinguishable from fabric losses.
-				n.cfg.Counters.IncRespDrop()
+		case wire.TPaxAcceptResp:
+			// Windowed rounds are completed here, in the loop, so a whole
+			// window of slots makes progress concurrently; anything not
+			// claimed by the window table flows to the synchronous round.
+			if body, ok := pkt.Body.(AcceptResp); ok && n.windowResp(pkt.From, body) {
+				continue
+			}
+			n.pushResp(pkt)
+		case wire.TPaxPrepareResp:
+			n.pushResp(pkt)
+		default:
+			n.hmu.RLock()
+			fn := n.handlers[pkt.Type]
+			n.hmu.RUnlock()
+			if fn != nil {
+				fn(pkt)
 			}
 		}
+	}
+}
+
+// pushResp hands a response to the synchronous proposer, dropping (counted)
+// when no round is listening.
+func (n *Node) pushResp(pkt net.Packet) {
+	select {
+	case n.resp <- pkt:
+	default:
+		// A full response channel means the proposer is not (or no
+		// longer) listening for this round. The response is dropped,
+		// but never silently: the counter keeps channel-pressure
+		// losses distinguishable from fabric losses.
+		n.cfg.Counters.IncRespDrop()
 	}
 }
 
@@ -386,9 +521,10 @@ func (n *Node) handleAccept(body AcceptReq) AcceptResp {
 	return AcceptResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok, Promised: floor}
 }
 
-func (n *Node) recordDecision(inst InstanceID, v int64) {
+func (n *Node) recordDecision(inst InstanceID, v Value) {
 	n.mu.Lock()
-	if _, seen := n.decided[inst]; !seen {
+	_, seen := n.decided[inst]
+	if !seen {
 		n.cfg.Counters.IncDecision()
 		n.decided[inst] = v
 		for _, ch := range n.watch[inst] {
@@ -397,15 +533,29 @@ func (n *Node) recordDecision(inst InstanceID, v int64) {
 		delete(n.watch, inst)
 	}
 	n.mu.Unlock()
+	if !seen {
+		n.clearPin(inst)
+	}
+}
+
+// clearPin drops the same-ballot value pin (and any adoption obligation)
+// of a slot whose decision is now known — the pin has done its job.
+func (n *Node) clearPin(inst InstanceID) {
+	n.leaseMu.Lock()
+	if lease := n.leases[inst.realm()]; lease != nil {
+		delete(lease.used, inst.Slot)
+		delete(lease.adopt, inst.Slot)
+	}
+	n.leaseMu.Unlock()
 }
 
 // SnapshotDecisions copies every decision the node has learnt so far —
 // the verification hook for tests asserting cross-node agreement (two
 // nodes that both decided an instance must hold the same value).
-func (n *Node) SnapshotDecisions() map[InstanceID]int64 {
+func (n *Node) SnapshotDecisions() map[InstanceID]Value {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make(map[InstanceID]int64, len(n.decided))
+	out := make(map[InstanceID]Value, len(n.decided))
 	for k, v := range n.decided {
 		out[k] = v
 	}
@@ -413,7 +563,7 @@ func (n *Node) SnapshotDecisions() map[InstanceID]int64 {
 }
 
 // Decided reports a locally known decision.
-func (n *Node) Decided(inst InstanceID) (int64, bool) {
+func (n *Node) Decided(inst InstanceID) (Value, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	v, ok := n.decided[inst]
@@ -421,8 +571,8 @@ func (n *Node) Decided(inst InstanceID) (int64, bool) {
 }
 
 // await registers interest in a decision.
-func (n *Node) await(inst InstanceID) <-chan int64 {
-	ch := make(chan int64, 1)
+func (n *Node) await(inst InstanceID) <-chan Value {
+	ch := make(chan Value, 1)
 	n.mu.Lock()
 	if v, ok := n.decided[inst]; ok {
 		ch <- v
@@ -436,10 +586,15 @@ func (n *Node) await(inst InstanceID) <-chan int64 {
 // Await returns a channel that delivers the decision of inst once it is
 // learnt locally (immediately if already known). The channel never closes;
 // select against Done for shutdown.
-func (n *Node) Await(inst InstanceID) <-chan int64 { return n.await(inst) }
+func (n *Node) Await(inst InstanceID) <-chan Value { return n.await(inst) }
 
 // Done is closed when the node's message loop exits (network shutdown).
 func (n *Node) Done() <-chan struct{} { return n.done }
+
+// WindowLimit returns the configured maximum of outstanding windowed
+// accept rounds per leased realm. Callers size their result channels with
+// it: a channel of at least WindowLimit()+1 can never block a completion.
+func (n *Node) WindowLimit() int { return n.cfg.Window }
 
 // RequestDecision broadcasts an anti-entropy probe for inst to the scope
 // peers: any one that knows the decision replies with it. Safe to call
@@ -463,10 +618,190 @@ func (n *Node) toPeers(scope groups.ProcSet, t net.MsgType, body any) {
 
 // decideBroadcast teaches the scope a decision (recording it locally first,
 // without a loopback packet).
-func (n *Node) decideBroadcast(inst *Instance, val int64) {
+func (n *Node) decideBroadcast(inst *Instance, val Value) {
 	n.recordDecision(inst.ID, val)
 	n.toPeers(inst.Scope, wire.TPaxDecide, DecideMsg{Inst: inst.ID, Val: val})
 }
+
+// ---------------------------------------------------------------------------
+// Windowed accept rounds.
+
+// ProposeWindowed fires one phase-1-elided accept round for inst without
+// waiting for it to conclude. It returns true when the round was fired (or
+// resolved on the spot); exactly one WindowResult for inst will then be
+// delivered on res — possibly before ProposeWindowed returns. It returns
+// false, firing nothing, when the instance is not a leased Multi-Paxos
+// realm at this leader, or the realm's window is full; the caller falls
+// back to Propose (which acquires the lease) or waits for capacity.
+//
+// Callers must not run concurrent windowed and synchronous proposals for
+// the same realm, and must size res so it never blocks (≥ WindowLimit()+1):
+// results are delivered by the node's message loop and its timers, and a
+// blocked delivery would stall every realm on the node.
+func (n *Node) ProposeWindowed(inst *Instance, v Value, res chan<- WindowResult) bool {
+	if !inst.MultiPaxos || inst.Leader(n.p) != n.p {
+		return false
+	}
+	id := inst.ID
+	if got, ok := n.Decided(id); ok {
+		res <- WindowResult{Inst: id, Val: got, OK: true}
+		return true
+	}
+	rk := id.realm()
+	n.winMu.Lock()
+	if _, dup := n.wins[id]; dup || n.winDepth[rk] >= n.cfg.Window {
+		n.winMu.Unlock()
+		return false
+	}
+	n.leaseMu.Lock()
+	lease := n.leases[rk]
+	if lease == nil || id.Slot < lease.fromSlot {
+		n.leaseMu.Unlock()
+		n.winMu.Unlock()
+		return false
+	}
+	ballot := lease.ballot
+	val := v
+	if av, ok := lease.adopt[id.Slot]; ok {
+		val = av.Val
+	}
+	if pv, ok := lease.used[id.Slot]; ok {
+		val = pv // same-ballot pin: a retried slot must carry its first value
+	} else {
+		lease.used[id.Slot] = val
+	}
+	n.leaseMu.Unlock()
+
+	n.cfg.Counters.IncWindowRound()
+	req := AcceptReq{Inst: id, Ballot: ballot, Val: val}
+	if id.Slot > 0 {
+		prev := InstanceID{Space: id.Space, Realm: id.Realm, Slot: id.Slot - 1}
+		if pv, ok := n.Decided(prev); ok {
+			req.PrevDecided = true
+			req.Prev = SlotVal{Slot: prev.Slot, Val: pv}
+		}
+	}
+	ws := &winSlot{
+		inst:   *inst,
+		ballot: ballot,
+		val:    val,
+		acks:   make(map[groups.Process]bool, inst.Scope.Count()),
+		need:   inst.Scope.Count()/2 + 1,
+		res:    res,
+	}
+	// Consult the local acceptor synchronously — no loopback packets.
+	if inst.Scope.Has(n.p) {
+		r := n.handleAccept(req)
+		switch {
+		case r.Decided:
+			n.winMu.Unlock()
+			n.recordDecision(id, r.DecVal)
+			res <- WindowResult{Inst: id, Val: r.DecVal, OK: true}
+			return true
+		case !r.OK:
+			n.winMu.Unlock()
+			n.windowNack(rk, r.Promised)
+			res <- WindowResult{Inst: id, OK: false}
+			return true
+		}
+		ws.acks[n.p] = true
+		if len(ws.acks) >= ws.need {
+			// Singleton (or trivially small) scope: decided on the spot.
+			n.winMu.Unlock()
+			n.decideBroadcast(inst, val)
+			res <- WindowResult{Inst: id, Val: val, OK: true}
+			return true
+		}
+	}
+	n.wins[id] = ws
+	n.winDepth[rk]++
+	n.cfg.Counters.NoteWindowDepth(int64(n.winDepth[rk]))
+	ws.timer = time.AfterFunc(n.cfg.PhaseDeadline, func() { n.windowTimeout(id, ballot) })
+	n.winMu.Unlock()
+	n.toPeers(inst.Scope, wire.TPaxAccept, req)
+	return true
+}
+
+// windowResp routes an accept response to its outstanding windowed round,
+// reporting whether it was consumed. Runs on the node's message loop.
+func (n *Node) windowResp(from groups.Process, r AcceptResp) bool {
+	n.winMu.Lock()
+	ws, ok := n.wins[r.Inst]
+	if !ok || ws.ballot != r.Ballot {
+		n.winMu.Unlock()
+		return false
+	}
+	switch {
+	case r.Decided:
+		n.unregisterWin(r.Inst, ws)
+		n.winMu.Unlock()
+		n.recordDecision(r.Inst, r.DecVal)
+		ws.res <- WindowResult{Inst: r.Inst, Val: r.DecVal, OK: true}
+	case !r.OK:
+		n.unregisterWin(r.Inst, ws)
+		n.winMu.Unlock()
+		n.cfg.Counters.IncWindowRoundFailure()
+		n.windowNack(r.Inst.realm(), r.Promised)
+		ws.res <- WindowResult{Inst: r.Inst, OK: false}
+	default:
+		if ws.acks[from] {
+			n.winMu.Unlock()
+			return true
+		}
+		ws.acks[from] = true
+		if len(ws.acks) < ws.need {
+			n.winMu.Unlock()
+			return true
+		}
+		n.unregisterWin(r.Inst, ws)
+		n.winMu.Unlock()
+		n.decideBroadcast(&ws.inst, ws.val)
+		ws.res <- WindowResult{Inst: r.Inst, Val: ws.val, OK: true}
+	}
+	return true
+}
+
+// windowTimeout expires an outstanding windowed round that gathered no
+// quorum within the phase deadline. The lease survives — a deadline says
+// nothing about higher ballots — so the caller may retry the slot, which
+// the value pin keeps safe.
+func (n *Node) windowTimeout(id InstanceID, ballot int64) {
+	n.winMu.Lock()
+	ws, ok := n.wins[id]
+	if !ok || ws.ballot != ballot {
+		n.winMu.Unlock()
+		return
+	}
+	n.unregisterWin(id, ws)
+	n.winMu.Unlock()
+	n.cfg.Counters.IncWindowRoundFailure()
+	ws.res <- WindowResult{Inst: id, OK: false}
+}
+
+// unregisterWin removes a completed round from the window table (caller
+// holds winMu).
+func (n *Node) unregisterWin(id InstanceID, ws *winSlot) {
+	delete(n.wins, id)
+	n.winDepth[id.realm()]--
+	if ws.timer != nil {
+		ws.timer.Stop()
+	}
+}
+
+// windowNack processes a refusal observed by a windowed round: remember
+// the ballot hint and drop the now-stale lease.
+func (n *Node) windowNack(rk realmKey, promised int64) {
+	n.leaseMu.Lock()
+	n.noteRefusal(rk, promised)
+	if _, held := n.leases[rk]; held {
+		n.cfg.Counters.IncLeaseLost()
+		delete(n.leases, rk)
+	}
+	n.leaseMu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous proposals.
 
 // Propose runs the synod protocol for the instance until a decision is
 // learnt and returns it. Non-leaders (per Ω) wait for the leader's decision
@@ -474,7 +809,7 @@ func (n *Node) decideBroadcast(inst *Instance, val int64) {
 // Leaders of MultiPaxos realms ride the lease fast path when one is held.
 // Propose never returns a wrong value; it returns ok=false only when the
 // network shuts down first.
-func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
+func (n *Node) Propose(inst *Instance, v Value) (Value, bool) {
 	n.cfg.Counters.IncProposal()
 	if got, ok := n.Decided(inst.ID); ok {
 		return got, true
@@ -494,7 +829,7 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 		case got := <-decidedCh:
 			return got, true
 		case <-n.done:
-			return 0, false
+			return nil, false
 		default:
 		}
 		isLeader := inst.Leader(n.p) == n.p
@@ -519,7 +854,7 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 			case got := <-decidedCh:
 				return got, true
 			case <-n.done:
-				return 0, false
+				return nil, false
 			case <-time.After(hedgeWait):
 			}
 			continue
@@ -527,11 +862,11 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 		// Jump past every refusal ballot observed for the realm, so one
 		// NACK is enough to out-ballot an incumbent instead of climbing
 		// towards it 64 at a time.
-		n.opMu.Lock()
+		n.leaseMu.Lock()
 		if hb := n.highest[inst.ID.realm()]; hb/64 >= ballotRound {
 			ballotRound = hb/64 + 1
 		}
-		n.opMu.Unlock()
+		n.leaseMu.Unlock()
 		ballotRound++
 		ballot := ballotRound*64 + int64(n.p) + 1
 		n.cfg.Counters.IncRound()
@@ -561,7 +896,7 @@ func (n *Node) Propose(inst *Instance, v int64) (int64, bool) {
 		case got := <-decidedCh:
 			return got, true
 		case <-n.done:
-			return 0, false
+			return nil, false
 		case <-time.After(backoff):
 		}
 		if inst.Leader(n.p) != n.p {
@@ -603,7 +938,7 @@ func (n *Node) drainStale() {
 }
 
 // noteRefusal remembers the highest refusal ballot seen for a realm
-// (caller holds opMu).
+// (caller holds leaseMu).
 func (n *Node) noteRefusal(rk realmKey, promised int64) {
 	if promised > n.highest[rk] {
 		n.highest[rk] = promised
@@ -616,24 +951,34 @@ func (n *Node) noteRefusal(rk realmKey, promised int64) {
 // any refusal (a higher ballot is loose) and the caller falls back to the
 // full protocol, which re-acquires. Safety: the lease ballot was granted by
 // a quorum for every slot ≥ fromSlot, so this is phase 2 of a completed
-// phase 1, with adoption obligations carried in lease.adopt.
-func (n *Node) fastRound(inst *Instance, v int64) (int64, bool) {
+// phase 1, with adoption obligations carried in lease.adopt and retried
+// slots pinned to their first value (lease.used).
+func (n *Node) fastRound(inst *Instance, v Value) (Value, bool) {
 	n.opMu.Lock()
 	defer n.opMu.Unlock()
-	rk := inst.ID.realm()
-	lease := n.leases[rk]
-	if lease == nil || inst.ID.Slot < lease.fromSlot {
-		return 0, false
-	}
 	if got, ok := n.Decided(inst.ID); ok {
 		return got, true
 	}
-	n.cfg.Counters.IncFastRound()
+	rk := inst.ID.realm()
+	n.leaseMu.Lock()
+	lease := n.leases[rk]
+	if lease == nil || inst.ID.Slot < lease.fromSlot {
+		n.leaseMu.Unlock()
+		return nil, false
+	}
+	ballot := lease.ballot
 	val := v
 	if av, ok := lease.adopt[inst.ID.Slot]; ok {
 		val = av.Val
 	}
-	req := AcceptReq{Inst: inst.ID, Ballot: lease.ballot, Val: val}
+	if pv, ok := lease.used[inst.ID.Slot]; ok {
+		val = pv // same-ballot pin: a retried slot must carry its first value
+	} else {
+		lease.used[inst.ID.Slot] = val
+	}
+	n.leaseMu.Unlock()
+	n.cfg.Counters.IncFastRound()
+	req := AcceptReq{Inst: inst.ID, Ballot: ballot, Val: val}
 	// Piggyback the previous slot's decision on the accept stream: in the
 	// steady state passive replicas learn slot s-1 from slot s's accept
 	// even when the decide broadcast for s-1 was lost.
@@ -644,17 +989,20 @@ func (n *Node) fastRound(inst *Instance, v int64) (int64, bool) {
 			req.Prev = SlotVal{Slot: prev.Slot, Val: pv}
 		}
 	}
-	ok, refused := n.acceptPhase(inst, lease.ballot, req)
+	ok, refused := n.acceptPhase(inst, ballot, req)
 	if !ok {
 		if refused {
 			// A higher ballot is loose in the realm: the lease is stale.
-			n.cfg.Counters.IncLeaseLost()
-			delete(n.leases, rk)
+			n.leaseMu.Lock()
+			if _, held := n.leases[rk]; held {
+				n.cfg.Counters.IncLeaseLost()
+				delete(n.leases, rk)
+			}
+			n.leaseMu.Unlock()
 		}
 		n.cfg.Counters.IncFastRoundFailure()
-		return 0, false
+		return nil, false
 	}
-	delete(lease.adopt, inst.ID.Slot)
 	n.decideBroadcast(inst, val)
 	return val, true
 }
@@ -673,7 +1021,9 @@ func (n *Node) acceptPhase(inst *Instance, ballot int64, req AcceptReq) (ok, ref
 			return false, false // Propose's decided check will pick it up
 		}
 		if !r.OK {
+			n.leaseMu.Lock()
 			n.noteRefusal(inst.ID.realm(), r.Promised)
+			n.leaseMu.Unlock()
 			return false, true
 		}
 		n.dedup[n.p] = true
@@ -695,7 +1045,9 @@ func (n *Node) acceptPhase(inst *Instance, ballot int64, req AcceptReq) (ok, ref
 				return false, false
 			}
 			if !r.OK {
+				n.leaseMu.Lock()
 				n.noteRefusal(inst.ID.realm(), r.Promised)
+				n.leaseMu.Unlock()
 				return false, true
 			}
 			n.dedup[pkt.From] = true
@@ -711,7 +1063,7 @@ func (n *Node) acceptPhase(inst *Instance, ballot int64, req AcceptReq) (ok, ref
 // instance is MultiPaxos and this process is the leader sample, the prepare
 // is a range acquisition: success both decides this slot and installs a
 // proposer lease for every later slot of the realm.
-func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
+func (n *Node) round(inst *Instance, ballot int64, v Value) (Value, bool) {
 	n.opMu.Lock()
 	defer n.opMu.Unlock()
 	n.drainStale()
@@ -738,11 +1090,13 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 	if inst.Scope.Has(n.p) {
 		r := n.handlePrepare(req)
 		if r.Decided {
-			return 0, false
+			return nil, false
 		}
 		if !r.OK {
+			n.leaseMu.Lock()
 			n.noteRefusal(inst.ID.realm(), r.Promised)
-			return 0, false
+			n.leaseMu.Unlock()
+			return nil, false
 		}
 		if r.Accepted.Has {
 			best = r.Accepted
@@ -756,7 +1110,7 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 		select {
 		case pkt, open := <-n.resp:
 			if !open {
-				return 0, false
+				return nil, false
 			}
 			r, isResp := pkt.Body.(PrepareResp)
 			if pkt.Type != wire.TPaxPrepareResp || !isResp || r.Inst != inst.ID || r.Ballot != ballot || n.dedup[pkt.From] {
@@ -764,11 +1118,13 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 			}
 			if r.Decided {
 				n.recordDecision(r.Inst, r.DecVal)
-				return 0, false
+				return nil, false
 			}
 			if !r.OK {
+				n.leaseMu.Lock()
 				n.noteRefusal(inst.ID.realm(), r.Promised)
-				return 0, false
+				n.leaseMu.Unlock()
+				return nil, false
 			}
 			if r.Accepted.Has && r.Accepted.Ballot > best.Ballot {
 				best = r.Accepted
@@ -776,7 +1132,7 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 			mergeRange(r.Range)
 			n.dedup[pkt.From] = true
 		case <-deadline:
-			return 0, false
+			return nil, false
 		}
 	}
 	val := v
@@ -787,7 +1143,7 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 	// Phase 2: accept (deduplicated like phase 1).
 	ok, _ := n.acceptPhase(inst, ballot, AcceptReq{Inst: inst.ID, Ballot: ballot, Val: val})
 	if !ok {
-		return 0, false
+		return nil, false
 	}
 	if acquire {
 		// The quorum granted every slot ≥ this one at this ballot: install
@@ -797,11 +1153,14 @@ func (n *Node) round(inst *Instance, ballot, v int64) (int64, bool) {
 			rangeAdopt = make(map[int64]AcceptedVal)
 		}
 		delete(rangeAdopt, inst.ID.Slot)
+		n.leaseMu.Lock()
 		n.leases[inst.ID.realm()] = &proposerLease{
 			ballot:   ballot,
 			fromSlot: inst.ID.Slot,
 			adopt:    rangeAdopt,
+			used:     make(map[int64]Value),
 		}
+		n.leaseMu.Unlock()
 		n.cfg.Counters.IncLeaseAcquired()
 	}
 	return val, true

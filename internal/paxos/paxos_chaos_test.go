@@ -51,12 +51,12 @@ func TestChaosSingleDecreeAgreement(t *testing.T) {
 					Net:    c,
 					Leader: leader,
 				}
-				v, ok := nodes[p].Propose(inst, int64(1000*(p+1)+i))
+				v, ok := nodes[p].Propose(inst, I64Value(int64(1000*(p+1)+i)))
 				if !ok {
 					t.Errorf("p%d instance %d: no decision", p, i)
 					return
 				}
-				results[p][i] = v
+				results[p][i] = v.I64()
 			}
 		}()
 	}
@@ -103,9 +103,9 @@ func TestChaosIsolatedLeaderOthersDecide(t *testing.T) {
 
 	leaderGot := make(chan int64, 1)
 	go func() {
-		v, ok := nodes[0].Propose(inst, 111)
+		v, ok := nodes[0].Propose(inst, I64Value(111))
 		if ok {
-			leaderGot <- v
+			leaderGot <- v.I64()
 		}
 	}()
 
@@ -117,12 +117,12 @@ func TestChaosIsolatedLeaderOthersDecide(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, ok := nodes[p].Propose(inst, int64(200+p))
+			v, ok := nodes[p].Propose(inst, I64Value(int64(200+p)))
 			if !ok {
 				t.Errorf("p%d: no decision with leader isolated", p)
 				return
 			}
-			results[p] = v
+			results[p] = v.I64()
 		}()
 	}
 	wg.Wait()

@@ -28,11 +28,11 @@ func cluster(n int, leader groups.Process) (*net.Network, []*Node, *Instance) {
 func TestSingleProposerDecides(t *testing.T) {
 	nw, nodes, inst := cluster(3, 0)
 	defer nw.Close()
-	v, ok := nodes[0].Propose(inst, 42)
-	if !ok || v != 42 {
-		t.Fatalf("decide = %d,%v; want 42 (validity)", v, ok)
+	v, ok := nodes[0].Propose(inst, I64Value(42))
+	if !ok || v.I64() != 42 {
+		t.Fatalf("decide = %d,%v; want 42 (validity)", v.I64(), ok)
 	}
-	if got, ok := nodes[0].Decided(inst.ID); !ok || got != 42 {
+	if got, ok := nodes[0].Decided(inst.ID); !ok || got.I64() != 42 {
 		t.Fatalf("decision not recorded")
 	}
 }
@@ -47,12 +47,12 @@ func TestAgreementAcrossProposers(t *testing.T) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			v, ok := nodes[p].Propose(inst, int64(100+p))
+			v, ok := nodes[p].Propose(inst, I64Value(int64(100+p)))
 			if !ok {
 				t.Errorf("p%d: no decision", p)
 				return
 			}
-			results[p] = v
+			results[p] = v.I64()
 		}(p)
 	}
 	wg.Wait()
@@ -74,14 +74,14 @@ func TestToleratesMinorityCrash(t *testing.T) {
 	defer nw.Close()
 	nw.Crash(3)
 	nw.Crash(4)
-	v, ok := nodes[0].Propose(inst, 7)
-	if !ok || v != 7 {
-		t.Fatalf("decide = %d,%v; want 7", v, ok)
+	v, ok := nodes[0].Propose(inst, I64Value(7))
+	if !ok || v.I64() != 7 {
+		t.Fatalf("decide = %d,%v; want 7", v.I64(), ok)
 	}
 	// Another correct process learns it too.
-	v2, ok := nodes[1].Propose(inst, 99)
-	if !ok || v2 != 7 {
-		t.Fatalf("late proposer learnt %d, want 7", v2)
+	v2, ok := nodes[1].Propose(inst, I64Value(99))
+	if !ok || v2.I64() != 7 {
+		t.Fatalf("late proposer learnt %d, want 7", v2.I64())
 	}
 }
 
@@ -115,9 +115,9 @@ func TestLeaderChangeStillDecides(t *testing.T) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			v, ok := nodes[p].Propose(inst, int64(10+p))
+			v, ok := nodes[p].Propose(inst, I64Value(int64(10+p)))
 			if ok {
-				results[p] = v
+				results[p] = v.I64()
 			}
 		}(p)
 	}
@@ -137,10 +137,10 @@ func TestSeparateInstancesIndependent(t *testing.T) {
 	nw, nodes, inst := cluster(3, 0)
 	defer nw.Close()
 	inst2 := &Instance{ID: InstanceID{Space: SpaceTest, Realm: 99}, Scope: inst.Scope, Net: nw, Leader: inst.Leader}
-	v1, _ := nodes[0].Propose(inst, 1)
-	v2, _ := nodes[0].Propose(inst2, 2)
-	if v1 != 1 || v2 != 2 {
-		t.Fatalf("instances interfered: %d, %d", v1, v2)
+	v1, _ := nodes[0].Propose(inst, I64Value(1))
+	v2, _ := nodes[0].Propose(inst2, I64Value(2))
+	if v1.I64() != 1 || v2.I64() != 2 {
+		t.Fatalf("instances interfered: %d, %d", v1.I64(), v2.I64())
 	}
 }
 
@@ -150,7 +150,7 @@ func TestShutdownUnblocksProposer(t *testing.T) {
 	nw.Crash(2)
 	done := make(chan struct{})
 	go func() {
-		nodes[0].Propose(inst, 5) // no quorum: must unblock at Close
+		nodes[0].Propose(inst, I64Value(5)) // no quorum: must unblock at Close
 		close(done)
 	}()
 	nw.Close()

@@ -19,22 +19,22 @@ func decInst(d *wire.Dec) InstanceID {
 
 func encAccepted(e *wire.Enc, a AcceptedVal) {
 	e.I64(a.Ballot)
-	e.I64(a.Val)
+	e.Bin(a.Val)
 	e.Bool(a.Has)
 }
 
 func decAccepted(d *wire.Dec) AcceptedVal {
-	return AcceptedVal{Ballot: d.I64(), Val: d.I64(), Has: d.Bool()}
+	return AcceptedVal{Ballot: d.I64(), Val: d.Bin(), Has: d.Bool()}
 }
 
 func encSlotVal(e *wire.Enc, s SlotVal) {
 	e.I64(s.Slot)
 	e.I64(s.Ballot)
-	e.I64(s.Val)
+	e.Bin(s.Val)
 }
 
 func decSlotVal(d *wire.Dec) SlotVal {
-	return SlotVal{Slot: d.I64(), Ballot: d.I64(), Val: d.I64()}
+	return SlotVal{Slot: d.I64(), Ballot: d.I64(), Val: d.Bin()}
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
@@ -68,7 +68,7 @@ func (m PrepareResp) MarshalBinary() ([]byte, error) {
 		encSlotVal(&e, s)
 	}
 	e.Bool(m.Decided)
-	e.I64(m.DecVal)
+	e.Bin(m.DecVal)
 	return e.Bytes(), nil
 }
 
@@ -89,7 +89,7 @@ func (m *PrepareResp) UnmarshalBinary(b []byte) error {
 		m.Range = nil
 	}
 	m.Decided = d.Bool()
-	m.DecVal = d.I64()
+	m.DecVal = d.Bin()
 	return d.Close()
 }
 
@@ -98,7 +98,7 @@ func (m AcceptReq) MarshalBinary() ([]byte, error) {
 	var e wire.Enc
 	encInst(&e, m.Inst)
 	e.I64(m.Ballot)
-	e.I64(m.Val)
+	e.Bin(m.Val)
 	e.Bool(m.PrevDecided)
 	encSlotVal(&e, m.Prev)
 	return e.Bytes(), nil
@@ -109,7 +109,7 @@ func (m *AcceptReq) UnmarshalBinary(b []byte) error {
 	d := wire.NewDec(b)
 	m.Inst = decInst(d)
 	m.Ballot = d.I64()
-	m.Val = d.I64()
+	m.Val = d.Bin()
 	m.PrevDecided = d.Bool()
 	m.Prev = decSlotVal(d)
 	return d.Close()
@@ -123,7 +123,7 @@ func (m AcceptResp) MarshalBinary() ([]byte, error) {
 	e.Bool(m.OK)
 	e.I64(m.Promised)
 	e.Bool(m.Decided)
-	e.I64(m.DecVal)
+	e.Bin(m.DecVal)
 	return e.Bytes(), nil
 }
 
@@ -135,7 +135,7 @@ func (m *AcceptResp) UnmarshalBinary(b []byte) error {
 	m.OK = d.Bool()
 	m.Promised = d.I64()
 	m.Decided = d.Bool()
-	m.DecVal = d.I64()
+	m.DecVal = d.Bin()
 	return d.Close()
 }
 
@@ -143,7 +143,7 @@ func (m *AcceptResp) UnmarshalBinary(b []byte) error {
 func (m DecideMsg) MarshalBinary() ([]byte, error) {
 	var e wire.Enc
 	encInst(&e, m.Inst)
-	e.I64(m.Val)
+	e.Bin(m.Val)
 	return e.Bytes(), nil
 }
 
@@ -151,7 +151,7 @@ func (m DecideMsg) MarshalBinary() ([]byte, error) {
 func (m *DecideMsg) UnmarshalBinary(b []byte) error {
 	d := wire.NewDec(b)
 	m.Inst = decInst(d)
-	m.Val = d.I64()
+	m.Val = d.Bin()
 	return d.Close()
 }
 

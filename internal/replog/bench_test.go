@@ -5,32 +5,54 @@ import (
 
 	"repro/internal/groups"
 	"repro/internal/logobj"
+	"repro/internal/msg"
+	"repro/internal/paxos"
 )
 
-// The encode/decode pair sits on the submit hot path: every operation
-// funnelled through consensus is packed to an int64 and unpacked at every
-// replica's apply. Both must stay allocation-free.
+// The batch codec sits on the submit hot path: every batch funnelled
+// through consensus is packed into one paxos value and unpacked at every
+// replica's apply. The benchmarks cover the common shapes — a lone op
+// (idle system) and a full window's worth (saturated system).
 
-var benchOp = Op{
-	Kind:  opBumpAndLock,
-	Datum: logobj.Datum{Kind: logobj.KindPos, Msg: 1234, H: groups.GroupID(7), I: 4321},
-	K:     99,
+func benchOps(n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{
+			Kind:  opBumpAndLock,
+			Datum: logobj.Datum{Kind: logobj.KindPos, Msg: msg.ID(1234 + i), H: groups.GroupID(7), I: 4321},
+			K:     99 + i,
+		}
+	}
+	return ops
 }
 
-var sinkVal int64
-var sinkOp Op
+var sinkVal paxos.Value
+var sinkOps []Op
 
-func BenchmarkEncode(b *testing.B) {
+func BenchmarkEncodeBatch1(b *testing.B)  { benchEncode(b, 1) }
+func BenchmarkEncodeBatch64(b *testing.B) { benchEncode(b, maxBatchOps) }
+
+func benchEncode(b *testing.B, n int) {
+	ops := benchOps(n)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sinkVal = encode(benchOp)
+		sinkVal = EncodeBatch(ops)
 	}
 }
 
-func BenchmarkDecode(b *testing.B) {
-	v := encode(benchOp)
+func BenchmarkDecodeBatch1(b *testing.B)  { benchDecode(b, 1) }
+func BenchmarkDecodeBatch64(b *testing.B) { benchDecode(b, maxBatchOps) }
+
+func benchDecode(b *testing.B, n int) {
+	v := EncodeBatch(benchOps(n))
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sinkOp = decode(v)
+		ops, err := DecodeBatch(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkOps = ops
 	}
 }

@@ -1,0 +1,216 @@
+package replog
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/groups"
+	"repro/internal/net"
+	"repro/internal/paxos"
+	"repro/internal/wire"
+)
+
+// Leader forwarding. A replica whose process is not the realm's leaseholder
+// used to propose every operation itself, which under load degenerates into
+// ballot duels: each follower's synchronous Propose fights the leader's
+// pipeline for the same slots. Instead, followers hand their pending
+// operations to the leaseholder as one TReplogFwd frame; the leader's submit
+// loop batches them into its windowed slot stream alongside its own, so the
+// realm sees one proposer and many ops per accept round.
+//
+// Forwarding is strictly a hint. The follower keeps its waiters — they
+// complete when the decided slots apply locally, exactly as if the op had
+// been proposed here — and falls back to proposing itself once fwdPatience
+// elapses without satisfaction (leader crashed, frame lost, stale Ω). Both
+// log operations are idempotent, so an op landing in two batches is the
+// sequential spec's no-op; losing or duplicating a forward costs latency,
+// never safety.
+const (
+	// fwdResend is how often a follower re-sends its still-pending ops to
+	// the leaseholder: the frame is fire-and-forget, so a drop is repaired
+	// by the next resend rather than an ack protocol.
+	fwdResend = 4 * time.Millisecond
+	// fwdPatience is how long an op may ride the forwarding hint before the
+	// follower proposes it locally — the liveness backstop, sized to a few
+	// resends so a healthy leader nearly always wins first.
+	fwdPatience = 16 * time.Millisecond
+	// fwdMuteFor is how long a follower stops forwarding to a leader that
+	// NACKed (no replica of the realm at that process — it never operates on
+	// this log, so it has no batcher to help with). Muted, the follower
+	// proposes locally, which for a single-submitter log is the optimum
+	// anyway. The mute expires so a leader that starts using the log — or a
+	// leadership change — is picked up again.
+	fwdMuteFor = 2 * time.Second
+)
+
+// fwdMux fans TReplogFwd frames arriving at one paxos node out to the
+// replicas hosted on it, by realm. The node's message loop is the single
+// consumer of the process inbox, so replicas cannot each read their own
+// frames; instead the first replica on a node registers one Handle hook and
+// every replica adds itself to the shared realm table.
+type fwdMux struct {
+	mu   sync.Mutex
+	reps map[uint64]*Replica
+	// p and nw are the hosting process and its transport (shared by every
+	// replica on the node), captured on first add so dispatch can NACK
+	// forwards for realms with no replica here.
+	p  groups.Process
+	nw net.Transport
+}
+
+var fwdMuxes sync.Map // *paxos.Node -> *fwdMux
+
+// muxFor returns the forwarding mux of a node, registering the wire hook on
+// first use.
+func muxFor(node *paxos.Node) *fwdMux {
+	if m, ok := fwdMuxes.Load(node); ok {
+		return m.(*fwdMux)
+	}
+	m := &fwdMux{reps: make(map[uint64]*Replica)}
+	if actual, loaded := fwdMuxes.LoadOrStore(node, m); loaded {
+		return actual.(*fwdMux)
+	}
+	node.Handle(wire.TReplogFwd, m.dispatch)
+	return m
+}
+
+func (m *fwdMux) add(realm uint64, r *Replica) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reps[realm] = r
+	m.p, m.nw = r.p, r.nw
+}
+
+// AttachForwarding registers the forwarding handler on a node that may host
+// no replica at all, so misdirected forwards are NACKed instead of silently
+// dropped (the forwarder would otherwise burn its full patience on every
+// op). NewReplica attaches implicitly; deployments should attach every node
+// whose process could be sampled as leader of a realm it never operates on.
+func AttachForwarding(node *paxos.Node, p groups.Process, nw net.Transport) {
+	m := muxFor(node)
+	m.mu.Lock()
+	if m.nw == nil {
+		m.p, m.nw = p, nw
+	}
+	m.mu.Unlock()
+}
+
+// dispatch runs on the paxos node's message loop and must not block: it
+// resolves the realm and hands the ops to the replica's lock-guarded queue.
+// An empty Ops list is the NACK ("no batcher for this realm here") — sent
+// when a forward lands on a process with no replica of the realm, received
+// when our own forward was refused.
+func (m *fwdMux) dispatch(pkt net.Packet) {
+	f, ok := pkt.Body.(FwdBatch)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	r := m.reps[f.Realm]
+	p, nw := m.p, m.nw
+	m.mu.Unlock()
+	switch {
+	case len(f.Ops) == 0:
+		if r != nil {
+			r.fwdRefused(pkt.From)
+		}
+	case r != nil:
+		r.enqueueRemote(f.Ops)
+	case nw != nil:
+		// This process never operates on the realm's log: the Ω sample made
+		// it leader of a scope it hosts no batcher for. Tell the forwarder
+		// to stop hinting and propose locally.
+		nw.Send(p, pkt.From, wire.TReplogFwd, FwdBatch{Realm: f.Realm})
+	}
+}
+
+// fwdRefused mutes forwarding toward the refusing leader and wakes the
+// submit loop so the pending ops go the local-propose route immediately
+// instead of waiting out their patience.
+func (r *Replica) fwdRefused(from groups.Process) {
+	r.mu.Lock()
+	r.noFwdTo = from
+	r.noFwdUntil = time.Now().Add(fwdMuteFor)
+	r.mu.Unlock()
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// fwdMuted reports whether forwarding toward lead is currently muted.
+func (r *Replica) fwdMuted(lead groups.Process) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return lead == r.noFwdTo && time.Now().Before(r.noFwdUntil)
+}
+
+// enqueueRemote queues forwarded operations at the (presumed) leaseholder.
+// Remote waiters have no done channel — nobody here blocks on them; the
+// forwarding follower completes its own waiter when the decided slot applies
+// over there. Ops already satisfied by the replicated state or already
+// queued (the resend path re-sends liberally) are dropped.
+func (r *Replica) enqueueRemote(ops []Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	accepted := 0
+next:
+	for _, o := range ops {
+		switch o.Kind {
+		case opAppend:
+			if r.local.Pos(o.Datum) != 0 {
+				continue
+			}
+		case opBumpAndLock:
+			if r.local.Locked(o.Datum) {
+				continue
+			}
+		default:
+			continue
+		}
+		for _, w := range r.queue {
+			if w.state != stateDone && w.op == o {
+				continue next
+			}
+		}
+		r.queue = append(r.queue, &waiter{op: o, enq: time.Now()})
+		accepted++
+	}
+	if accepted > 0 {
+		r.counters.Load().AddRemote(accepted)
+		select {
+		case r.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// splitPending partitions the pending queue at a follower: ops whose
+// patience expired are promoted to inflight (the caller proposes them
+// locally), the rest are candidates for (re-)forwarding. resend gates
+// whether already-forwarded ops are sent again. pending reports whether any
+// pending op remains queued behind the hint, i.e. whether the caller must
+// arm its retry timer.
+func (r *Replica) splitPending(now time.Time, resend bool) (overdue []*waiter, fwd []Op, pending bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.queue {
+		if w.state != statePending {
+			continue
+		}
+		if now.Sub(w.enq) >= fwdPatience && len(overdue) < maxBatchOps {
+			w.state = stateInflight
+			overdue = append(overdue, w)
+			continue
+		}
+		pending = true
+		if (resend || !w.fwd) && len(fwd) < maxBatchOps {
+			w.fwd = true
+			fwd = append(fwd, w.op)
+		}
+	}
+	return overdue, fwd, pending
+}

@@ -1,10 +1,20 @@
 // Package replog is a live universal construction (Herlihy, §4.3 of the
 // paper): the shared log object replicated over message passing by funnelling
-// operations through an unbounded sequence of consensus instances — one
-// slot per operation — each solved by the paxos substrate (Ω ∧ Σ inside the
-// hosting group). Every replica applies the decided operations in slot
-// order to its local copy of the log, so the replicated object linearizes
-// to the sequential specification of internal/logobj.
+// operations through an unbounded sequence of consensus instances — solved by
+// the paxos substrate (Ω ∧ Σ inside the hosting group). Every replica applies
+// the decided operations in slot order to its local copy of the log, so the
+// replicated object linearizes to the sequential specification of
+// internal/logobj.
+//
+// Slots carry *batches*: a background submit loop gathers every operation
+// pending at this replica into one consensus value (EncodeBatch), so a single
+// accept round commits many operations. Under a Multi-Paxos lease the loop
+// additionally pipelines — it fires a window of consecutive slots through
+// paxos.ProposeWindowed without waiting for each to decide — and the decided
+// prefix (slot) tracked here guarantees out-of-order decisions still apply in
+// order. A failed windowed round can leave a hole below decided later slots;
+// the loop then drains the window and repairs the realm synchronously from
+// the decided prefix, which cannot skip the hole.
 //
 // This is the substrate behind the in-memory objects the deterministic
 // engine uses; the engine's charge model (internal/uc) mirrors the costs
@@ -19,10 +29,10 @@ import (
 
 	"repro/internal/groups"
 	"repro/internal/logobj"
-	"repro/internal/msg"
 	"repro/internal/net"
 	"repro/internal/obs"
 	"repro/internal/paxos"
+	"repro/internal/wire"
 )
 
 // opKind is the operation type funnelled through consensus.
@@ -40,38 +50,10 @@ type Op struct {
 	K     int
 }
 
-// encode packs an operation into a consensus value. Field widths bound the
-// encodable space (message ids < 2^16, groups < 2^8, positions < 2^16) —
-// far beyond any run the library builds, and checked at encode time.
-func encode(o Op) int64 {
-	if o.Datum.Msg >= 1<<16 || o.Datum.H >= 1<<8 || o.Datum.I >= 1<<16 || o.K >= 1<<16 {
-		panic(fmt.Sprintf("replog: operation out of encodable range: %+v", o))
-	}
-	v := int64(o.Kind)
-	v = v<<2 | int64(o.Datum.Kind)
-	v = v<<16 | int64(o.Datum.Msg)
-	v = v<<8 | int64(o.Datum.H)
-	v = v<<16 | int64(o.Datum.I)
-	v = v<<16 | int64(o.K)
-	return v
-}
-
-// decode unpacks a consensus value.
-func decode(v int64) Op {
-	var o Op
-	o.K = int(v & 0xffff)
-	v >>= 16
-	o.Datum.I = int(v & 0xffff)
-	v >>= 16
-	o.Datum.H = groups.GroupID(v & 0xff)
-	v >>= 8
-	o.Datum.Msg = msg.ID(v & 0xffff)
-	v >>= 16
-	o.Datum.Kind = logobj.Kind(v & 0x3)
-	v >>= 2
-	o.Kind = opKind(v)
-	return o
-}
+// maxBatchOps caps how many pending operations one slot may carry. The cap
+// bounds frame size and the latency cost of replaying one slot; 64 is far
+// above the steady-state batch size even under the open-throttle bench.
+const maxBatchOps = 64
 
 // nudgeEvery is how soon a replica stuck waiting on an undecided slot
 // first broadcasts an anti-entropy probe: the decide broadcast for the slot
@@ -87,63 +69,122 @@ const (
 	probeCap   = 64 * time.Millisecond
 )
 
+// wstate is the lifecycle of one queued operation.
+type wstate int
+
+const (
+	statePending  wstate = iota // waiting to be put in a batch
+	stateInflight               // part of a fired (or syncing) batch
+	stateDone                   // completed; result sent on done
+)
+
+// waiter is one caller blocked on an operation. done is buffered so the
+// apply path never blocks completing it; it is nil for operations forwarded
+// here by another replica (enqueueRemote) — the forwarder's own waiter
+// completes at its site when the decided slot applies there. enq and fwd
+// drive the follower-side forwarding schedule (see forward.go).
+type waiter struct {
+	op    Op
+	state wstate
+	done  chan bool
+	enq   time.Time
+	fwd   bool
+}
+
 // Replica is one process's handle on the replicated log: a local copy of
 // the object plus the consensus plumbing to agree on the operation order.
 //
-// A background apply loop follows the decided slots in order and applies
-// them to the local copy the moment they are learnt; waiters block on a
-// condition variable signalled per apply, so there is no polling anywhere.
+// Two background loops drive it: the apply loop follows the decided slots
+// in order and applies them to the local copy the moment they are learnt,
+// and the submit loop batches queued operations into slots and pipelines
+// them through the paxos window. Waiters block on per-operation channels
+// completed at apply time, so there is no polling anywhere.
 type Replica struct {
-	name  string
-	realm uint64
-	p     groups.Process
-	node  *paxos.Node
-	scope groups.ProcSet
-	mkIns func(slot int) *paxos.Instance
+	name   string
+	realm  uint64
+	p      groups.Process
+	node   *paxos.Node
+	scope  groups.ProcSet
+	nw     net.Transport
+	leader paxos.LeaderFunc
+	mkIns  func(slot int) *paxos.Instance
 
-	// counters is set via Observe after the apply loop is already running,
+	// counters is set via Observe after the loops are already running,
 	// hence the atomic pointer rather than a constructor argument.
 	counters atomic.Pointer[obs.ReplogCounters]
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled on every apply (and on SyncWait timeout)
-	applied int        // operations applied so far
+	slot    int        // decided-prefix length: next unapplied slot
+	applied int        // operations applied so far (ops, not slots)
 	local   *logobj.Log
+	queue   []*waiter // queued operations, arrival order
+	closed  bool      // shutdown: no further enqueues complete
+
+	// Forwarding mute (see forward.go): while the sampled leader matches
+	// noFwdTo and noFwdUntil is in the future, pending ops are proposed
+	// locally instead of forwarded.
+	noFwdTo    groups.Process
+	noFwdUntil time.Time
+
+	kick   chan struct{} // wakes the submit loop on enqueue (cap 1)
+	winRes chan paxos.WindowResult
 }
 
 // Observe attaches run counters to the replica. Safe to call while the
-// apply loop is running; nil detaches.
+// loops are running; nil detaches.
 func (r *Replica) Observe(c *obs.ReplogCounters) { r.counters.Store(c) }
 
-// NewReplica builds the replica of process p and starts its apply loop. All
-// replicas of a log must share the name, realm, scope and network; realm is
-// the log's identity in the paxos instance space (paxos.SpaceLog), so
-// distinct logs on a shared paxos node MUST use distinct realms — a
-// collision would merge their slot sequences, which is a safety violation,
-// not a performance bug. The slots of a realm form one Multi-Paxos log: a
-// stable leader acquires a lease over the whole realm and streams slots
-// through single accept rounds. The apply loop stops when the paxos node's
-// message loop exits (network shutdown).
+// NewReplica builds the replica of process p and starts its apply and
+// submit loops. All replicas of a log must share the name, realm, scope and
+// network; realm is the log's identity in the paxos instance space
+// (paxos.SpaceLog), so distinct logs on a shared paxos node MUST use
+// distinct realms — a collision would merge their slot sequences, which is
+// a safety violation, not a performance bug. The slots of a realm form one
+// Multi-Paxos log: a stable leader acquires a lease over the whole realm
+// and streams batched slots through a window of accept rounds. The loops
+// stop when the paxos node's message loop exits (network shutdown).
 func NewReplica(name string, realm uint64, p groups.Process, node *paxos.Node, nw net.Transport, scope groups.ProcSet, leader paxos.LeaderFunc) *Replica {
 	r := &Replica{
-		name:  name,
-		realm: realm,
-		p:     p,
-		node:  node,
-		scope: scope,
-		local: logobj.New(name),
+		name:   name,
+		realm:  realm,
+		p:      p,
+		node:   node,
+		scope:  scope,
+		nw:     nw,
+		leader: leader,
+		local:  logobj.New(name),
+		kick:   make(chan struct{}, 1),
+		// One result per outstanding windowed round, plus the immediate
+		// resolutions ProposeWindowed may deliver inline: a channel this
+		// deep never blocks the node's message loop.
+		winRes: make(chan paxos.WindowResult, node.WindowLimit()+2),
 	}
 	r.cond = sync.NewCond(&r.mu)
+	// The paxos leader sample is the realm's Ω — except while forwarding is
+	// muted: the sampled leader hosts no replica of this log (it NACKed), so
+	// hedging on it or yielding the lease to it is pointless. Presenting
+	// ourselves as leader is a liveness/latency hint only; ballot safety
+	// never depends on the sample being accurate.
+	lf := func(q groups.Process) groups.Process {
+		l := leader(q)
+		if q == p && l != p && r.fwdMuted(l) {
+			return q
+		}
+		return l
+	}
 	r.mkIns = func(slot int) *paxos.Instance {
 		return &paxos.Instance{
 			ID:         r.instID(slot),
 			Scope:      scope,
 			Net:        nw,
-			Leader:     leader,
+			Leader:     lf,
 			MultiPaxos: true,
 		}
 	}
+	muxFor(node).add(realm, r)
 	go r.applyLoop()
+	go r.submitLoop()
 	return r
 }
 
@@ -160,9 +201,7 @@ func (r *Replica) applyLoop() {
 	timer := time.NewTimer(nudgeEvery)
 	defer timer.Stop()
 	for {
-		r.mu.Lock()
-		slot := r.applied
-		r.mu.Unlock()
+		slot := r.Slot()
 		inst := r.instID(slot)
 		ch := r.node.Await(inst)
 		wait := nudgeEvery
@@ -184,7 +223,7 @@ func (r *Replica) applyLoop() {
 			case <-timer.C:
 				// Only probe when the slot is genuinely stalled; if a
 				// concurrent submit advanced us past it, re-resolve.
-				if r.Applied() > slot {
+				if r.Slot() > slot {
 					break waiting
 				}
 				r.node.RequestDecision(r.scope, inst)
@@ -202,7 +241,7 @@ func (r *Replica) applyLoop() {
 //
 // Helping fast path: append is idempotent, so when the local copy already
 // contains d some decided slot appended it — the operation's effect is in
-// the replicated state and re-submitting it would only decide a no-op slot.
+// the replicated state and re-submitting it would only grow a no-op batch.
 // Algorithm 1's members all execute the same steps (helping), so in the
 // steady state every follower takes this read-only exit and the log's slot
 // stream carries each operation exactly once, proposed by whoever got
@@ -213,8 +252,9 @@ func (r *Replica) Append(d logobj.Datum) (int, bool) {
 		r.mu.Unlock()
 		return pos, true
 	}
+	w := r.enqueueLocked(Op{Kind: opAppend, Datum: d})
 	r.mu.Unlock()
-	if !r.submit(Op{Kind: opAppend, Datum: d}) {
+	if w == nil || !<-w.done {
 		return 0, false
 	}
 	r.mu.Lock()
@@ -228,32 +268,247 @@ func (r *Replica) Append(d logobj.Datum) (int, bool) {
 // the same way as Append's.
 func (r *Replica) BumpAndLock(d logobj.Datum, k int) bool {
 	r.mu.Lock()
-	locked := r.local.Locked(d)
-	r.mu.Unlock()
-	if locked {
+	if r.local.Locked(d) {
+		r.mu.Unlock()
 		return true
 	}
-	return r.submit(Op{Kind: opBumpAndLock, Datum: d, K: k})
+	w := r.enqueueLocked(Op{Kind: opBumpAndLock, Datum: d, K: k})
+	r.mu.Unlock()
+	return w != nil && <-w.done
 }
 
-// submit proposes the operation at successive slots until it is decided,
-// applying every decided operation along the way.
-func (r *Replica) submit(o Op) bool {
+// enqueueLocked queues an operation for the submit loop (caller holds mu).
+// Returns nil when the replica has shut down.
+func (r *Replica) enqueueLocked(o Op) *waiter {
+	if r.closed {
+		return nil
+	}
+	w := &waiter{op: o, done: make(chan bool, 1), enq: time.Now()}
+	r.queue = append(r.queue, w)
 	r.counters.Load().IncSubmit()
-	want := encode(o)
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+	return w
+}
+
+// submitLoop turns the pending queue into decided slots. It prefers the
+// pipelined path — fire a batch at the next free slot of the paxos window
+// and immediately gather more operations — and falls back to a synchronous
+// Propose when no lease is held (which acquires one) or at a non-leader
+// (which hedges on the leader inside Propose). A window failure switches
+// the loop into repair: drain every outstanding round, then drive the
+// decided prefix synchronously up to the highest fired slot so no hole
+// survives, then resume pipelining.
+func (r *Replica) submitLoop() {
+	fired := make(map[int64]firedBatch)
+	next := 0
+	retry := time.NewTimer(time.Hour)
+	if !retry.Stop() {
+		<-retry.C
+	}
+	defer retry.Stop()
+	var lastFwd time.Time
 	for {
-		r.mu.Lock()
-		slot := r.applied
-		r.mu.Unlock()
-		decided, ok := r.node.Propose(r.mkIns(slot), want)
+		if len(fired) == 0 {
+			next = r.Slot()
+		}
+		var ws []*waiter
+		armRetry := false
+		if lead := r.leader(r.p); lead != r.p && !r.fwdMuted(lead) {
+			// Follower: hand pending ops to the leaseholder's batcher (see
+			// forward.go) and keep them queued; only ops whose patience
+			// expired are proposed from here.
+			now := time.Now()
+			overdue, fwd, pending := r.splitPending(now, now.Sub(lastFwd) >= fwdResend)
+			if len(fwd) > 0 {
+				r.counters.Load().AddFwd(len(fwd))
+				r.nw.Send(r.p, lead, wire.TReplogFwd, FwdBatch{Realm: r.realm, Ops: fwd})
+				lastFwd = now
+			}
+			ws = overdue
+			armRetry = pending
+		} else {
+			ws = r.takePending(maxBatchOps)
+		}
+		if len(ws) > 0 {
+			val := EncodeBatch(opsOf(ws))
+			if r.node.ProposeWindowed(r.mkIns(next), val, r.winRes) {
+				r.counters.Load().AddBatch(len(ws))
+				fired[int64(next)] = firedBatch{val: val, ws: ws}
+				next++
+				continue
+			}
+			if len(fired) == 0 {
+				// No pipeline in flight and no usable lease: the classic
+				// synchronous path. On a leader this acquires the lease the
+				// next iteration pipelines under.
+				slot := r.Slot()
+				r.counters.Load().AddBatch(len(ws))
+				decided, ok := r.node.Propose(r.mkIns(slot), val)
+				if !ok {
+					r.shutdown()
+					return
+				}
+				r.applyAt(slot, decided)
+				r.requeue(ws)
+				continue
+			}
+			// Window full (or the lease just died): park the ops until the
+			// pipeline drains a slot.
+			r.requeue(ws)
+		}
+		if armRetry {
+			if !retry.Stop() {
+				select {
+				case <-retry.C:
+				default:
+				}
+			}
+			retry.Reset(fwdResend)
+		}
+		select {
+		case res := <-r.winRes:
+			fb, had := fired[res.Inst.Slot]
+			delete(fired, res.Inst.Slot)
+			if res.OK {
+				if had && !res.Val.Equal(fb.val) {
+					// An adopted or foreign value decided this slot; our
+					// batch did not land — its unsatisfied ops go again.
+					r.requeue(fb.ws)
+				}
+				continue
+			}
+			// Pipeline break: this slot did not decide, but later fired
+			// slots may have — a hole. Drain and repair.
+			if had {
+				r.requeue(fb.ws)
+			}
+			maxSlot := res.Inst.Slot
+			for s := range fired {
+				if s > maxSlot {
+					maxSlot = s
+				}
+			}
+			if !r.drainWindow(fired) || !r.repair(int(maxSlot)) {
+				r.shutdown()
+				return
+			}
+			clear(fired)
+		case <-r.kick:
+		case <-retry.C:
+		case <-r.node.Done():
+			r.shutdown()
+			return
+		}
+	}
+}
+
+// firedBatch is one batch in flight through the paxos window.
+type firedBatch struct {
+	val paxos.Value
+	ws  []*waiter
+}
+
+// drainWindow collects the outstanding window results after a failure
+// (every fired round delivers exactly one result — quorum, NACK, or its
+// deadline timer — so this terminates within a phase deadline).
+func (r *Replica) drainWindow(fired map[int64]firedBatch) bool {
+	for len(fired) > 0 {
+		select {
+		case res := <-r.winRes:
+			fb, had := fired[res.Inst.Slot]
+			if !had {
+				continue
+			}
+			delete(fired, res.Inst.Slot)
+			if !res.OK || !res.Val.Equal(fb.val) {
+				r.requeue(fb.ws)
+			}
+		case <-r.node.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// repair drives the decided prefix synchronously up to and including
+// maxSlot, filling holes with whatever is pending (or an empty batch).
+// Propose returns instantly for already-decided slots, so the cost is one
+// full round per genuine hole.
+func (r *Replica) repair(maxSlot int) bool {
+	for {
+		slot := r.Slot()
+		if slot > maxSlot {
+			return true
+		}
+		ws := r.takePending(maxBatchOps)
+		decided, ok := r.node.Propose(r.mkIns(slot), EncodeBatch(opsOf(ws)))
 		if !ok {
 			return false
 		}
 		r.applyAt(slot, decided)
-		if decided == want {
-			return true
+		r.requeue(ws)
+	}
+}
+
+// takePending collects up to max pending operations, marking them inflight.
+func (r *Replica) takePending(max int) []*waiter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*waiter
+	for _, w := range r.queue {
+		if w.state != statePending {
+			continue
+		}
+		w.state = stateInflight
+		out = append(out, w)
+		if len(out) == max {
+			break
 		}
 	}
+	return out
+}
+
+// requeue returns not-yet-completed inflight waiters to pending.
+func (r *Replica) requeue(ws []*waiter) {
+	if len(ws) == 0 {
+		return
+	}
+	r.mu.Lock()
+	for _, w := range ws {
+		if w.state == stateInflight {
+			w.state = statePending
+		}
+	}
+	r.mu.Unlock()
+}
+
+// opsOf projects the operations out of a waiter batch.
+func opsOf(ws []*waiter) []Op {
+	ops := make([]Op, len(ws))
+	for i, w := range ws {
+		ops[i] = w.op
+	}
+	return ops
+}
+
+// shutdown fails every queued waiter and refuses further enqueues.
+func (r *Replica) shutdown() {
+	r.mu.Lock()
+	r.closed = true
+	for _, w := range r.queue {
+		if w.state != stateDone {
+			w.state = stateDone
+			if w.done != nil {
+				w.done <- false
+			}
+		}
+	}
+	r.queue = nil
+	r.cond.Broadcast()
+	r.mu.Unlock()
 }
 
 // SyncWait blocks until at least n operations are applied or the timeout
@@ -278,13 +533,11 @@ func (r *Replica) SyncWait(n int, timeout time.Duration) bool {
 	return r.applied >= n
 }
 
-// Sync applies every operation decided up to the replica's current horizon
+// Sync applies every slot decided up to the replica's current horizon
 // (catch-up for replicas that did not propose).
 func (r *Replica) Sync() {
 	for {
-		r.mu.Lock()
-		slot := r.applied
-		r.mu.Unlock()
+		slot := r.Slot()
 		v, ok := r.node.Decided(r.instID(slot))
 		if !ok {
 			return
@@ -293,25 +546,72 @@ func (r *Replica) Sync() {
 	}
 }
 
-// applyAt applies the decided operation of a slot exactly once, in order.
-func (r *Replica) applyAt(slot int, v int64) {
+// applyAt applies the decided batch of a slot exactly once, in order, and
+// completes every queued waiter whose operation is now satisfied.
+func (r *Replica) applyAt(slot int, v paxos.Value) {
+	ops, err := DecodeBatch(v)
+	if err != nil {
+		// Only valid batches are ever proposed (and adoption re-proposes
+		// other replicas' batches verbatim), so a decided value that does
+		// not decode is state corruption, not input error.
+		panic(fmt.Sprintf("replog %s: decided value of slot %d does not decode: %v", r.name, slot, err))
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if slot != r.applied {
-		return // already applied (or a gap, which submit will revisit)
+	if slot != r.slot {
+		return // already applied (or a future slot the prefix hasn't reached)
 	}
-	o := decode(v)
-	switch o.Kind {
-	case opAppend:
-		r.local.Append(o.Datum)
-	case opBumpAndLock:
-		if r.local.Contains(o.Datum) {
-			r.local.BumpAndLock(o.Datum, o.K)
+	for _, o := range ops {
+		switch o.Kind {
+		case opAppend:
+			r.local.Append(o.Datum)
+		case opBumpAndLock:
+			if r.local.Contains(o.Datum) {
+				r.local.BumpAndLock(o.Datum, o.K)
+			}
+		}
+		r.applied++
+		r.counters.Load().IncApply()
+	}
+	r.slot++
+	r.completeLocked(ops)
+	r.cond.Broadcast()
+}
+
+// completeLocked finishes every waiter whose operation is satisfied by the
+// local state after an apply (caller holds mu). Satisfaction is judged on
+// the replicated state, not on which slot carried the op — helping means a
+// foreign batch may have done our work: an append is done once the datum
+// has a position, a bumpAndLock once the datum is locked OR the exact op
+// was in the applied batch (covering the no-op bump on an absent datum).
+func (r *Replica) completeLocked(ops []Op) {
+	keep := r.queue[:0]
+	for _, w := range r.queue {
+		sat := false
+		switch w.op.Kind {
+		case opAppend:
+			sat = r.local.Pos(w.op.Datum) != 0
+		case opBumpAndLock:
+			sat = r.local.Locked(w.op.Datum)
+		}
+		if !sat {
+			for _, o := range ops {
+				if o == w.op {
+					sat = true
+					break
+				}
+			}
+		}
+		if sat {
+			w.state = stateDone
+			if w.done != nil {
+				w.done <- true
+			}
+		} else {
+			keep = append(keep, w)
 		}
 	}
-	r.applied++
-	r.counters.Load().IncApply()
-	r.cond.Broadcast()
+	r.queue = keep
 }
 
 // Snapshot returns the datum order of the local copy.
@@ -349,4 +649,11 @@ func (r *Replica) Applied() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.applied
+}
+
+// Slot returns the decided-prefix length: the next unapplied slot.
+func (r *Replica) Slot() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slot
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/logobj"
 	"repro/internal/msg"
 	"repro/internal/net"
+	"repro/internal/obs"
 	"repro/internal/paxos"
 )
 
@@ -28,17 +29,58 @@ func cluster(n int) (*net.Network, []*Replica) {
 	return nw, reps
 }
 
-func TestEncodeDecodeRoundTrip(t *testing.T) {
-	f := func(kind uint8, m uint16, h uint8, i uint16, k uint16) bool {
-		o := Op{
-			Kind:  opKind(kind%2 + 1),
-			Datum: logobj.Datum{Kind: logobj.Kind(kind%3 + 1), Msg: msg.ID(m), H: groups.GroupID(h), I: int(i)},
-			K:     int(k),
+func TestBatchRoundTrip(t *testing.T) {
+	f := func(kinds []uint8, m uint16, h uint8, i uint16, k uint16) bool {
+		if len(kinds) > maxBatchOps {
+			kinds = kinds[:maxBatchOps]
 		}
-		return decode(encode(o)) == o
+		ops := make([]Op, len(kinds))
+		for j, kind := range kinds {
+			ops[j] = Op{
+				Kind:  opKind(kind%2 + 1),
+				Datum: logobj.Datum{Kind: logobj.Kind(kind%3 + 1), Msg: msg.ID(m) + msg.ID(j), H: groups.GroupID(h), I: int(i)},
+				K:     int(k),
+			}
+		}
+		got, err := DecodeBatch(EncodeBatch(ops))
+		if err != nil || len(got) != len(ops) {
+			return false
+		}
+		for j := range ops {
+			if got[j] != ops[j] {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDecodeBatchRejectsGarbage: arbitrary bytes yield an error, never a
+// panic and never a phantom op list.
+func TestDecodeBatchRejectsGarbage(t *testing.T) {
+	f := func(b []byte) bool {
+		ops, err := DecodeBatch(paxos.Value(b))
+		if err != nil {
+			return true
+		}
+		// Whatever decoded must re-encode to a valid value.
+		round, err2 := DecodeBatch(EncodeBatch(ops))
+		return err2 == nil && len(round) == len(ops)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyBatchIsNoop: the repair path seals holes with empty batches;
+// they must round-trip and decode to zero ops.
+func TestEmptyBatchIsNoop(t *testing.T) {
+	ops, err := DecodeBatch(EncodeBatch(nil))
+	if err != nil || len(ops) != 0 {
+		t.Fatalf("empty batch decoded to %v, %v", ops, err)
 	}
 }
 
@@ -137,6 +179,81 @@ func TestMinorityCrashKeepsAvailability(t *testing.T) {
 	pos, ok := reps[1].Append(logobj.MsgDatum(2))
 	if !ok || pos != 2 {
 		t.Fatalf("append after minority crash: pos=%d ok=%v", pos, ok)
+	}
+}
+
+// TestForwardToLeaderBatches: followers hand their operations to the
+// leader's batcher instead of proposing themselves — the leader's replica
+// must observe remotely-enqueued ops while every append still completes.
+func TestForwardToLeaderBatches(t *testing.T) {
+	nw, reps := cluster(3)
+	defer nw.Close()
+	c := &obs.ReplogCounters{}
+	reps[0].Observe(c)
+	var wg sync.WaitGroup
+	for p := 1; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, ok := reps[p].Append(logobj.MsgDatum(msg.ID(10*p + i + 1))); !ok {
+					t.Errorf("append at follower %d failed", p)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := c.RemoteOps.Load(); got == 0 {
+		t.Fatalf("leader accepted no forwarded ops — followers completed only via the patience fallback")
+	}
+}
+
+// TestForwardFallbackWhenLeaderDead: with the sampled leader crashed,
+// forwarded ops go nowhere; the patience fallback must still complete them
+// from the follower (liveness does not depend on the hint).
+func TestForwardFallbackWhenLeaderDead(t *testing.T) {
+	nw, reps := cluster(3)
+	defer nw.Close()
+	nw.Crash(0)
+	pos, ok := reps[1].Append(logobj.MsgDatum(1))
+	if !ok || pos != 1 {
+		t.Fatalf("append with dead leader: pos=%d ok=%v", pos, ok)
+	}
+}
+
+// TestForwardNackMutes: a leader process that hosts no replica of the realm
+// (it never operates on this log) NACKs forwards; the follower mutes the
+// hint and completes by proposing locally — without burning the full
+// patience window on every subsequent op.
+func TestForwardNackMutes(t *testing.T) {
+	nw := net.New(3)
+	defer nw.Close()
+	scope := groups.NewProcSet(0, 1, 2)
+	leader := func(groups.Process) groups.Process { return 0 }
+	// Process 0 participates as an acceptor only: node, but no replica.
+	AttachForwarding(paxos.StartNode(nw, 0), 0, nw)
+	reps := make([]*Replica, 3)
+	for p := 1; p < 3; p++ {
+		node := paxos.StartNode(nw, groups.Process(p))
+		reps[p] = NewReplica("LOG", 1, groups.Process(p), node, nw, scope, leader)
+	}
+	if _, ok := reps[1].Append(logobj.MsgDatum(1)); !ok {
+		t.Fatalf("append via NACK path failed")
+	}
+	deadline := time.Now().Add(time.Second)
+	for !reps[1].fwdMuted(0) {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never muted forwarding to the NACKing leader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Muted, the next ops take the local fast path: well under patience.
+	start := time.Now()
+	if _, ok := reps[1].Append(logobj.MsgDatum(2)); !ok {
+		t.Fatalf("append while muted failed")
+	}
+	if el := time.Since(start); el >= fwdPatience {
+		t.Fatalf("muted append took %v, want < %v (patience burnt => mute ineffective)", el, fwdPatience)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/groups"
 	"repro/internal/net"
@@ -51,9 +52,12 @@ const (
 	TPaxDecide      net.MsgType = 0x14
 	TPaxLearn       net.MsgType = 0x15
 
-	// internal/replog (log operations; today they ride inside paxos values,
-	// but the operation body is a registered wire type in its own right).
-	TReplogOp net.MsgType = 0x20
+	// internal/replog (log operations; they ride inside paxos values as
+	// batches, but the operation body is a registered wire type in its own
+	// right, and followers forward pending ops to the leaseholder's batcher
+	// as TReplogFwd frames).
+	TReplogOp  net.MsgType = 0x20
+	TReplogFwd net.MsgType = 0x21
 
 	// internal/logobj (multicast datums — the payload of replog ops).
 	TDatum net.MsgType = 0x28
@@ -120,27 +124,52 @@ func RegisteredTypes() []net.MsgType {
 // registered — an unregistered body is a caller bug surfaced as an error so
 // the transport can count it rather than crash.
 func EncodePacket(pkt net.Packet) ([]byte, error) {
+	return AppendPacket(nil, pkt)
+}
+
+// AppendPacket appends pkt's frame payload to dst and returns the extended
+// slice — the allocation-conscious form of EncodePacket for callers that
+// recycle frame buffers (the TCP send path encodes into pooled buffers and
+// the write loops return them after each flush).
+func AppendPacket(dst []byte, pkt net.Packet) ([]byte, error) {
 	if registry[pkt.Type].dec == nil {
-		return nil, fmt.Errorf("wire: encode: unregistered message type %#02x", uint8(pkt.Type))
+		return dst, fmt.Errorf("wire: encode: unregistered message type %#02x", uint8(pkt.Type))
 	}
 	m, ok := pkt.Body.(encoding.BinaryMarshaler)
 	if !ok {
-		return nil, fmt.Errorf("wire: encode: body %T does not implement encoding.BinaryMarshaler", pkt.Body)
+		return dst, fmt.Errorf("wire: encode: body %T does not implement encoding.BinaryMarshaler", pkt.Body)
 	}
 	body, err := m.MarshalBinary()
 	if err != nil {
-		return nil, fmt.Errorf("wire: encode %s: %w", registry[pkt.Type].name, err)
+		return dst, fmt.Errorf("wire: encode %s: %w", registry[pkt.Type].name, err)
 	}
 	if pkt.From < 0 || pkt.From > math.MaxUint8 || pkt.To < 0 || pkt.To > math.MaxUint8 {
-		return nil, fmt.Errorf("wire: encode: process out of uint8 range (%d→%d)", pkt.From, pkt.To)
+		return dst, fmt.Errorf("wire: encode: process out of uint8 range (%d→%d)", pkt.From, pkt.To)
 	}
-	out := make([]byte, headerLen+len(body))
-	out[0] = frameVersion
-	out[1] = uint8(pkt.Type)
-	out[2] = uint8(pkt.From)
-	out[3] = uint8(pkt.To)
-	copy(out[headerLen:], body)
-	return out, nil
+	dst = append(dst, frameVersion, uint8(pkt.Type), uint8(pkt.From), uint8(pkt.To))
+	return append(dst, body...), nil
+}
+
+// framePool recycles frame payload buffers between the send path and the
+// write loops: Send encodes into a pooled buffer, the write loop copies it
+// into the flush buffer and puts it back. Pointers-to-slices, not slices,
+// so Get/Put never allocate the interface box.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+// getFrame leases a frame buffer (length 0, capacity warm).
+func getFrame() *[]byte { return framePool.Get().(*[]byte) }
+
+// putFrame returns a frame buffer to the pool. Oversized one-off buffers
+// are dropped rather than pinned in the pool.
+func putFrame(b *[]byte) {
+	if cap(*b) > 1<<16 {
+		return
+	}
+	*b = (*b)[:0]
+	framePool.Put(b)
 }
 
 // DecodePacket parses one frame payload. Every failure mode of arbitrary
@@ -205,6 +234,12 @@ func (e *Enc) Bool(v bool) {
 func (e *Enc) Str(s string) {
 	e.U64(uint64(len(s)))
 	e.b = append(e.b, s...)
+}
+
+// Bin appends a length-prefixed byte string.
+func (e *Enc) Bin(b []byte) {
+	e.U64(uint64(len(b)))
+	e.b = append(e.b, b...)
 }
 
 // Dec is the matching cursor over an encoded buffer. Errors are sticky:
@@ -307,6 +342,28 @@ func (d *Dec) Str() string {
 	s := string(d.b[d.off : d.off+int(n)])
 	d.off += int(n)
 	return s
+}
+
+// Bin reads a length-prefixed byte string. The returned slice is a copy,
+// never an alias of the input: transports reuse their read buffers across
+// frames, so a decoded body must not retain the wire bytes. An empty
+// string decodes as nil.
+func (d *Dec) Bin() []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("wire: byte-string length %d exceeds remaining %d bytes", n, len(d.b)-d.off)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:])
+	d.off += int(n)
+	return out
 }
 
 // Len reads a length-prefixed count and bounds it by the bytes remaining,

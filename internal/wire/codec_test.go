@@ -30,17 +30,20 @@ func samples(t testing.TB) map[net.MsgType]net.Packet {
 		wire.TPaxPrepare:   {Type: wire.TPaxPrepare, Body: paxos.PrepareReq{Inst: inst, Ballot: 13, Range: true}},
 		wire.TPaxPrepareResp: {Type: wire.TPaxPrepareResp, Body: paxos.PrepareResp{
 			Inst: inst, Ballot: 13, OK: true, Promised: -2,
-			Accepted: paxos.AcceptedVal{Ballot: 4, Val: -9, Has: true},
-			Range:    []paxos.SlotVal{{Slot: 1, Ballot: 2, Val: 3}, {Slot: -4, Ballot: 5, Val: -6}},
-			Decided:  true, DecVal: 77}},
+			Accepted: paxos.AcceptedVal{Ballot: 4, Val: paxos.I64Value(-9), Has: true},
+			Range: []paxos.SlotVal{
+				{Slot: 1, Ballot: 2, Val: paxos.I64Value(3)},
+				{Slot: -4, Ballot: 5, Val: paxos.I64Value(-6)}},
+			Decided: true, DecVal: paxos.I64Value(77)}},
 		wire.TPaxAccept: {Type: wire.TPaxAccept, Body: paxos.AcceptReq{
-			Inst: inst, Ballot: 3, Val: -100, PrevDecided: true,
-			Prev: paxos.SlotVal{Slot: -8, Ballot: 2, Val: 1}}},
+			Inst: inst, Ballot: 3, Val: paxos.I64Value(-100), PrevDecided: true,
+			Prev: paxos.SlotVal{Slot: -8, Ballot: 2, Val: paxos.I64Value(1)}}},
 		wire.TPaxAcceptResp: {Type: wire.TPaxAcceptResp, Body: paxos.AcceptResp{
-			Inst: inst, Ballot: 3, OK: false, Promised: 6, Decided: false, DecVal: 0}},
-		wire.TPaxDecide: {Type: wire.TPaxDecide, Body: paxos.DecideMsg{Inst: inst, Val: 123456789}},
+			Inst: inst, Ballot: 3, OK: false, Promised: 6, Decided: false}},
+		wire.TPaxDecide: {Type: wire.TPaxDecide, Body: paxos.DecideMsg{Inst: inst, Val: paxos.I64Value(123456789)}},
 		wire.TPaxLearn:  {Type: wire.TPaxLearn, Body: paxos.LearnReq{Inst: inst}},
 		wire.TReplogOp:  {Type: wire.TReplogOp, Body: sampleOp(t)},
+		wire.TReplogFwd: {Type: wire.TReplogFwd, Body: sampleFwdBatch(t)},
 		wire.TDatum: {Type: wire.TDatum, Body: logobj.Datum{
 			Kind: logobj.KindPos, Msg: msg.ID(3), H: groups.GroupID(1), I: 17}},
 	}
@@ -62,6 +65,26 @@ func sampleOp(t testing.TB) any {
 	pkt, err := wire.DecodePacket(append([]byte{1, uint8(wire.TReplogOp), 0, 0}, e.Bytes()...))
 	if err != nil {
 		t.Fatalf("building sample replog op: %v", err)
+	}
+	return pkt.Body
+}
+
+// sampleFwdBatch builds a replog.FwdBatch the same way: realm, op count,
+// then the ops with the standalone-Op field layout.
+func sampleFwdBatch(t testing.TB) any {
+	t.Helper()
+	var e wire.Enc
+	e.U64(7<<32 | 3) // realm
+	e.U64(2)         // two ops
+	e.I64(1)         // opAppend
+	logobj.EncodeDatum(&e, logobj.Datum{Kind: logobj.KindMsg, Msg: 9, H: 1, I: 0})
+	e.I64(0)
+	e.I64(2) // opBumpAndLock
+	logobj.EncodeDatum(&e, logobj.Datum{Kind: logobj.KindPos, Msg: 4, H: 0, I: 6})
+	e.I64(12)
+	pkt, err := wire.DecodePacket(append([]byte{1, uint8(wire.TReplogFwd), 0, 0}, e.Bytes()...))
+	if err != nil {
+		t.Fatalf("building sample replog fwd batch: %v", err)
 	}
 	return pkt.Body
 }

@@ -60,9 +60,11 @@ var _ net.Transport = (*TCP)(nil)
 var _ obs.NetReporter = (*TCP)(nil)
 var _ obs.WireReporter = (*TCP)(nil)
 
-// peerQ is the outbound queue of one peer.
+// peerQ is the outbound queue of one peer. Entries are pooled frame
+// buffers: the write loop copies each into its flush buffer and returns it
+// to the pool.
 type peerQ struct {
-	ch chan []byte
+	ch chan *[]byte
 }
 
 // Config describes one process's place in a TCP deployment.
@@ -88,6 +90,11 @@ const (
 	// dialBackoffMin/Max bound the exponential dial retry.
 	dialBackoffMin = 10 * time.Millisecond
 	dialBackoffMax = time.Second
+	// maxFlushBytes caps one coalesced flush. The write loop drains its
+	// queue into a single buffer and makes one Write call per wakeup; the
+	// cap bounds both the flush buffer's steady-state size and the blast
+	// radius of a write error (a failed flush loses every frame in it).
+	maxFlushBytes = 64 << 10
 )
 
 // Listen binds cfg.Self's address and starts the endpoint.
@@ -128,7 +135,7 @@ func NewWithListener(cfg Config, ln gonet.Listener) *TCP {
 		if groups.Process(p) == t.self {
 			continue // self-sends bypass the socket entirely
 		}
-		t.peers[p].ch = make(chan []byte, outQueueDepth)
+		t.peers[p].ch = make(chan *[]byte, outQueueDepth)
 		t.wg.Add(1)
 		go t.writeLoop(groups.Process(p))
 	}
@@ -156,20 +163,23 @@ func (t *TCP) Send(from, to groups.Process, mt net.MsgType, body any) {
 		t.deliver(net.Packet{From: from, To: to, Type: mt, Body: body})
 		return
 	}
-	frame, err := EncodePacket(net.Packet{From: from, To: to, Type: mt, Body: body})
+	fb := getFrame()
+	frame, err := AppendPacket((*fb)[:0], net.Packet{From: from, To: to, Type: mt, Body: body})
 	if err != nil {
 		// An unencodable body is a caller bug; surface it loudly rather
 		// than silently degrading the protocol to local-only delivery.
 		panic(err)
 	}
+	*fb = frame
 	t.wire.FramesEncoded.Add(1)
 	t.wire.BytesOut.Add(int64(lenPrefixLen + len(frame)))
 	t.counters.Sent(from, to, lenPrefixLen+len(frame))
 	select {
-	case t.peers[to].ch <- frame:
+	case t.peers[to].ch <- fb:
 	default:
 		// Queue overflow: the peer is slow or down and the dial/backoff
 		// loop is holding the line. Drop — substrates retransmit.
+		putFrame(fb)
 		t.wire.QueueDrops.Add(1)
 		t.counters.Overflow()
 	}
@@ -269,9 +279,12 @@ func (t *TCP) deliver(pkt net.Packet) {
 }
 
 // writeLoop owns the outbound connection to one peer: dial with exponential
-// backoff, write queued frames, and on any write error drop the frame,
-// close the connection and redial. Frames queued while the peer is down
-// accumulate until the queue overflows (counted in Send).
+// backoff, coalesce every queued frame into one flush buffer per wakeup
+// ([u32 len][frame]...), and make a single Write call. On a write error the
+// whole flush is lost (substrates retransmit; the loss is counted in
+// WriteDrops), the connection closes and the next flush redials. Frames
+// queued while the peer is down accumulate until the queue overflows
+// (counted in Send as QueueDrops).
 func (t *TCP) writeLoop(to groups.Process) {
 	defer t.wg.Done()
 	var conn gonet.Conn
@@ -280,13 +293,34 @@ func (t *TCP) writeLoop(to groups.Process) {
 			t.dropConn(conn)
 		}
 	}()
+	flush := make([]byte, 0, 4<<10)
 	var lenBuf [lenPrefixLen]byte
 	for {
-		var frame []byte
+		var fb *[]byte
 		select {
 		case <-t.done:
 			return
-		case frame = <-t.peers[to].ch:
+		case fb = <-t.peers[to].ch:
+		}
+		// Coalesce: the wakeup frame plus everything already queued, up to
+		// the flush cap. Frames left behind wake the loop again immediately.
+		flush = flush[:0]
+		frames := 0
+		for {
+			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(*fb)))
+			flush = append(flush, lenBuf[:]...)
+			flush = append(flush, *fb...)
+			putFrame(fb)
+			frames++
+			if len(flush) >= maxFlushBytes {
+				break
+			}
+			select {
+			case fb = <-t.peers[to].ch:
+				continue
+			default:
+			}
+			break
 		}
 		if conn == nil {
 			if conn = t.dial(to); conn == nil {
@@ -303,18 +337,18 @@ func (t *TCP) writeLoop(to groups.Process) {
 			t.conns[conn] = struct{}{}
 			t.connMu.Unlock()
 		}
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
-		if _, err := conn.Write(lenBuf[:]); err == nil {
-			_, err = conn.Write(frame)
-			if err == nil {
-				continue
-			}
+		if _, err := conn.Write(flush); err != nil {
+			// Write failed: every frame in the flush is lost (substrates
+			// retransmit). Redial lazily — the next flush re-establishes
+			// the connection.
+			t.wire.WriteDrops.Add(int64(frames))
+			t.dropConn(conn)
+			conn = nil
+			t.wire.Reconnects.Add(1)
+			continue
 		}
-		// Write failed: the frame is lost (substrates retransmit). Redial
-		// lazily — the next frame will re-establish the connection.
-		t.dropConn(conn)
-		conn = nil
-		t.wire.Reconnects.Add(1)
+		t.wire.Flushes.Add(1)
+		t.wire.FlushedFrames.Add(int64(frames))
 	}
 }
 
@@ -383,6 +417,9 @@ func (t *TCP) readLoop(conn gonet.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	var lenBuf [lenPrefixLen]byte
+	// buf is reused across frames — safe because every registered decoder
+	// copies what it keeps (Dec.Bin and Dec.Str never alias their input).
+	var buf []byte
 	for {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 			// Clean EOF between frames is a peer closing (or crashing —
@@ -398,7 +435,11 @@ func (t *TCP) readLoop(conn gonet.Conn) {
 			t.wire.ShortReads.Add(1)
 			return
 		}
-		buf := make([]byte, n)
+		if int(n) > cap(buf) {
+			buf = make([]byte, n)
+		} else {
+			buf = buf[:n]
+		}
 		if _, err := io.ReadFull(r, buf); err != nil {
 			if !t.closed.Load() {
 				t.wire.ShortReads.Add(1)

@@ -146,8 +146,41 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 		case <-time.After(20 * time.Millisecond):
 		}
 	}
-	if rep := a.WireReport(); rep.Reconnects == 0 {
+	rep := a.WireReport()
+	if rep.Reconnects == 0 {
 		t.Fatalf("expected a reconnect to be counted: %+v", rep)
+	}
+	// Every reconnect is a failed flush, and a failed flush loses frames:
+	// those losses must surface in WriteDrops (they used to vanish — only
+	// send-side queue overflow was counted).
+	if rep.WriteDrops == 0 {
+		t.Fatalf("write-loop losses not surfaced in WriteDrops: %+v", rep)
+	}
+}
+
+// TestTCPCoalescedFlushCounters streams a burst through one peer link and
+// checks the write loop accounts its flushes: every delivered frame is part
+// of exactly one flush, so FlushedFrames covers the traffic and Flushes
+// never exceeds it.
+func TestTCPCoalescedFlushCounters(t *testing.T) {
+	f, err := wire.NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const burst = 200
+	for i := 0; i < burst; i++ {
+		f.Send(0, 1, wire.TPaxLearn, paxos.LearnReq{Inst: paxos.InstanceID{Slot: int64(i)}})
+	}
+	for i := 0; i < burst; i++ {
+		recvPacket(t, f.Inbox(1))
+	}
+	rep := f.WireReport()
+	if rep.Flushes == 0 || rep.FlushedFrames < burst {
+		t.Fatalf("flush counters missed the burst: %+v", rep)
+	}
+	if rep.Flushes > rep.FlushedFrames {
+		t.Fatalf("more flushes than frames: %+v", rep)
 	}
 }
 

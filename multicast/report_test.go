@@ -139,16 +139,18 @@ func TestReportObserveOff(t *testing.T) {
 }
 
 func TestRunContextDeadlineLive(t *testing.T) {
-	sys, err := New(chainTopo(), Config{Backend: Live})
+	// Crashing 1 and 2 at tick 0 leaves p0 — a correct g1 member that must
+	// deliver — without a quorum for any pair log, so the run can never
+	// complete and the deadline must cut it short, however fast the
+	// substrate gets. (A bare short deadline raced the batched hot path.)
+	sys, err := New(chainTopo(), Config{Backend: Live, Crashes: map[int]int64{1: 0, 2: 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := sys.Multicast(0, "g1", nil); err != nil {
 		t.Fatal(err)
 	}
-	// A 1ms deadline cannot cover a paxos commit on ~1ms ticks: the run must
-	// be cut short, carrying both sentinels.
-	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	runErr := sys.RunContext(ctx)
 	if !errors.Is(runErr, ErrRunTimeout) {
