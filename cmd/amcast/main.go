@@ -28,6 +28,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/groups"
 	"repro/internal/live"
+	"repro/internal/msg"
 	"repro/internal/net"
 	"repro/internal/obs"
 )
@@ -35,9 +36,9 @@ import (
 func main() {
 	var (
 		groupsFlag  = flag.String("groups", "0,1;1,2;0,2", "semicolon-separated groups (comma-separated members)")
-		msgsFlag    = flag.String("msgs", "0>0;1>1", "semicolon-separated multicasts src>group[@time]")
+		msgsFlag    = flag.String("msgs", "0>0;1>1", "semicolon-separated multicasts src>group[@time][#class] (#free / #<n> tag conflict classes under -variant generic)")
 		crashFlag   = flag.String("crash", "", "semicolon-separated crashes proc@time")
-		variantFlag = flag.String("variant", "vanilla", "vanilla | strict | pairwise | strong")
+		variantFlag = flag.String("variant", "vanilla", "vanilla | strict | pairwise | strong | generic")
 		backendFlag = flag.String("backend", "sim", "sim | live")
 		seedFlag    = flag.Int64("seed", 1, "scheduler seed (sim backend)")
 		delayFlag   = flag.Int64("delay", 8, "failure-detector stabilisation delay")
@@ -72,6 +73,9 @@ func run(groupSpec, msgSpec, crashSpec, variant, backend string, seed, delay int
 		Variant:       v,
 		ChargeObjects: costs,
 		FD:            fd.Options{Delay: failure.Time(delay), Seed: seed},
+	}
+	if v == core.Generic {
+		opt.Conflict = msg.ClassesConflict
 	}
 	if wantReport {
 		// Wall stamps only on live — a sim timeline must stay seed-determined.
@@ -108,7 +112,7 @@ func printReport(rep obs.RunReport) {
 func runSim(topo *groups.Topology, pat *failure.Pattern, opt core.Options, seed int64, msgs []cliconf.MulticastSpec, costs, wantReport bool) error {
 	sys := core.NewSystem(topo, pat, opt, seed)
 	for _, m := range msgs {
-		sys.MulticastAt(m.At, m.Src, m.G, nil)
+		sys.MulticastClassedAt(m.At, m.Src, m.G, nil, m.Class)
 	}
 	if !sys.Run() {
 		return fmt.Errorf("run did not quiesce within the step budget")
@@ -136,7 +140,7 @@ func runLive(topo *groups.Topology, pat *failure.Pattern, opt core.Options, msgs
 		for sys.Now() < m.At {
 			time.Sleep(time.Millisecond)
 		}
-		sys.Multicast(m.Src, m.G, nil)
+		sys.MulticastClassed(m.Src, m.G, nil, m.Class)
 	}
 	if !sys.AwaitDelivery(60 * time.Second) {
 		return fmt.Errorf("live run did not reach full delivery within 60s")

@@ -35,6 +35,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/groups"
 	"repro/internal/live"
+	"repro/internal/msg"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
@@ -44,9 +45,9 @@ func main() {
 		idFlag      = flag.Int("id", -1, "process ID this daemon embodies (index into -peers)")
 		peersFlag   = flag.String("peers", "", "comma-separated host:port per process, indexed by ID")
 		groupsFlag  = flag.String("groups", "0,1;1,2;0,2", "semicolon-separated groups (comma-separated members)")
-		msgsFlag    = flag.String("msgs", "0>0;1>1", "semicolon-separated multicasts src>group[@tick]")
+		msgsFlag    = flag.String("msgs", "0>0;1>1", "semicolon-separated multicasts src>group[@tick][#class] (#free / #<n> tag conflict classes under -variant generic)")
 		crashFlag   = flag.String("crash", "", "semicolon-separated crashes proc@tick")
-		variantFlag = flag.String("variant", "vanilla", "vanilla | strict | pairwise | strong")
+		variantFlag = flag.String("variant", "vanilla", "vanilla | strict | pairwise | strong | generic")
 		delayFlag   = flag.Int64("delay", 8, "failure-detector stabilisation delay (ticks)")
 		seedFlag    = flag.Int64("seed", 1, "failure-detector seed (must match across daemons)")
 		timeoutFlag = flag.Duration("timeout", 60*time.Second, "how long to wait for local delivery")
@@ -96,6 +97,11 @@ func run(id int, peers, groupSpec, msgSpec, crashSpec, variant string,
 		Variant: v,
 		FD:      fd.Options{Delay: failure.Time(delay), Seed: seed},
 	}
+	if v == core.Generic {
+		// The conflict relation of a daemon run is induced by the #class
+		// tags of the -msgs spec, which every daemon parses identically.
+		opt.Conflict = msg.ClassesConflict
+	}
 	if wantReport {
 		opt.Rec = obs.NewRecorder(obs.Options{WallClock: true})
 	}
@@ -114,9 +120,9 @@ func run(id int, peers, groupSpec, msgSpec, crashSpec, variant string,
 			time.Sleep(time.Millisecond)
 		}
 		if m.Src == self {
-			sys.Multicast(m.Src, m.G, nil)
+			sys.MulticastClassed(m.Src, m.G, nil, m.Class)
 		} else {
-			sys.Observe(m.Src, m.G, nil)
+			sys.ObserveClassed(m.Src, m.G, nil, m.Class)
 		}
 	}
 

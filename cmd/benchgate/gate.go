@@ -60,12 +60,15 @@ func microGate(w io.Writer, oldPath, newPath string, alpha, ratioMax float64) (f
 	return failed, nil
 }
 
-// liveRowKey identifies a benchtab live row across documents.
+// liveRowKey identifies a benchtab live row across documents. ConflictRate
+// joined the key in schema v4: the commuting-mix rows (rate < 1) share a
+// topology with the all-conflict rows (rate 1) and must not alias them.
 type liveRowKey struct {
-	Processes int    `json:"processes"`
-	Groups    int    `json:"groups"`
-	Transport string `json:"transport"`
-	ChaosSeed int64  `json:"chaos_seed"`
+	Processes    int     `json:"processes"`
+	Groups       int     `json:"groups"`
+	Transport    string  `json:"transport"`
+	ChaosSeed    int64   `json:"chaos_seed"`
+	ConflictRate float64 `json:"conflict_rate"`
 }
 
 // liveRow is the subset of a benchtab live row the gate reads.
@@ -122,6 +125,9 @@ func liveGate(w io.Writer, oldPath, newPath string, pktsSlack, dlvFloor float64)
 	for _, r := range cur.Runs {
 		b, ok := base[r.liveRowKey]
 		label := fmt.Sprintf("n=%d k=%d %s seed=%d", r.Processes, r.Groups, r.Transport, r.ChaosSeed)
+		if r.ConflictRate != 1 {
+			label = fmt.Sprintf("%s cfl=%.2f", label, r.ConflictRate)
+		}
 		if !ok {
 			fmt.Fprintf(w, "%-28s %22s %18s  new row (no baseline)\n", label, "-", "-")
 			continue

@@ -11,6 +11,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/groups"
 	"repro/internal/live"
+	"repro/internal/msg"
 	"repro/internal/net"
 	"repro/internal/obs"
 	"repro/internal/wire"
@@ -24,16 +25,25 @@ import (
 // made deliveries/sec a first-class column and added the batching pipeline's
 // shape (ops/batch, window depth peak, frames/flush, write drops) — and the
 // default load changed from a paced open loop to an unthrottled burst, so
-// v2 latency numbers are not comparable.
-const benchSchemaVersion = 3
+// v2 latency numbers are not comparable. Version 4 added the conflict_rate
+// column (1.0 = the vanilla all-conflict rows; < 1.0 = generic-variant
+// commuting-mix rows that skip pairwise coordination for commuting
+// messages) and fast_deliveries — v3 rows have no conflict_rate, so they
+// would silently alias the all-conflict rows.
+const benchSchemaVersion = 4
 
 // liveRow is one measured configuration of the live bench — a row of
 // BENCH_live.json.
 type liveRow struct {
-	Processes          int     `json:"processes"`
-	Groups             int     `json:"groups"`
-	Transport          string  `json:"transport"`
-	ChaosSeed          int64   `json:"chaos_seed"`
+	Processes int    `json:"processes"`
+	Groups    int    `json:"groups"`
+	Transport string `json:"transport"`
+	ChaosSeed int64  `json:"chaos_seed"`
+	// ConflictRate is the fraction of the load tagged into keyed conflict
+	// classes: 1.0 is the vanilla total-order run (every pair conflicts),
+	// anything below runs the generic variant where the remaining messages
+	// are ClassFree and skip the g∩h coordination entirely.
+	ConflictRate       float64 `json:"conflict_rate"`
 	Multicasts         int64   `json:"multicasts"`
 	Deliveries         int64   `json:"deliveries"`
 	P50Ms              float64 `json:"p50_ms"`
@@ -45,7 +55,10 @@ type liveRow struct {
 	Packets            int64   `json:"packets"`
 	PacketsPerDelivery float64 `json:"packets_per_delivery"`
 	ChaosInjections    uint64  `json:"chaos_injections,omitempty"`
-	WallMs             float64 `json:"wall_ms"`
+	// FastDeliveries counts deliveries that skipped the pairwise
+	// coordination pipeline (generic variant, commuting messages only).
+	FastDeliveries int64   `json:"fast_deliveries,omitempty"`
+	WallMs         float64 `json:"wall_ms"`
 	// Batching pipeline shape: mean ops per proposed replog batch and the
 	// peak number of outstanding windowed accept rounds in any realm.
 	AvgBatchOps     float64 `json:"avg_batch_ops"`
@@ -93,8 +106,10 @@ func chainTopo(n int) (*groups.Topology, error) {
 // > 0 approximates an open load at that interval (-rate). seed != 0 wraps
 // the transport in the nemesis with a mild fault mix (faults are lifted
 // before the drain so liveness only depends on the protocol, not on the
-// schedule being kind).
-func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string) (obs.RunReport, error) {
+// schedule being kind). conflictRate < 1 switches the system to the
+// generic variant and tags that fraction of the load into a small keyed
+// conflict-class space; the rest is ClassFree and may skip coordination.
+func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string, conflictRate float64) (obs.RunReport, error) {
 	topo, err := chainTopo(n)
 	if err != nil {
 		return obs.RunReport{}, err
@@ -125,17 +140,33 @@ func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string) 
 	// LevelCounters: latency samples, coordination and substrate counters
 	// without the per-event timeline — the bench measures, it doesn't trace.
 	rec := obs.NewRecorder(obs.Options{Level: obs.LevelCounters, WallClock: true})
-	sys := live.NewSystem(topo, failure.NewPattern(n), nw, live.Config{
-		Opt: core.Options{Rec: rec},
-	})
+	opt := core.Options{Rec: rec}
+	generic := conflictRate < 1
+	if generic {
+		opt.Variant = core.Generic
+		opt.Conflict = msg.ClassesConflict
+	}
+	sys := live.NewSystem(topo, failure.NewPattern(n), nw, live.Config{Opt: opt})
 	sys.Start()
 	k := topo.NumGroups()
+	// Deterministic conflict mix: out of every 10 messages, the first
+	// round(rate*10) land in one of three keyed classes (these order among
+	// themselves per key), the rest commute with everything.
+	keyed := int(conflictRate*10 + 0.5)
 	for i := 0; i < msgs; i++ {
 		g := i % k
 		// Rotate the sender through the group's three members so submit
 		// load spreads instead of serialising behind one process's loop.
 		sender := groups.Process(2*g + (i/k)%3)
-		sys.Multicast(sender, groups.GroupID(g), nil)
+		if generic {
+			class := msg.ClassFree
+			if i%10 < keyed {
+				class = msg.Class(1 + i%3)
+			}
+			sys.MulticastClassed(sender, groups.GroupID(g), nil, class)
+		} else {
+			sys.Multicast(sender, groups.GroupID(g), nil)
+		}
 		if pace > 0 {
 			time.Sleep(pace)
 		}
@@ -158,8 +189,10 @@ func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string) 
 // the BENCH_live.json document, and baselinePath != "" loads a prior
 // document and prints per-topology deltas against it. rate > 0 throttles
 // the load to that many multicasts/sec (the open-loop mode; 0 bursts);
-// count > 0 overrides the per-run message count.
-func liveBench(short bool, jsonPath, baselinePath, transport string, rate float64, count int) error {
+// count > 0 overrides the per-run message count. conflictRate < 1 adds
+// chaos-free commuting-mix rows at that rate (generic variant) next to
+// the all-conflict rows, so the skip-coordination win is in the table.
+func liveBench(short bool, jsonPath, baselinePath, transport string, rate float64, count int, conflictRate float64) error {
 	sizes := []int{3, 5, 7}
 	seeds := []int64{0, 3}
 	msgs := 48
@@ -174,69 +207,93 @@ func liveBench(short bool, jsonPath, baselinePath, transport string, rate float6
 	if rate > 0 {
 		pace = time.Duration(float64(time.Second) / rate)
 	}
-	header(fmt.Sprintf("Live substrate — wall-clock cost of Algorithm 1 over chain topologies (%s transport)", transport))
-	fmt.Printf("%4s %3s %6s | %5s | %9s %9s | %9s %9s | %9s %9s\n",
-		"n", "k", "seed", "msgs", "p50 ms", "p99 ms", "dlv/sec", "pkts/dlv", "ops/batch", "win peak")
-	doc := liveDoc{Version: benchSchemaVersion, Generated: time.Now().UTC().Format(time.RFC3339), Short: short}
+	// The run plan: every (size, seed) at conflict rate 1 — the vanilla
+	// total-order rows — then one chaos-free commuting-mix row per size.
+	// Chaos seeds stay off the mix rows: the gate only reads chaos-free
+	// rows, and the nemesis' variance would drown the coordination delta.
+	type runCfg struct {
+		n    int
+		seed int64
+		rate float64
+	}
+	var plan []runCfg
 	for _, n := range sizes {
 		for _, seed := range seeds {
-			rep, err := liveRun(n, seed, msgs, pace, transport)
-			if err != nil {
-				return err
-			}
-			row := liveRow{
-				Processes:  rep.Processes,
-				Groups:     rep.Groups,
-				Transport:  transport,
-				ChaosSeed:  seed,
-				Multicasts: rep.Multicasts,
-				Deliveries: rep.Deliveries,
-				WallMs:     float64(rep.Wall) / float64(time.Millisecond),
-			}
-			if rep.WallLatency != nil {
-				row.P50Ms = rep.WallLatency.P50
-				row.P90Ms = rep.WallLatency.P90
-				row.P99Ms = rep.WallLatency.P99
-				row.MaxMs = rep.WallLatency.Max
-			}
-			if rep.Wall > 0 {
-				row.MsgsPerSec = float64(rep.Multicasts) / rep.Wall.Seconds()
-				row.DeliveriesPerSec = float64(rep.Deliveries) / rep.Wall.Seconds()
-			}
-			if rep.Net != nil {
-				row.Packets = rep.Net.Packets
-			}
-			if ppd, ok := rep.PacketsPerDelivery(); ok {
-				row.PacketsPerDelivery = ppd
-			}
-			row.ChaosInjections = rep.Chaos.Injections()
-			row.AvgBatchOps = rep.Replog.MeanBatchOps()
-			if rep.Replog != nil {
-				row.FwdOps = rep.Replog.FwdOps
-				row.RemoteOps = rep.Replog.RemoteOps
-			}
-			if rep.Paxos != nil {
-				row.WindowDepthPeak = rep.Paxos.WindowDepthPeak
-			}
-			if rep.Wire != nil {
-				row.WireBytesOut = rep.Wire.BytesOut
-				row.WireFramesOut = rep.Wire.FramesEncoded
-				row.WireReconnects = rep.Wire.Reconnects
-				row.FramesPerFlush = rep.Wire.FramesPerFlush()
-				row.WireWriteDrops = rep.Wire.WriteDrops
-			}
-			doc.Runs = append(doc.Runs, row)
-			fmt.Printf("%4d %3d %6d | %5d | %9.2f %9.2f | %9.1f %9.1f | %9.1f %9d\n",
-				row.Processes, row.Groups, seed, row.Multicasts,
-				row.P50Ms, row.P99Ms, row.DeliveriesPerSec, row.PacketsPerDelivery,
-				row.AvgBatchOps, row.WindowDepthPeak)
+			plan = append(plan, runCfg{n, seed, 1})
 		}
+	}
+	if conflictRate < 1 {
+		for _, n := range sizes {
+			plan = append(plan, runCfg{n, 0, conflictRate})
+		}
+	}
+	header(fmt.Sprintf("Live substrate — wall-clock cost of Algorithm 1 over chain topologies (%s transport)", transport))
+	fmt.Printf("%4s %3s %6s %5s | %5s | %9s %9s | %9s %9s | %9s %9s\n",
+		"n", "k", "seed", "cfl", "msgs", "p50 ms", "p99 ms", "dlv/sec", "pkts/dlv", "ops/batch", "win peak")
+	doc := liveDoc{Version: benchSchemaVersion, Generated: time.Now().UTC().Format(time.RFC3339), Short: short}
+	for _, rc := range plan {
+		rep, err := liveRun(rc.n, rc.seed, msgs, pace, transport, rc.rate)
+		if err != nil {
+			return err
+		}
+		row := liveRow{
+			Processes:    rep.Processes,
+			Groups:       rep.Groups,
+			Transport:    transport,
+			ChaosSeed:    rc.seed,
+			ConflictRate: rc.rate,
+			Multicasts:   rep.Multicasts,
+			Deliveries:   rep.Deliveries,
+			WallMs:       float64(rep.Wall) / float64(time.Millisecond),
+		}
+		if rep.WallLatency != nil {
+			row.P50Ms = rep.WallLatency.P50
+			row.P90Ms = rep.WallLatency.P90
+			row.P99Ms = rep.WallLatency.P99
+			row.MaxMs = rep.WallLatency.Max
+		}
+		if rep.Wall > 0 {
+			row.MsgsPerSec = float64(rep.Multicasts) / rep.Wall.Seconds()
+			row.DeliveriesPerSec = float64(rep.Deliveries) / rep.Wall.Seconds()
+		}
+		if rep.Net != nil {
+			row.Packets = rep.Net.Packets
+		}
+		if ppd, ok := rep.PacketsPerDelivery(); ok {
+			row.PacketsPerDelivery = ppd
+		}
+		row.ChaosInjections = rep.Chaos.Injections()
+		row.AvgBatchOps = rep.Replog.MeanBatchOps()
+		if rep.Replog != nil {
+			row.FwdOps = rep.Replog.FwdOps
+			row.RemoteOps = rep.Replog.RemoteOps
+		}
+		if rep.Paxos != nil {
+			row.WindowDepthPeak = rep.Paxos.WindowDepthPeak
+		}
+		if rep.Conflict != nil {
+			row.FastDeliveries = rep.Conflict.FastDeliveries
+		}
+		if rep.Wire != nil {
+			row.WireBytesOut = rep.Wire.BytesOut
+			row.WireFramesOut = rep.Wire.FramesEncoded
+			row.WireReconnects = rep.Wire.Reconnects
+			row.FramesPerFlush = rep.Wire.FramesPerFlush()
+			row.WireWriteDrops = rep.Wire.WriteDrops
+		}
+		doc.Runs = append(doc.Runs, row)
+		fmt.Printf("%4d %3d %6d %5.2f | %5d | %9.2f %9.2f | %9.1f %9.1f | %9.1f %9d\n",
+			row.Processes, row.Groups, rc.seed, rc.rate, row.Multicasts,
+			row.P50Ms, row.P99Ms, row.DeliveriesPerSec, row.PacketsPerDelivery,
+			row.AvgBatchOps, row.WindowDepthPeak)
 	}
 	fmt.Println("\nshape: latency and wire traffic grow with the chain because neighbouring")
 	fmt.Println("groups share pair logs; a seeded nemesis adds retransmission work (visible")
 	fmt.Println("in pkts/dlv) without moving the median much — indulgence, measured. The")
 	fmt.Println("burst load keeps the replog batcher and the accept window busy (ops/batch,")
-	fmt.Println("win peak); -rate throttles back to an open load.")
+	fmt.Println("win peak); -rate throttles back to an open load. Rows with cfl < 1 run the")
+	fmt.Println("generic variant: commuting messages skip the pair logs, so pkts/dlv and")
+	fmt.Println("p50 sit below the all-conflict row on the same topology.")
 	if baselinePath != "" {
 		if err := printBaselineDeltas(baselinePath, doc.Runs); err != nil {
 			return err
@@ -279,10 +336,11 @@ func printBaselineDeltas(path string, fresh []liveRow) error {
 		n         int
 		transport string
 		seed      int64
+		rate      float64
 	}
 	old := make(map[rowKey]liveRow, len(prior.Runs))
 	for _, r := range prior.Runs {
-		old[rowKey{r.Processes, r.Transport, r.ChaosSeed}] = r
+		old[rowKey{r.Processes, r.Transport, r.ChaosSeed, r.ConflictRate}] = r
 	}
 	pct := func(now, was float64) string {
 		if was == 0 {
@@ -295,7 +353,7 @@ func printBaselineDeltas(path string, fresh []liveRow) error {
 		"n", "seed", "p50 was", "p50 now", "Δ", "dlv/s was", "dlv/s now", "Δ", "pkts was", "pkts now", "Δ")
 	matched := 0
 	for _, r := range fresh {
-		was, ok := old[rowKey{r.Processes, r.Transport, r.ChaosSeed}]
+		was, ok := old[rowKey{r.Processes, r.Transport, r.ChaosSeed, r.ConflictRate}]
 		if !ok {
 			fmt.Printf("%4d %6d | (no baseline row)\n", r.Processes, r.ChaosSeed)
 			continue

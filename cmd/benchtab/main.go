@@ -50,6 +50,7 @@ func main() {
 		transportFlag = flag.String("transport", "mem", "live-mode transport: mem (in-memory channels) | tcp (loopback sockets + binary codec)")
 		rateFlag      = flag.Float64("rate", 0, "live-mode load throttle in multicasts/sec (0 = unthrottled burst)")
 		countFlag     = flag.Int("count", 0, "live-mode multicasts per run (0 = mode default)")
+		conflictFlag  = flag.Float64("conflict-rate", 0.1, "conflicting fraction of the generic commuting-mix live rows (1 = skip those rows)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile    = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
@@ -94,7 +95,7 @@ func main() {
 	case "delay":
 		delaySweep()
 	case "live":
-		if err := liveBench(*shortFlag, *jsonFlag, *baselineFlag, *transportFlag, *rateFlag, *countFlag); err != nil {
+		if err := liveBench(*shortFlag, *jsonFlag, *baselineFlag, *transportFlag, *rateFlag, *countFlag, *conflictFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

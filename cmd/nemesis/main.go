@@ -58,6 +58,7 @@ var workloads = []workload{
 	{"register", "single-writer ABD register; checks monotone reads and post-quiesce convergence", runRegister},
 	{"replog", "concurrent appends on one replicated log; checks pairwise ordering across replicas", runReplog},
 	{"multicast", "Algorithm 1 over the live backend on a chain of overlapping groups; checks the full specification", runMulticast},
+	{"commute", "generic multicast with mixed conflicting/commuting traffic under chaos; checks the conflict-aware specification", runCommute},
 }
 
 func lookupWorkload(name string) (workload, bool) {
@@ -282,17 +283,14 @@ func runReplog(seed int64, n int, plan chaos.Plan) error {
 	return nil
 }
 
-// runMulticast drives the full protocol on the live backend under the
-// plan: a chain of overlapping 3-member groups {0,1,2},{2,3,4},... over
-// n processes, with the unique middle member of every group crashing on
-// a staggered schedule (the shared members stay up, so every group and
-// every pairwise intersection keeps a majority). Correct members
-// multicast until the nemesis quiesces; then every multicast must be
-// delivered at every correct destination member and the whole trace must
-// pass the atomic-multicast specification checkers.
-func runMulticast(seed int64, n int, plan chaos.Plan) error {
+// chainScenario builds the shared multicast chaos scenario: a chain of
+// overlapping 3-member groups {0,1,2},{2,3,4},... over n processes, with
+// the unique middle member of every group crashing on a staggered schedule
+// (the shared members stay up, so every group and every pairwise
+// intersection keeps a majority).
+func chainScenario(n int) (*groups.Topology, *failure.Pattern, []groups.ProcSet, error) {
 	if n < 3 || n%2 == 0 {
-		return fmt.Errorf("the multicast workload needs an odd -n >= 3 (chain of overlapping 3-member groups), got %d", n)
+		return nil, nil, nil, fmt.Errorf("this workload needs an odd -n >= 3 (chain of overlapping 3-member groups), got %d", n)
 	}
 	var sets []groups.ProcSet
 	for p := 0; p+2 < n; p += 2 {
@@ -302,13 +300,26 @@ func runMulticast(seed int64, n int, plan chaos.Plan) error {
 	}
 	topo, err := groups.New(n, sets...)
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 	pat := failure.NewPattern(n)
 	ct := failure.Time(120)
 	for p := 1; p < n; p += 2 {
 		pat = pat.WithCrash(groups.Process(p), ct)
 		ct += 60
+	}
+	return topo, pat, sets, nil
+}
+
+// runMulticast drives the full protocol on the live backend under the
+// plan over the chain scenario. Correct members multicast until the
+// nemesis quiesces; then every multicast must be delivered at every
+// correct destination member and the whole trace must pass the
+// atomic-multicast specification checkers.
+func runMulticast(seed int64, n int, plan chaos.Plan) error {
+	topo, pat, sets, err := chainScenario(n)
+	if err != nil {
+		return err
 	}
 
 	c := chaos.Wrap(net.New(n), seed)
@@ -360,6 +371,88 @@ loop:
 	fmt.Printf("workload: %d multicasts, stats %+v\n", sent, c.Stats())
 	if vs := sys.Check(); len(vs) > 0 {
 		return fail("specification violated: %v", vs)
+	}
+	return nil
+}
+
+// runCommute drives the Generic variant on the live backend under the plan
+// over the same chain scenario, with mixed traffic: most messages commute
+// with everything (ClassFree, the coordination-free fast path) and the rest
+// fall into a few keyed conflict classes that must stay totally ordered.
+// The conflict-aware checkers then validate the run — total order within
+// conflicting pairs, free divergence elsewhere — and the run must have
+// actually exercised both paths.
+func runCommute(seed int64, n int, plan chaos.Plan) error {
+	topo, pat, sets, err := chainScenario(n)
+	if err != nil {
+		return err
+	}
+
+	c := chaos.Wrap(net.New(n), seed)
+	rec := obs.NewRecorder(obs.Options{WallClock: true})
+	sys := live.NewSystem(topo, pat, c, live.Config{Opt: core.Options{
+		Variant:  core.Generic,
+		Conflict: msg.ClassesConflict,
+		Rec:      rec,
+	}})
+	sys.Start()
+	defer sys.Stop()
+
+	fail := func(format string, args ...any) error {
+		sys.Stop()
+		rep := sys.Report()
+		fmt.Fprintf(os.Stderr, "%s\n", rep.String())
+		if len(rep.Events) > 0 {
+			fmt.Fprintln(os.Stderr, "event timeline (tail):")
+			rep.WriteTimeline(os.Stderr, 60)
+		}
+		return fmt.Errorf(format, args...)
+	}
+
+	nm := &chaos.Nemesis{C: c, Plan: plan}
+	nmDone := nm.Go()
+
+	// Round-robin multicasts from the correct (even-numbered) members: 7 in
+	// 10 commute with everything, the rest cycle through 3 keyed classes.
+	sent, free := 0, 0
+loop:
+	for i := 0; ; i++ {
+		k := i % len(sets)
+		src := groups.Process(2 * k)
+		if i%2 == 1 {
+			src = groups.Process(2*k + 2)
+		}
+		class := msg.ClassFree
+		if i%10 >= 7 {
+			class = msg.Class(1 + i%3)
+		} else {
+			free++
+		}
+		sys.MulticastClassed(src, groups.GroupID(k), nil, class)
+		sent++
+		select {
+		case <-nmDone:
+			break loop
+		case <-time.After(35 * time.Millisecond):
+		}
+	}
+
+	if !sys.AwaitDelivery(90 * time.Second) {
+		return fail("post-quiesce delivery incomplete: %d multicasts sent", sent)
+	}
+	sys.Stop()
+	rep := sys.Report()
+	var fast int64
+	if rep.Conflict != nil {
+		fast = rep.Conflict.FastDeliveries
+	}
+	fmt.Printf("workload: %d multicasts (%d commuting), %d fast deliveries, stats %+v\n",
+		sent, free, fast, c.Stats())
+	if free > 0 && fast == 0 {
+		return fail("commuting messages were sent but no delivery skipped coordination")
+	}
+	if vs := sys.Check(); len(vs) > 0 {
+		return fail("conflict-aware specification violated: %v", vs)
 	}
 	return nil
 }

@@ -28,6 +28,19 @@ type Trace struct {
 	FirstDelivered map[msg.ID]failure.Time
 	// TookSteps reports whether a process took observable steps in the run.
 	TookSteps func(groups.Process) bool
+	// Conflicts is the run's commutativity relation for the conflict-aware
+	// checkers: whether two messages must share a relative delivery order.
+	// nil means every pair conflicts, under which ConflictOrdering and
+	// ConflictPairwise coincide with Ordering and PairwiseOrdering.
+	Conflicts func(a, b msg.ID) bool
+}
+
+// conflicts evaluates the trace's relation (nil ⇒ every pair conflicts).
+func (tr *Trace) conflicts(a, b msg.ID) bool {
+	if tr.Conflicts == nil {
+		return true
+	}
+	return tr.Conflicts(a, b)
 }
 
 // Violation describes a broken property.
@@ -189,6 +202,47 @@ func PairwiseOrdering(tr *Trace) *Violation {
 	return nil
 }
 
+// ConflictOrdering checks the generic-multicast ordering property: the
+// delivery relation ↦ restricted to conflicting pairs is acyclic. Commuting
+// pairs may be delivered in different orders at different processes, so
+// only edges between messages the relation says conflict can invalidate the
+// run. With a nil relation this is exactly Ordering.
+func ConflictOrdering(tr *Trace) *Violation {
+	edges := deliveryEdges(tr)
+	for e := range edges {
+		if !tr.conflicts(e.from, e.to) {
+			delete(edges, e)
+		}
+	}
+	if cyc := findCycle(edges, nil); cyc != nil {
+		return violationf("conflict-ordering", "↦ restricted to conflicting pairs has a cycle: %v", cyc)
+	}
+	return nil
+}
+
+// ConflictPairwise checks pairwise agreement restricted to conflicting
+// pairs: if p delivers conflicting messages m then m', no process delivers
+// m' before m. With a nil relation this is exactly PairwiseOrdering.
+func ConflictPairwise(tr *Trace) *Violation {
+	type pair struct{ a, b msg.ID }
+	order := make(map[pair]groups.Process)
+	for p, seq := range tr.LocalOrder {
+		for i, a := range seq {
+			for _, b := range seq[i+1:] {
+				if !tr.conflicts(a, b) {
+					continue
+				}
+				if q, ok := order[pair{b, a}]; ok {
+					return violationf("conflict-pairwise",
+						"conflicting pair: p%d delivers m%d before m%d; p%d the converse", p, a, b, q)
+				}
+				order[pair{a, b}] = p
+			}
+		}
+	}
+	return nil
+}
+
 // Minimality checks genuineness: a process that took steps must be a
 // destination of some multicast message.
 func Minimality(tr *Trace) *Violation {
@@ -232,8 +286,10 @@ func GroupParallelism(tr *Trace, participants groups.ProcSet) *Violation {
 }
 
 // All runs every checker appropriate for the variant ("strict" adds
-// real-time order, "pairwise" swaps ordering for pairwise ordering).
-func All(tr *Trace, strict, pairwiseOnly bool) []*Violation {
+// real-time order, "pairwise" swaps ordering for pairwise ordering,
+// "generic" swaps both ordering checkers for their conflict-restricted
+// forms — total order is owed only within conflicting pairs).
+func All(tr *Trace, strict, pairwiseOnly, generic bool) []*Violation {
 	var out []*Violation
 	add := func(v *Violation) {
 		if v != nil {
@@ -242,9 +298,13 @@ func All(tr *Trace, strict, pairwiseOnly bool) []*Violation {
 	}
 	add(Integrity(tr))
 	add(Termination(tr))
-	if pairwiseOnly {
+	switch {
+	case generic:
+		add(ConflictOrdering(tr))
+		add(ConflictPairwise(tr))
+	case pairwiseOnly:
 		add(PairwiseOrdering(tr))
-	} else {
+	default:
 		add(Ordering(tr))
 		add(PairwiseOrdering(tr))
 	}

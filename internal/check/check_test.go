@@ -222,7 +222,7 @@ func TestAllComposes(t *testing.T) {
 	tr.LocalOrder[2] = []msg.ID{f.m2.ID}
 	tr.FirstDelivered[f.m1.ID] = 1
 	tr.FirstDelivered[f.m2.ID] = 2
-	if vs := All(tr, true, false); len(vs) != 0 {
+	if vs := All(tr, true, false, false); len(vs) != 0 {
 		t.Fatalf("clean trace flagged: %v", vs)
 	}
 }

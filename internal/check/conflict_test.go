@@ -1,0 +1,146 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/msg"
+)
+
+// divergent builds a two-process trace where p0 and p1 deliver the same two
+// g0 messages in opposite orders — an ordering violation iff the pair
+// conflicts.
+func divergent() (*Trace, msg.ID, msg.ID) {
+	f := newFixture()
+	m3 := f.reg.New(1, 0, nil)
+	tr := f.trace()
+	delete(tr.Multicast, f.m2.ID)
+	tr.Multicast[m3.ID] = 0
+	tr.LocalOrder[0] = []msg.ID{f.m1.ID, m3.ID}
+	tr.LocalOrder[1] = []msg.ID{m3.ID, f.m1.ID}
+	tr.FirstDelivered[f.m1.ID] = 1
+	tr.FirstDelivered[m3.ID] = 1
+	return tr, f.m1.ID, m3.ID
+}
+
+// commutePair returns a relation under which exactly one unordered pair
+// commutes and every other pair conflicts.
+func commutePair(x, y msg.ID) func(a, b msg.ID) bool {
+	return func(a, b msg.ID) bool {
+		return !(a == x && b == y || a == y && b == x)
+	}
+}
+
+func TestConflictCheckersAllowCommutingDivergence(t *testing.T) {
+	tr, a, b := divergent()
+	tr.Conflicts = commutePair(a, b)
+	if v := ConflictOrdering(tr); v != nil {
+		t.Errorf("commuting divergence flagged: %v", v)
+	}
+	if v := ConflictPairwise(tr); v != nil {
+		t.Errorf("commuting divergence flagged pairwise: %v", v)
+	}
+	// The unrestricted checkers still see the divergence — the relaxation
+	// is exactly the conflict relation, nothing else.
+	if Ordering(tr) == nil || PairwiseOrdering(tr) == nil {
+		t.Fatalf("sanity: unrestricted checkers should flag this trace")
+	}
+}
+
+func TestConflictCheckersCatchConflictingDivergence(t *testing.T) {
+	tr, a, b := divergent()
+	// Same shape, but the diverging pair conflicts (some third pair is
+	// declared commuting so the relation is non-trivial).
+	tr.Conflicts = func(x, y msg.ID) bool { return x == a || y == a || x == b || y == b }
+	if v := ConflictOrdering(tr); v == nil {
+		t.Error("conflicting divergence not caught")
+	}
+	if v := ConflictPairwise(tr); v == nil {
+		t.Error("conflicting divergence not caught pairwise")
+	}
+}
+
+// ringTrace builds a cyclic-family trace over the ring g0={0,1}, g1={1,2},
+// g2={2,0}: messages a→g0, b→g1, c→g2 with local orders p1: a<b, p2: b<c,
+// p0: c<a. No two processes disagree on any pair, yet ↦ has the 3-cycle
+// a→b→c→a — the case that needs the global (not pairwise) checker.
+func ringTrace() (*Trace, [3]msg.ID) {
+	topo := groups.MustNew(3,
+		groups.NewProcSet(0, 1),
+		groups.NewProcSet(1, 2),
+		groups.NewProcSet(2, 0),
+	)
+	reg := msg.NewRegistry()
+	a := reg.New(0, 0, nil)
+	b := reg.New(1, 1, nil)
+	c := reg.New(2, 2, nil)
+	tr := &Trace{
+		Topo: topo,
+		Pat:  failure.NewPattern(3),
+		Reg:  reg,
+		LocalOrder: map[groups.Process][]msg.ID{
+			1: {a.ID, b.ID},
+			2: {b.ID, c.ID},
+			0: {c.ID, a.ID},
+		},
+		Multicast:      map[msg.ID]failure.Time{a.ID: 0, b.ID: 0, c.ID: 0},
+		FirstDelivered: map[msg.ID]failure.Time{a.ID: 1, b.ID: 1, c.ID: 1},
+	}
+	return tr, [3]msg.ID{a.ID, b.ID, c.ID}
+}
+
+func TestConflictOrderingCatchesCyclicFamilyCycle(t *testing.T) {
+	tr, _ := ringTrace()
+	if v := ConflictOrdering(tr); v == nil {
+		t.Error("all-conflict 3-cycle not caught")
+	}
+	// Pairwise agreement holds on this trace: each pair is ordered by
+	// exactly one process. Only the cycle checker sees the violation.
+	if v := ConflictPairwise(tr); v != nil {
+		t.Errorf("pairwise should pass on the ring: %v", v)
+	}
+}
+
+func TestConflictOrderingCommutingEdgeBreaksCycle(t *testing.T) {
+	tr, ids := ringTrace()
+	// Declaring one edge of the cycle commuting removes it from the
+	// restricted ↦, so the remaining order is acyclic — legal under the
+	// generic specification.
+	tr.Conflicts = commutePair(ids[0], ids[1])
+	if v := ConflictOrdering(tr); v != nil {
+		t.Errorf("cycle with a commuting edge flagged: %v", v)
+	}
+}
+
+// TestConflictNilRelationMatchesGlobal pins the all-conflict regression:
+// with a nil relation the conflict checkers must agree verdict-for-verdict
+// with the unrestricted checkers, on both a clean and a diverging trace.
+func TestConflictNilRelationMatchesGlobal(t *testing.T) {
+	bad, _, _ := divergent()
+	good, _, _ := divergent()
+	good.LocalOrder[1] = append([]msg.ID{}, good.LocalOrder[0]...)
+	ring, _ := ringTrace()
+	for name, tr := range map[string]*Trace{"diverging": bad, "agreeing": good, "ring": ring} {
+		if (ConflictOrdering(tr) == nil) != (Ordering(tr) == nil) {
+			t.Errorf("%s: ConflictOrdering and Ordering disagree under nil relation", name)
+		}
+		if (ConflictPairwise(tr) == nil) != (PairwiseOrdering(tr) == nil) {
+			t.Errorf("%s: ConflictPairwise and PairwiseOrdering disagree under nil relation", name)
+		}
+	}
+}
+
+// TestAllGenericComposes checks the dispatch in All: generic mode swaps in
+// the conflict-aware checkers, so a commuting divergence passes there and
+// fails the default mode.
+func TestAllGenericComposes(t *testing.T) {
+	tr, a, b := divergent()
+	tr.Conflicts = commutePair(a, b)
+	if vs := All(tr, false, false, true); len(vs) != 0 {
+		t.Errorf("generic mode flagged a legal commuting divergence: %v", vs)
+	}
+	if vs := All(tr, false, false, false); len(vs) == 0 {
+		t.Error("default mode should flag the divergence")
+	}
+}

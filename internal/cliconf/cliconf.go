@@ -15,13 +15,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/groups"
+	"repro/internal/msg"
 )
 
-// MulticastSpec is one parsed -msgs entry: src>group[@time].
+// MulticastSpec is one parsed -msgs entry: src>group[@time][#class].
+// Class is the conflict-class tag of the generic variant: "#free" marks a
+// message commuting with everything, "#<n>" a keyed class (equal keys
+// conflict), and no suffix the conflicts-with-all default.
 type MulticastSpec struct {
-	At  failure.Time
-	Src groups.Process
-	G   groups.GroupID
+	At    failure.Time
+	Src   groups.Process
+	G     groups.GroupID
+	Class msg.Class
 }
 
 // ParseGroups parses the -groups spec: semicolon-separated groups, each a
@@ -79,27 +84,43 @@ func ParseVariant(v string) (core.Variant, error) {
 		return core.Pairwise, nil
 	case "strong":
 		return core.StronglyGenuine, nil
+	case "generic":
+		return core.Generic, nil
 	default:
 		return 0, fmt.Errorf("unknown variant %q", v)
 	}
 }
 
-// ParseMulticasts parses the -msgs spec ("src>g[@time];...") sorted stably
-// by issue time — the canonical schedule order every daemon must follow
-// (message IDs are positional in the registry, so two daemons walking the
-// schedule differently would disagree about which ID names which message).
+// ParseMulticasts parses the -msgs spec ("src>g[@time][#class];...") sorted
+// stably by issue time — the canonical schedule order every daemon must
+// follow (message IDs are positional in the registry, so two daemons walking
+// the schedule differently would disagree about which ID names which
+// message). The #class suffix tags the message's conflict class for the
+// generic variant: "#free" commutes with everything, "#<n>" is keyed class n
+// (n ≥ 1; equal keys conflict), and no suffix means conflicts-with-all.
+// Classes travel inside the spec, so identical -msgs flags give every daemon
+// identical tags.
 func ParseMulticasts(spec string) ([]MulticastSpec, error) {
 	var msgs []MulticastSpec
 	for _, ms := range strings.Split(spec, ";") {
-		at := int64(0)
+		class := msg.ClassAll
 		s := ms
-		if i := strings.Index(ms, "@"); i >= 0 {
-			s = ms[:i]
+		if i := strings.Index(s, "#"); i >= 0 {
 			var err error
-			at, err = strconv.ParseInt(ms[i+1:], 10, 64)
+			class, err = parseClass(strings.TrimSpace(s[i+1:]))
+			if err != nil {
+				return nil, fmt.Errorf("bad message class in %q: %w", ms, err)
+			}
+			s = s[:i]
+		}
+		at := int64(0)
+		if i := strings.Index(s, "@"); i >= 0 {
+			var err error
+			at, err = strconv.ParseInt(strings.TrimSpace(s[i+1:]), 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad message time in %q", ms)
 			}
+			s = s[:i]
 		}
 		parts := strings.Split(s, ">")
 		if len(parts) != 2 {
@@ -111,13 +132,29 @@ func ParseMulticasts(spec string) ([]MulticastSpec, error) {
 			return nil, fmt.Errorf("bad message spec %q", ms)
 		}
 		msgs = append(msgs, MulticastSpec{
-			At:  failure.Time(at),
-			Src: groups.Process(src),
-			G:   groups.GroupID(g),
+			At:    failure.Time(at),
+			Src:   groups.Process(src),
+			G:     groups.GroupID(g),
+			Class: class,
 		})
 	}
 	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].At < msgs[j].At })
 	return msgs, nil
+}
+
+// parseClass parses the #class suffix body.
+func parseClass(s string) (msg.Class, error) {
+	if s == "free" {
+		return msg.ClassFree, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 || msg.Class(n) == msg.ClassFree {
+		return 0, fmt.Errorf("keyed class %d is reserved", n)
+	}
+	return msg.Class(n), nil
 }
 
 // ParsePeers parses the -peers spec: a comma-separated address list indexed

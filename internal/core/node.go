@@ -42,6 +42,12 @@ type Node struct {
 	myGroups []groups.GroupID
 	myPairs  []PairKey
 	logs     map[PairKey]LogObject
+
+	// fastMemo caches the fast-track eligibility of each known message
+	// (Generic variant): whether it commutes with every message and so
+	// skips the ordering phases. The answer is a pure function of the
+	// message, so memoising it keeps the relation off the guard hot paths.
+	fastMemo map[msg.ID]bool
 }
 
 // NewNode builds the automaton for process p.
@@ -53,6 +59,7 @@ func NewNode(p groups.Process, sh *Shared) *Node {
 		knownSet: make(map[msg.ID]bool),
 		outbox:   make(map[groups.GroupID][]msg.ID),
 		logs:     make(map[PairKey]LogObject),
+		fastMemo: make(map[msg.ID]bool),
 	}
 	gs := sh.Topo.GroupsOf(p).Members()
 	n.myGroups = gs
@@ -135,7 +142,11 @@ func (n *Node) Step(ctx *engine.Ctx) bool {
 		}
 		switch n.Phase(id) {
 		case PhaseStart:
-			if n.tryPending(ctx, id) {
+			if n.fastTrack(id) {
+				if n.tryFastDeliver(ctx, id) {
+					return true
+				}
+			} else if n.tryPending(ctx, id) {
 				return true
 			}
 		case PhasePending:
@@ -222,7 +233,12 @@ func (n *Node) tryMulticast(ctx *engine.Ctx) bool {
 				n.sh.Opt.Rec.Append(n.p, prev, g, g, uint8(logobj.KindMsg), v, ctx.Now)
 				return true
 			}
-			// The predecessor is in flight; wait for its delivery.
+			// The predecessor is in flight. Under the Generic variant L_g
+			// only orders conflicting requests — a commuting predecessor
+			// need not be awaited.
+			if n.skipOrder(prev, head) {
+				continue
+			}
 			break
 		}
 	}
@@ -236,8 +252,13 @@ func (n *Node) tryPending(ctx *engine.Ctx, id msg.ID) bool {
 	if !glog.Contains(logobj.MsgDatum(id)) {
 		return false
 	}
-	// ∀m' <_{LOG_g} m: PHASE[m'] ≥ commit (line 11).
+	// ∀m' <_{LOG_g} m: PHASE[m'] ≥ commit (line 11); under the Generic
+	// variant only conflicting predecessors gate — commuting ones impose no
+	// relative order (and fast-tracked ones never reach commit at all).
 	for _, prev := range glog.MessagesBefore(logobj.MsgDatum(id)) {
+		if n.skipOrder(prev, id) {
+			continue
+		}
 		if n.Phase(prev) < PhaseCommit {
 			return false
 		}
@@ -320,9 +341,13 @@ func (n *Node) tryStabilize(ctx *engine.Ctx, id msg.ID) bool {
 		if glog.Contains(logobj.StableDatum(id, h)) {
 			continue
 		}
-		// ∀m' <_{LOG_{g∩h}} m: PHASE[m'] ≥ stable (line 28).
+		// ∀m' <_{LOG_{g∩h}} m: PHASE[m'] ≥ stable (line 28), restricted to
+		// conflicting predecessors under the Generic variant.
 		ready := true
 		for _, prev := range n.log(g, h).MessagesBefore(logobj.MsgDatum(id)) {
+			if n.skipOrder(prev, id) {
+				continue
+			}
 			if n.Phase(prev) < PhaseStable {
 				ready = false
 				break
@@ -369,7 +394,11 @@ func (n *Node) tryStable(ctx *engine.Ctx, id msg.ID) bool {
 }
 
 // tryDeliver implements lines 34-37: every message preceding m in any log of
-// this process must already be delivered here.
+// this process must already be delivered here — restricted, under the
+// Generic variant, to the predecessors m conflicts with. The restriction is
+// sound because conflicting messages only reach this guard with final
+// (locked) positions, so the per-log order the guard enforces is the same
+// at every replica.
 func (n *Node) tryDeliver(ctx *engine.Ctx, id msg.ID) bool {
 	d := logobj.MsgDatum(id)
 	for _, key := range n.myPairs {
@@ -378,16 +407,60 @@ func (n *Node) tryDeliver(ctx *engine.Ctx, id msg.ID) bool {
 			continue
 		}
 		for _, prev := range l.MessagesBefore(d) {
+			if n.skipOrder(prev, id) {
+				continue
+			}
 			if n.Phase(prev) != PhaseDeliver {
 				return false
 			}
 		}
 	}
+	n.deliver(ctx, id, false)
+	return true
+}
+
+// fastTrack reports whether id skips the ordering phases entirely: under
+// the Generic variant a message that commutes with every message needs no
+// relative order, so the pairwise g∩h coordination is never consulted.
+func (n *Node) fastTrack(id msg.ID) bool {
+	if n.sh.Opt.Variant != Generic {
+		return false
+	}
+	if v, ok := n.fastMemo[id]; ok {
+		return v
+	}
+	v := n.sh.Commutative(id)
+	n.fastMemo[id] = v
+	return v
+}
+
+// skipOrder reports whether prev may be ignored by id's predecessor guards:
+// under the Generic variant a non-conflicting predecessor imposes no
+// relative order on id. Every other variant orders unconditionally.
+func (n *Node) skipOrder(prev, id msg.ID) bool {
+	return n.sh.Opt.Variant == Generic && !n.sh.Conflicts(prev, id)
+}
+
+// tryFastDeliver delivers a commuting message directly: it is in LOG_g (its
+// replicated group-log append is what made discover see it — the local
+// acknowledgment), and it needs no relative order with anything, so the
+// pending/commit/stabilize machinery and the g∩h coordination it pays for
+// are skipped entirely.
+func (n *Node) tryFastDeliver(ctx *engine.Ctx, id msg.ID) bool {
+	n.deliver(ctx, id, true)
+	return true
+}
+
+// deliver finalises a local delivery (fast marks a skipped-coordination
+// fast-path delivery for the observability layer).
+func (n *Node) deliver(ctx *engine.Ctx, id msg.ID, fast bool) {
 	n.phase[id] = PhaseDeliver
 	n.delivered = append(n.delivered, id)
 	n.sh.RecordDelivery(n.p, id, ctx.Now)
+	if fast {
+		n.sh.Opt.Rec.FastDelivery()
+	}
 	if n.sh.Opt.OnDeliver != nil {
 		n.sh.Opt.OnDeliver(n.p, n.sh.Reg.Get(id), ctx.Now)
 	}
-	return true
 }

@@ -56,6 +56,14 @@ const (
 	// Algorithm 1, with the intersection logs hosted inside g∩h using
 	// Ω_{g∩h} ∧ Σ_{g∩h} so that groups progress in isolation.
 	StronglyGenuine
+	// Generic solves generic atomic multicast (Bolina et al. 2024): total
+	// order is enforced only within conflicting pairs of Options.Conflict.
+	// Conflicting messages run Algorithm 1 unchanged with the predecessor
+	// guards filtered to conflicting messages; a message that commutes with
+	// every message skips the g∩h coordination entirely and delivers right
+	// after its LOG_g append. With a nil relation every pair conflicts and
+	// the variant is behaviourally Vanilla.
+	Generic
 )
 
 // String renders the variant.
@@ -69,6 +77,8 @@ func (v Variant) String() string {
 		return "pairwise"
 	case StronglyGenuine:
 		return "strongly-genuine"
+	case Generic:
+		return "generic"
 	}
 	return "?"
 }

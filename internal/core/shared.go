@@ -59,6 +59,12 @@ type Options struct {
 	// OnDeliver, when set, observes every delivery (the extraction
 	// algorithms chain multicasts off deliveries).
 	OnDeliver func(p groups.Process, m *msg.Message, t failure.Time)
+	// Conflict is the commutativity relation of the Generic variant: it
+	// reports whether two messages must be ordered relative to each other.
+	// nil means every pair conflicts (total order — exactly Algorithm 1).
+	// See msg.Relation for the contract the relation must satisfy; only the
+	// Generic variant consults it.
+	Conflict msg.Relation
 	// FD tunes the ideal detector histories.
 	FD fd.Options
 	// Rec, when non-nil, collects the run's observability: event timeline,
@@ -185,17 +191,57 @@ func (sh *Shared) GroupLog(g groups.GroupID) *uc.Log { return sh.Log(g, g) }
 // sequential list L_g immediately; the sending node passes it to
 // Algorithm 1 once its L_g predecessors are delivered locally.
 func (sh *Shared) Request(src groups.Process, dst groups.GroupID, payload []byte, now failure.Time) *msg.Message {
+	return sh.RequestClassed(src, dst, payload, msg.ClassAll, now)
+}
+
+// RequestClassed is Request with an explicit conflict-class tag. Before
+// registration the tag is normalised against the run's relation: a message
+// that does not conflict with itself commutes with everything, so it is
+// re-tagged ClassFree — the canonical form the fast path, the wire codec
+// and the observability layer all read.
+func (sh *Shared) RequestClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class, now failure.Time) *msg.Message {
 	if !sh.Topo.Group(dst).Has(src) {
 		panic(fmt.Sprintf("core: closed dissemination model requires src ∈ dst: p%d ∉ g%d", src, dst))
 	}
-	m := sh.Reg.New(src, dst, payload)
+	if rel := sh.Opt.Conflict; rel != nil && class != msg.ClassFree {
+		probe := msg.Message{Src: src, Dst: dst, Payload: payload, Class: class}
+		if !rel(&probe, &probe) {
+			class = msg.ClassFree
+		}
+	}
+	m := sh.Reg.NewClassed(src, dst, payload, class)
 	sh.mu.Lock()
 	sh.seqs[dst] = append(sh.seqs[dst], m.ID)
 	sh.requestedAt[m.ID] = now
 	sh.version++
 	sh.mu.Unlock()
 	sh.Opt.Rec.Multicast(src, m.ID, dst, now)
+	sh.Opt.Rec.NoteClass(uint64(m.Class))
 	return m
+}
+
+// Conflicts reports whether a and b must be ordered relative to each other.
+// With no relation configured every pair conflicts, so every non-Generic
+// run — and a Generic run with a nil relation — behaves exactly like
+// Algorithm 1.
+func (sh *Shared) Conflicts(a, b msg.ID) bool {
+	rel := sh.Opt.Conflict
+	if rel == nil {
+		return true
+	}
+	return rel(sh.Reg.Get(a), sh.Reg.Get(b))
+}
+
+// Commutative reports whether m commutes with every message (the fast-path
+// eligibility test): per the msg.Relation contract, a message that does not
+// conflict with itself conflicts with nothing.
+func (sh *Shared) Commutative(m msg.ID) bool {
+	rel := sh.Opt.Conflict
+	if rel == nil {
+		return false
+	}
+	mm := sh.Reg.Get(m)
+	return !rel(mm, mm)
 }
 
 // SeqList returns a snapshot of L_g.

@@ -55,16 +55,28 @@ func NewSystemWithConfig(topo *groups.Topology, pat *failure.Pattern, opt Option
 // Multicast issues a client multicast from src to group dst now (before or
 // during the run). It returns the registered message.
 func (s *System) Multicast(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
-	m := s.Sh.Request(src, dst, payload, s.Eng.Now())
+	return s.MulticastClassed(src, dst, payload, msg.ClassAll)
+}
+
+// MulticastClassed is Multicast with an explicit conflict-class tag
+// (Generic-variant runs driven by class-tagged schedules).
+func (s *System) MulticastClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) *msg.Message {
+	m := s.Sh.RequestClassed(src, dst, payload, class, s.Eng.Now())
 	s.Nodes[src].Multicast(m)
 	return m
 }
 
 // MulticastAt schedules a client multicast at virtual time t.
 func (s *System) MulticastAt(t failure.Time, src groups.Process, dst groups.GroupID, payload []byte) {
+	s.MulticastClassedAt(t, src, dst, payload, msg.ClassAll)
+}
+
+// MulticastClassedAt schedules a class-tagged client multicast at virtual
+// time t.
+func (s *System) MulticastClassedAt(t failure.Time, src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) {
 	s.Eng.At(t, func() {
 		if s.Pat.IsAlive(src, t) {
-			s.Multicast(src, dst, payload)
+			s.MulticastClassed(src, dst, payload, class)
 		}
 	})
 }

@@ -23,7 +23,7 @@ func (s *System) Trace() *check.Trace {
 			first[m.ID] = t
 		}
 	}
-	return &check.Trace{
+	tr := &check.Trace{
 		Topo:           s.Sh.Topo,
 		Pat:            s.Pat,
 		Reg:            s.Sh.Reg,
@@ -32,6 +32,10 @@ func (s *System) Trace() *check.Trace {
 		FirstDelivered: first,
 		TookSteps:      s.Eng.TookSteps,
 	}
+	if s.Sh.Opt.Variant == Generic {
+		tr.Conflicts = s.Sh.Conflicts
+	}
+	return tr
 }
 
 // Check runs every checker appropriate for the system's variant and returns
@@ -40,5 +44,6 @@ func (s *System) Check() []*check.Violation {
 	tr := s.Trace()
 	strict := s.Sh.Opt.Variant == Strict
 	pairwise := s.Sh.Opt.Variant == Pairwise
-	return check.All(tr, strict, pairwise)
+	generic := s.Sh.Opt.Variant == Generic
+	return check.All(tr, strict, pairwise, generic)
 }

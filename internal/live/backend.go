@@ -145,6 +145,26 @@ func (b *Backend) Log(p groups.Process, g, h groups.GroupID) core.LogObject {
 	scope, omega := b.hosting(pair)
 	r := replog.NewReplica(name, realm, p, b.nodes[p], b.nw, scope, b.leaderFunc(omega))
 	r.Observe(b.rec.Replog())
+	// Conflict-class plumbing: stamp locally enqueued message appends with
+	// the registry's tag and adopt tags arriving in decided ops, so every
+	// replica — including daemons whose local schedule carried no tag — ends
+	// up evaluating the same class-induced relation. Both hooks read only the
+	// replicated schedule (message IDs are positional), so they are
+	// deterministic across replicas as SetClassHooks requires.
+	r.SetClassHooks(
+		func(d logobj.Datum) uint64 {
+			if d.Kind != logobj.KindMsg {
+				return 0
+			}
+			return uint64(b.reg.ClassOf(d.Msg))
+		},
+		func(d logobj.Datum, c uint64) {
+			if d.Kind != logobj.KindMsg {
+				return
+			}
+			b.reg.LearnClass(d.Msg, msg.Class(c))
+		},
+	)
 	b.reps[key] = r
 	return b.wrapLog(r, pair)
 }

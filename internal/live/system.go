@@ -194,7 +194,13 @@ func (s *System) runNode(p groups.Process) {
 // Multicast issues a client multicast from src to group dst. The sender
 // must belong to dst (closed dissemination model, enforced by Shared).
 func (s *System) Multicast(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
-	m := s.Sh.Request(src, dst, payload, s.now())
+	return s.MulticastClassed(src, dst, payload, msg.ClassAll)
+}
+
+// MulticastClassed is Multicast with an explicit conflict-class tag
+// (Generic-variant runs driven by class-tagged schedules).
+func (s *System) MulticastClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) *msg.Message {
+	m := s.Sh.RequestClassed(src, dst, payload, class, s.now())
 	s.Nodes[src].Multicast(m)
 	return m
 }
@@ -206,7 +212,13 @@ func (s *System) Multicast(src groups.Process, dst groups.GroupID, payload []byt
 // both paths register the message and append it to the relevant logs'
 // obligations without enqueueing it at a local (non-owned) sender node.
 func (s *System) Observe(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
-	return s.Sh.Request(src, dst, payload, s.now())
+	return s.ObserveClassed(src, dst, payload, msg.ClassAll)
+}
+
+// ObserveClassed is Observe with an explicit conflict-class tag; peer
+// daemons must pass the same tag as the owning daemon's MulticastClassed.
+func (s *System) ObserveClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) *msg.Message {
+	return s.Sh.RequestClassed(src, dst, payload, class, s.now())
 }
 
 // allDelivered mirrors the Termination checker's obligation: every
@@ -291,7 +303,7 @@ func (s *System) Trace() *check.Trace {
 			first[m.ID] = t
 		}
 	}
-	return &check.Trace{
+	tr := &check.Trace{
 		Topo:           s.Topo,
 		Pat:            s.Pat,
 		Reg:            s.Sh.Reg,
@@ -299,6 +311,10 @@ func (s *System) Trace() *check.Trace {
 		Multicast:      multicast,
 		FirstDelivered: first,
 	}
+	if s.Sh.Opt.Variant == core.Generic {
+		tr.Conflicts = s.Sh.Conflicts
+	}
+	return tr
 }
 
 // Report assembles the run's observability: the recorder's view (timeline,
@@ -331,5 +347,6 @@ func (s *System) Report() obs.RunReport {
 func (s *System) Check() []*check.Violation {
 	strict := s.Sh.Opt.Variant == core.Strict
 	pairwise := s.Sh.Opt.Variant == core.Pairwise
-	return check.All(s.Trace(), strict, pairwise)
+	generic := s.Sh.Opt.Variant == core.Generic
+	return check.All(s.Trace(), strict, pairwise, generic)
 }

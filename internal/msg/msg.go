@@ -17,13 +17,65 @@ type ID int64
 // None is the null message identifier.
 const None ID = 0
 
-// Message is a multicast message: a sender, a destination group, and an
-// opaque payload. Senders belong to their destination group (closed model).
+// Class is a compact conflict-class tag a message carries across the wire,
+// so a run's commutativity relation can be evaluated from tags alone:
+// ClassAll conflicts with every message, ClassFree commutes with every
+// message, and two keyed classes conflict iff they are equal.
+type Class uint64
+
+const (
+	// ClassAll is the zero tag: the message conflicts with everything.
+	// Runs without a conflict relation behave as if every message carried
+	// it — total order, exactly Algorithm 1.
+	ClassAll Class = 0
+	// ClassFree tags a message that commutes with every message, past and
+	// future; the generic delivery path skips ordering coordination for it.
+	ClassFree Class = ^Class(0)
+)
+
+// ConflictsWith evaluates the class-induced conflict relation. It is
+// symmetric by construction, and ClassFree conflicts with nothing — not
+// even itself — which is what marks its messages for the fast path.
+func (c Class) ConflictsWith(o Class) bool {
+	if c == ClassFree || o == ClassFree {
+		return false
+	}
+	return c == ClassAll || o == ClassAll || c == o
+}
+
+// String renders the class tag.
+func (c Class) String() string {
+	switch c {
+	case ClassAll:
+		return "all"
+	case ClassFree:
+		return "free"
+	}
+	return fmt.Sprintf("k%d", uint64(c))
+}
+
+// Relation is a commutativity relation over messages: it reports whether a
+// and b conflict, i.e. must be delivered in the same relative order
+// everywhere. A Relation must be symmetric, and a message that does not
+// conflict with itself must conflict with no message at all — the protocol
+// reads !rel(m, m) as "m commutes with everything" and skips ordering
+// coordination for such messages entirely.
+type Relation func(a, b *Message) bool
+
+// ClassesConflict is the Relation induced by the messages' Class tags.
+func ClassesConflict(a, b *Message) bool { return a.Class.ConflictsWith(b.Class) }
+
+// Message is a multicast message: a sender, a destination group, an opaque
+// payload, and a conflict-class tag (ClassAll unless the run uses a
+// commutativity relation). Senders belong to their destination group
+// (closed model). Class is fixed at registration and never mutated — nodes
+// read it concurrently without synchronisation.
 type Message struct {
 	ID      ID
 	Src     groups.Process
 	Dst     groups.GroupID
 	Payload []byte
+	Class   Class
 }
 
 // String renders the message.
@@ -36,25 +88,62 @@ func (m *Message) String() string {
 // live-backend runs register from the driver while nodes resolve
 // concurrently, hence the lock.
 type Registry struct {
-	mu   sync.RWMutex
-	next ID
-	byID map[ID]*Message
+	mu     sync.RWMutex
+	next   ID
+	byID   map[ID]*Message
+	learnt map[ID]Class
 }
 
 // NewRegistry returns an empty registry. The first assigned ID is 1 so that
 // None never collides with a real message.
 func NewRegistry() *Registry {
-	return &Registry{next: 1, byID: make(map[ID]*Message)}
+	return &Registry{next: 1, byID: make(map[ID]*Message), learnt: make(map[ID]Class)}
 }
 
-// New registers a fresh message.
+// New registers a fresh message (conflict class ClassAll).
 func (r *Registry) New(src groups.Process, dst groups.GroupID, payload []byte) *Message {
+	return r.NewClassed(src, dst, payload, ClassAll)
+}
+
+// NewClassed registers a fresh message carrying a conflict-class tag.
+func (r *Registry) NewClassed(src groups.Process, dst groups.GroupID, payload []byte, class Class) *Message {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	m := &Message{ID: r.next, Src: src, Dst: dst, Payload: payload}
+	m := &Message{ID: r.next, Src: src, Dst: dst, Payload: payload, Class: class}
 	r.next++
 	r.byID[m.ID] = m
 	return m
+}
+
+// ClassOf returns the conflict class of id: a tag learnt from the wire wins
+// over the registration-time tag, and unknown ids are ClassAll — a message
+// we know nothing about must be treated as conflicting with everything.
+func (r *Registry) ClassOf(id ID) Class {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if c, ok := r.learnt[id]; ok {
+		return c
+	}
+	if m, ok := r.byID[id]; ok {
+		return m.Class
+	}
+	return ClassAll
+}
+
+// LearnClass records the class tag of id as carried by the replicated op
+// stream. The registration-time Message is never mutated (nodes read it
+// lock-free); the learnt tag is kept aside and surfaces through ClassOf,
+// letting a replica whose local schedule lacked the tag still report the
+// authoritative one the wire delivered.
+func (r *Registry) LearnClass(id ID, c Class) {
+	if c == ClassAll {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.learnt[id]; !ok {
+		r.learnt[id] = c
+	}
 }
 
 // Get resolves an ID; it panics on unknown IDs, which indicates a bug in the

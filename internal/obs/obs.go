@@ -147,6 +147,12 @@ type Recorder struct {
 	coord      map[Pair]*pairCoord
 	multicasts int64
 	deliveries int64
+
+	// Generic-variant observability: deliveries that skipped the g∩h
+	// coordination entirely, and the population of each conflict class seen
+	// at multicast time.
+	fastDeliveries int64
+	classes        map[uint64]int64
 }
 
 type pairCoord struct {
@@ -170,6 +176,7 @@ func NewRecorder(o Options) *Recorder {
 		reqTick: make(map[msg.ID]failure.Time),
 		reqWall: make(map[msg.ID]time.Duration),
 		coord:   make(map[Pair]*pairCoord),
+		classes: make(map[uint64]int64),
 	}
 	if o.WallClock {
 		r.epoch = time.Now()
@@ -294,6 +301,28 @@ func (r *Recorder) Decide(p groups.Process, m msg.ID, g groups.GroupID, v int, t
 	w := r.wallNow()
 	r.mu.Lock()
 	r.record(Event{Kind: EvDecide, P: p, M: m, G: g, H: g, V: v, T: t, Wall: w})
+	r.mu.Unlock()
+}
+
+// FastDelivery counts one delivery that took the Generic variant's fast
+// path — the message commuted with everything, so no pair log, consensus or
+// stabilisation was consulted.
+func (r *Recorder) FastDelivery() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.fastDeliveries++
+	r.mu.Unlock()
+}
+
+// NoteClass counts one multicast tagged with the given conflict class.
+func (r *Recorder) NoteClass(class uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.classes[class]++
 	r.mu.Unlock()
 }
 

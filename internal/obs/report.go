@@ -181,6 +181,22 @@ type ChaosReporter interface {
 	InjectionReport() *ChaosReport
 }
 
+// ClassCount is the population of one conflict class across the run's
+// multicasts.
+type ClassCount struct {
+	Class uint64 `json:"class"`
+	Count int64  `json:"count"`
+}
+
+// ConflictReport is the Generic variant's observability: how many deliveries
+// skipped the g∩h coordination entirely, and how the multicasts distributed
+// over conflict classes. Class 0 is the conflicts-with-all default, ^0 the
+// commutes-with-all tag.
+type ConflictReport struct {
+	FastDeliveries int64        `json:"fast_deliveries"`
+	Classes        []ClassCount `json:"classes,omitempty"`
+}
+
 // RunReport is one run's observability, for either backend. Quantities a
 // backend does not measure are reported as absent (nil pointers, Accounted
 // flags) and surface as ErrNotAccounted through the accessors — never as
@@ -215,11 +231,12 @@ type RunReport struct {
 	MessagesAccounted bool  `json:"messages_accounted"`
 	Messages          int64 `json:"messages,omitempty"`
 
-	Net    *NetReport    `json:"net,omitempty"`
-	Wire   *WireReport   `json:"wire,omitempty"`
-	Paxos  *PaxosReport  `json:"paxos,omitempty"`
-	Replog *ReplogReport `json:"replog,omitempty"`
-	Chaos  *ChaosReport  `json:"chaos,omitempty"`
+	Net      *NetReport      `json:"net,omitempty"`
+	Wire     *WireReport     `json:"wire,omitempty"`
+	Paxos    *PaxosReport    `json:"paxos,omitempty"`
+	Replog   *ReplogReport   `json:"replog,omitempty"`
+	Chaos    *ChaosReport    `json:"chaos,omitempty"`
+	Conflict *ConflictReport `json:"conflict,omitempty"`
 
 	// Coordination is the per-pair-log footprint, sorted by pair.
 	Coordination []PairCoordination `json:"coordination,omitempty"`
@@ -281,6 +298,24 @@ func (r *Recorder) Report() RunReport {
 			FwdOps:     r.replog.FwdOps.Load(),
 			RemoteOps:  r.replog.RemoteOps.Load(),
 		}
+	}
+	interesting := r.fastDeliveries > 0
+	for class := range r.classes {
+		if class != 0 {
+			interesting = true
+		}
+	}
+	if interesting {
+		cr := &ConflictReport{FastDeliveries: r.fastDeliveries}
+		classes := make([]uint64, 0, len(r.classes))
+		for class := range r.classes {
+			classes = append(classes, class)
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		for _, class := range classes {
+			cr.Classes = append(cr.Classes, ClassCount{Class: class, Count: r.classes[class]})
+		}
+		out.Conflict = cr
 	}
 	pairs := make([]Pair, 0, len(r.coord))
 	for pair := range r.coord {
@@ -412,6 +447,20 @@ func (r *RunReport) String() string {
 		fmt.Fprintf(&b, "\n  chaos: %d injections (%d dup, %d delay, %d drop)",
 			r.Chaos.Injections(), r.Chaos.Duplicated, r.Chaos.Delayed,
 			r.Chaos.DroppedRandom+r.Chaos.DroppedPartition+r.Chaos.DroppedDown+r.Chaos.DroppedOverflow)
+	}
+	if r.Conflict != nil {
+		fmt.Fprintf(&b, "\n  conflict: %d fast deliveries (skipped coordination), %d classes",
+			r.Conflict.FastDeliveries, len(r.Conflict.Classes))
+		for _, cc := range r.Conflict.Classes {
+			name := fmt.Sprintf("k%d", cc.Class)
+			switch cc.Class {
+			case 0:
+				name = "all"
+			case ^uint64(0):
+				name = "free"
+			}
+			fmt.Fprintf(&b, "\n    class %s: %d multicasts", name, cc.Count)
+		}
 	}
 	for _, pc := range r.Coordination {
 		if pc.A == pc.B {

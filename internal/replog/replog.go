@@ -43,11 +43,18 @@ const (
 	opBumpAndLock
 )
 
-// Op is one log operation.
+// Op is one log operation. Class is the conflict-class tag of the datum's
+// message (0 for non-message datums and for runs without a conflict
+// relation): it rides the consensus value so every replica of the log learns
+// the tag from the decided op stream, even when its local schedule never
+// registered it. Ops compare with ==, so the class hooks must be
+// deterministic — every replica stamping the same datum must produce the
+// same tag.
 type Op struct {
 	Kind  opKind
 	Datum logobj.Datum
 	K     int
+	Class uint64
 }
 
 // maxBatchOps caps how many pending operations one slot may carry. The cap
@@ -121,6 +128,11 @@ type Replica struct {
 	queue   []*waiter // queued operations, arrival order
 	closed  bool      // shutdown: no further enqueues complete
 
+	// Conflict-class hooks (see SetClassHooks). Guarded by mu like the
+	// queue they stamp.
+	classOf    func(logobj.Datum) uint64
+	classLearn func(logobj.Datum, uint64)
+
 	// Forwarding mute (see forward.go): while the sampled leader matches
 	// noFwdTo and noFwdUntil is in the future, pending ops are proposed
 	// locally instead of forwarded.
@@ -134,6 +146,20 @@ type Replica struct {
 // Observe attaches run counters to the replica. Safe to call while the
 // loops are running; nil detaches.
 func (r *Replica) Observe(c *obs.ReplogCounters) { r.counters.Store(c) }
+
+// SetClassHooks installs the conflict-class plumbing: of stamps each locally
+// enqueued op with its datum's class tag (return 0 for untagged data), learn
+// consumes the tag of every applied op, letting the caller's registry adopt
+// classes carried by the decided op stream. Both hooks MUST be deterministic
+// functions of the replicated schedule — every replica stamps the same datum
+// with the same tag, or op identity across replicas breaks. Install before
+// the replica sees traffic.
+func (r *Replica) SetClassHooks(of func(logobj.Datum) uint64, learn func(logobj.Datum, uint64)) {
+	r.mu.Lock()
+	r.classOf = of
+	r.classLearn = learn
+	r.mu.Unlock()
+}
 
 // NewReplica builds the replica of process p and starts its apply and
 // submit loops. All replicas of a log must share the name, realm, scope and
@@ -282,6 +308,9 @@ func (r *Replica) BumpAndLock(d logobj.Datum, k int) bool {
 func (r *Replica) enqueueLocked(o Op) *waiter {
 	if r.closed {
 		return nil
+	}
+	if r.classOf != nil {
+		o.Class = r.classOf(o.Datum)
 	}
 	w := &waiter{op: o, done: make(chan bool, 1), enq: time.Now()}
 	r.queue = append(r.queue, w)
@@ -562,6 +591,9 @@ func (r *Replica) applyAt(slot int, v paxos.Value) {
 		return // already applied (or a future slot the prefix hasn't reached)
 	}
 	for _, o := range ops {
+		if o.Class != 0 && r.classLearn != nil {
+			r.classLearn(o.Datum, o.Class)
+		}
 		switch o.Kind {
 		case opAppend:
 			r.local.Append(o.Datum)

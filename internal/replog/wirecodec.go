@@ -18,10 +18,11 @@ func encOp(e *wire.Enc, o Op) {
 	e.I64(int64(o.Kind))
 	logobj.EncodeDatum(e, o.Datum)
 	e.I64(int64(o.K))
+	e.U64(o.Class)
 }
 
 func decOp(d *wire.Dec) Op {
-	o := Op{Kind: opKind(d.I64()), Datum: logobj.DecodeDatum(d), K: int(d.I64())}
+	o := Op{Kind: opKind(d.I64()), Datum: logobj.DecodeDatum(d), K: int(d.I64()), Class: d.U64()}
 	switch o.Kind {
 	case opAppend, opBumpAndLock:
 	default:

@@ -62,6 +62,7 @@ func sampleOp(t testing.TB) any {
 	e.I64(2) // opBumpAndLock
 	logobj.EncodeDatum(&e, logobj.Datum{Kind: logobj.KindMsg, Msg: 5, H: 2, I: 0})
 	e.I64(31)
+	e.U64(0) // conflict class
 	pkt, err := wire.DecodePacket(append([]byte{1, uint8(wire.TReplogOp), 0, 0}, e.Bytes()...))
 	if err != nil {
 		t.Fatalf("building sample replog op: %v", err)
@@ -79,9 +80,11 @@ func sampleFwdBatch(t testing.TB) any {
 	e.I64(1)         // opAppend
 	logobj.EncodeDatum(&e, logobj.Datum{Kind: logobj.KindMsg, Msg: 9, H: 1, I: 0})
 	e.I64(0)
-	e.I64(2) // opBumpAndLock
+	e.U64(42) // conflict class: keyed
+	e.I64(2)  // opBumpAndLock
 	logobj.EncodeDatum(&e, logobj.Datum{Kind: logobj.KindPos, Msg: 4, H: 0, I: 6})
 	e.I64(12)
+	e.U64(0) // conflict class: untagged
 	pkt, err := wire.DecodePacket(append([]byte{1, uint8(wire.TReplogFwd), 0, 0}, e.Bytes()...))
 	if err != nil {
 		t.Fatalf("building sample replog fwd batch: %v", err)

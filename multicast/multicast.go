@@ -52,6 +52,12 @@ const (
 	// Ω_{g∩h} ∧ Σ_{g∩h} so destination groups progress in isolation
 	// (§6.2); meaningful when the topology has no cyclic family.
 	StronglyGenuine
+	// GenericOrder is generic atomic multicast: total order is enforced only
+	// within pairs the Config.Conflict relation says conflict, and a message
+	// that commutes with everything is delivered without any cross-group
+	// coordination. With a nil Conflict every pair conflicts and the
+	// behaviour is exactly GlobalOrder.
+	GenericOrder
 )
 
 // Backend selects the substrate the protocol runs over. The node logic is
@@ -133,11 +139,14 @@ type Config struct {
 	// counts). obs.LevelCounters drops the timeline; obs.LevelOff records
 	// nothing, and Report then returns obs.ErrNotAccounted.
 	Observe obs.Level
-	// RunTimeout bounds Run on the Live backend (default 60s).
-	//
-	// Deprecated: pass a deadline via RunContext instead. RunTimeout is kept
-	// for one release as the bound Run() itself applies.
-	RunTimeout time.Duration
+	// Conflict is the commutativity relation of GenericOrder: it reports
+	// whether two messages conflict, i.e. must be delivered in the same
+	// relative order at every common destination. It must be symmetric, and
+	// a message that does not conflict with itself is treated as commuting
+	// with every message (the fast-delivery path). Requires Ordering ==
+	// GenericOrder; nil under GenericOrder means every pair conflicts.
+	// KeyConflict builds the common key-equality relation for KV payloads.
+	Conflict func(a, b Message) bool
 }
 
 // validate normalises the configuration and checks everything that does not
@@ -150,9 +159,12 @@ func (cfg *Config) validate(n int) error {
 		return fmt.Errorf("multicast: unknown backend %d", cfg.Backend)
 	}
 	switch cfg.Ordering {
-	case GlobalOrder, StrictOrder, PairwiseOrder, StronglyGenuine:
+	case GlobalOrder, StrictOrder, PairwiseOrder, StronglyGenuine, GenericOrder:
 	default:
 		return fmt.Errorf("multicast: unknown ordering %d", cfg.Ordering)
+	}
+	if cfg.Conflict != nil && cfg.Ordering != GenericOrder {
+		return errors.New("multicast: Conflict requires Ordering == GenericOrder")
 	}
 	if cfg.Backend == Live && cfg.AccountCosts {
 		return errors.New("multicast: AccountCosts requires the Sim backend")
@@ -168,9 +180,6 @@ func (cfg *Config) validate(n int) error {
 	if cfg.DetectorDelay == 0 {
 		cfg.DetectorDelay = 8
 	}
-	if cfg.RunTimeout <= 0 {
-		cfg.RunTimeout = 60 * time.Second
-	}
 	return nil
 }
 
@@ -182,7 +191,6 @@ type System struct {
 	rec    *obs.Recorder
 	sys    *core.System // Sim backend (nil under Live)
 	lsys   *live.System // Live backend (nil under Sim)
-	tmout  time.Duration
 }
 
 // ErrUnknownGroup is returned for group names that were never declared.
@@ -223,6 +231,8 @@ func New(t *Topology, cfg Config) (*System, error) {
 		variant = core.Pairwise
 	case StronglyGenuine:
 		variant = core.StronglyGenuine
+	case GenericOrder:
+		variant = core.Generic
 	default:
 		variant = core.Vanilla
 	}
@@ -233,18 +243,25 @@ func New(t *Topology, cfg Config) (*System, error) {
 		Level:     cfg.Observe,
 		WallClock: cfg.Backend == Live,
 	})
+	names := append([]string(nil), t.names...)
+	byName := make(map[string]groups.GroupID, len(t.byName))
+	for n, g := range t.byName {
+		byName[n] = g
+	}
 	opt := core.Options{
 		Variant:       variant,
 		ChargeObjects: cfg.AccountCosts,
 		FD:            fd.Options{Delay: failure.Time(cfg.DetectorDelay), Seed: cfg.Seed},
 		Rec:           rec,
 	}
-	names := append([]string(nil), t.names...)
-	byName := make(map[string]groups.GroupID, len(t.byName))
-	for n, g := range t.byName {
-		byName[n] = g
+	if cfg.Conflict != nil {
+		rel := cfg.Conflict
+		lift := func(m *msg.Message) Message {
+			return Message{ID: int64(m.ID), Src: int(m.Src), Group: names[m.Dst], Payload: m.Payload}
+		}
+		opt.Conflict = func(a, b *msg.Message) bool { return rel(lift(a), lift(b)) }
 	}
-	s := &System{topo: topo, names: names, byName: byName, rec: rec, tmout: cfg.RunTimeout}
+	s := &System{topo: topo, names: names, byName: byName, rec: rec}
 	if cfg.Backend == Live {
 		s.lsys = live.NewSystem(topo, pat, net.New(t.n), live.Config{Opt: opt})
 		s.lsys.Start()
@@ -268,6 +285,23 @@ type Message struct {
 	Src     int
 	Group   string
 	Payload []byte
+}
+
+// KeyConflict builds a Conflict relation for key-addressed (KV) payloads:
+// extract returns the key a payload operates on, with ok == false for
+// payloads that touch no key at all. Two keyed messages conflict iff their
+// keys are equal; a keyless message commutes with everything — including
+// itself — which is exactly what routes it onto the coordination-free fast
+// delivery path under GenericOrder.
+func KeyConflict(extract func(payload []byte) (key string, ok bool)) func(a, b Message) bool {
+	return func(a, b Message) bool {
+		ka, oka := extract(a.Payload)
+		kb, okb := extract(b.Payload)
+		if !oka || !okb {
+			return false
+		}
+		return ka == kb
+	}
 }
 
 // Multicast issues a multicast from process src to the named group. The
@@ -306,13 +340,13 @@ func (s *System) MulticastAt(at int64, src int, group string, payload []byte) er
 }
 
 // Run drives the system to quiescence. It delegates to RunContext: on the
-// Sim backend under a background context; on the Live backend under the
-// (deprecated) RunTimeout deadline, default 60s.
+// Sim backend under a background context; on the Live backend under a fixed
+// 60s safety bound — pass a deadline via RunContext to control it.
 func (s *System) Run() error {
 	ctx := context.Background()
 	if s.lsys != nil {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.tmout)
+		ctx, cancel = context.WithTimeout(ctx, 60*time.Second)
 		defer cancel()
 	}
 	return s.RunContext(ctx)
@@ -430,63 +464,6 @@ func (s *System) Report() (obs.RunReport, error) {
 		return s.lsys.Report(), nil
 	}
 	return s.sys.Report(), nil
-}
-
-// Steps returns how many protocol actions process p executed — the
-// footprint genuineness constrains. Live runs have no step ledger and
-// report zero.
-//
-// Deprecated: use Report and RunReport.StepsOf, which distinguishes "no
-// ledger" (obs.ErrNotAccounted on the Live backend) from a real zero.
-func (s *System) Steps(p int) int64 {
-	if s.lsys != nil {
-		return 0
-	}
-	return s.sys.Eng.Steps(groups.Process(p)) + s.sys.Eng.Charges(groups.Process(p))
-}
-
-// MessagesSent returns the synthetic message count of the run (only
-// populated with Config.AccountCosts on the Sim backend).
-//
-// Deprecated: use Report and RunReport.SentMessages, which distinguishes
-// "not accounted" (obs.ErrNotAccounted without AccountCosts or on the Live
-// backend) from a real zero.
-func (s *System) MessagesSent() int64 {
-	if s.lsys != nil {
-		return 0
-	}
-	return s.sys.Eng.Messages()
-}
-
-// Stats summarises a completed run.
-//
-// Deprecated: use obs.RunReport (via Report), which carries the same
-// quantities plus latency, coordination and substrate counters, and errors
-// on unaccounted quantities instead of fabricating zeros.
-type Stats struct {
-	// Deliveries is the total number of delivery events.
-	Deliveries int
-	// Steps maps each process to its protocol-step count (actions plus
-	// shared-object participation charges).
-	Steps []int64
-	// Messages is the synthetic protocol-message count (needs
-	// Config.AccountCosts for the shared-object share).
-	Messages int64
-}
-
-// Stats returns the run's summary.
-//
-// Deprecated: use Report.
-func (s *System) Stats() Stats {
-	st := Stats{
-		Deliveries: len(s.shared().Deliveries()),
-		Steps:      make([]int64, s.topo.NumProcesses()),
-		Messages:   s.MessagesSent(),
-	}
-	for p := 0; p < s.topo.NumProcesses(); p++ {
-		st.Steps[p] = s.Steps(p)
-	}
-	return st
 }
 
 // CyclicFamilies renders the cyclic families of the topology (the structure

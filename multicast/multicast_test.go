@@ -125,17 +125,21 @@ func TestGenuinenessFootprint(t *testing.T) {
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
+	rep, err := sys.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range []int{2, 3, 4} {
-		if sys.Steps(p) != 0 {
-			t.Fatalf("p%d took %d steps though untouched", p, sys.Steps(p))
+		if steps, err := rep.StepsOf(p); err != nil || steps != 0 {
+			t.Fatalf("p%d took %d steps though untouched (err %v)", p, steps, err)
 		}
 	}
-	if sys.MessagesSent() == 0 {
-		t.Fatalf("cost accounting produced no messages")
+	if sent, err := rep.SentMessages(); err != nil || sent == 0 {
+		t.Fatalf("cost accounting produced no messages (sent %d, err %v)", sent, err)
 	}
 }
 
-func TestStatsSummarise(t *testing.T) {
+func TestReportSummarise(t *testing.T) {
 	sys, err := New(figure1(), Config{Seed: 11, AccountCosts: true})
 	if err != nil {
 		t.Fatal(err)
@@ -144,15 +148,20 @@ func TestStatsSummarise(t *testing.T) {
 	if err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
-	st := sys.Stats()
-	if st.Deliveries != 2 { // g1 = {0,1}
-		t.Fatalf("deliveries = %d, want 2", st.Deliveries)
+	rep, err := sys.Report()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if st.Steps[0] == 0 || st.Steps[4] != 0 {
-		t.Fatalf("steps wrong: %v", st.Steps)
+	if rep.Deliveries != 2 { // g1 = {0,1}
+		t.Fatalf("deliveries = %d, want 2", rep.Deliveries)
 	}
-	if st.Messages == 0 {
-		t.Fatalf("messages not accounted")
+	s0, err0 := rep.StepsOf(0)
+	s4, err4 := rep.StepsOf(4)
+	if err0 != nil || err4 != nil || s0 == 0 || s4 != 0 {
+		t.Fatalf("steps wrong: %v (%v), %v (%v)", s0, err0, s4, err4)
+	}
+	if sent, err := rep.SentMessages(); err != nil || sent == 0 {
+		t.Fatalf("messages not accounted (sent %d, err %v)", sent, err)
 	}
 }
 
