@@ -34,37 +34,31 @@ import (
 )
 
 func main() {
+	cc := cliconf.Bind(flag.CommandLine, cliconf.ToolAmcast)
 	var (
-		groupsFlag  = flag.String("groups", "0,1;1,2;0,2", "semicolon-separated groups (comma-separated members)")
-		msgsFlag    = flag.String("msgs", "0>0;1>1", "semicolon-separated multicasts src>group[@time][#class] (#free / #<n> tag conflict classes under -variant generic)")
-		crashFlag   = flag.String("crash", "", "semicolon-separated crashes proc@time")
-		variantFlag = flag.String("variant", "vanilla", "vanilla | strict | pairwise | strong | generic")
 		backendFlag = flag.String("backend", "sim", "sim | live")
-		seedFlag    = flag.Int64("seed", 1, "scheduler seed (sim backend)")
-		delayFlag   = flag.Int64("delay", 8, "failure-detector stabilisation delay")
 		costsFlag   = flag.Bool("costs", false, "enable the §4.3 cost accounting (sim backend)")
-		reportFlag  = flag.Bool("report", false, "print the obs.RunReport and the tail of the event timeline")
 	)
 	flag.Parse()
-	if err := run(*groupsFlag, *msgsFlag, *crashFlag, *variantFlag, *backendFlag, *seedFlag, *delayFlag, *costsFlag, *reportFlag); err != nil {
+	if err := run(cc, *backendFlag, *costsFlag); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(groupSpec, msgSpec, crashSpec, variant, backend string, seed, delay int64, costs, wantReport bool) error {
-	topo, err := cliconf.ParseGroups(groupSpec)
+func run(cc *cliconf.Common, backend string, costs bool) error {
+	topo, err := cliconf.ParseGroups(cc.Groups)
 	if err != nil {
 		return err
 	}
-	pat, err := cliconf.ParseCrashes(crashSpec, topo.NumProcesses())
+	pat, err := cliconf.ParseCrashes(cc.Crash, topo.NumProcesses())
 	if err != nil {
 		return err
 	}
-	v, err := cliconf.ParseVariant(variant)
+	v, err := cliconf.ParseVariant(cc.Variant)
 	if err != nil {
 		return err
 	}
-	msgs, err := cliconf.ParseMulticasts(msgSpec)
+	msgs, err := cliconf.ParseMulticasts(cc.Msgs)
 	if err != nil {
 		return err
 	}
@@ -72,28 +66,28 @@ func run(groupSpec, msgSpec, crashSpec, variant, backend string, seed, delay int
 	opt := core.Options{
 		Variant:       v,
 		ChargeObjects: costs,
-		FD:            fd.Options{Delay: failure.Time(delay), Seed: seed},
+		FD:            fd.Options{Delay: failure.Time(cc.Delay), Seed: cc.Seed},
 	}
 	if v == core.Generic {
 		opt.Conflict = msg.ClassesConflict
 	}
-	if wantReport {
+	if cc.Report {
 		// Wall stamps only on live — a sim timeline must stay seed-determined.
 		opt.Rec = obs.NewRecorder(obs.Options{WallClock: backend == "live"})
 	}
 
 	fmt.Printf("topology: %v\n", topo)
 	fmt.Printf("pattern:  %v\n", pat)
-	fmt.Printf("variant:  %v, backend %s, seed %d\n\n", v, backend, seed)
+	fmt.Printf("variant:  %v, backend %s, seed %d\n\n", v, backend, cc.Seed)
 
 	switch backend {
 	case "sim":
-		return runSim(topo, pat, opt, seed, msgs, costs, wantReport)
+		return runSim(topo, pat, opt, cc.Seed, msgs, costs, cc.Report)
 	case "live":
 		if costs {
 			return fmt.Errorf("-costs requires the sim backend")
 		}
-		return runLive(topo, pat, opt, msgs, wantReport)
+		return runLive(topo, pat, opt, msgs, cc.Report)
 	default:
 		return fmt.Errorf("unknown backend %q (want sim or live)", backend)
 	}

@@ -3,36 +3,44 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/cliconf"
 )
 
 func TestRunBasicScenario(t *testing.T) {
-	err := run("0,1;1,2", "0>0;2>1", "", "vanilla", "sim", 1, 8, false, false)
-	if err != nil {
+	cc := &cliconf.Common{Groups: "0,1;1,2", Msgs: "0>0;2>1", Variant: "vanilla", Delay: 1, Seed: 8}
+	if err := run(cc, "sim", false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunWithCrashAndCosts(t *testing.T) {
-	err := run("0,1;1,2;0,2,3;0,3,4", "0>0;1>1;2>2@20", "1@40", "strict", "sim", 2, 6, true, true)
-	if err != nil {
+	cc := &cliconf.Common{
+		Groups: "0,1;1,2;0,2,3;0,3,4", Msgs: "0>0;1>1;2>2@20", Crash: "1@40",
+		Variant: "strict", Delay: 2, Seed: 6, Report: true,
+	}
+	if err := run(cc, "sim", true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunPairwiseOnChain(t *testing.T) {
-	if err := run("0,1;1,2,3;3,4", "0>0;4>2", "", "pairwise", "sim", 3, 8, false, false); err != nil {
+	cc := &cliconf.Common{Groups: "0,1;1,2,3;3,4", Msgs: "0>0;4>2", Variant: "pairwise", Delay: 3, Seed: 8}
+	if err := run(cc, "sim", false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunStrongVariant(t *testing.T) {
-	if err := run("0,1,2;2,3,4", "0>0;3>1", "", "strong", "sim", 4, 8, false, false); err != nil {
+	cc := &cliconf.Common{Groups: "0,1,2;2,3,4", Msgs: "0>0;3>1", Variant: "strong", Delay: 4, Seed: 8}
+	if err := run(cc, "sim", false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunLiveBackend(t *testing.T) {
-	if err := run("0,1;1,2;0,2", "0>0;1>1;2>2", "", "vanilla", "live", 1, 8, false, true); err != nil {
+	cc := &cliconf.Common{Groups: "0,1;1,2;0,2", Msgs: "0>0;1>1;2>2", Variant: "vanilla", Delay: 1, Seed: 8, Report: true}
+	if err := run(cc, "live", false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -52,7 +60,8 @@ func TestRunRejectsBadSpecs(t *testing.T) {
 		{"0,1", "0>0", "", "vanilla", "live", true},    // costs need sim
 	}
 	for _, c := range cases {
-		if err := run(c.groups, c.msgs, c.crash, c.variant, c.backend, 1, 8, c.costs, false); err == nil {
+		cc := &cliconf.Common{Groups: c.groups, Msgs: c.msgs, Crash: c.crash, Variant: c.variant, Delay: 1, Seed: 8}
+		if err := run(cc, c.backend, c.costs); err == nil {
 			t.Errorf("spec %+v accepted", c)
 		} else if strings.Contains(err.Error(), "panic") {
 			t.Errorf("spec %+v panicked", c)

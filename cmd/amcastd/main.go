@@ -12,13 +12,20 @@
 // Every daemon must receive identical -groups, -msgs and -crash specs:
 // message IDs are positional in the multicast schedule, so the daemons
 // reconstruct the same schedule independently (the owning daemon issues
-// each multicast, the others observe it). The daemon prints one line
+// each multicast, the others announce it). The daemon prints one line
 //
 //	ORDER <id> <msgID> <msgID> ...
 //
 // with its local delivery order — the harness (or the operator, across
 // three terminals) checks pairwise agreement — and "OK <id>" on clean
 // shutdown.
+//
+// With -data-dir the daemon's acceptor state is durable: every promise and
+// accepted value is written to a write-ahead log under the directory before
+// the reply leaves the process, so a kill -9'd daemon restarted with the
+// same flags replays the log (the "RECOVER <id> records=<n>" line), rejoins
+// its quorums and continues without violating paxos safety. -fsync none
+// keeps the log but skips the fsync barrier (crash-unsafe, benchmark use).
 package main
 
 import (
@@ -37,54 +44,52 @@ import (
 	"repro/internal/live"
 	"repro/internal/msg"
 	"repro/internal/obs"
+	"repro/internal/storage"
 	"repro/internal/wire"
 )
 
 func main() {
-	var (
-		idFlag      = flag.Int("id", -1, "process ID this daemon embodies (index into -peers)")
-		peersFlag   = flag.String("peers", "", "comma-separated host:port per process, indexed by ID")
-		groupsFlag  = flag.String("groups", "0,1;1,2;0,2", "semicolon-separated groups (comma-separated members)")
-		msgsFlag    = flag.String("msgs", "0>0;1>1", "semicolon-separated multicasts src>group[@tick][#class] (#free / #<n> tag conflict classes under -variant generic)")
-		crashFlag   = flag.String("crash", "", "semicolon-separated crashes proc@tick")
-		variantFlag = flag.String("variant", "vanilla", "vanilla | strict | pairwise | strong | generic")
-		delayFlag   = flag.Int64("delay", 8, "failure-detector stabilisation delay (ticks)")
-		seedFlag    = flag.Int64("seed", 1, "failure-detector seed (must match across daemons)")
-		timeoutFlag = flag.Duration("timeout", 60*time.Second, "how long to wait for local delivery")
-		lingerFlag  = flag.Duration("linger", 2*time.Second, "how long to stay up after local delivery so peers can finish")
-		reportFlag  = flag.Bool("report", false, "print the obs.RunReport before exiting")
-	)
+	cc := cliconf.Bind(flag.CommandLine, cliconf.ToolAmcastd)
 	flag.Parse()
-	if err := run(*idFlag, *peersFlag, *groupsFlag, *msgsFlag, *crashFlag, *variantFlag,
-		*delayFlag, *seedFlag, *timeoutFlag, *lingerFlag, *reportFlag); err != nil {
+	if err := run(cc); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(id int, peers, groupSpec, msgSpec, crashSpec, variant string,
-	delay, seed int64, timeout, linger time.Duration, wantReport bool) error {
-	topo, err := cliconf.ParseGroups(groupSpec)
+func run(cc *cliconf.Common) error {
+	topo, err := cliconf.ParseGroups(cc.Groups)
 	if err != nil {
 		return err
 	}
-	if id < 0 || id >= topo.NumProcesses() {
-		return fmt.Errorf("-id %d out of range for %d processes", id, topo.NumProcesses())
+	if cc.ID < 0 || cc.ID >= topo.NumProcesses() {
+		return fmt.Errorf("-id %d out of range for %d processes", cc.ID, topo.NumProcesses())
 	}
-	self := groups.Process(id)
-	addrs, err := cliconf.ParsePeers(peers, topo.NumProcesses())
+	self := groups.Process(cc.ID)
+	addrs, err := cliconf.ParsePeers(cc.Peers, topo.NumProcesses())
 	if err != nil {
 		return err
 	}
-	pat, err := cliconf.ParseCrashes(crashSpec, topo.NumProcesses())
+	pat, err := cliconf.ParseCrashes(cc.Crash, topo.NumProcesses())
 	if err != nil {
 		return err
 	}
-	v, err := cliconf.ParseVariant(variant)
+	v, err := cliconf.ParseVariant(cc.Variant)
 	if err != nil {
 		return err
 	}
-	msgs, err := cliconf.ParseMulticasts(msgSpec)
+	msgs, err := cliconf.ParseMulticasts(cc.Msgs)
 	if err != nil {
+		return err
+	}
+
+	// The membership descriptor carries the whole deployment in one value:
+	// every replica with its daemon's address, and which one is us.
+	replicas := make([]live.Replica, len(addrs))
+	for i, a := range addrs {
+		replicas[i] = live.Replica{ID: groups.Process(i), Addr: a}
+	}
+	mem := live.NewMembership(replicas, self)
+	if err := mem.Validate(topo.NumProcesses()); err != nil {
 		return err
 	}
 
@@ -95,25 +100,45 @@ func run(id int, peers, groupSpec, msgSpec, crashSpec, variant string,
 
 	opt := core.Options{
 		Variant: v,
-		FD:      fd.Options{Delay: failure.Time(delay), Seed: seed},
+		FD:      fd.Options{Delay: failure.Time(cc.Delay), Seed: cc.Seed},
 	}
 	if v == core.Generic {
 		// The conflict relation of a daemon run is induced by the #class
 		// tags of the -msgs spec, which every daemon parses identically.
 		opt.Conflict = msg.ClassesConflict
 	}
-	if wantReport {
+	if cc.Report {
 		opt.Rec = obs.NewRecorder(obs.Options{WallClock: true})
 	}
+
+	// The WAL is opened before the system so an open failure (bad directory,
+	// corrupt permissions) aborts the daemon before it joins any quorum.
+	var walC *obs.WALCounters
+	if opt.Rec != nil {
+		walC = opt.Rec.WAL()
+	}
+	wal, err := cliconf.OpenWAL(cc.DataDir, cc.Fsync, self, walC)
+	if err != nil {
+		return err
+	}
+
 	sys := live.NewSystem(topo, pat, tr, live.Config{
-		Opt:   opt,
-		Owned: groups.NewProcSet(self),
+		Opt:        opt,
+		Membership: mem,
+		Storage:    func(groups.Process) storage.WAL { return wal },
 	})
+	if f, ok := wal.(*storage.File); ok {
+		// NewSystem replayed the log while building the paxos node; by now
+		// the count is final. The line is the restart harness's handle on
+		// "this daemon recovered rather than started fresh".
+		fmt.Printf("RECOVER %d records=%d\n", cc.ID, f.RecoveredRecords())
+		os.Stdout.Sync()
+	}
 	sys.Start()
 	defer sys.Stop()
 
 	// Walk the schedule in canonical order at every daemon: the owning
-	// daemon issues each multicast, every other daemon observes it, so all
+	// daemon issues each multicast, every other daemon announces it, so all
 	// registries assign identical message IDs.
 	for _, m := range msgs {
 		for sys.Now() < m.At {
@@ -122,12 +147,12 @@ func run(id int, peers, groupSpec, msgSpec, crashSpec, variant string,
 		if m.Src == self {
 			sys.MulticastClassed(m.Src, m.G, nil, m.Class)
 		} else {
-			sys.ObserveClassed(m.Src, m.G, nil, m.Class)
+			sys.AnnounceClassed(m.Src, m.G, nil, m.Class)
 		}
 	}
 
-	if !sys.AwaitDelivery(timeout) {
-		return fmt.Errorf("p%d: delivery incomplete after %v", id, timeout)
+	if !sys.AwaitDelivery(cc.Timeout) {
+		return fmt.Errorf("p%d: delivery incomplete after %v", cc.ID, cc.Timeout)
 	}
 
 	var order []string
@@ -136,18 +161,21 @@ func run(id int, peers, groupSpec, msgSpec, crashSpec, variant string,
 			order = append(order, fmt.Sprintf("%d", d.M))
 		}
 	}
-	fmt.Printf("ORDER %d %s\n", id, strings.Join(order, " "))
+	fmt.Printf("ORDER %d %s\n", cc.ID, strings.Join(order, " "))
 	os.Stdout.Sync()
 
 	// Linger: this daemon's acceptor may still be needed for a peer's
 	// quorum. A real deployment would stay up indefinitely; a scripted run
 	// holds the line long enough for every peer to reach delivery.
-	time.Sleep(linger)
+	time.Sleep(cc.Linger)
 	sys.Stop()
-	if wantReport {
+	if err := wal.Close(); err != nil {
+		return fmt.Errorf("p%d: wal close: %w", cc.ID, err)
+	}
+	if cc.Report {
 		rep := sys.Report()
 		fmt.Printf("%s\n", rep.String())
 	}
-	fmt.Printf("OK %d\n", id)
+	fmt.Printf("OK %d\n", cc.ID)
 	return nil
 }

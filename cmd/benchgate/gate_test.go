@@ -159,7 +159,7 @@ func TestLiveGatePasses(t *testing.T) {
 	var out bytes.Buffer
 	failed, err := liveGate(&out,
 		writeTemp(t, "old.json", liveBase),
-		writeTemp(t, "new.json", cand), 1.25, 0.25)
+		writeTemp(t, "new.json", cand), 1.25, 0.25, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestLiveGateCatchesPacketBlowup(t *testing.T) {
 	var out bytes.Buffer
 	failed, err := liveGate(&out,
 		writeTemp(t, "old.json", liveBase),
-		writeTemp(t, "new.json", cand), 1.25, 0.25)
+		writeTemp(t, "new.json", cand), 1.25, 0.25, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestLiveGateCatchesThroughputCollapse(t *testing.T) {
 	var out bytes.Buffer
 	failed, err := liveGate(&out,
 		writeTemp(t, "old.json", liveBase),
-		writeTemp(t, "new.json", cand), 1.25, 0.25)
+		writeTemp(t, "new.json", cand), 1.25, 0.25, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestLiveGateIgnoresChaosRows(t *testing.T) {
 	var out bytes.Buffer
 	failed, err := liveGate(&out,
 		writeTemp(t, "old.json", liveBase),
-		writeTemp(t, "new.json", cand), 1.25, 0.25)
+		writeTemp(t, "new.json", cand), 1.25, 0.25, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,12 +212,45 @@ func TestLiveGateIgnoresChaosRows(t *testing.T) {
 	}
 }
 
+func TestLiveGateSoftensFileRows(t *testing.T) {
+	// The same 0.15x throughput drop fails a mem row (floor 0.25) but
+	// passes a file-WAL durability row (floor 0.10): fsync speed is the
+	// runner's disk, not the code under test.
+	const fileBase = `{"version": 5, "runs": [
+	  {"processes": 3, "groups": 1, "transport": "mem", "chaos_seed": 0, "fsync_mode": "file",
+	   "deliveries_per_sec": 1000, "packets_per_delivery": 12.0}
+	]}`
+	cand := strings.ReplaceAll(fileBase, "1000", "150")
+	var out bytes.Buffer
+	failed, err := liveGate(&out,
+		writeTemp(t, "old.json", fileBase),
+		writeTemp(t, "new.json", cand), 1.25, 0.25, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("file-WAL row above the file floor failed the gate:\n%s", out.String())
+	}
+	out.Reset()
+	memBase := strings.ReplaceAll(fileBase, `"file"`, `"mem"`)
+	memCand := strings.ReplaceAll(cand, `"file"`, `"mem"`)
+	failed, err = liveGate(&out,
+		writeTemp(t, "old.json", memBase),
+		writeTemp(t, "new.json", memCand), 1.25, 0.25, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("mem row below the mem floor passed the gate:\n%s", out.String())
+	}
+}
+
 func TestLiveGateRejectsCrossVersion(t *testing.T) {
 	cand := strings.Replace(liveBase, `"version": 3`, `"version": 2`, 1)
 	var out bytes.Buffer
 	if _, err := liveGate(&out,
 		writeTemp(t, "old.json", liveBase),
-		writeTemp(t, "new.json", cand), 1.25, 0.25); err == nil {
+		writeTemp(t, "new.json", cand), 1.25, 0.25, 0.10); err == nil {
 		t.Fatalf("cross-schema comparison was not rejected")
 	}
 }

@@ -21,7 +21,9 @@
 //	    timing — may not exceed the baseline by more than -pkts-slack
 //	    (default 1.25x), and deliveries/sec may not fall below -dlv-floor
 //	    (default 0.25x) of the baseline. Chaos-seeded rows are reported but
-//	    never gate: the nemesis owns their variance.
+//	    never gate: the nemesis owns their variance. File-WAL durability
+//	    rows gate throughput against the softer -file-dlv-floor (default
+//	    0.10x): fsync latency belongs to the runner's disk, not the code.
 //
 // Exit status: 0 when every gate passes, 1 on any regression, 2 on usage
 // or input errors.
@@ -54,8 +56,9 @@ func main() {
 		newPath := fs.String("new", "", "candidate BENCH_live.json")
 		pktsSlack := fs.Float64("pkts-slack", 1.25, "max packets/delivery as a multiple of baseline")
 		dlvFloor := fs.Float64("dlv-floor", 0.25, "min deliveries/sec as a fraction of baseline")
+		fileDlvFloor := fs.Float64("file-dlv-floor", 0.10, "min deliveries/sec for file-WAL durability rows (fsync speed is a disk property)")
 		fs.Parse(os.Args[2:])
-		failed, err = liveGate(os.Stdout, *oldPath, *newPath, *pktsSlack, *dlvFloor)
+		failed, err = liveGate(os.Stdout, *oldPath, *newPath, *pktsSlack, *dlvFloor, *fileDlvFloor)
 	default:
 		usage()
 	}

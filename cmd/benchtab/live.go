@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/cliconf"
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/groups"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/net"
 	"repro/internal/obs"
+	"repro/internal/storage"
 	"repro/internal/wire"
 )
 
@@ -29,8 +31,11 @@ import (
 // column (1.0 = the vanilla all-conflict rows; < 1.0 = generic-variant
 // commuting-mix rows that skip pairwise coordination for commuting
 // messages) and fast_deliveries — v3 rows have no conflict_rate, so they
-// would silently alias the all-conflict rows.
-const benchSchemaVersion = 4
+// would silently alias the all-conflict rows. Version 5 added the fsync_mode
+// column (mem | file | file-nosync — the write-ahead-log backing of the run)
+// plus WAL bytes/op, sync counts and the measured post-run recovery time;
+// v4 rows have no fsync_mode, so they would alias the mem rows.
+const benchSchemaVersion = 5
 
 // liveRow is one measured configuration of the live bench — a row of
 // BENCH_live.json.
@@ -43,7 +48,13 @@ type liveRow struct {
 	// classes: 1.0 is the vanilla total-order run (every pair conflicts),
 	// anything below runs the generic variant where the remaining messages
 	// are ClassFree and skip the g∩h coordination entirely.
-	ConflictRate       float64 `json:"conflict_rate"`
+	ConflictRate float64 `json:"conflict_rate"`
+	// FsyncMode is the write-ahead-log backing: "mem" (in-memory group
+	// commit, the default substrate), "file" (file WAL, fsync on every
+	// commit barrier) or "file-nosync" (file WAL, OS buffering only). The
+	// durability tax is the file rows' delta against mem on the same
+	// topology.
+	FsyncMode          string  `json:"fsync_mode"`
 	Multicasts         int64   `json:"multicasts"`
 	Deliveries         int64   `json:"deliveries"`
 	P50Ms              float64 `json:"p50_ms"`
@@ -72,6 +83,13 @@ type liveRow struct {
 	WireReconnects int64   `json:"wire_reconnects,omitempty"`
 	FramesPerFlush float64 `json:"frames_per_flush,omitempty"`
 	WireWriteDrops int64   `json:"wire_write_drops,omitempty"`
+	// WAL footprint: mean record payload bytes per append, group-commit
+	// barriers, and (file rows) the wall time a fresh process took to
+	// replay the finished run's logs — the restart cost of this much
+	// history.
+	WALBytesPerOp float64 `json:"wal_bytes_per_op,omitempty"`
+	WALSyncs      int64   `json:"wal_syncs,omitempty"`
+	RecoveryMs    float64 `json:"recovery_ms,omitempty"`
 }
 
 // liveDoc is the BENCH_live.json document.
@@ -109,7 +127,11 @@ func chainTopo(n int) (*groups.Topology, error) {
 // schedule being kind). conflictRate < 1 switches the system to the
 // generic variant and tags that fraction of the load into a small keyed
 // conflict-class space; the rest is ClassFree and may skip coordination.
-func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string, conflictRate float64) (obs.RunReport, error) {
+// fsyncMode selects the WAL backing ("mem" | "file" | "file-nosync"); the
+// file modes write real logs under a fresh directory below walDir, measure
+// a full post-run replay (the recovery_ms column) and clean up after
+// themselves.
+func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string, conflictRate float64, fsyncMode, walDir string) (obs.RunReport, error) {
 	topo, err := chainTopo(n)
 	if err != nil {
 		return obs.RunReport{}, err
@@ -146,7 +168,30 @@ func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string, 
 		opt.Variant = core.Generic
 		opt.Conflict = msg.ClassesConflict
 	}
-	sys := live.NewSystem(topo, failure.NewPattern(n), nw, live.Config{Opt: opt})
+	cfg := live.Config{Opt: opt}
+	var wals map[groups.Process]storage.WAL
+	if fsyncMode != "mem" {
+		fsync := "sync"
+		if fsyncMode == "file-nosync" {
+			fsync = "none"
+		}
+		dir, err := os.MkdirTemp(walDir, "benchtab-wal-")
+		if err != nil {
+			return obs.RunReport{}, err
+		}
+		defer os.RemoveAll(dir)
+		walDir = dir
+		wals = make(map[groups.Process]storage.WAL, n)
+		for p := 0; p < n; p++ {
+			w, err := cliconf.OpenWAL(dir, fsync, groups.Process(p), rec.WAL())
+			if err != nil {
+				return obs.RunReport{}, err
+			}
+			wals[groups.Process(p)] = w
+		}
+		cfg.Storage = func(p groups.Process) storage.WAL { return wals[p] }
+	}
+	sys := live.NewSystem(topo, failure.NewPattern(n), nw, cfg)
 	sys.Start()
 	k := topo.NumGroups()
 	// Deterministic conflict mix: out of every 10 messages, the first
@@ -176,6 +221,28 @@ func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string, 
 	}
 	ok := sys.AwaitDelivery(60 * time.Second)
 	sys.Stop()
+	if wals != nil {
+		// Recovery measurement: close the logs, then replay every one as a
+		// restarting process would. The replay feeds the recorder's recovery
+		// counters, which the caller reads back as the recovery_ms column.
+		for p := 0; p < n; p++ {
+			if err := wals[groups.Process(p)].Close(); err != nil {
+				return obs.RunReport{}, fmt.Errorf("wal close p%d: %w", p, err)
+			}
+		}
+		for p := 0; p < n; p++ {
+			w, err := cliconf.OpenWAL(walDir, "sync", groups.Process(p), rec.WAL())
+			if err != nil {
+				return obs.RunReport{}, fmt.Errorf("wal reopen p%d: %w", p, err)
+			}
+			if err := w.Replay(func(storage.Record) error { return nil }); err != nil {
+				return obs.RunReport{}, fmt.Errorf("wal replay p%d: %w", p, err)
+			}
+			if err := w.Close(); err != nil {
+				return obs.RunReport{}, fmt.Errorf("wal reclose p%d: %w", p, err)
+			}
+		}
+	}
 	rep := sys.Report()
 	if !ok {
 		return rep, fmt.Errorf("n=%d seed=%d: delivery incomplete after 60s (%d/%d multicasts delivered somewhere)",
@@ -192,7 +259,12 @@ func liveRun(n int, seed int64, msgs int, pace time.Duration, transport string, 
 // count > 0 overrides the per-run message count. conflictRate < 1 adds
 // chaos-free commuting-mix rows at that rate (generic variant) next to
 // the all-conflict rows, so the skip-coordination win is in the table.
-func liveBench(short bool, jsonPath, baselinePath, transport string, rate float64, count int, conflictRate float64) error {
+// The durability rows measure the same workload on real file WALs at the
+// smallest topology: one row with the fsync barrier and one without, so the
+// fsync tax and the recovery time are in the table. dataDir overrides where
+// those logs go (empty = the system temp dir); fsyncMode "none" skips the
+// fsync'd row (slow-disk escape hatch).
+func liveBench(short bool, jsonPath, baselinePath, transport string, rate float64, count int, conflictRate float64, dataDir, fsyncMode string) error {
 	sizes := []int{3, 5, 7}
 	seeds := []int64{0, 3}
 	msgs := 48
@@ -212,27 +284,34 @@ func liveBench(short bool, jsonPath, baselinePath, transport string, rate float6
 	// Chaos seeds stay off the mix rows: the gate only reads chaos-free
 	// rows, and the nemesis' variance would drown the coordination delta.
 	type runCfg struct {
-		n    int
-		seed int64
-		rate float64
+		n     int
+		seed  int64
+		rate  float64
+		fsync string
 	}
 	var plan []runCfg
 	for _, n := range sizes {
 		for _, seed := range seeds {
-			plan = append(plan, runCfg{n, seed, 1})
+			plan = append(plan, runCfg{n, seed, 1, "mem"})
 		}
 	}
 	if conflictRate < 1 {
 		for _, n := range sizes {
-			plan = append(plan, runCfg{n, 0, conflictRate})
+			plan = append(plan, runCfg{n, 0, conflictRate, "mem"})
 		}
 	}
+	// Durability rows: chaos-free, all-conflict, smallest topology — the
+	// file-WAL delta against the matching mem row is pure storage cost.
+	if fsyncMode != "none" {
+		plan = append(plan, runCfg{sizes[0], 0, 1, "file"})
+	}
+	plan = append(plan, runCfg{sizes[0], 0, 1, "file-nosync"})
 	header(fmt.Sprintf("Live substrate — wall-clock cost of Algorithm 1 over chain topologies (%s transport)", transport))
-	fmt.Printf("%4s %3s %6s %5s | %5s | %9s %9s | %9s %9s | %9s %9s\n",
-		"n", "k", "seed", "cfl", "msgs", "p50 ms", "p99 ms", "dlv/sec", "pkts/dlv", "ops/batch", "win peak")
+	fmt.Printf("%4s %3s %6s %5s %-11s | %5s | %9s %9s | %9s %9s | %9s %9s\n",
+		"n", "k", "seed", "cfl", "wal", "msgs", "p50 ms", "p99 ms", "dlv/sec", "pkts/dlv", "B/op", "recov ms")
 	doc := liveDoc{Version: benchSchemaVersion, Generated: time.Now().UTC().Format(time.RFC3339), Short: short}
 	for _, rc := range plan {
-		rep, err := liveRun(rc.n, rc.seed, msgs, pace, transport, rc.rate)
+		rep, err := liveRun(rc.n, rc.seed, msgs, pace, transport, rc.rate, rc.fsync, dataDir)
 		if err != nil {
 			return err
 		}
@@ -242,6 +321,7 @@ func liveBench(short bool, jsonPath, baselinePath, transport string, rate float6
 			Transport:    transport,
 			ChaosSeed:    rc.seed,
 			ConflictRate: rc.rate,
+			FsyncMode:    rc.fsync,
 			Multicasts:   rep.Multicasts,
 			Deliveries:   rep.Deliveries,
 			WallMs:       float64(rep.Wall) / float64(time.Millisecond),
@@ -281,19 +361,28 @@ func liveBench(short bool, jsonPath, baselinePath, transport string, rate float6
 			row.FramesPerFlush = rep.Wire.FramesPerFlush()
 			row.WireWriteDrops = rep.Wire.WriteDrops
 		}
+		if rep.WAL != nil {
+			row.WALBytesPerOp = rep.WAL.BytesPerAppend()
+			row.WALSyncs = rep.WAL.Syncs
+			row.RecoveryMs = float64(rep.WAL.RecoveryNanos) / float64(time.Millisecond)
+		}
 		doc.Runs = append(doc.Runs, row)
-		fmt.Printf("%4d %3d %6d %5.2f | %5d | %9.2f %9.2f | %9.1f %9.1f | %9.1f %9d\n",
-			row.Processes, row.Groups, rc.seed, rc.rate, row.Multicasts,
+		fmt.Printf("%4d %3d %6d %5.2f %-11s | %5d | %9.2f %9.2f | %9.1f %9.1f | %9.1f %9.2f\n",
+			row.Processes, row.Groups, rc.seed, rc.rate, rc.fsync, row.Multicasts,
 			row.P50Ms, row.P99Ms, row.DeliveriesPerSec, row.PacketsPerDelivery,
-			row.AvgBatchOps, row.WindowDepthPeak)
+			row.WALBytesPerOp, row.RecoveryMs)
 	}
 	fmt.Println("\nshape: latency and wire traffic grow with the chain because neighbouring")
 	fmt.Println("groups share pair logs; a seeded nemesis adds retransmission work (visible")
 	fmt.Println("in pkts/dlv) without moving the median much — indulgence, measured. The")
-	fmt.Println("burst load keeps the replog batcher and the accept window busy (ops/batch,")
-	fmt.Println("win peak); -rate throttles back to an open load. Rows with cfl < 1 run the")
-	fmt.Println("generic variant: commuting messages skip the pair logs, so pkts/dlv and")
-	fmt.Println("p50 sit below the all-conflict row on the same topology.")
+	fmt.Println("burst load keeps the replog batcher and the accept window busy; -rate")
+	fmt.Println("throttles back to an open load. Rows with cfl < 1 run the generic variant:")
+	fmt.Println("commuting messages skip the pair logs, so pkts/dlv and p50 sit below the")
+	fmt.Println("all-conflict row on the same topology. The wal=file rows re-run the")
+	fmt.Println("smallest topology on real write-ahead logs — their delta against the")
+	fmt.Println("matching mem row is the durability tax (fsync dominates; file-nosync")
+	fmt.Println("isolates the encoding cost), and recov ms is a fresh process replaying")
+	fmt.Println("the whole run's logs.")
 	if baselinePath != "" {
 		if err := printBaselineDeltas(baselinePath, doc.Runs); err != nil {
 			return err
@@ -337,10 +426,11 @@ func printBaselineDeltas(path string, fresh []liveRow) error {
 		transport string
 		seed      int64
 		rate      float64
+		fsync     string
 	}
 	old := make(map[rowKey]liveRow, len(prior.Runs))
 	for _, r := range prior.Runs {
-		old[rowKey{r.Processes, r.Transport, r.ChaosSeed, r.ConflictRate}] = r
+		old[rowKey{r.Processes, r.Transport, r.ChaosSeed, r.ConflictRate, r.FsyncMode}] = r
 	}
 	pct := func(now, was float64) string {
 		if was == 0 {
@@ -353,7 +443,7 @@ func printBaselineDeltas(path string, fresh []liveRow) error {
 		"n", "seed", "p50 was", "p50 now", "Δ", "dlv/s was", "dlv/s now", "Δ", "pkts was", "pkts now", "Δ")
 	matched := 0
 	for _, r := range fresh {
-		was, ok := old[rowKey{r.Processes, r.Transport, r.ChaosSeed, r.ConflictRate}]
+		was, ok := old[rowKey{r.Processes, r.Transport, r.ChaosSeed, r.ConflictRate, r.FsyncMode}]
 		if !ok {
 			fmt.Printf("%4d %6d | (no baseline row)\n", r.Processes, r.ChaosSeed)
 			continue

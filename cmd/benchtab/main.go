@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/cliconf"
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/fd"
@@ -43,6 +44,7 @@ import (
 )
 
 func main() {
+	cc := cliconf.Bind(flag.CommandLine, cliconf.ToolBenchtab)
 	var (
 		shortFlag     = flag.Bool("short", false, "smaller topologies and message counts (CI budget)")
 		jsonFlag      = flag.String("json", "", "write live-mode results as JSON to this path")
@@ -95,7 +97,7 @@ func main() {
 	case "delay":
 		delaySweep()
 	case "live":
-		if err := liveBench(*shortFlag, *jsonFlag, *baselineFlag, *transportFlag, *rateFlag, *countFlag, *conflictFlag); err != nil {
+		if err := liveBench(*shortFlag, *jsonFlag, *baselineFlag, *transportFlag, *rateFlag, *countFlag, *conflictFlag, cc.DataDir, cc.Fsync); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

@@ -19,8 +19,10 @@
 // the replicated log and checks pairwise ordering across replicas;
 // "multicast" runs the full Algorithm 1 protocol on the live backend over
 // a chain of overlapping groups and checks the atomic-multicast
-// specification. Exit status 1 means a safety or liveness violation,
-// 2 a usage error.
+// specification; "powercycle" kill -9s processes of a durable replicated
+// log mid-run and checks that the rebooted incarnations recover from their
+// write-ahead logs without forking the decided prefix. Exit status 1 means
+// a safety or liveness violation, 2 a usage error.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/check"
+	"repro/internal/cliconf"
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/groups"
@@ -43,22 +46,27 @@ import (
 	"repro/internal/paxos"
 	"repro/internal/register"
 	"repro/internal/replog"
+	"repro/internal/storage"
 )
 
 // workload is one named nemesis target: a run function driven by the
-// seeded fault plan plus the one-line description shown in -h.
+// seeded fault plan plus the one-line description shown in -h. A workload
+// with a plan generator of its own (powercycle) overrides the default
+// drop/delay/partition schedule.
 type workload struct {
 	name string
 	desc string
 	run  func(seed int64, n int, plan chaos.Plan) error
+	plan func(seed int64, n int, d time.Duration) chaos.Plan
 }
 
 // workloads is the registry, in display order.
 var workloads = []workload{
-	{"register", "single-writer ABD register; checks monotone reads and post-quiesce convergence", runRegister},
-	{"replog", "concurrent appends on one replicated log; checks pairwise ordering across replicas", runReplog},
-	{"multicast", "Algorithm 1 over the live backend on a chain of overlapping groups; checks the full specification", runMulticast},
-	{"commute", "generic multicast with mixed conflicting/commuting traffic under chaos; checks the conflict-aware specification", runCommute},
+	{"register", "single-writer ABD register; checks monotone reads and post-quiesce convergence", runRegister, nil},
+	{"replog", "concurrent appends on one replicated log; checks pairwise ordering across replicas", runReplog, nil},
+	{"multicast", "Algorithm 1 over the live backend on a chain of overlapping groups; checks the full specification", runMulticast, nil},
+	{"commute", "generic multicast with mixed conflicting/commuting traffic under chaos; checks the conflict-aware specification", runCommute, nil},
+	{"powercycle", "kill -9 and reboot durable log replicas mid-run; checks WAL recovery keeps the decided prefix intact", runPowerCycle, chaos.NewPowerPlan},
 }
 
 func lookupWorkload(name string) (workload, bool) {
@@ -71,8 +79,8 @@ func lookupWorkload(name string) (workload, bool) {
 }
 
 func main() {
+	cc := cliconf.Bind(flag.CommandLine, cliconf.ToolNemesis)
 	var (
-		seedFlag     = flag.Int64("seed", 1, "fault-schedule seed")
 		nFlag        = flag.Int("n", 5, "number of processes")
 		durationFlag = flag.Duration("duration", 2*time.Second, "nemesis run length")
 		workloadFlag = flag.String("workload", "register", "workload name (see list below)")
@@ -99,17 +107,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	plan := chaos.NewPlan(*seedFlag, *nFlag, *durationFlag)
+	newPlan := chaos.NewPlan
+	if w.plan != nil {
+		newPlan = w.plan
+	}
+	plan := newPlan(cc.Seed, *nFlag, *durationFlag)
 	fmt.Print(plan)
 	if *printFlag {
 		return
 	}
 
-	if err := w.run(*seedFlag, *nFlag, plan); err != nil {
-		fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", *seedFlag, err)
+	if err := w.run(cc.Seed, *nFlag, plan); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL seed=%d: %v\n", cc.Seed, err)
 		os.Exit(1)
 	}
-	fmt.Printf("OK seed=%d\n", *seedFlag)
+	fmt.Printf("OK seed=%d\n", cc.Seed)
 }
 
 // runRegister drives a single-writer / two-reader ABD workload under the
@@ -274,6 +286,182 @@ func runReplog(seed int64, n int, plan chaos.Plan) error {
 	orders := make(map[groups.Process][]msg.ID, n)
 	for p, r := range reps {
 		for _, d := range r.Snapshot() {
+			orders[groups.Process(p)] = append(orders[groups.Process(p)], d.Msg)
+		}
+	}
+	if v := check.PairwiseOrdering(&check.Trace{LocalOrder: orders}); v != nil {
+		return fmt.Errorf("log order violation: %v", v)
+	}
+	return nil
+}
+
+// pcCluster is a replicated log whose processes can be power-cycled: each
+// paxos node writes a Mem WAL, and the chaos power hooks kill -9 a process
+// (fence the old incarnation, drop its unsynced WAL tail) and reboot it
+// (rebuild node and replica from the durable log). It is the command-line
+// twin of the harness in internal/replog's power-cycle test.
+type pcCluster struct {
+	c      *chaos.Chaos
+	scope  groups.ProcSet
+	leader paxos.LeaderFunc
+
+	mu       sync.Mutex
+	wals     []*storage.Mem
+	nodes    []*paxos.Node
+	reps     []*replog.Replica
+	restarts int
+}
+
+func newPCCluster(n int, seed int64) *pcCluster {
+	cl := &pcCluster{
+		c:      chaos.Wrap(net.New(n), seed),
+		leader: func(groups.Process) groups.Process { return 0 },
+		wals:   make([]*storage.Mem, n),
+		nodes:  make([]*paxos.Node, n),
+		reps:   make([]*replog.Replica, n),
+	}
+	for p := 0; p < n; p++ {
+		cl.scope = cl.scope.Add(groups.Process(p))
+	}
+	for p := 0; p < n; p++ {
+		cl.wals[p] = storage.NewMem()
+		cl.boot(groups.Process(p))
+	}
+	cl.c.OnPowerCycle(cl.powerOff, cl.powerOn)
+	return cl
+}
+
+func (cl *pcCluster) boot(p groups.Process) {
+	node := paxos.StartNodeWithConfig(cl.c, p, paxos.Config{WAL: cl.wals[p]})
+	cl.nodes[p] = node
+	cl.reps[p] = replog.NewReplica("LOG", 1, p, node, cl.c, cl.scope, cl.leader)
+}
+
+func (cl *pcCluster) powerOff(p groups.Process) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.nodes[p].Fence()
+	cl.wals[p].PowerCycle()
+}
+
+func (cl *pcCluster) powerOn(p groups.Process) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.boot(p)
+	cl.restarts++
+}
+
+func (cl *pcCluster) rep(p int) *replog.Replica {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.reps[p]
+}
+
+// runPowerCycle drives concurrent appends on a durable replicated log while
+// the power plan kill -9s and reboots processes. Safety: after the final
+// reboot, the paxos decision maps agree bit-for-bit across every pair of
+// nodes (recovered incarnations included) and the applied logs agree on
+// their common prefix. Liveness after quiesce: a fence append lands at
+// every replica.
+func runPowerCycle(seed int64, n int, plan chaos.Plan) error {
+	cl := newPCCluster(n, seed)
+	defer cl.c.Close()
+
+	nm := &chaos.Nemesis{C: cl.c, Plan: plan}
+	nmDone := nm.Go()
+
+	// Fire-and-forget appenders: an append caught on a power-cycled
+	// incarnation blocks forever (a client talking to a dead server), so
+	// nothing waits on these goroutines.
+	var landed int64
+	var landedMu sync.Mutex
+	for p := 0; p < n; p++ {
+		go func(p int) {
+			for i := 0; i < 8; i++ {
+				if _, ok := cl.rep(p).Append(logobj.MsgDatum(msg.ID(100*p + i + 1))); ok {
+					landedMu.Lock()
+					landed++
+					landedMu.Unlock()
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}(p)
+	}
+	<-nmDone
+
+	cl.mu.Lock()
+	restarts := cl.restarts
+	cl.mu.Unlock()
+	if restarts == 0 {
+		return fmt.Errorf("plan power-cycled nobody")
+	}
+
+	// Fence appends: with every process back up these must all land, and
+	// completing one walks that replica through every decided slot below it.
+	fenced := make(chan bool, n)
+	for p := 0; p < n; p++ {
+		go func(p int) {
+			_, ok := cl.rep(p).Append(logobj.MsgDatum(msg.ID(1000 + p)))
+			fenced <- ok
+		}(p)
+	}
+	deadline := time.After(60 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case ok := <-fenced:
+			if !ok {
+				return fmt.Errorf("fence append failed after recovery")
+			}
+		case <-deadline:
+			return fmt.Errorf("fence append still blocked 60s after quiesce (restarts=%d, stats=%+v)",
+				restarts, cl.c.Stats())
+		}
+	}
+
+	cl.mu.Lock()
+	nodes := append([]*paxos.Node(nil), cl.nodes...)
+	reps := append([]*replog.Replica(nil), cl.reps...)
+	cl.mu.Unlock()
+
+	landedMu.Lock()
+	fmt.Printf("workload: %d appends landed, %d restarts, stats %+v\n", landed, restarts, cl.c.Stats())
+	landedMu.Unlock()
+
+	// Paxos-level agreement, bit-for-bit across recovered nodes.
+	snaps := make([]map[paxos.InstanceID]paxos.Value, n)
+	for p, node := range nodes {
+		snaps[p] = node.SnapshotDecisions()
+	}
+	for p := range snaps {
+		for q := p + 1; q < len(snaps); q++ {
+			for inst, v := range snaps[p] {
+				if w, ok := snaps[q][inst]; ok && !w.Equal(v) {
+					return fmt.Errorf("decided slot changed value across a power cycle: %+v = %x at p%d but %x at p%d",
+						inst, v, p, w, q)
+				}
+			}
+		}
+	}
+
+	// Applied-log agreement: common prefix bit-for-bit, plus the pairwise
+	// ordering checker over the full local orders.
+	ref := reps[0].Snapshot()
+	orders := make(map[groups.Process][]msg.ID, n)
+	for p, r := range reps {
+		snap := r.Snapshot()
+		if p > 0 {
+			m := len(ref)
+			if len(snap) < m {
+				m = len(snap)
+			}
+			for i := 0; i < m; i++ {
+				if snap[i] != ref[i] {
+					return fmt.Errorf("applied log forked at position %d: %v at p0 vs %v at p%d",
+						i, ref[i], snap[i], p)
+				}
+			}
+		}
+		for _, d := range snap {
 			orders[groups.Process(p)] = append(orders[groups.Process(p)], d.Msg)
 		}
 	}

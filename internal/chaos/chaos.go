@@ -82,6 +82,11 @@ type Chaos struct {
 	pipes  map[link]chan delayed
 	closed bool
 
+	// Power-cycle hooks (see OnPowerCycle): what the harness does when a
+	// process is kill -9'd and when it reboots.
+	onPowerOff func(groups.Process)
+	onPowerOn  func(groups.Process)
+
 	done chan struct{}
 	wg   sync.WaitGroup
 
@@ -242,6 +247,55 @@ func (c *Chaos) Inbox(p groups.Process) <-chan net.Packet { return c.inner.Inbox
 
 // Crash silences p permanently on the inner transport.
 func (c *Chaos) Crash(p groups.Process) { c.inner.Crash(p) }
+
+// Restart revives p's endpoint when the inner transport can (net.Restarter);
+// fabrics that model reconnection themselves make this a no-op. The nemesis
+// keeps the Restarter capability visible through the wrapper, so harnesses
+// written against net.Transport can power-cycle over chaos and reliable
+// fabrics alike.
+func (c *Chaos) Restart(p groups.Process) {
+	if r, ok := c.inner.(net.Restarter); ok {
+		r.Restart(p)
+	}
+}
+
+var _ net.Restarter = (*Chaos)(nil)
+
+// OnPowerCycle registers the recovery hooks the power-cycle events drive:
+// off runs after p's endpoint is crashed (the harness drops p's unsynced WAL
+// tail there — what kill -9 loses), on runs after the endpoint is restarted
+// (the harness rebuilds p's node from its durable log there). Install before
+// the nemesis starts; nil hooks are skipped.
+func (c *Chaos) OnPowerCycle(off, on func(groups.Process)) {
+	c.mu.Lock()
+	c.onPowerOff, c.onPowerOn = off, on
+	c.mu.Unlock()
+}
+
+// PowerOff kill -9s p: the endpoint crashes (peers see silence, exactly as
+// for a fail-stop crash) and the power-off hook loses whatever the process
+// had not made durable.
+func (c *Chaos) PowerOff(p groups.Process) {
+	c.mu.Lock()
+	off := c.onPowerOff
+	c.mu.Unlock()
+	c.inner.Crash(p)
+	if off != nil {
+		off(p)
+	}
+}
+
+// PowerOn reboots p: the endpoint restarts and the recovery hook rebuilds
+// the process from its durable state.
+func (c *Chaos) PowerOn(p groups.Process) {
+	c.mu.Lock()
+	on := c.onPowerOn
+	c.mu.Unlock()
+	c.Restart(p)
+	if on != nil {
+		on(p)
+	}
+}
 
 // Crashed reports whether p was crashed.
 func (c *Chaos) Crashed(p groups.Process) bool { return c.inner.Crashed(p) }

@@ -27,6 +27,12 @@ const (
 	EvUp
 	// EvQuiesce clears every fault; every plan ends with it.
 	EvQuiesce
+	// EvPowerOff kill -9s a process: a crash on the inner fabric plus the
+	// registered power-off hook (which models losing unsynced WAL state).
+	EvPowerOff
+	// EvPowerOn reboots a powered-off process: the endpoint restarts and the
+	// registered recovery hook rebuilds the node from its durable log.
+	EvPowerOn
 )
 
 // Event is one scheduled nemesis action.
@@ -57,6 +63,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%8s up p%d", at, e.P)
 	case EvQuiesce:
 		return fmt.Sprintf("%8s quiesce", at)
+	case EvPowerOff:
+		return fmt.Sprintf("%8s power-off p%d", at, e.P)
+	case EvPowerOn:
+		return fmt.Sprintf("%8s power-on p%d", at, e.P)
 	}
 	return fmt.Sprintf("%8s ?", at)
 }
@@ -170,7 +180,45 @@ func (c *Chaos) Apply(e Event) {
 		c.Up(e.P)
 	case EvQuiesce:
 		c.Quiesce()
+	case EvPowerOff:
+		c.PowerOff(e.P)
+	case EvPowerOn:
+		c.PowerOn(e.P)
 	}
+}
+
+// NewPowerPlan generates a power-cycle fault schedule: a background of mild
+// probabilistic faults plus a handful of kill -9 / reboot cycles, each
+// pairing an EvPowerOff with an EvPowerOn before the next victim is hit, so
+// at most one process is powered off at any instant — quorums of any scope
+// with more than two members survive (Σ), and like every plan it ends with
+// a quiesce. NewPlan's schedules are untouched: existing seed transcripts
+// stay byte-identical.
+func NewPowerPlan(seed int64, n int, duration time.Duration) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	pl := Plan{Seed: seed, N: n, Duration: duration}
+	cycles := 2 + rng.Intn(3) // 2..4 power cycles
+	seg := duration / time.Duration(cycles+1)
+	pl.Events = append(pl.Events, Event{At: seg / 4, Kind: EvFaults, F: Faults{
+		Drop:     rng.Float64() * 0.05,
+		DelayMax: time.Duration(rng.Intn(200)) * time.Microsecond,
+	}})
+	for i := 0; i < cycles; i++ {
+		base := seg * time.Duration(i+1)
+		victim := groups.Process(rng.Intn(n))
+		// The outage lasts between a quarter and half of a segment, so the
+		// reboot always lands before the next cycle begins.
+		outage := seg / 4
+		if q := int64(seg / 4); q > 0 {
+			outage += time.Duration(rng.Int63n(q))
+		}
+		pl.Events = append(pl.Events,
+			Event{At: base, Kind: EvPowerOff, P: victim},
+			Event{At: base + outage, Kind: EvPowerOn, P: victim},
+		)
+	}
+	pl.Events = append(pl.Events, Event{At: duration, Kind: EvQuiesce})
+	return pl
 }
 
 // Nemesis replays a plan against a Chaos transport in real time.

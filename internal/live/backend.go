@@ -28,6 +28,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/paxos"
 	"repro/internal/replog"
+	"repro/internal/storage"
 )
 
 // Backend implements core.Backend over replicated logs and paxos consensus.
@@ -63,15 +64,17 @@ type liveConsKey struct {
 
 var _ core.Backend = (*Backend)(nil)
 
-// NewBackend builds the replicated substrate: one paxos node per owned
-// process on the transport (owned empty means every process); replicas and
-// consensus instances are created on demand. clock supplies the current
-// tick for failure-detector queries (leader election follows Ω at the
-// current time). rec, when non-nil, receives the substrate's counters
-// (paxos work, replog applies, per-pair coordination). In a multi-process
-// deployment each daemon's backend runs acceptors only for the processes it
-// owns — the rest answer from their own OS processes over the transport.
-func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Transport, clock func() failure.Time, strong bool, pcfg paxos.Config, rec *obs.Recorder, owned groups.ProcSet) *Backend {
+// NewBackend builds the replicated substrate: one paxos node per local
+// process of the membership descriptor (an empty descriptor means every
+// process); replicas and consensus instances are created on demand. clock
+// supplies the current tick for failure-detector queries (leader election
+// follows Ω at the current time). rec, when non-nil, receives the
+// substrate's counters (paxos work, replog applies, per-pair coordination).
+// store supplies each local process's WAL (nil for none — acceptors then
+// run memory-only with no recovery). In a multi-process deployment each
+// daemon's backend runs acceptors only for the processes it embodies — the
+// rest answer from their own OS processes over the transport.
+func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Transport, clock func() failure.Time, strong bool, pcfg paxos.Config, rec *obs.Recorder, mem Membership, store func(groups.Process) storage.WAL) *Backend {
 	b := &Backend{
 		topo:   topo,
 		reg:    reg,
@@ -86,10 +89,14 @@ func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Tran
 	}
 	pcfg.Counters = rec.Paxos()
 	for p := range b.nodes {
-		if !owned.Empty() && !owned.Has(groups.Process(p)) {
+		if !mem.Owns(groups.Process(p)) {
 			continue
 		}
-		b.nodes[p] = paxos.StartNodeWithConfig(nw, groups.Process(p), pcfg)
+		cfg := pcfg
+		if store != nil {
+			cfg.WAL = store(groups.Process(p))
+		}
+		b.nodes[p] = paxos.StartNodeWithConfig(nw, groups.Process(p), cfg)
 		// Even a node that never hosts a replog replica must answer
 		// misdirected op forwards with a NACK (see replog.AttachForwarding).
 		replog.AttachForwarding(b.nodes[p], groups.Process(p), nw)

@@ -149,6 +149,11 @@ func TestLiveFailoverMidWindow(t *testing.T) {
 }
 
 func runFailoverMidWindow(t *testing.T, seed int64) {
+	// Journal every applied op (replog debug flag) so a fork can be pinned
+	// on decide delivery vs consensus after the fact — see the diff below.
+	replog.SetJournal(true)
+	defer replog.SetJournal(false)
+
 	topo := chainTopo(t)
 	const crashTick = 60
 	pat := failure.NewPattern(7).WithCrash(0, crashTick)
@@ -232,6 +237,45 @@ func runFailoverMidWindow(t *testing.T, seed int64) {
 						seed, pair, i, ref[i], got[i])
 				}
 			}
+		}
+	}
+
+	// Journal vs decision diff (the ROADMAP item 3 flake hunt): every op a
+	// replica journalled at apply time must be exactly the op sequence the
+	// decided batch of that slot carries in the same node's own decision
+	// snapshot. If this diff fires while the bit-for-bit snapshot agreement
+	// above held, the fork is in decide *delivery* (applyAt was fed a value
+	// the acceptor never recorded); if both fire, it is a consensus fork.
+	sys.be.lk.Lock()
+	repsByKey := make(map[repKey]*replog.Replica, len(sys.be.reps))
+	for key, rep := range sys.be.reps {
+		repsByKey[key] = rep
+	}
+	sys.be.lk.Unlock()
+	for key, rep := range repsByKey {
+		realm := uint64(key.pair.A)<<32 | uint64(uint32(key.pair.B))
+		snap := snaps[key.p]
+		j := rep.Journal()
+		for i := 0; i < len(j); {
+			slot := j[i].Slot
+			inst := paxos.InstanceID{Space: paxos.SpaceLog, Realm: realm, Slot: int64(slot)}
+			v, ok := snap[inst]
+			if !ok {
+				t.Fatalf("seed %d: p%d log %v applied slot %d that its own decision snapshot does not contain",
+					seed, key.p, key.pair, slot)
+			}
+			want, err := replog.DecodeBatch(v)
+			if err != nil {
+				t.Fatalf("seed %d: p%d log %v: decided batch of slot %d does not decode: %v",
+					seed, key.p, key.pair, slot, err)
+			}
+			for k := range want {
+				if i+k >= len(j) || j[i+k].Slot != slot || j[i+k].Op != want[k] {
+					t.Fatalf("seed %d: p%d log %v: applied ops of slot %d diverge from the decided batch at op %d (journal tail %+v, decided %+v)",
+						seed, key.p, key.pair, slot, k, j[i:], want)
+				}
+			}
+			i += len(want)
 		}
 	}
 

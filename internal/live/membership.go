@@ -1,0 +1,94 @@
+package live
+
+import (
+	"fmt"
+
+	"repro/internal/groups"
+)
+
+// Replica describes one process of a deployment: its identity in the
+// topology and, for multi-process deployments, the address its daemon's
+// transport listens on (empty for in-process replicas).
+type Replica struct {
+	ID   groups.Process
+	Addr string
+}
+
+// Membership is the explicit deployment descriptor: which replicas make up
+// the system, and which of them this instance embodies. It replaces the
+// bare positional Config.Owned ProcSet, which conflated "who exists" with
+// "who am I" and left addressing to a side channel — cmd/amcastd and the
+// live System now share one structure describing both.
+//
+// The zero value means the single-OS-process default: every process of the
+// topology is local and none has an address.
+type Membership struct {
+	// Replicas lists the deployment's processes. Empty means "every process
+	// of the topology, no addresses" (the in-process default).
+	Replicas []Replica
+	// Local is the set of replica IDs this instance embodies. Empty means
+	// all of them.
+	Local groups.ProcSet
+}
+
+// NewMembership builds the descriptor for a daemon embodying local among
+// replicas.
+func NewMembership(replicas []Replica, local ...groups.Process) *Membership {
+	m := &Membership{Replicas: replicas}
+	for _, p := range local {
+		m.Local = m.Local.Add(p)
+	}
+	return m
+}
+
+// Owns reports whether this instance embodies p.
+func (m Membership) Owns(p groups.Process) bool {
+	return m.Local.Empty() || m.Local.Has(p)
+}
+
+// Addr returns the listen address of p's daemon ("" when p has none —
+// in-process replicas, or an empty descriptor).
+func (m Membership) Addr(p groups.Process) string {
+	for _, r := range m.Replicas {
+		if r.ID == p {
+			return r.Addr
+		}
+	}
+	return ""
+}
+
+// Addrs returns the address table of every replica that has one, in the
+// form the wire transport's dialer consumes.
+func (m Membership) Addrs() map[groups.Process]string {
+	out := make(map[groups.Process]string, len(m.Replicas))
+	for _, r := range m.Replicas {
+		if r.Addr != "" {
+			out[r.ID] = r.Addr
+		}
+	}
+	return out
+}
+
+// Validate checks the descriptor against a topology of n processes: replica
+// IDs must be unique and in range, and every local process must be listed
+// when the replica list is explicit.
+func (m Membership) Validate(n int) error {
+	seen := make(map[groups.Process]bool, len(m.Replicas))
+	for _, r := range m.Replicas {
+		if r.ID < 0 || int(r.ID) >= n {
+			return fmt.Errorf("membership: replica id %d outside topology of %d processes", r.ID, n)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("membership: duplicate replica id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(m.Replicas) > 0 {
+		for _, p := range m.Local.Members() {
+			if !seen[p] {
+				return fmt.Errorf("membership: local process %d not in the replica list", p)
+			}
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/net"
 	"repro/internal/obs"
 	"repro/internal/paxos"
+	"repro/internal/storage"
 )
 
 // Config tunes a live run.
@@ -31,16 +32,36 @@ type Config struct {
 	// StepIdle is how long an idle node sleeps before rescanning its
 	// guards. Default 200µs.
 	StepIdle time.Duration
-	// Owned restricts which processes this System instance embodies. Empty
-	// means all of them (the single-OS-process default). A multi-process
-	// deployment (cmd/amcastd) gives each daemon its own process: only
-	// owned processes get stepping goroutines and paxos/replog state, and
-	// delivery obligations are checked for owned processes only — the rest
-	// of the topology lives in peer OS processes reachable over the
-	// transport. Non-owned multicasts must still be announced in the same
-	// global order at every daemon via Observe (message IDs are
-	// positional).
+	// Membership describes the deployment: which replicas exist (with their
+	// daemons' addresses in multi-process deployments) and which of them
+	// this instance embodies. Nil means the single-OS-process default —
+	// every process is local. Only local processes get stepping goroutines
+	// and paxos/replog state, and delivery obligations are checked for
+	// local processes only; the rest of the topology lives in peer OS
+	// processes reachable over the transport. Non-local multicasts must
+	// still be announced in the same global order at every daemon via
+	// Announce (message IDs are positional).
+	Membership *Membership
+	// Storage supplies each local process's write-ahead log. Nil defaults
+	// to a fresh in-memory WAL per process (storage.NewMem) — group-commit
+	// semantics with no disk. Multi-process deployments (cmd/amcastd
+	// -data-dir) pass file-backed logs here for crash recovery.
+	Storage func(groups.Process) storage.WAL
+	// Owned restricts which processes this System instance embodies.
+	//
+	// Deprecated: set Membership instead; Owned is ignored when Membership
+	// is non-nil and will be removed next release.
 	Owned groups.ProcSet
+}
+
+// membership resolves the deployment descriptor: an explicit Membership
+// wins, the deprecated Owned set is wrapped into one, and the zero value
+// falls out of both absent.
+func (cfg Config) membership() Membership {
+	if cfg.Membership != nil {
+		return *cfg.Membership
+	}
+	return Membership{Local: cfg.Owned}
 }
 
 // System is a live run: Algorithm 1 nodes stepped by goroutines over the
@@ -62,6 +83,7 @@ type System struct {
 
 	be   *Backend
 	cfg  Config
+	mem  Membership
 	tick atomic.Int64
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -81,15 +103,23 @@ func NewSystem(topo *groups.Topology, pat *failure.Pattern, nw net.Transport, cf
 	if cfg.Opt.QuorumGate {
 		panic("live: QuorumGate is an engine-run construct; the live substrate gates on real quorums")
 	}
+	if cfg.Storage == nil {
+		// The default in-memory WALs still feed the recorder's counter block
+		// (nil-safe when no recorder is attached), so the bench can report
+		// WAL bytes/op on the mem path too.
+		rec := cfg.Opt.Rec
+		cfg.Storage = func(groups.Process) storage.WAL { return storage.NewMem().Observe(rec.WAL()) }
+	}
 	s := &System{
 		Topo: topo,
 		Pat:  pat,
 		Net:  nw,
 		cfg:  cfg,
+		mem:  cfg.membership(),
 		stop: make(chan struct{}),
 	}
 	s.Sh = core.NewSharedWithBackend(topo, pat, cfg.Opt, func(sh *core.Shared) core.Backend {
-		s.be = NewBackend(topo, sh.Reg, sh.Mu, nw, s.now, cfg.Opt.Variant == core.StronglyGenuine, cfg.Paxos, cfg.Opt.Rec, cfg.Owned)
+		s.be = NewBackend(topo, sh.Reg, sh.Mu, nw, s.now, cfg.Opt.Variant == core.StronglyGenuine, cfg.Paxos, cfg.Opt.Rec, s.mem, cfg.Storage)
 		return s.be
 	})
 	// Only owned processes get automatons: building a core.Node eagerly
@@ -112,10 +142,10 @@ func (s *System) now() failure.Time { return failure.Time(s.tick.Load()) }
 // relative to the crash schedule).
 func (s *System) Now() failure.Time { return s.now() }
 
-// owns reports whether this System instance embodies p (all processes when
-// Config.Owned is empty).
+// owns reports whether this System instance embodies p (all processes in
+// the single-OS-process default).
 func (s *System) owns(p groups.Process) bool {
-	return s.cfg.Owned.Empty() || s.cfg.Owned.Has(p)
+	return s.mem.Owns(p)
 }
 
 // Start launches the ticker and one stepping goroutine per owned process.
@@ -205,20 +235,37 @@ func (s *System) MulticastClassed(src groups.Process, dst groups.GroupID, payloa
 	return m
 }
 
-// Observe announces a multicast issued by a process another daemon owns.
-// Message IDs are positional in the registry, so every daemon must see the
-// same multicast schedule in the same order — the owning daemon calls
-// Multicast, every other daemon calls Observe with identical arguments, and
-// both paths register the message and append it to the relevant logs'
-// obligations without enqueueing it at a local (non-owned) sender node.
-func (s *System) Observe(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
-	return s.ObserveClassed(src, dst, payload, msg.ClassAll)
+// Announce registers a multicast issued by a process another daemon
+// embodies. Message IDs are positional in the registry, so every daemon
+// must see the same multicast schedule in the same order — the owning
+// daemon calls Multicast, every other daemon calls Announce with identical
+// arguments, and both paths register the message and append it to the
+// relevant logs' obligations without enqueueing it at a local (non-owned)
+// sender node.
+func (s *System) Announce(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
+	return s.AnnounceClassed(src, dst, payload, msg.ClassAll)
 }
 
-// ObserveClassed is Observe with an explicit conflict-class tag; peer
+// AnnounceClassed is Announce with an explicit conflict-class tag; peer
 // daemons must pass the same tag as the owning daemon's MulticastClassed.
-func (s *System) ObserveClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) *msg.Message {
+func (s *System) AnnounceClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) *msg.Message {
 	return s.Sh.RequestClassed(src, dst, payload, class, s.now())
+}
+
+// Observe announces a peer daemon's multicast.
+//
+// Deprecated: renamed Announce (membership API redesign); this shim will be
+// removed next release.
+func (s *System) Observe(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
+	return s.Announce(src, dst, payload)
+}
+
+// ObserveClassed announces a peer daemon's class-tagged multicast.
+//
+// Deprecated: renamed AnnounceClassed (membership API redesign); this shim
+// will be removed next release.
+func (s *System) ObserveClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) *msg.Message {
+	return s.AnnounceClassed(src, dst, payload, class)
 }
 
 // allDelivered mirrors the Termination checker's obligation: every

@@ -140,8 +140,15 @@ func (nw *Network) Broadcast(from groups.Process, set groups.ProcSet, t MsgType,
 	}
 }
 
-// Inbox returns the receive channel of p.
-func (nw *Network) Inbox(p groups.Process) <-chan Packet { return nw.eps[p].ch }
+// Inbox returns the receive channel of p — the current incarnation's: after
+// a Restart the old channel is closed and a fresh one takes its place, so
+// the read is ordered against that swap by the endpoint lock.
+func (nw *Network) Inbox(p groups.Process) <-chan Packet {
+	ep := &nw.eps[p]
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.ch
+}
 
 // Crash silences p: its pending inbox is drained and all future traffic
 // from or to it is dropped.
@@ -164,6 +171,36 @@ func (nw *Network) Crash(p groups.Process) {
 
 // Crashed reports whether p was crashed.
 func (nw *Network) Crashed(p groups.Process) bool { return nw.dead[p].Load() }
+
+// Restarter is the optional power-cycle capability of a transport: Crash
+// followed by Restart models a process being killed and later rebooted with
+// the same identity. Fabrics that cannot revive an endpoint (or that model
+// reconnection themselves, like the TCP transport, where a restarted daemon
+// simply redials) need not implement it.
+type Restarter interface {
+	Restart(p groups.Process)
+}
+
+// Restart power-cycles p's endpoint. The old inbox channel is closed —
+// terminating the dead incarnation's receive loops the way process death
+// would — and a fresh one is installed for the recovered node before the
+// crash flag clears. Packets queued for the old incarnation are discarded:
+// they were addressed to a process that no longer exists, and the fair-lossy
+// link model lets peers retransmit.
+//
+// The caller sequences Crash(p), node recovery from its WAL, then
+// Restart(p); only after Restart does the new incarnation's Inbox(p) return
+// the live channel.
+func (nw *Network) Restart(p groups.Process) {
+	ep := &nw.eps[p]
+	ep.mu.Lock()
+	if !ep.closed {
+		close(ep.ch)
+		ep.ch = make(chan Packet, inboxDepth)
+	}
+	ep.mu.Unlock()
+	nw.dead[p].Store(false)
+}
 
 // Close stops all future traffic (used at test teardown so server
 // goroutines drain and exit).

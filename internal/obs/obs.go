@@ -135,6 +135,7 @@ type Recorder struct {
 
 	paxos  PaxosCounters
 	replog ReplogCounters
+	wal    WALCounters
 
 	mu         sync.Mutex
 	seq        int64
@@ -198,6 +199,15 @@ func (r *Recorder) Replog() *ReplogCounters {
 		return nil
 	}
 	return &r.replog
+}
+
+// WAL returns the recorder's write-ahead-log counter block (nil on a nil
+// recorder).
+func (r *Recorder) WAL() *WALCounters {
+	if r == nil {
+		return nil
+	}
+	return &r.wal
 }
 
 // wallNow returns the wall offset since the epoch, or zero when the
@@ -540,6 +550,49 @@ func (c *ReplogCounters) AddFwd(n int) {
 func (c *ReplogCounters) AddRemote(n int) {
 	if c != nil {
 		c.RemoteOps.Add(int64(n))
+	}
+}
+
+// WALCounters count the durable-storage work of the live substrate's
+// write-ahead logs: records and bytes appended, group-commit syncs
+// (Syncs/Appends is the commit-batching ratio), segment rotations, and the
+// records/time recovered by replay on restart.
+type WALCounters struct {
+	Appends          atomic.Int64
+	Bytes            atomic.Int64
+	Syncs            atomic.Int64
+	Rotations        atomic.Int64
+	RecoveredRecords atomic.Int64
+	RecoveryNanos    atomic.Int64
+}
+
+// AddAppend counts one appended record of n payload bytes.
+func (c *WALCounters) AddAppend(n int) {
+	if c != nil {
+		c.Appends.Add(1)
+		c.Bytes.Add(int64(n))
+	}
+}
+
+// IncSync counts one group-commit durability barrier.
+func (c *WALCounters) IncSync() {
+	if c != nil {
+		c.Syncs.Add(1)
+	}
+}
+
+// IncRotation counts one segment rotation.
+func (c *WALCounters) IncRotation() {
+	if c != nil {
+		c.Rotations.Add(1)
+	}
+}
+
+// AddRecovery counts a replay of n records taking d of wall time.
+func (c *WALCounters) AddRecovery(n int64, d time.Duration) {
+	if c != nil {
+		c.RecoveredRecords.Add(n)
+		c.RecoveryNanos.Add(int64(d))
 	}
 }
 

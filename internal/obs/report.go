@@ -197,6 +197,27 @@ type ConflictReport struct {
 	Classes        []ClassCount `json:"classes,omitempty"`
 }
 
+// WALReport is the durable-storage footprint of a live run: records and
+// payload bytes appended to the write-ahead logs, group-commit durability
+// barriers (Syncs/Appends is the commit-batching ratio), segment rotations,
+// and the replay work done by recovery on restart.
+type WALReport struct {
+	Appends          int64 `json:"appends"`
+	Bytes            int64 `json:"bytes"`
+	Syncs            int64 `json:"syncs"`
+	Rotations        int64 `json:"rotations,omitempty"`
+	RecoveredRecords int64 `json:"recovered_records,omitempty"`
+	RecoveryNanos    int64 `json:"recovery_nanos,omitempty"`
+}
+
+// BytesPerAppend is the mean record payload size (0 with no appends).
+func (w *WALReport) BytesPerAppend() float64 {
+	if w == nil || w.Appends == 0 {
+		return 0
+	}
+	return float64(w.Bytes) / float64(w.Appends)
+}
+
 // RunReport is one run's observability, for either backend. Quantities a
 // backend does not measure are reported as absent (nil pointers, Accounted
 // flags) and surface as ErrNotAccounted through the accessors — never as
@@ -235,6 +256,7 @@ type RunReport struct {
 	Wire     *WireReport     `json:"wire,omitempty"`
 	Paxos    *PaxosReport    `json:"paxos,omitempty"`
 	Replog   *ReplogReport   `json:"replog,omitempty"`
+	WAL      *WALReport      `json:"wal,omitempty"`
 	Chaos    *ChaosReport    `json:"chaos,omitempty"`
 	Conflict *ConflictReport `json:"conflict,omitempty"`
 
@@ -297,6 +319,16 @@ func (r *Recorder) Report() RunReport {
 			BatchedOps: r.replog.BatchedOps.Load(),
 			FwdOps:     r.replog.FwdOps.Load(),
 			RemoteOps:  r.replog.RemoteOps.Load(),
+		}
+	}
+	if v := r.wal.Appends.Load() + r.wal.RecoveredRecords.Load(); v > 0 {
+		out.WAL = &WALReport{
+			Appends:          r.wal.Appends.Load(),
+			Bytes:            r.wal.Bytes.Load(),
+			Syncs:            r.wal.Syncs.Load(),
+			Rotations:        r.wal.Rotations.Load(),
+			RecoveredRecords: r.wal.RecoveredRecords.Load(),
+			RecoveryNanos:    r.wal.RecoveryNanos.Load(),
 		}
 	}
 	interesting := r.fastDeliveries > 0
@@ -441,6 +473,14 @@ func (r *RunReport) String() string {
 		fmt.Fprintf(&b, "\n  replog: %d submits, %d applies", r.Replog.Submits, r.Replog.Applies)
 		if r.Replog.Batches > 0 {
 			fmt.Fprintf(&b, ", %d batches (%.1f ops/batch)", r.Replog.Batches, r.Replog.MeanBatchOps())
+		}
+	}
+	if r.WAL != nil {
+		fmt.Fprintf(&b, "\n  wal: %d appends (%d B, %.1f B/append), %d syncs, %d rotations",
+			r.WAL.Appends, r.WAL.Bytes, r.WAL.BytesPerAppend(), r.WAL.Syncs, r.WAL.Rotations)
+		if r.WAL.RecoveredRecords > 0 {
+			fmt.Fprintf(&b, "; recovered %d records in %v",
+				r.WAL.RecoveredRecords, time.Duration(r.WAL.RecoveryNanos).Round(time.Microsecond))
 		}
 	}
 	if r.Chaos != nil {

@@ -32,11 +32,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/groups"
 	"repro/internal/net"
 	"repro/internal/obs"
+	"repro/internal/storage"
 	"repro/internal/wire"
 )
 
@@ -123,6 +125,14 @@ type Config struct {
 	// Counters, when non-nil, accumulates proposer/acceptor work for run
 	// reports. All methods are nil-safe, so the hot path stays branch-free.
 	Counters *obs.PaxosCounters
+	// WAL, when non-nil, makes the acceptor durable: every promise, lease
+	// grant, accepted value and learnt decision is appended, and no phase
+	// response leaves the node before a group-commit Sync covers the
+	// transitions it reveals (persist-before-reply). On construction the
+	// node replays the log and serves from the recovered state. nil — the
+	// default — keeps the acceptor memory-only, the pre-durability
+	// behavior, at the cost of one pointer test per transition.
+	WAL storage.WAL
 }
 
 // DefaultConfig returns the timing the package has always used.
@@ -307,14 +317,28 @@ type winSlot struct {
 	timer  *time.Timer
 }
 
+// pendingResp is a phase response withheld until the durability barrier
+// covering its acceptor transition has run (persist-before-reply).
+type pendingResp struct {
+	to   groups.Process
+	t    net.MsgType
+	body any
+}
+
 // Node bundles the acceptor role and the proposer plumbing of one process.
 type Node struct {
 	nw   net.Transport
 	p    groups.Process
 	cfg  Config
+	wal  storage.WAL
 	acc  *acceptor
 	resp chan net.Packet
 	done chan struct{}
+
+	// outbox holds responses deferred by the message loop until the next
+	// group-commit Sync. Only the loop goroutine touches it; it stays empty
+	// when no WAL is configured.
+	outbox []pendingResp
 
 	mu      sync.Mutex
 	decided map[InstanceID]Value
@@ -342,7 +366,31 @@ type Node struct {
 	// hmu guards the extra-handler table (Handle).
 	hmu      sync.RWMutex
 	handlers map[net.MsgType]func(net.Packet)
+
+	// propMu guards the proposer's durable ballot high-water mark (see
+	// claimBallot): the one piece of proposer state that must survive a
+	// crash, because a recovered proposer reusing a (slot, ballot) pair
+	// with a different value would break the same-ballot uniqueness the
+	// value pin enforces within an incarnation.
+	propMu  sync.Mutex
+	propMax int64
+
+	// fenced marks a dead incarnation (see Fence): the proposer side stops
+	// claiming ballots and firing rounds, so a power-cycled node's leftover
+	// goroutines cannot race its successor.
+	fenced atomic.Bool
 }
+
+// Fence marks this node as a dead incarnation: Propose and ProposeWindowed
+// refuse from now on, and in particular no further ballot is ever claimed.
+// A power-cycle harness calls Fence at the moment of the simulated kill -9
+// — without it, the old incarnation's still-unwinding proposer goroutines
+// could claim a ballot after the successor has already replayed the WAL,
+// and two proposers sharing an identity and a ballot can split a quorum
+// between two values. Ballots claimed before the fence are durable (claim
+// precedes use), so the successor's recovery sees every ballot the old
+// incarnation could still be using.
+func (n *Node) Fence() { n.fenced.Store(true) }
 
 // Handle registers fn for a wire type the node's own dispatch does not
 // claim. The transport delivers one inbox per process and this node's loop
@@ -379,6 +427,7 @@ func StartNodeWithConfig(nw net.Transport, p groups.Process, cfg Config) *Node {
 		nw:  nw,
 		p:   p,
 		cfg: cfg.withDefaults(),
+		wal: cfg.WAL,
 		acc: &acceptor{
 			promised: make(map[InstanceID]int64),
 			accepted: make(map[InstanceID]AcceptedVal),
@@ -394,6 +443,9 @@ func StartNodeWithConfig(nw net.Transport, p groups.Process, cfg Config) *Node {
 		wins:     make(map[InstanceID]*winSlot),
 		winDepth: make(map[realmKey]int),
 	}
+	if n.wal != nil {
+		n.recover()
+	}
 	go n.loop()
 	return n
 }
@@ -401,57 +453,98 @@ func StartNodeWithConfig(nw net.Transport, p groups.Process, cfg Config) *Node {
 func (n *Node) loop() {
 	defer close(n.done)
 	defer close(n.resp)
-	for pkt := range n.nw.Inbox(n.p) {
-		// Dispatch on the one-byte wire tag, not the body's dynamic type: a
-		// byte compare per packet instead of an interface type switch, and
-		// the same switch works whether the body arrived in-memory or was
-		// decoded from a TCP frame.
-		switch pkt.Type {
-		case wire.TPaxPrepare:
-			body, ok := pkt.Body.(PrepareReq)
-			if !ok {
-				continue
-			}
-			n.nw.Send(n.p, pkt.From, wire.TPaxPrepareResp, n.handlePrepare(body))
-		case wire.TPaxAccept:
-			body, ok := pkt.Body.(AcceptReq)
-			if !ok {
-				continue
-			}
-			n.nw.Send(n.p, pkt.From, wire.TPaxAcceptResp, n.handleAccept(body))
-		case wire.TPaxDecide:
-			body, ok := pkt.Body.(DecideMsg)
-			if !ok {
-				continue
-			}
-			n.recordDecision(body.Inst, body.Val)
-		case wire.TPaxLearn:
-			body, ok := pkt.Body.(LearnReq)
-			if !ok {
-				continue
-			}
-			if v, ok := n.Decided(body.Inst); ok {
-				n.nw.Send(n.p, pkt.From, wire.TPaxDecide, DecideMsg{Inst: body.Inst, Val: v})
-			}
-		case wire.TPaxAcceptResp:
-			// Windowed rounds are completed here, in the loop, so a whole
-			// window of slots makes progress concurrently; anything not
-			// claimed by the window table flows to the synchronous round.
-			if body, ok := pkt.Body.(AcceptResp); ok && n.windowResp(pkt.From, body) {
-				continue
-			}
-			n.pushResp(pkt)
-		case wire.TPaxPrepareResp:
-			n.pushResp(pkt)
-		default:
-			n.hmu.RLock()
-			fn := n.handlers[pkt.Type]
-			n.hmu.RUnlock()
-			if fn != nil {
-				fn(pkt)
+	inbox := n.nw.Inbox(n.p)
+	for pkt := range inbox {
+		n.dispatch(pkt)
+		if len(n.outbox) == 0 {
+			continue
+		}
+		// Group commit: a dispatch deferred durable phase responses. Absorb
+		// whatever burst is already queued so one fsync covers the lot, then
+		// run the barrier and flush. Latency is untouched — the drain never
+		// waits, it only claims packets that had already arrived.
+		more := true
+		for more && len(n.outbox) < maxCommitBatch {
+			select {
+			case pkt2, open := <-inbox:
+				if !open {
+					more = false // network closed: flush anyway (sends no-op)
+					break
+				}
+				n.dispatch(pkt2)
+			default:
+				more = false
 			}
 		}
+		n.walSync()
+		for _, r := range n.outbox {
+			n.nw.Send(n.p, r.to, r.t, r.body)
+		}
+		n.outbox = n.outbox[:0]
 	}
+}
+
+// dispatch routes one packet. Dispatch is on the one-byte wire tag, not the
+// body's dynamic type: a byte compare per packet instead of an interface
+// type switch, and the same switch works whether the body arrived in-memory
+// or was decoded from a TCP frame. Runs on the loop goroutine.
+func (n *Node) dispatch(pkt net.Packet) {
+	switch pkt.Type {
+	case wire.TPaxPrepare:
+		body, ok := pkt.Body.(PrepareReq)
+		if !ok {
+			return
+		}
+		n.reply(pkt.From, wire.TPaxPrepareResp, n.handlePrepare(body))
+	case wire.TPaxAccept:
+		body, ok := pkt.Body.(AcceptReq)
+		if !ok {
+			return
+		}
+		n.reply(pkt.From, wire.TPaxAcceptResp, n.handleAccept(body))
+	case wire.TPaxDecide:
+		body, ok := pkt.Body.(DecideMsg)
+		if !ok {
+			return
+		}
+		n.recordDecision(body.Inst, body.Val)
+	case wire.TPaxLearn:
+		body, ok := pkt.Body.(LearnReq)
+		if !ok {
+			return
+		}
+		if v, ok := n.Decided(body.Inst); ok {
+			n.nw.Send(n.p, pkt.From, wire.TPaxDecide, DecideMsg{Inst: body.Inst, Val: v})
+		}
+	case wire.TPaxAcceptResp:
+		// Windowed rounds are completed here, in the loop, so a whole
+		// window of slots makes progress concurrently; anything not
+		// claimed by the window table flows to the synchronous round.
+		if body, ok := pkt.Body.(AcceptResp); ok && n.windowResp(pkt.From, body) {
+			return
+		}
+		n.pushResp(pkt)
+	case wire.TPaxPrepareResp:
+		n.pushResp(pkt)
+	default:
+		n.hmu.RLock()
+		fn := n.handlers[pkt.Type]
+		n.hmu.RUnlock()
+		if fn != nil {
+			fn(pkt)
+		}
+	}
+}
+
+// reply sends a phase response — deferred to the loop's post-Sync outbox
+// when a WAL is attached, so the acceptor transition it reveals is durable
+// first. Without a WAL the send is immediate, exactly the old path.
+func (n *Node) reply(to groups.Process, t net.MsgType, body any) {
+	if n.wal == nil {
+		n.nw.Send(n.p, to, t, body)
+		return
+	}
+	n.outbox = append(n.outbox, pendingResp{to: to, t: t, body: body})
 }
 
 // pushResp hands a response to the synchronous proposer, dropping (counted)
@@ -489,6 +582,7 @@ func (n *Node) handlePrepare(body PrepareReq) PrepareResp {
 		// cost; the steady state never takes this branch.
 		rk := body.Inst.realm()
 		a.leases[rk] = leaseGrant{Ballot: body.Ballot, FromSlot: body.Inst.Slot}
+		n.walLease(rk, body.Inst.Slot, body.Ballot)
 		for id, av := range a.accepted {
 			if av.Has && id.realm() == rk && id.Slot >= body.Inst.Slot && id != body.Inst {
 				resp.Range = append(resp.Range, SlotVal{Slot: id.Slot, Ballot: av.Ballot, Val: av.Val})
@@ -496,6 +590,7 @@ func (n *Node) handlePrepare(body PrepareReq) PrepareResp {
 		}
 	} else {
 		a.promised[body.Inst] = body.Ballot
+		n.walPromise(body.Inst, body.Ballot)
 	}
 	return resp
 }
@@ -516,6 +611,7 @@ func (n *Node) handleAccept(body AcceptReq) AcceptResp {
 	if ok {
 		a.promised[body.Inst] = body.Ballot
 		a.accepted[body.Inst] = AcceptedVal{Ballot: body.Ballot, Val: body.Val, Has: true}
+		n.walAccept(body.Inst, body.Ballot, body.Val)
 	}
 	a.mu.Unlock()
 	return AcceptResp{Inst: body.Inst, Ballot: body.Ballot, OK: ok, Promised: floor}
@@ -527,6 +623,7 @@ func (n *Node) recordDecision(inst InstanceID, v Value) {
 	if !seen {
 		n.cfg.Counters.IncDecision()
 		n.decided[inst] = v
+		n.walDecide(inst, v)
 		for _, ch := range n.watch[inst] {
 			ch <- v
 		}
@@ -619,6 +716,13 @@ func (n *Node) toPeers(scope groups.ProcSet, t net.MsgType, body any) {
 // decideBroadcast teaches the scope a decision (recording it locally first,
 // without a loopback packet).
 func (n *Node) decideBroadcast(inst *Instance, val Value) {
+	// The decision is revealed below — first to local watchers via
+	// recordDecision, then to peers — so the durability barrier comes
+	// before both: every acceptor transition the decision rests on,
+	// including this node's own unflushed accepts, reaches stable storage
+	// first. The decide record itself may ride a later barrier; losing it
+	// in a crash costs a re-learn (anti-entropy), never safety.
+	n.walSync()
 	n.recordDecision(inst.ID, val)
 	n.toPeers(inst.Scope, wire.TPaxDecide, DecideMsg{Inst: inst.ID, Val: val})
 }
@@ -639,7 +743,7 @@ func (n *Node) decideBroadcast(inst *Instance, val Value) {
 // results are delivered by the node's message loop and its timers, and a
 // blocked delivery would stall every realm on the node.
 func (n *Node) ProposeWindowed(inst *Instance, v Value, res chan<- WindowResult) bool {
-	if !inst.MultiPaxos || inst.Leader(n.p) != n.p {
+	if n.fenced.Load() || !inst.MultiPaxos || inst.Leader(n.p) != n.p {
 		return false
 	}
 	id := inst.ID
@@ -811,11 +915,14 @@ func (n *Node) windowNack(rk realmKey, promised int64) {
 // network shuts down first.
 func (n *Node) Propose(inst *Instance, v Value) (Value, bool) {
 	n.cfg.Counters.IncProposal()
+	if n.fenced.Load() {
+		return nil, false
+	}
 	if got, ok := n.Decided(inst.ID); ok {
 		return got, true
 	}
 	decidedCh := n.await(inst.ID)
-	ballotRound := int64(0)
+	ballotRound := n.propRoundFloor()
 	// Non-leaders park on the decision channel for one hedge window before
 	// proposing themselves. One timer for the whole window, not a polling
 	// loop: on hosts with ~1ms timer granularity a loop of N short sleeps
@@ -869,6 +976,12 @@ func (n *Node) Propose(inst *Instance, v Value) (Value, bool) {
 		n.leaseMu.Unlock()
 		ballotRound++
 		ballot := ballotRound*64 + int64(n.p) + 1
+		// A fenced (dead-incarnation) proposer must never claim another
+		// ballot: its successor has already replayed the claims to date.
+		if n.fenced.Load() {
+			return nil, false
+		}
+		n.claimBallot(ballot)
 		n.cfg.Counters.IncRound()
 		if val, ok := n.round(inst, ballot, v); ok {
 			n.decideBroadcast(inst, val)

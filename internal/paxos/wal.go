@@ -1,0 +1,188 @@
+package paxos
+
+// Durable acceptor state. Every transition of the acceptor maps (a point
+// promise, a range lease grant, an accepted value) and every learnt decision
+// is appended to the configured storage.WAL, and no phase response leaves
+// the node before a group-commit Sync covers the transitions it reveals —
+// the persist-before-reply rule that makes recovery safe (DESIGN.md §11).
+//
+// What is deliberately NOT persisted: the proposer side. Leases, value pins
+// and refusal-ballot hints are performance state — a recovered node simply
+// has no lease and re-runs a full round, whose phase-1 adoption
+// re-establishes every obligation the old pin protected. The acceptor-side
+// lease grant, by contrast, IS a promise (for every covered slot at once)
+// and is recovered like one.
+
+import (
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// WAL record kinds. Payloads use the wire varint codec.
+const (
+	walPromise uint8 = 1 // inst, ballot                 — phase-1 point promise
+	walLease   uint8 = 2 // space, realm, fromSlot, ballot — phase-1 range promise
+	walAccept  uint8 = 3 // inst, ballot, val            — phase-2 accepted value
+	walDecide  uint8 = 4 // inst, val                    — learnt decision
+	walPropose uint8 = 5 // ballot                       — proposer high-water mark
+)
+
+// maxCommitBatch bounds how many queued requests one durability barrier may
+// absorb before responses flush (group commit).
+const maxCommitBatch = 64
+
+// walAppend appends one record, failing stop on error: an acceptor that
+// cannot make its promises durable must not keep making them.
+func (n *Node) walAppend(kind uint8, data []byte) {
+	if err := n.wal.Append(storage.Record{Kind: kind, Data: data}); err != nil {
+		panic("paxos: wal append: " + err.Error())
+	}
+}
+
+func (n *Node) walPromise(inst InstanceID, ballot int64) {
+	if n.wal == nil {
+		return
+	}
+	var e wire.Enc
+	encInst(&e, inst)
+	e.I64(ballot)
+	n.walAppend(walPromise, e.Bytes())
+}
+
+func (n *Node) walLease(rk realmKey, fromSlot, ballot int64) {
+	if n.wal == nil {
+		return
+	}
+	var e wire.Enc
+	e.U8(rk.Space)
+	e.U64(rk.Realm)
+	e.I64(fromSlot)
+	e.I64(ballot)
+	n.walAppend(walLease, e.Bytes())
+}
+
+func (n *Node) walAccept(inst InstanceID, ballot int64, v Value) {
+	if n.wal == nil {
+		return
+	}
+	var e wire.Enc
+	encInst(&e, inst)
+	e.I64(ballot)
+	e.Bin(v)
+	n.walAppend(walAccept, e.Bytes())
+}
+
+func (n *Node) walDecide(inst InstanceID, v Value) {
+	if n.wal == nil {
+		return
+	}
+	var e wire.Enc
+	encInst(&e, inst)
+	e.Bin(v)
+	n.walAppend(walDecide, e.Bytes())
+}
+
+// claimBallot persists the proposer's intent to use ballot before any
+// packet carries it. Proposer leases and value pins are not recovered —
+// harmless, a new round re-adopts — but ballot *uniqueness* must span
+// incarnations: the pre-crash node may have fired value v1 at (slot, b),
+// and a restarted node reusing b with v2 would let two values be accepted
+// at one ballot, splitting quorums. The durable high-water mark makes every
+// post-recovery ballot strictly larger than every pre-crash one.
+func (n *Node) claimBallot(ballot int64) {
+	if n.wal == nil {
+		return
+	}
+	n.propMu.Lock()
+	if ballot <= n.propMax {
+		n.propMu.Unlock()
+		return
+	}
+	n.propMax = ballot
+	var e wire.Enc
+	e.I64(ballot)
+	n.walAppend(walPropose, e.Bytes())
+	n.propMu.Unlock()
+	n.walSync()
+}
+
+// propRoundFloor seeds Propose's ballot-round counter above every ballot a
+// previous incarnation claimed (zero without a WAL: fresh nodes and the
+// memory-only configuration start from round 0 as always).
+func (n *Node) propRoundFloor() int64 {
+	if n.wal == nil {
+		return 0
+	}
+	n.propMu.Lock()
+	defer n.propMu.Unlock()
+	return n.propMax / 64
+}
+
+// walSync is the group-commit durability barrier; like walAppend it fails
+// stop when storage does.
+func (n *Node) walSync() {
+	if n.wal == nil {
+		return
+	}
+	if err := n.wal.Sync(); err != nil {
+		panic("paxos: wal sync: " + err.Error())
+	}
+}
+
+// recover rebuilds the acceptor and learner state from the WAL, called on
+// construction before the message loop starts serving. Replay order is
+// mutation order (appends happen under the same locks as the state
+// changes), so straight overwrites reproduce the final pre-crash state; the
+// max() guards only defend against a WAL that was fed by an older, less
+// ordered writer.
+func (n *Node) recover() {
+	a := n.acc
+	err := n.wal.Replay(func(rec storage.Record) error {
+		d := wire.NewDec(rec.Data)
+		switch rec.Kind {
+		case walPromise:
+			inst := decInst(d)
+			b := d.I64()
+			if d.Err() == nil && b > a.promised[inst] {
+				a.promised[inst] = b
+			}
+		case walLease:
+			rk := realmKey{Space: d.U8(), Realm: d.U64()}
+			from, b := d.I64(), d.I64()
+			if d.Err() == nil {
+				a.leases[rk] = leaseGrant{Ballot: b, FromSlot: from}
+			}
+		case walAccept:
+			inst := decInst(d)
+			b := d.I64()
+			v := Value(d.Bin())
+			if d.Err() == nil && b >= a.accepted[inst].Ballot {
+				a.accepted[inst] = AcceptedVal{Ballot: b, Val: v, Has: true}
+				// Accepting at b implies the promise at b (handleAccept sets
+				// both maps); floorLocked reads only promised, so recovery
+				// must restore it or a lower ballot could slip past.
+				if b > a.promised[inst] {
+					a.promised[inst] = b
+				}
+			}
+		case walDecide:
+			inst := decInst(d)
+			v := Value(d.Bin())
+			if d.Err() == nil {
+				n.decided[inst] = v
+			}
+		case walPropose:
+			b := d.I64()
+			if d.Err() == nil && b > n.propMax {
+				n.propMax = b
+			}
+		}
+		// An undecodable record under a valid checksum is a schema skew, not
+		// corruption; skipping it beats refusing to start. (Unknown kinds
+		// fall through here too, for the same forward-compatibility reason.)
+		return nil
+	})
+	if err != nil {
+		panic("paxos: wal replay: " + err.Error())
+	}
+}

@@ -1,0 +1,49 @@
+package replog
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Applied-op journal — the debug instrument for the rare decided-log fork
+// once seen in TestLiveFailoverMidWindow (ROADMAP item 3): two replicas of
+// one pair log applied adjacent ops in opposite orders while their paxos
+// decision snapshots agreed. The journal records, per replica, exactly
+// which op was applied from which slot, so a fork can be diffed against the
+// decision snapshot at the moment it happens: if the journals disagree
+// where the snapshots agree, the bug is in decide *delivery* (applyAt fed
+// by a different value than the acceptor recorded); if the snapshots also
+// disagree, it is a consensus fork.
+//
+// Off by default — a journal of every applied op would grow without bound
+// on long soaks — and enabled either by SetJournal or the
+// REPRO_REPLOG_JOURNAL environment variable.
+
+// journalOn gates journal collection globally (a per-replica flag would
+// need plumbing through every construction site for a debug-only tool).
+var journalOn atomic.Bool
+
+func init() {
+	if os.Getenv("REPRO_REPLOG_JOURNAL") != "" {
+		journalOn.Store(true)
+	}
+}
+
+// SetJournal switches applied-op journalling on or off for replicas' future
+// applies. Tests flip it on around the window they want evidence for.
+func SetJournal(on bool) { journalOn.Store(on) }
+
+// JournalEntry is one applied operation: the slot whose decided batch
+// carried it and the op itself, in application order.
+type JournalEntry struct {
+	Slot int
+	Op   Op
+}
+
+// Journal returns a copy of the replica's applied-op journal (empty unless
+// journalling was enabled during the applies).
+func (r *Replica) Journal() []JournalEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]JournalEntry(nil), r.journal...)
+}

@@ -139,6 +139,11 @@ type Replica struct {
 	noFwdTo    groups.Process
 	noFwdUntil time.Time
 
+	// journal records every applied op when journalling is enabled (see
+	// journal.go) — debug evidence for diffing a replica's applied sequence
+	// against the paxos decision snapshot.
+	journal []JournalEntry
+
 	kick   chan struct{} // wakes the submit loop on enqueue (cap 1)
 	winRes chan paxos.WindowResult
 }
@@ -590,7 +595,11 @@ func (r *Replica) applyAt(slot int, v paxos.Value) {
 	if slot != r.slot {
 		return // already applied (or a future slot the prefix hasn't reached)
 	}
+	jr := journalOn.Load()
 	for _, o := range ops {
+		if jr {
+			r.journal = append(r.journal, JournalEntry{Slot: slot, Op: o})
+		}
 		if o.Class != 0 && r.classLearn != nil {
 			r.classLearn(o.Datum, o.Class)
 		}
