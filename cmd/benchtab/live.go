@@ -34,8 +34,13 @@ import (
 // would silently alias the all-conflict rows. Version 5 added the fsync_mode
 // column (mem | file | file-nosync — the write-ahead-log backing of the run)
 // plus WAL bytes/op, sync counts and the measured post-run recovery time;
-// v4 rows have no fsync_mode, so they would alias the mem rows.
-const benchSchemaVersion = 5
+// v4 rows have no fsync_mode, so they would alias the mem rows. Version 6
+// added the event-driven scheduler's columns — wakeups/delivery,
+// steps/delivery, guard scans and the idle-CPU proxy (timer wakeups +
+// skipped scans: work the run did with nothing to do) — and the stepping
+// model changed from a 200µs idle poll to wakeup-driven draining, so v5
+// latency rows were measured under a different scheduler.
+const benchSchemaVersion = 6
 
 // liveRow is one measured configuration of the live bench — a row of
 // BENCH_live.json.
@@ -90,6 +95,16 @@ type liveRow struct {
 	WALBytesPerOp float64 `json:"wal_bytes_per_op,omitempty"`
 	WALSyncs      int64   `json:"wal_syncs,omitempty"`
 	RecoveryMs    float64 `json:"recovery_ms,omitempty"`
+	// Scheduler shape (v6): how much stepping work the run's deliveries
+	// cost. WakeupsPerDelivery counts notify + timer wakeups per delivery;
+	// StepsPerDelivery counts fired actions per delivery; Scans is the
+	// number of full guard-scan passes. IdleWork is the idle-CPU proxy —
+	// timer wakeups plus version-check-only skipped scans, the residual
+	// work a wakeup-driven run performs when nothing is happening.
+	WakeupsPerDelivery float64 `json:"wakeups_per_delivery,omitempty"`
+	StepsPerDelivery   float64 `json:"steps_per_delivery,omitempty"`
+	Scans              int64   `json:"scans,omitempty"`
+	IdleWork           int64   `json:"idle_work,omitempty"`
 }
 
 // liveDoc is the BENCH_live.json document.
@@ -307,8 +322,8 @@ func liveBench(short bool, jsonPath, baselinePath, transport string, rate float6
 	}
 	plan = append(plan, runCfg{sizes[0], 0, 1, "file-nosync"})
 	header(fmt.Sprintf("Live substrate — wall-clock cost of Algorithm 1 over chain topologies (%s transport)", transport))
-	fmt.Printf("%4s %3s %6s %5s %-11s | %5s | %9s %9s | %9s %9s | %9s %9s\n",
-		"n", "k", "seed", "cfl", "wal", "msgs", "p50 ms", "p99 ms", "dlv/sec", "pkts/dlv", "B/op", "recov ms")
+	fmt.Printf("%4s %3s %6s %5s %-11s | %5s | %9s %9s | %9s %9s | %7s %7s | %9s %9s\n",
+		"n", "k", "seed", "cfl", "wal", "msgs", "p50 ms", "p99 ms", "dlv/sec", "pkts/dlv", "wk/dlv", "stp/dlv", "B/op", "recov ms")
 	doc := liveDoc{Version: benchSchemaVersion, Generated: time.Now().UTC().Format(time.RFC3339), Short: short}
 	for _, rc := range plan {
 		rep, err := liveRun(rc.n, rc.seed, msgs, pace, transport, rc.rate, rc.fsync, dataDir)
@@ -366,10 +381,19 @@ func liveBench(short bool, jsonPath, baselinePath, transport string, rate float6
 			row.WALSyncs = rep.WAL.Syncs
 			row.RecoveryMs = float64(rep.WAL.RecoveryNanos) / float64(time.Millisecond)
 		}
+		if rep.Sched != nil {
+			row.Scans = rep.Sched.Scans
+			row.IdleWork = rep.Sched.TimerWakeups + rep.Sched.SkippedScans
+			if rep.Deliveries > 0 {
+				row.WakeupsPerDelivery = float64(rep.Sched.NotifyWakeups+rep.Sched.TimerWakeups) / float64(rep.Deliveries)
+				row.StepsPerDelivery = float64(rep.Sched.Actions) / float64(rep.Deliveries)
+			}
+		}
 		doc.Runs = append(doc.Runs, row)
-		fmt.Printf("%4d %3d %6d %5.2f %-11s | %5d | %9.2f %9.2f | %9.1f %9.1f | %9.1f %9.2f\n",
+		fmt.Printf("%4d %3d %6d %5.2f %-11s | %5d | %9.2f %9.2f | %9.1f %9.1f | %7.1f %7.1f | %9.1f %9.2f\n",
 			row.Processes, row.Groups, rc.seed, rc.rate, rc.fsync, row.Multicasts,
 			row.P50Ms, row.P99Ms, row.DeliveriesPerSec, row.PacketsPerDelivery,
+			row.WakeupsPerDelivery, row.StepsPerDelivery,
 			row.WALBytesPerOp, row.RecoveryMs)
 	}
 	fmt.Println("\nshape: latency and wire traffic grow with the chain because neighbouring")

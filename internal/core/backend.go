@@ -40,8 +40,18 @@ type LogObject interface {
 	BumpAndLock(ctx *engine.Ctx, origin groups.GroupID, d logobj.Datum, k int)
 	// Contains reports whether d is in the log.
 	Contains(d logobj.Datum) bool
+	// Version is a change counter: it increases on every mutation of the
+	// (locally visible) log state. Nodes snapshot it to skip guard rescans
+	// when nothing they observe has changed.
+	Version() int64
 	// Messages returns the message IDs present as messages, in log order.
 	Messages() []msg.ID
+	// MessagesSince returns the messages appended after the first from
+	// message appends, in first-append order — the incremental discovery
+	// stream (from is the caller's per-log high-water mark).
+	MessagesSince(from int) []msg.ID
+	// MsgCount returns how many distinct messages the log carries.
+	MsgCount() int
 	// MessagesBefore returns the messages strictly before d in log order.
 	MessagesBefore(d logobj.Datum) []msg.ID
 	// HasPosTuple reports whether some (m, h, -) tuple is in the log.
@@ -164,7 +174,12 @@ func (s simLog) BumpAndLock(ctx *engine.Ctx, origin groups.GroupID, d logobj.Dat
 }
 
 func (s simLog) Contains(d logobj.Datum) bool { return s.l.Inner().Contains(d) }
+func (s simLog) Version() int64               { return s.l.Inner().Version() }
 func (s simLog) Messages() []msg.ID           { return s.l.Inner().Messages() }
+func (s simLog) MessagesSince(from int) []msg.ID {
+	return s.l.Inner().MessagesSince(from)
+}
+func (s simLog) MsgCount() int { return s.l.Inner().MsgCount() }
 func (s simLog) MessagesBefore(d logobj.Datum) []msg.ID {
 	return s.l.Inner().MessagesBefore(d)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/failure"
@@ -15,7 +16,15 @@ import (
 // Node runs Algorithm 1 at one process. It is an engine.Automaton: each Step
 // attempts to fire one enabled action — multicast (line 5), pending
 // (line 8), commit (line 16), stabilize (line 25), stable (line 30) or
-// deliver (line 34) — scanning the messages it knows about in ID order.
+// deliver (line 34) — scanning the undelivered messages it knows about in ID
+// order.
+//
+// The scan is ready-set based: discovery is incremental (a per-group-log
+// high-water mark into the log's first-append message stream, never a
+// re-listing), delivered messages are retired from the scan set, and a scan
+// that fired nothing captures the versions of this process's log handles so
+// the next Step can be skipped outright while nothing it observes has
+// changed (see canSkip for why that is sound).
 //
 // The node touches the shared objects only through the Backend interfaces
 // (backend.go), so the same code runs over the deterministic in-memory
@@ -27,9 +36,27 @@ type Node struct {
 	sh *Shared
 
 	phase     map[msg.ID]Phase
-	known     []msg.ID
-	knownSet  map[msg.ID]bool
+	active    []msg.ID // undelivered discovered messages, ascending ID
 	delivered []msg.ID
+
+	// hw is the per-group-log discovery high-water mark: how many messages
+	// of LOG_g's first-append stream this node has already ingested. Each
+	// message lands in exactly one group log (its destination's), so there
+	// is no cross-log dedup to do.
+	hw map[groups.GroupID]int
+
+	// snapVers (parallel to myPairs) holds the log versions the last
+	// no-fire scan pass was evaluated against; snapValid marks it usable as
+	// a skip certificate. The versions are read BEFORE the pass: a mutation
+	// landing mid-scan (its guard effect possibly unseen) then fails the
+	// next canSkip version check instead of being silently absorbed into
+	// the certificate. preVers is the pre-scan scratch buffer. dirty is set
+	// from outside the stepping goroutine (Multicast) to force the next
+	// Step to scan regardless.
+	snapVers  []int64
+	preVers   []int64
+	snapValid bool
+	dirty     atomic.Bool
 
 	// outbox holds client multicast requests not yet handed to Algorithm 1
 	// (waiting behind their L_g predecessors), per destination group. The
@@ -56,7 +83,7 @@ func NewNode(p groups.Process, sh *Shared) *Node {
 		p:        p,
 		sh:       sh,
 		phase:    make(map[msg.ID]Phase),
-		knownSet: make(map[msg.ID]bool),
+		hw:       make(map[groups.GroupID]int),
 		outbox:   make(map[groups.GroupID][]msg.ID),
 		logs:     make(map[PairKey]LogObject),
 		fastMemo: make(map[msg.ID]bool),
@@ -95,6 +122,9 @@ func (n *Node) Multicast(m *msg.Message) {
 	n.boxMu.Lock()
 	n.outbox[m.Dst] = append(n.outbox[m.Dst], m.ID)
 	n.boxMu.Unlock()
+	// The enqueue enables tryMulticast without touching any log, so the
+	// version-snapshot skip certificate no longer covers the guard inputs.
+	n.dirty.Store(true)
 }
 
 // Phase returns the local phase of m.
@@ -130,56 +160,186 @@ func (n *Node) gateOK(ctx *engine.Ctx, g groups.GroupID) bool {
 }
 
 // Step implements engine.Automaton: discover new messages, then try one
-// action.
+// action (at most one per Step — the deterministic engine's accounting and
+// interleaving control rely on that granularity; the live runner loops via
+// Drain instead).
+//
+// A Step whose predecessor captured a valid skip certificate returns false
+// without scanning at all; otherwise the scan retires delivered messages
+// from the active set as it walks it, and a pass that fired nothing
+// recaptures the certificate.
 func (n *Node) Step(ctx *engine.Ctx) bool {
+	sched := n.sh.Opt.Rec.Sched()
+	if n.canSkip() {
+		sched.IncSkippedScan()
+		return false
+	}
+	sched.IncScan()
+	n.preScanVersions()
 	n.discover()
 	if n.tryMulticast(ctx) {
+		sched.IncAction()
 		return true
 	}
-	for _, id := range n.known {
-		if !n.gateOK(ctx, n.sh.Reg.Get(id).Dst) {
+	fired := false
+	timeSensitive := 0
+	w := 0
+	for i := 0; i < len(n.active); i++ {
+		id := n.active[i]
+		ph := n.phase[id]
+		if ph == PhaseDeliver {
+			continue // retired: delivered messages leave the scan set
+		}
+		n.active[w] = id
+		w++
+		if ph == PhasePending || ph == PhaseCommit {
+			// tryCommit and tryStable consult γ(g) (and the Strict variant
+			// the 1^{g∩h} indicator) at the current time: these guards can
+			// open with no object mutating, so their presence vetoes the
+			// skip certificate.
+			timeSensitive++
+		}
+		if fired || !n.gateOK(ctx, n.sh.Reg.Get(id).Dst) {
 			continue
 		}
-		switch n.Phase(id) {
+		switch ph {
 		case PhaseStart:
 			if n.fastTrack(id) {
-				if n.tryFastDeliver(ctx, id) {
-					return true
-				}
-			} else if n.tryPending(ctx, id) {
-				return true
+				fired = n.tryFastDeliver(ctx, id)
+			} else {
+				fired = n.tryPending(ctx, id)
 			}
 		case PhasePending:
-			if n.tryCommit(ctx, id) {
-				return true
-			}
+			fired = n.tryCommit(ctx, id)
 		case PhaseCommit:
-			if n.tryStabilize(ctx, id) {
-				return true
-			}
-			if n.tryStable(ctx, id) {
-				return true
-			}
+			fired = n.tryStabilize(ctx, id) || n.tryStable(ctx, id)
 		case PhaseStable:
-			if n.tryDeliver(ctx, id) {
-				return true
-			}
+			fired = n.tryDeliver(ctx, id)
 		}
 	}
+	n.active = n.active[:w]
+	if fired {
+		sched.IncAction()
+		return true
+	}
+	n.captureSnap(timeSensitive)
 	return false
 }
 
-// discover scans the group logs of G(p) for messages not yet tracked.
-func (n *Node) discover() {
-	for _, g := range n.myGroups {
-		for _, id := range n.groupLog(g).Messages() {
-			if !n.knownSet[id] {
-				n.knownSet[id] = true
-				n.known = append(n.known, id)
-			}
+// Drain fires every enabled action before returning, reporting how many
+// fired. The live runner calls it once per wakeup so a single notification
+// retires the whole chain of actions it enabled; the deterministic engine
+// keeps calling Step directly, one action at a time.
+func (n *Node) Drain(ctx *engine.Ctx) int {
+	fired := 0
+	for n.Step(ctx) {
+		fired++
+	}
+	return fired
+}
+
+// canSkip reports whether the whole Step may be elided: the last scan fired
+// nothing, no client request arrived since (dirty), no active message sits
+// in a time-gated phase (checked at capture), the quorum gate is off (its
+// guard reads engine state no log version reflects), and every log handle of
+// this process still has the version the certificate recorded.
+//
+// The certificate covers remote progress because anything that enables a
+// guard here either mutates one of this process's logs (replica applies bump
+// Version; in the Sim backend the objects are shared outright) or is a local
+// action of this node — and local actions only happen inside scans, which
+// invalidate the certificate by firing. Conflict-class learning rides on
+// decided log ops, so it too bumps a covered version.
+func (n *Node) canSkip() bool {
+	if !n.snapValid || n.sh.Opt.QuorumGate {
+		return false
+	}
+	if n.dirty.Swap(false) {
+		n.snapValid = false
+		return false
+	}
+	for i, key := range n.myPairs {
+		if n.logs[key].Version() != n.snapVers[i] {
+			n.snapValid = false
+			return false
 		}
 	}
-	sort.Slice(n.known, func(i, j int) bool { return n.known[i] < n.known[j] })
+	return true
+}
+
+// preScanVersions records every log handle's version before the guard pass
+// evaluates anything. Only these pre-scan values may become the skip
+// certificate: reading versions after the pass would absorb a mutation that
+// landed mid-scan — whose guard effect the pass may not have seen — and the
+// wakeup it queued would then be skipped as a no-change, leaving the enabled
+// action stranded until the heartbeat.
+func (n *Node) preScanVersions() {
+	if n.sh.Opt.QuorumGate {
+		return
+	}
+	if n.preVers == nil {
+		n.preVers = make([]int64, len(n.myPairs))
+	}
+	for i, key := range n.myPairs {
+		n.preVers[i] = n.logs[key].Version()
+	}
+}
+
+// captureSnap promotes the pre-scan versions to the skip certificate after
+// a scan pass that fired nothing, unless a time-gated phase, the quorum
+// gate or a pending client enqueue makes the log versions an incomplete
+// summary of the guard inputs.
+func (n *Node) captureSnap(timeSensitive int) {
+	if n.sh.Opt.QuorumGate || timeSensitive > 0 || n.dirty.Load() || n.preVers == nil {
+		return
+	}
+	n.snapVers, n.preVers = n.preVers, n.snapVers
+	if n.snapVers == nil {
+		// First capture: preVers moved over, leave a fresh scratch buffer.
+		n.preVers = make([]int64, len(n.myPairs))
+	}
+	n.snapValid = true
+}
+
+// discover ingests the new suffix of each group log's message stream. Newly
+// seen messages enter the phase map at PhaseStart and join the active scan
+// set, which stays sorted by ID (the scan order of Step).
+func (n *Node) discover() {
+	added := false
+	for _, g := range n.myGroups {
+		from := n.hw[g]
+		ids := n.groupLog(g).MessagesSince(from)
+		if len(ids) == 0 {
+			continue
+		}
+		n.hw[g] = from + len(ids)
+		for _, id := range ids {
+			if _, seen := n.phase[id]; seen {
+				continue
+			}
+			n.phase[id] = PhaseStart
+			n.active = append(n.active, id)
+			added = true
+		}
+	}
+	if added {
+		sort.Slice(n.active, func(i, j int) bool { return n.active[i] < n.active[j] })
+	}
+}
+
+// ScanSetSize returns how many messages the scheduler still scans, after
+// retiring any delivered stragglers. Not safe concurrently with stepping —
+// call it between steps (or after a live System stopped).
+func (n *Node) ScanSetSize() int {
+	w := 0
+	for _, id := range n.active {
+		if n.phase[id] != PhaseDeliver {
+			n.active[w] = id
+			w++
+		}
+	}
+	n.active = n.active[:w]
+	return w
 }
 
 // outboxHead returns the first queued request of group g, if any.
@@ -456,6 +616,7 @@ func (n *Node) tryFastDeliver(ctx *engine.Ctx, id msg.ID) bool {
 func (n *Node) deliver(ctx *engine.Ctx, id msg.ID, fast bool) {
 	n.phase[id] = PhaseDeliver
 	n.delivered = append(n.delivered, id)
+	delete(n.fastMemo, id) // delivered: the memo will never be consulted again
 	n.sh.RecordDelivery(n.p, id, ctx.Now)
 	if fast {
 		n.sh.Opt.Rec.FastDelivery()

@@ -46,6 +46,10 @@ type Backend struct {
 
 	nodes []*paxos.Node
 
+	// notify, when set, is invoked with the owning process whenever one of
+	// its replicas applies decided operations (see SetNotify).
+	notify func(groups.Process)
+
 	lk   sync.Mutex
 	reps map[repKey]*replog.Replica
 	cons map[liveConsKey]*liveCons
@@ -104,6 +108,13 @@ func NewBackend(topo *groups.Topology, reg *msg.Registry, mu *fd.Mu, nw net.Tran
 	return b
 }
 
+// SetNotify installs the change-notification fan-in: fn(p) is called (from
+// replica apply paths — it must be cheap and non-blocking) whenever p's copy
+// of some log gains decided operations. The live System routes it to the
+// per-process wakeup channels so stepping is event-driven rather than
+// polled. Call before the first Log — replicas attach the hook at creation.
+func (b *Backend) SetNotify(fn func(groups.Process)) { b.notify = fn }
+
 // hosting returns the replication scope of LOG_{g∩h} and the Ω that elects
 // its paxos leader. As in the Sim backend, the lower-numbered group hosts
 // ("atop some group, say g"); under the strongly genuine variation the
@@ -152,6 +163,10 @@ func (b *Backend) Log(p groups.Process, g, h groups.GroupID) core.LogObject {
 	scope, omega := b.hosting(pair)
 	r := replog.NewReplica(name, realm, p, b.nodes[p], b.nw, scope, b.leaderFunc(omega))
 	r.Observe(b.rec.Replog())
+	if b.notify != nil {
+		pp := p
+		r.OnApply(func() { b.notify(pp) })
+	}
 	// Conflict-class plumbing: stamp locally enqueued message appends with
 	// the registry's tag and adopt tags arriving in decided ops, so every
 	// replica — including daemons whose local schedule carried no tag — ends
@@ -260,9 +275,27 @@ func (l liveLog) Contains(d logobj.Datum) bool {
 	return out
 }
 
+func (l liveLog) Version() int64 {
+	var out int64
+	l.r.Read(func(lg *logobj.Log) { out = lg.Version() })
+	return out
+}
+
 func (l liveLog) Messages() []msg.ID {
 	var out []msg.ID
 	l.r.Read(func(lg *logobj.Log) { out = lg.Messages() })
+	return out
+}
+
+func (l liveLog) MessagesSince(from int) []msg.ID {
+	var out []msg.ID
+	l.r.Read(func(lg *logobj.Log) { out = lg.MessagesSince(from) })
+	return out
+}
+
+func (l liveLog) MsgCount() int {
+	var out int
+	l.r.Read(func(lg *logobj.Log) { out = lg.MsgCount() })
 	return out
 }
 

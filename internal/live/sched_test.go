@@ -1,0 +1,72 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/net"
+	"repro/internal/obs"
+)
+
+// TestIdleNodesNearZeroWork pins down the event-driven contract from both
+// sides. Idle side: a started system with no traffic must do essentially
+// nothing — no actions, no guard rescans beyond the startup pass (the
+// heartbeat only skip-checks log versions) — where the old scheduler
+// rescanned every node's guards every 200µs forever. Liveness side: a
+// multicast issued after a long idle stretch must still deliver, proving the
+// wakeup path has no lost-notification window a poll used to paper over.
+func TestIdleNodesNearZeroWork(t *testing.T) {
+	topo := groups.Figure1()
+	pat := failure.NewPattern(topo.NumProcesses())
+	rec := obs.NewRecorder(obs.Options{Level: obs.LevelCounters, WallClock: true})
+	nw := net.New(topo.NumProcesses())
+	sys := NewSystem(topo, pat, nw, Config{Opt: core.Options{Rec: rec}})
+	sys.Start()
+	defer sys.Stop()
+
+	time.Sleep(300 * time.Millisecond)
+	idle := sys.Report().Sched
+	if idle == nil {
+		t.Fatal("no sched counters recorded")
+	}
+	procs := int64(topo.NumProcesses())
+	if idle.Actions != 0 {
+		t.Errorf("idle system fired %d actions; want 0", idle.Actions)
+	}
+	if idle.Scans > 4*procs {
+		t.Errorf("idle system ran %d guard scans across %d processes; want the startup pass only", idle.Scans, procs)
+	}
+	if idle.TimerWakeups == 0 {
+		t.Error("no heartbeat wakeups over 300ms idle; the time-gated-guard safety net is not armed")
+	}
+
+	// Wake the pipeline from a cold idle: if a notification were lost, the
+	// only mover would be the heartbeat — delivery would still succeed, so
+	// additionally require the notify path to have carried real wakeups.
+	sys.Multicast(0, 0, []byte("wake"))
+	if !sys.AwaitDelivery(10 * time.Second) {
+		t.Fatal("delivery stalled after the idle period")
+	}
+	busy := sys.Report().Sched
+	if busy.Actions == 0 {
+		t.Error("delivery happened but no actions were counted")
+	}
+	if busy.NotifyWakeups == 0 {
+		t.Error("delivery completed without a single notify wakeup; stepping is still timer-driven")
+	}
+	sys.Stop()
+	for p, n := range sys.Nodes {
+		if n == nil {
+			continue
+		}
+		if size := n.ScanSetSize(); size != 0 {
+			t.Errorf("p%d: scan set holds %d messages after delivery", p, size)
+		}
+	}
+	for _, v := range sys.Check() {
+		t.Errorf("specification violation: %v", v)
+	}
+}

@@ -29,9 +29,12 @@ type Config struct {
 	// TickEvery maps wall time to failure.Time: one tick per interval.
 	// Detector stabilisation and crash schedules key on ticks. Default 1ms.
 	TickEvery time.Duration
-	// StepIdle is how long an idle node sleeps before rescanning its
-	// guards. Default 200µs.
-	StepIdle time.Duration
+	// Heartbeat is the safety-net rescan interval. Stepping is wakeup-driven
+	// — replica applies and local enqueues wake the owning node — so the
+	// timer only covers guards gated on time alone: γ(g) and the §6.1
+	// indicators move with the failure pattern, never with a shared object,
+	// so nothing else re-opens them after a crash. Default 5ms.
+	Heartbeat time.Duration
 	// Membership describes the deployment: which replicas exist (with their
 	// daemons' addresses in multi-process deployments) and which of them
 	// this instance embodies. Nil means the single-OS-process default —
@@ -47,21 +50,15 @@ type Config struct {
 	// semantics with no disk. Multi-process deployments (cmd/amcastd
 	// -data-dir) pass file-backed logs here for crash recovery.
 	Storage func(groups.Process) storage.WAL
-	// Owned restricts which processes this System instance embodies.
-	//
-	// Deprecated: set Membership instead; Owned is ignored when Membership
-	// is non-nil and will be removed next release.
-	Owned groups.ProcSet
 }
 
-// membership resolves the deployment descriptor: an explicit Membership
-// wins, the deprecated Owned set is wrapped into one, and the zero value
-// falls out of both absent.
+// membership resolves the deployment descriptor: nil means the
+// single-OS-process default (every process local, no addresses).
 func (cfg Config) membership() Membership {
 	if cfg.Membership != nil {
 		return *cfg.Membership
 	}
-	return Membership{Local: cfg.Owned}
+	return Membership{}
 }
 
 // System is a live run: Algorithm 1 nodes stepped by goroutines over the
@@ -88,6 +85,18 @@ type System struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
+
+	// wakeCh holds one capacity-1 wakeup channel per owned process (nil for
+	// the rest). A send is level-triggered: a wakeup arriving while the node
+	// drains parks in the buffer and re-runs the drain, so notifications
+	// racing a going-to-sleep node are never lost.
+	wakeCh []chan struct{}
+
+	// dch broadcasts local deliveries to AwaitDelivery waiters: closed and
+	// replaced under dmu on every delivery (fetch the channel BEFORE
+	// re-checking the predicate).
+	dmu sync.Mutex
+	dch chan struct{}
 }
 
 // NewSystem assembles a live system over the transport. The transport must
@@ -97,8 +106,8 @@ func NewSystem(topo *groups.Topology, pat *failure.Pattern, nw net.Transport, cf
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = time.Millisecond
 	}
-	if cfg.StepIdle <= 0 {
-		cfg.StepIdle = 200 * time.Microsecond
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 5 * time.Millisecond
 	}
 	if cfg.Opt.QuorumGate {
 		panic("live: QuorumGate is an engine-run construct; the live substrate gates on real quorums")
@@ -114,16 +123,35 @@ func NewSystem(topo *groups.Topology, pat *failure.Pattern, nw net.Transport, cf
 		Topo: topo,
 		Pat:  pat,
 		Net:  nw,
-		cfg:  cfg,
 		mem:  cfg.membership(),
 		stop: make(chan struct{}),
+		dch:  make(chan struct{}),
 	}
+	// Every local delivery pings the AwaitDelivery broadcast; the caller's
+	// hook (if any) still runs, after ours.
+	userOnDeliver := cfg.Opt.OnDeliver
+	cfg.Opt.OnDeliver = func(p groups.Process, m *msg.Message, t failure.Time) {
+		s.notifyDelivery()
+		if userOnDeliver != nil {
+			userOnDeliver(p, m, t)
+		}
+	}
+	s.cfg = cfg
 	s.Sh = core.NewSharedWithBackend(topo, pat, cfg.Opt, func(sh *core.Shared) core.Backend {
 		s.be = NewBackend(topo, sh.Reg, sh.Mu, nw, s.now, cfg.Opt.Variant == core.StronglyGenuine, cfg.Paxos, cfg.Opt.Rec, s.mem, cfg.Storage)
 		return s.be
 	})
-	// Only owned processes get automatons: building a core.Node eagerly
-	// creates its backend log replicas, and a non-owned process's replicas
+	// Wake plumbing must exist before the nodes: building a core.Node
+	// eagerly creates its backend log replicas, and replica creation is
+	// when the apply-notification hook is attached.
+	s.wakeCh = make([]chan struct{}, topo.NumProcesses())
+	for p := range s.wakeCh {
+		if s.owns(groups.Process(p)) {
+			s.wakeCh[p] = make(chan struct{}, 1)
+		}
+	}
+	s.be.SetNotify(s.wake)
+	// Only owned processes get automatons: a non-owned process's replicas
 	// live in the daemon that owns it. Slots for non-owned processes stay
 	// nil (Multicast and runNode only ever touch owned ones).
 	s.Nodes = make([]*core.Node, topo.NumProcesses())
@@ -133,6 +161,40 @@ func NewSystem(topo *groups.Topology, pat *failure.Pattern, nw net.Transport, cf
 		}
 	}
 	return s
+}
+
+// wake nudges p's stepping goroutine: something p observes may have changed
+// (a replica applied decided operations, or a client enqueued a request).
+// Non-blocking — a full buffer means a wakeup is already pending.
+func (s *System) wake(p groups.Process) {
+	if int(p) >= len(s.wakeCh) {
+		return
+	}
+	ch := s.wakeCh[p]
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// notifyDelivery closes-and-replaces the delivery broadcast channel.
+func (s *System) notifyDelivery() {
+	s.dmu.Lock()
+	close(s.dch)
+	s.dch = make(chan struct{})
+	s.dmu.Unlock()
+}
+
+// deliveryCh returns the current broadcast channel. Waiters must fetch it
+// before evaluating their predicate: any delivery after the fetch closes
+// this very channel, so the sleep cannot miss it.
+func (s *System) deliveryCh() <-chan struct{} {
+	s.dmu.Lock()
+	defer s.dmu.Unlock()
+	return s.dch
 }
 
 // now is the backend's clock: the current tick.
@@ -197,11 +259,18 @@ func (s *System) runClock() {
 	}
 }
 
-// runNode steps one node until shutdown (or its crash). A step that blocks
+// runNode steps one node until shutdown (or its crash). Stepping is
+// wakeup-driven: drain every enabled action, then sleep until a replica
+// apply or client enqueue wakes the node — or the heartbeat fires, covering
+// the guards gated on time alone (see Config.Heartbeat). A step that blocks
 // inside a shared-object operation is unblocked by Net.Close at Stop.
 func (s *System) runNode(p groups.Process) {
 	defer s.wg.Done()
 	n := s.Nodes[p]
+	sched := s.cfg.Opt.Rec.Sched()
+	wake := s.wakeCh[p]
+	timer := time.NewTimer(s.cfg.Heartbeat)
+	defer timer.Stop()
 	for {
 		select {
 		case <-s.stop:
@@ -211,12 +280,35 @@ func (s *System) runNode(p groups.Process) {
 		if s.Net.Crashed(p) {
 			return
 		}
-		if !n.Step(&engine.Ctx{Now: s.now()}) {
+		// Drain: fire until no guard holds, re-sampling the tick each step
+		// (γ queries must see time advance across a long chain). The stop
+		// check inside the loop matters: after Stop closes the transport,
+		// shared-object operations complete degraded and a guard can stay
+		// enabled forever — the drain must not outlive the run.
+		for n.Step(&engine.Ctx{Now: s.now()}) {
 			select {
 			case <-s.stop:
 				return
-			case <-time.After(s.cfg.StepIdle):
+			default:
 			}
+			if s.Net.Crashed(p) {
+				return
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(s.cfg.Heartbeat)
+		select {
+		case <-s.stop:
+			return
+		case <-wake:
+			sched.IncNotifyWakeup()
+		case <-timer.C:
+			sched.IncTimerWakeup()
 		}
 	}
 }
@@ -232,6 +324,7 @@ func (s *System) Multicast(src groups.Process, dst groups.GroupID, payload []byt
 func (s *System) MulticastClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) *msg.Message {
 	m := s.Sh.RequestClassed(src, dst, payload, class, s.now())
 	s.Nodes[src].Multicast(m)
+	s.wake(src)
 	return m
 }
 
@@ -250,22 +343,6 @@ func (s *System) Announce(src groups.Process, dst groups.GroupID, payload []byte
 // daemons must pass the same tag as the owning daemon's MulticastClassed.
 func (s *System) AnnounceClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) *msg.Message {
 	return s.Sh.RequestClassed(src, dst, payload, class, s.now())
-}
-
-// Observe announces a peer daemon's multicast.
-//
-// Deprecated: renamed Announce (membership API redesign); this shim will be
-// removed next release.
-func (s *System) Observe(src groups.Process, dst groups.GroupID, payload []byte) *msg.Message {
-	return s.Announce(src, dst, payload)
-}
-
-// ObserveClassed announces a peer daemon's class-tagged multicast.
-//
-// Deprecated: renamed AnnounceClassed (membership API redesign); this shim
-// will be removed next release.
-func (s *System) ObserveClassed(src groups.Process, dst groups.GroupID, payload []byte, class msg.Class) *msg.Message {
-	return s.AnnounceClassed(src, dst, payload, class)
 }
 
 // allDelivered mirrors the Termination checker's obligation: every
@@ -306,17 +383,35 @@ func (s *System) AwaitDelivery(timeout time.Duration) bool {
 // AwaitDeliveryCtx is AwaitDelivery under a caller-supplied context: it
 // blocks until full delivery, context cancellation, or Stop, and reports
 // whether full delivery was reached.
+//
+// The wait is broadcast-driven, not a poll: every local delivery closes the
+// broadcast channel, and the channel is fetched before the predicate is
+// evaluated, so a delivery landing between the check and the sleep still
+// wakes the waiter. A coarse fallback timer covers deliveries this instance
+// cannot observe directly (none today — allDelivered only inspects owned
+// processes — but it keeps the wait robust to future remote signals).
 func (s *System) AwaitDeliveryCtx(ctx context.Context) bool {
+	fallback := time.NewTimer(100 * time.Millisecond)
+	defer fallback.Stop()
 	for {
+		ch := s.deliveryCh()
 		if s.allDelivered() {
 			return true
 		}
+		if !fallback.Stop() {
+			select {
+			case <-fallback.C:
+			default:
+			}
+		}
+		fallback.Reset(100 * time.Millisecond)
 		select {
 		case <-ctx.Done():
 			return false
 		case <-s.stop:
 			return s.allDelivered()
-		case <-time.After(time.Millisecond):
+		case <-ch:
+		case <-fallback.C:
 		}
 	}
 }

@@ -89,6 +89,12 @@ type Log struct {
 	locked  map[Datum]bool
 	head    int // first free slot after which there are only free slots
 	version int64
+
+	// msgSeq records the KindMsg datums in first-append order. Appends are
+	// deduplicated, so each message appears exactly once; readers use it as
+	// an incremental discovery stream (MessagesSince) instead of re-listing
+	// and re-sorting the whole log on every scan.
+	msgSeq []msg.ID
 }
 
 // New returns an empty log with a diagnostic name.
@@ -112,6 +118,9 @@ func (l *Log) Append(d Datum) int {
 	p := l.head
 	l.pos[d] = p
 	l.head = p + 1
+	if d.Kind == KindMsg {
+		l.msgSeq = append(l.msgSeq, d.Msg)
+	}
 	l.version++
 	return p
 }
@@ -179,6 +188,22 @@ func (l *Log) Messages() []msg.ID {
 		}
 	}
 	return out
+}
+
+// MsgCount returns how many distinct messages the log carries — the
+// high-water mark of the MessagesSince stream.
+func (l *Log) MsgCount() int { return len(l.msgSeq) }
+
+// MessagesSince returns the messages appended after the first from message
+// appends, in first-append order. Discovery keeps from as a per-log
+// high-water mark and only ever reads the new suffix — the log is never
+// re-listed wholesale. The returned slice is freshly allocated (safe to
+// retain); an out-of-range from yields nil.
+func (l *Log) MessagesSince(from int) []msg.ID {
+	if from < 0 || from >= len(l.msgSeq) {
+		return nil
+	}
+	return append([]msg.ID(nil), l.msgSeq[from:]...)
 }
 
 // MessagesBefore returns the message IDs with a KindMsg datum strictly

@@ -136,6 +136,7 @@ type Recorder struct {
 	paxos  PaxosCounters
 	replog ReplogCounters
 	wal    WALCounters
+	sched  SchedCounters
 
 	mu         sync.Mutex
 	seq        int64
@@ -208,6 +209,15 @@ func (r *Recorder) WAL() *WALCounters {
 		return nil
 	}
 	return &r.wal
+}
+
+// Sched returns the recorder's scheduler counter block (nil on a nil
+// recorder).
+func (r *Recorder) Sched() *SchedCounters {
+	if r == nil {
+		return nil
+	}
+	return &r.sched
 }
 
 // wallNow returns the wall offset since the epoch, or zero when the
@@ -550,6 +560,56 @@ func (c *ReplogCounters) AddFwd(n int) {
 func (c *ReplogCounters) AddRemote(n int) {
 	if c != nil {
 		c.RemoteOps.Add(int64(n))
+	}
+}
+
+// SchedCounters count the stepping scheduler's work: how often nodes woke
+// (split by cause), how many guard scan passes they ran, how many Step calls
+// the change-vector check short-circuited without scanning, and how many
+// protocol actions fired. Scans/Actions is the scan efficiency of the ready
+// set; TimerWakeups alongside SkippedScans is the idle-CPU proxy — an
+// event-driven system shows timer wakeups that skip their scan, a polling
+// one shows scans growing with wall time regardless of traffic.
+type SchedCounters struct {
+	NotifyWakeups atomic.Int64
+	TimerWakeups  atomic.Int64
+	Scans         atomic.Int64
+	SkippedScans  atomic.Int64
+	Actions       atomic.Int64
+}
+
+// IncNotifyWakeup counts one node wakeup caused by a change notification.
+func (c *SchedCounters) IncNotifyWakeup() {
+	if c != nil {
+		c.NotifyWakeups.Add(1)
+	}
+}
+
+// IncTimerWakeup counts one safety-net timer wakeup.
+func (c *SchedCounters) IncTimerWakeup() {
+	if c != nil {
+		c.TimerWakeups.Add(1)
+	}
+}
+
+// IncScan counts one guard scan pass over a node's ready set.
+func (c *SchedCounters) IncScan() {
+	if c != nil {
+		c.Scans.Add(1)
+	}
+}
+
+// IncSkippedScan counts one Step short-circuited by the change-vector check.
+func (c *SchedCounters) IncSkippedScan() {
+	if c != nil {
+		c.SkippedScans.Add(1)
+	}
+}
+
+// IncAction counts one protocol action fired.
+func (c *SchedCounters) IncAction() {
+	if c != nil {
+		c.Actions.Add(1)
 	}
 }
 

@@ -197,6 +197,20 @@ type ConflictReport struct {
 	Classes        []ClassCount `json:"classes,omitempty"`
 }
 
+// SchedReport is the stepping scheduler's work in a run: wakeups by cause,
+// guard scan passes, Step calls short-circuited without a scan, and protocol
+// actions fired. WakeupsPerDelivery and StepsPerDelivery (computed against
+// the run's delivery count) are the event-efficiency of the hot path;
+// TimerWakeups with SkippedScans high relative to Scans is the signature of
+// an idle system that sleeps instead of polling.
+type SchedReport struct {
+	NotifyWakeups int64 `json:"notify_wakeups"`
+	TimerWakeups  int64 `json:"timer_wakeups"`
+	Scans         int64 `json:"scans"`
+	SkippedScans  int64 `json:"skipped_scans"`
+	Actions       int64 `json:"actions"`
+}
+
 // WALReport is the durable-storage footprint of a live run: records and
 // payload bytes appended to the write-ahead logs, group-commit durability
 // barriers (Syncs/Appends is the commit-batching ratio), segment rotations,
@@ -257,6 +271,7 @@ type RunReport struct {
 	Paxos    *PaxosReport    `json:"paxos,omitempty"`
 	Replog   *ReplogReport   `json:"replog,omitempty"`
 	WAL      *WALReport      `json:"wal,omitempty"`
+	Sched    *SchedReport    `json:"sched,omitempty"`
 	Chaos    *ChaosReport    `json:"chaos,omitempty"`
 	Conflict *ConflictReport `json:"conflict,omitempty"`
 
@@ -319,6 +334,15 @@ func (r *Recorder) Report() RunReport {
 			BatchedOps: r.replog.BatchedOps.Load(),
 			FwdOps:     r.replog.FwdOps.Load(),
 			RemoteOps:  r.replog.RemoteOps.Load(),
+		}
+	}
+	if v := r.sched.Scans.Load() + r.sched.SkippedScans.Load() + r.sched.NotifyWakeups.Load() + r.sched.TimerWakeups.Load(); v > 0 {
+		out.Sched = &SchedReport{
+			NotifyWakeups: r.sched.NotifyWakeups.Load(),
+			TimerWakeups:  r.sched.TimerWakeups.Load(),
+			Scans:         r.sched.Scans.Load(),
+			SkippedScans:  r.sched.SkippedScans.Load(),
+			Actions:       r.sched.Actions.Load(),
 		}
 	}
 	if v := r.wal.Appends.Load() + r.wal.RecoveredRecords.Load(); v > 0 {
@@ -474,6 +498,10 @@ func (r *RunReport) String() string {
 		if r.Replog.Batches > 0 {
 			fmt.Fprintf(&b, ", %d batches (%.1f ops/batch)", r.Replog.Batches, r.Replog.MeanBatchOps())
 		}
+	}
+	if r.Sched != nil {
+		fmt.Fprintf(&b, "\n  sched: %d notify + %d timer wakeups, %d scans (%d skipped), %d actions",
+			r.Sched.NotifyWakeups, r.Sched.TimerWakeups, r.Sched.Scans, r.Sched.SkippedScans, r.Sched.Actions)
 	}
 	if r.WAL != nil {
 		fmt.Fprintf(&b, "\n  wal: %d appends (%d B, %.1f B/append), %d syncs, %d rotations",

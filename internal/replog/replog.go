@@ -120,6 +120,10 @@ type Replica struct {
 	// hence the atomic pointer rather than a constructor argument.
 	counters atomic.Pointer[obs.ReplogCounters]
 
+	// onApply is the change-notification hook (see OnApply); an atomic
+	// pointer for the same reason as counters.
+	onApply atomic.Pointer[func()]
+
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled on every apply (and on SyncWait timeout)
 	slot    int        // decided-prefix length: next unapplied slot
@@ -151,6 +155,14 @@ type Replica struct {
 // Observe attaches run counters to the replica. Safe to call while the
 // loops are running; nil detaches.
 func (r *Replica) Observe(c *obs.ReplogCounters) { r.counters.Store(c) }
+
+// OnApply installs a change-notification hook, fired (outside the replica
+// lock) whenever a decided slot applies operations to the local copy — the
+// moment a guard evaluated against this replica may newly hold. The hook
+// must be cheap and non-blocking (wakeup-channel sends, not work); it may be
+// invoked concurrently from the apply, submit and sync paths. Safe to call
+// while the loops are running.
+func (r *Replica) OnApply(fn func()) { r.onApply.Store(&fn) }
 
 // SetClassHooks installs the conflict-class plumbing: of stamps each locally
 // enqueued op with its datum's class tag (return 0 for untagged data), learn
@@ -407,6 +419,17 @@ func (r *Replica) submitLoop() {
 			fb, had := fired[res.Inst.Slot]
 			delete(fired, res.Inst.Slot)
 			if res.OK {
+				// Apply the decided slot inline rather than waiting for the
+				// apply loop. Slot() only advances on apply, and
+				// ProposeWindowed short-circuits already-decided slots, so a
+				// loop that merely requeued here would re-fire the same
+				// stale slot in a tight spin until the apply goroutine got
+				// scheduled — on a loaded (or single-core) machine that
+				// starves the very goroutine it is waiting on for a full
+				// timeslice per slot. applyAt is a no-op unless this slot is
+				// exactly the next unapplied one, so the call is safe out of
+				// order and doubles as catch-up when the frontier lags.
+				r.applyAt(int(res.Inst.Slot), res.Val)
 				if had && !res.Val.Equal(fb.val) {
 					// An adopted or foreign value decided this slot; our
 					// batch did not land — its unsatisfied ops go again.
@@ -591,8 +614,8 @@ func (r *Replica) applyAt(slot int, v paxos.Value) {
 		panic(fmt.Sprintf("replog %s: decided value of slot %d does not decode: %v", r.name, slot, err))
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if slot != r.slot {
+		r.mu.Unlock()
 		return // already applied (or a future slot the prefix hasn't reached)
 	}
 	jr := journalOn.Load()
@@ -617,6 +640,15 @@ func (r *Replica) applyAt(slot int, v paxos.Value) {
 	r.slot++
 	r.completeLocked(ops)
 	r.cond.Broadcast()
+	r.mu.Unlock()
+	// Notify outside the lock: the hook may fan out to scheduler wakeups,
+	// and nothing it needs is guarded by mu. Empty slots (hole repairs)
+	// change no state, so they wake nobody.
+	if len(ops) > 0 {
+		if fn := r.onApply.Load(); fn != nil {
+			(*fn)()
+		}
+	}
 }
 
 // completeLocked finishes every waiter whose operation is satisfied by the
