@@ -1,10 +1,10 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
+
+	"repro/internal/benchfmt"
 )
 
 // microGate compares candidate micro-benchmark output to the baseline and
@@ -60,40 +60,47 @@ func microGate(w io.Writer, oldPath, newPath string, alpha, ratioMax float64) (f
 	return failed, nil
 }
 
-// liveRowKey identifies a benchtab live row across documents. ConflictRate
-// joined the key in schema v4: the commuting-mix rows (rate < 1) share a
-// topology with the all-conflict rows (rate 1) and must not alias them.
-// FsyncMode joined in v5 for the same reason: the durability rows (file,
-// file-nosync) re-run a topology the mem rows already measure.
+// liveRowKey identifies a live row across documents. ConflictRate joined
+// the key in schema v4: the commuting-mix rows (rate < 1) share a topology
+// with the all-conflict rows (rate 1) and must not alias them. FsyncMode
+// joined in v5 for the same reason: the durability rows (file, file-nosync)
+// re-run a topology the mem rows already measure. Scenario and WorkloadSeed
+// joined in v7: loadsim campaign rows are keyed by the scenario they ran
+// and the seed that replays it (benchtab sweep rows carry the zero values).
 type liveRowKey struct {
-	Processes    int     `json:"processes"`
-	Groups       int     `json:"groups"`
-	Transport    string  `json:"transport"`
-	ChaosSeed    int64   `json:"chaos_seed"`
-	ConflictRate float64 `json:"conflict_rate"`
-	FsyncMode    string  `json:"fsync_mode"`
+	Scenario     string
+	WorkloadSeed int64
+	Processes    int
+	Groups       int
+	Transport    string
+	ChaosSeed    int64
+	ConflictRate float64
+	FsyncMode    string
 }
 
-// liveRow is the subset of a benchtab live row the gate reads.
-type liveRow struct {
-	liveRowKey
-	DeliveriesPerSec   float64 `json:"deliveries_per_sec"`
-	PacketsPerDelivery float64 `json:"packets_per_delivery"`
+func keyOf(r benchfmt.LiveRow) liveRowKey {
+	return liveRowKey{
+		Scenario:     r.Scenario,
+		WorkloadSeed: r.WorkloadSeed,
+		Processes:    r.Processes,
+		Groups:       r.Groups,
+		Transport:    r.Transport,
+		ChaosSeed:    r.ChaosSeed,
+		ConflictRate: r.ConflictRate,
+		FsyncMode:    r.FsyncMode,
+	}
 }
 
-type liveDoc struct {
-	Version int       `json:"version"`
-	Runs    []liveRow `json:"runs"`
-}
-
-func loadLive(path string) (*liveDoc, error) {
-	b, err := os.ReadFile(path)
+// loadLive reads a BENCH document and refuses any schema version this
+// binary does not speak — a v6 baseline against a v7 candidate (or the
+// reverse) must fail loudly here, not surface as mass row mismatches.
+func loadLive(path string) (*benchfmt.LiveDoc, error) {
+	d, err := benchfmt.Load(path)
 	if err != nil {
 		return nil, err
 	}
-	var d liveDoc
-	if err := json.Unmarshal(b, &d); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+	if err := d.CheckVersion(path); err != nil {
+		return nil, err
 	}
 	if len(d.Runs) == 0 {
 		return nil, fmt.Errorf("%s: no runs", path)
@@ -120,18 +127,18 @@ func liveGate(w io.Writer, oldPath, newPath string, pktsSlack, dlvFloor, fileDlv
 	if err != nil {
 		return false, err
 	}
-	if old.Version != cur.Version {
-		return false, fmt.Errorf("schema version mismatch: baseline v%d vs candidate v%d — regenerate the baseline, cross-schema rows are not comparable", old.Version, cur.Version)
-	}
-	base := make(map[liveRowKey]liveRow, len(old.Runs))
+	base := make(map[liveRowKey]benchfmt.LiveRow, len(old.Runs))
 	for _, r := range old.Runs {
-		base[r.liveRowKey] = r
+		base[keyOf(r)] = r
 	}
 	fmt.Fprintf(w, "%-28s %22s %18s  %s\n", "row", "pkts/dlv old->new", "dlv/sec old->new", "verdict")
 	matched := 0
 	for _, r := range cur.Runs {
-		b, ok := base[r.liveRowKey]
+		b, ok := base[keyOf(r)]
 		label := fmt.Sprintf("n=%d k=%d %s seed=%d", r.Processes, r.Groups, r.Transport, r.ChaosSeed)
+		if r.Scenario != "" {
+			label = fmt.Sprintf("%s n=%d k=%d %s", r.Scenario, r.Processes, r.Groups, r.Transport)
+		}
 		if r.ConflictRate != 1 {
 			label = fmt.Sprintf("%s cfl=%.2f", label, r.ConflictRate)
 		}
@@ -150,6 +157,16 @@ func liveGate(w io.Writer, oldPath, newPath string, pktsSlack, dlvFloor, fileDlv
 			floor := dlvFloor
 			if r.FsyncMode != "" && r.FsyncMode != "mem" {
 				floor = fileDlvFloor
+			}
+			// Replay certificate: two full-length runs of the same (scenario,
+			// seed) must consume bit-identical streams. A digest drift with
+			// matching counts means the generator changed under the scenario,
+			// and every latency delta below is then workload noise.
+			if b.StreamDigest != "" && r.StreamDigest != "" &&
+				b.Multicasts == r.Multicasts && b.StreamDigest != r.StreamDigest {
+				verdict = fmt.Sprintf("FAIL: stream digest %s != baseline %s (generator changed under this scenario?)",
+					r.StreamDigest, b.StreamDigest)
+				failed = true
 			}
 			if b.PacketsPerDelivery > 0 && r.PacketsPerDelivery > b.PacketsPerDelivery*pktsSlack {
 				verdict = fmt.Sprintf("FAIL: packets/delivery %.1f > %.2fx baseline", r.PacketsPerDelivery, pktsSlack)

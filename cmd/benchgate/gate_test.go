@@ -147,7 +147,7 @@ func TestMicroGateMissingBenchmarkFails(t *testing.T) {
 	}
 }
 
-const liveBase = `{"version": 3, "runs": [
+const liveBase = `{"version": 7, "runs": [
   {"processes": 3, "groups": 2, "transport": "mem", "chaos_seed": 0,
    "deliveries_per_sec": 8000, "packets_per_delivery": 10.5},
   {"processes": 3, "groups": 2, "transport": "mem", "chaos_seed": 42,
@@ -216,7 +216,7 @@ func TestLiveGateSoftensFileRows(t *testing.T) {
 	// The same 0.15x throughput drop fails a mem row (floor 0.25) but
 	// passes a file-WAL durability row (floor 0.10): fsync speed is the
 	// runner's disk, not the code under test.
-	const fileBase = `{"version": 5, "runs": [
+	const fileBase = `{"version": 7, "runs": [
 	  {"processes": 3, "groups": 1, "transport": "mem", "chaos_seed": 0, "fsync_mode": "file",
 	   "deliveries_per_sec": 1000, "packets_per_delivery": 12.0}
 	]}`
@@ -246,11 +246,101 @@ func TestLiveGateSoftensFileRows(t *testing.T) {
 }
 
 func TestLiveGateRejectsCrossVersion(t *testing.T) {
-	cand := strings.Replace(liveBase, `"version": 3`, `"version": 2`, 1)
+	// A v6 document on either side is refused with an error that names the
+	// stale file and both versions — not surfaced as mass row mismatches.
+	v6 := strings.Replace(liveBase, `"version": 7`, `"version": 6`, 1)
 	var out bytes.Buffer
+	_, err := liveGate(&out,
+		writeTemp(t, "old.json", v6),
+		writeTemp(t, "new.json", liveBase), 1.25, 0.25, 0.10)
+	if err == nil {
+		t.Fatalf("v6 baseline against v7 candidate was not rejected")
+	}
+	if !strings.Contains(err.Error(), "old.json") || !strings.Contains(err.Error(), "version 6") ||
+		!strings.Contains(err.Error(), "version 7") {
+		t.Fatalf("rejection does not name the stale file and versions: %v", err)
+	}
 	if _, err := liveGate(&out,
 		writeTemp(t, "old.json", liveBase),
-		writeTemp(t, "new.json", cand), 1.25, 0.25, 0.10); err == nil {
-		t.Fatalf("cross-schema comparison was not rejected")
+		writeTemp(t, "new.json", v6), 1.25, 0.25, 0.10); err == nil {
+		t.Fatalf("v6 candidate against v7 baseline was not rejected")
+	}
+}
+
+const scenarioBase = `{"version": 7, "runs": [
+  {"scenario": "steady", "workload_seed": 1, "stream_digest": "aaaa", "multicasts": 600,
+   "processes": 9, "groups": 4, "transport": "mem", "chaos_seed": 0, "conflict_rate": 1,
+   "fsync_mode": "mem", "deliveries_per_sec": 3000, "packets_per_delivery": 10.0},
+  {"scenario": "hot-group", "workload_seed": 1, "stream_digest": "bbbb", "multicasts": 600,
+   "processes": 9, "groups": 4, "transport": "mem", "chaos_seed": 0, "conflict_rate": 1,
+   "fsync_mode": "mem", "deliveries_per_sec": 2000, "packets_per_delivery": 14.0}
+]}`
+
+func TestLiveGateKeysOnScenario(t *testing.T) {
+	// The two scenario rows share every topology column and differ only in
+	// the scenario name: a collapse on hot-group must be caught against the
+	// hot-group baseline, not aliased onto steady's.
+	cand := strings.Replace(scenarioBase, `"deliveries_per_sec": 2000`, `"deliveries_per_sec": 100`, 1)
+	var out bytes.Buffer
+	failed, err := liveGate(&out,
+		writeTemp(t, "old.json", scenarioBase),
+		writeTemp(t, "new.json", cand), 1.25, 0.25, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("hot-group collapse passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "hot-group") {
+		t.Fatalf("verdict does not name the scenario:\n%s", out.String())
+	}
+	// A renamed scenario is a new row, not a silent match.
+	out.Reset()
+	renamed := strings.ReplaceAll(scenarioBase, `"hot-group"`, `"hot-group-v2"`)
+	failed, err = liveGate(&out,
+		writeTemp(t, "old.json", scenarioBase),
+		writeTemp(t, "new.json", renamed), 1.25, 0.25, 0.10)
+	if err != nil || failed {
+		t.Fatalf("renamed scenario gated against the old name: failed=%v err=%v\n%s", failed, err, out.String())
+	}
+	if !strings.Contains(out.String(), "new row (no baseline)") {
+		t.Fatalf("renamed scenario not reported as new:\n%s", out.String())
+	}
+}
+
+func TestLiveGateCatchesDigestDrift(t *testing.T) {
+	// Same scenario, same multicast count, different stream digest: the
+	// generator changed underneath the baseline — fail even though the
+	// performance columns are identical.
+	cand := strings.Replace(scenarioBase, `"stream_digest": "aaaa"`, `"stream_digest": "cccc"`, 1)
+	var out bytes.Buffer
+	failed, err := liveGate(&out,
+		writeTemp(t, "old.json", scenarioBase),
+		writeTemp(t, "new.json", cand), 1.25, 0.25, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("stream digest drift passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "digest") {
+		t.Fatalf("verdict does not mention the digest:\n%s", out.String())
+	}
+	// A scaled run (different multicast count) legitimately has a different
+	// digest; only the count-matched comparison gates.
+	scaled := strings.Replace(cand, `"multicasts": 600,
+   "processes": 9, "groups": 4, "transport": "mem", "chaos_seed": 0, "conflict_rate": 1,
+   "fsync_mode": "mem", "deliveries_per_sec": 3000`, `"multicasts": 60,
+   "processes": 9, "groups": 4, "transport": "mem", "chaos_seed": 0, "conflict_rate": 1,
+   "fsync_mode": "mem", "deliveries_per_sec": 3000`, 1)
+	out.Reset()
+	failed, err = liveGate(&out,
+		writeTemp(t, "old.json", scenarioBase),
+		writeTemp(t, "new.json", scaled), 1.25, 0.25, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("scaled run's digest difference failed the gate:\n%s", out.String())
 	}
 }

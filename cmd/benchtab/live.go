@@ -1,11 +1,11 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/chaos"
 	"repro/internal/cliconf"
 	"repro/internal/core"
@@ -18,102 +18,6 @@ import (
 	"repro/internal/storage"
 	"repro/internal/wire"
 )
-
-// benchSchemaVersion is the BENCH_live.json schema version. Bump it when
-// row or document shape changes meaning; the -baseline delta mode refuses
-// to diff documents from a different version (silently comparing mismatched
-// shapes produced plausible-looking nonsense). Version 2 added the schema
-// field itself, the transport column, and wire-level byte counts. Version 3
-// made deliveries/sec a first-class column and added the batching pipeline's
-// shape (ops/batch, window depth peak, frames/flush, write drops) — and the
-// default load changed from a paced open loop to an unthrottled burst, so
-// v2 latency numbers are not comparable. Version 4 added the conflict_rate
-// column (1.0 = the vanilla all-conflict rows; < 1.0 = generic-variant
-// commuting-mix rows that skip pairwise coordination for commuting
-// messages) and fast_deliveries — v3 rows have no conflict_rate, so they
-// would silently alias the all-conflict rows. Version 5 added the fsync_mode
-// column (mem | file | file-nosync — the write-ahead-log backing of the run)
-// plus WAL bytes/op, sync counts and the measured post-run recovery time;
-// v4 rows have no fsync_mode, so they would alias the mem rows. Version 6
-// added the event-driven scheduler's columns — wakeups/delivery,
-// steps/delivery, guard scans and the idle-CPU proxy (timer wakeups +
-// skipped scans: work the run did with nothing to do) — and the stepping
-// model changed from a 200µs idle poll to wakeup-driven draining, so v5
-// latency rows were measured under a different scheduler.
-const benchSchemaVersion = 6
-
-// liveRow is one measured configuration of the live bench — a row of
-// BENCH_live.json.
-type liveRow struct {
-	Processes int    `json:"processes"`
-	Groups    int    `json:"groups"`
-	Transport string `json:"transport"`
-	ChaosSeed int64  `json:"chaos_seed"`
-	// ConflictRate is the fraction of the load tagged into keyed conflict
-	// classes: 1.0 is the vanilla total-order run (every pair conflicts),
-	// anything below runs the generic variant where the remaining messages
-	// are ClassFree and skip the g∩h coordination entirely.
-	ConflictRate float64 `json:"conflict_rate"`
-	// FsyncMode is the write-ahead-log backing: "mem" (in-memory group
-	// commit, the default substrate), "file" (file WAL, fsync on every
-	// commit barrier) or "file-nosync" (file WAL, OS buffering only). The
-	// durability tax is the file rows' delta against mem on the same
-	// topology.
-	FsyncMode          string  `json:"fsync_mode"`
-	Multicasts         int64   `json:"multicasts"`
-	Deliveries         int64   `json:"deliveries"`
-	P50Ms              float64 `json:"p50_ms"`
-	P90Ms              float64 `json:"p90_ms"`
-	P99Ms              float64 `json:"p99_ms"`
-	MaxMs              float64 `json:"max_ms"`
-	MsgsPerSec         float64 `json:"msgs_per_sec"`
-	DeliveriesPerSec   float64 `json:"deliveries_per_sec"`
-	Packets            int64   `json:"packets"`
-	PacketsPerDelivery float64 `json:"packets_per_delivery"`
-	ChaosInjections    uint64  `json:"chaos_injections,omitempty"`
-	// FastDeliveries counts deliveries that skipped the pairwise
-	// coordination pipeline (generic variant, commuting messages only).
-	FastDeliveries int64   `json:"fast_deliveries,omitempty"`
-	WallMs         float64 `json:"wall_ms"`
-	// Batching pipeline shape: mean ops per proposed replog batch and the
-	// peak number of outstanding windowed accept rounds in any realm.
-	AvgBatchOps     float64 `json:"avg_batch_ops"`
-	WindowDepthPeak int64   `json:"window_depth_peak"`
-	FwdOps          int64   `json:"fwd_ops,omitempty"`
-	RemoteOps       int64   `json:"remote_ops,omitempty"`
-	// Wire traffic (tcp transport only): real encoded bytes on the socket,
-	// the write loops' coalescing factor, and frames lost to failed flushes.
-	WireBytesOut   int64   `json:"wire_bytes_out,omitempty"`
-	WireFramesOut  int64   `json:"wire_frames_out,omitempty"`
-	WireReconnects int64   `json:"wire_reconnects,omitempty"`
-	FramesPerFlush float64 `json:"frames_per_flush,omitempty"`
-	WireWriteDrops int64   `json:"wire_write_drops,omitempty"`
-	// WAL footprint: mean record payload bytes per append, group-commit
-	// barriers, and (file rows) the wall time a fresh process took to
-	// replay the finished run's logs — the restart cost of this much
-	// history.
-	WALBytesPerOp float64 `json:"wal_bytes_per_op,omitempty"`
-	WALSyncs      int64   `json:"wal_syncs,omitempty"`
-	RecoveryMs    float64 `json:"recovery_ms,omitempty"`
-	// Scheduler shape (v6): how much stepping work the run's deliveries
-	// cost. WakeupsPerDelivery counts notify + timer wakeups per delivery;
-	// StepsPerDelivery counts fired actions per delivery; Scans is the
-	// number of full guard-scan passes. IdleWork is the idle-CPU proxy —
-	// timer wakeups plus version-check-only skipped scans, the residual
-	// work a wakeup-driven run performs when nothing is happening.
-	WakeupsPerDelivery float64 `json:"wakeups_per_delivery,omitempty"`
-	StepsPerDelivery   float64 `json:"steps_per_delivery,omitempty"`
-	Scans              int64   `json:"scans,omitempty"`
-	IdleWork           int64   `json:"idle_work,omitempty"`
-}
-
-// liveDoc is the BENCH_live.json document.
-type liveDoc struct {
-	Version   int       `json:"version"`
-	Generated string    `json:"generated"`
-	Short     bool      `json:"short"`
-	Runs      []liveRow `json:"runs"`
-}
 
 // chainTopo builds the nemesis chain of overlapping 3-member groups
 // {0,1,2},{2,3,4},... over n processes (odd n >= 3): every adjacent pair of
@@ -324,70 +228,19 @@ func liveBench(short bool, jsonPath, baselinePath, transport string, rate float6
 	header(fmt.Sprintf("Live substrate — wall-clock cost of Algorithm 1 over chain topologies (%s transport)", transport))
 	fmt.Printf("%4s %3s %6s %5s %-11s | %5s | %9s %9s | %9s %9s | %7s %7s | %9s %9s\n",
 		"n", "k", "seed", "cfl", "wal", "msgs", "p50 ms", "p99 ms", "dlv/sec", "pkts/dlv", "wk/dlv", "stp/dlv", "B/op", "recov ms")
-	doc := liveDoc{Version: benchSchemaVersion, Generated: time.Now().UTC().Format(time.RFC3339), Short: short}
+	doc := benchfmt.NewDoc(short)
 	for _, rc := range plan {
 		rep, err := liveRun(rc.n, rc.seed, msgs, pace, transport, rc.rate, rc.fsync, dataDir)
 		if err != nil {
 			return err
 		}
-		row := liveRow{
-			Processes:    rep.Processes,
-			Groups:       rep.Groups,
-			Transport:    transport,
-			ChaosSeed:    rc.seed,
-			ConflictRate: rc.rate,
-			FsyncMode:    rc.fsync,
-			Multicasts:   rep.Multicasts,
-			Deliveries:   rep.Deliveries,
-			WallMs:       float64(rep.Wall) / float64(time.Millisecond),
-		}
-		if rep.WallLatency != nil {
-			row.P50Ms = rep.WallLatency.P50
-			row.P90Ms = rep.WallLatency.P90
-			row.P99Ms = rep.WallLatency.P99
-			row.MaxMs = rep.WallLatency.Max
-		}
-		if rep.Wall > 0 {
-			row.MsgsPerSec = float64(rep.Multicasts) / rep.Wall.Seconds()
-			row.DeliveriesPerSec = float64(rep.Deliveries) / rep.Wall.Seconds()
-		}
-		if rep.Net != nil {
-			row.Packets = rep.Net.Packets
-		}
-		if ppd, ok := rep.PacketsPerDelivery(); ok {
-			row.PacketsPerDelivery = ppd
-		}
-		row.ChaosInjections = rep.Chaos.Injections()
-		row.AvgBatchOps = rep.Replog.MeanBatchOps()
-		if rep.Replog != nil {
-			row.FwdOps = rep.Replog.FwdOps
-			row.RemoteOps = rep.Replog.RemoteOps
-		}
-		if rep.Paxos != nil {
-			row.WindowDepthPeak = rep.Paxos.WindowDepthPeak
-		}
-		if rep.Conflict != nil {
-			row.FastDeliveries = rep.Conflict.FastDeliveries
-		}
-		if rep.Wire != nil {
-			row.WireBytesOut = rep.Wire.BytesOut
-			row.WireFramesOut = rep.Wire.FramesEncoded
-			row.WireReconnects = rep.Wire.Reconnects
-			row.FramesPerFlush = rep.Wire.FramesPerFlush()
-			row.WireWriteDrops = rep.Wire.WriteDrops
-		}
-		if rep.WAL != nil {
-			row.WALBytesPerOp = rep.WAL.BytesPerAppend()
-			row.WALSyncs = rep.WAL.Syncs
-			row.RecoveryMs = float64(rep.WAL.RecoveryNanos) / float64(time.Millisecond)
-		}
-		if rep.Sched != nil {
-			row.Scans = rep.Sched.Scans
-			row.IdleWork = rep.Sched.TimerWakeups + rep.Sched.SkippedScans
-			if rep.Deliveries > 0 {
-				row.WakeupsPerDelivery = float64(rep.Sched.NotifyWakeups+rep.Sched.TimerWakeups) / float64(rep.Deliveries)
-				row.StepsPerDelivery = float64(rep.Sched.Actions) / float64(rep.Deliveries)
-			}
+		row := benchfmt.FromReport(rep)
+		row.Transport = transport
+		row.ChaosSeed = rc.seed
+		row.ConflictRate = rc.rate
+		row.FsyncMode = rc.fsync
+		if rate > 0 {
+			row.OfferedPerSec = rate
 		}
 		doc.Runs = append(doc.Runs, row)
 		fmt.Printf("%4d %3d %6d %5.2f %-11s | %5d | %9.2f %9.2f | %9.1f %9.1f | %7.1f %7.1f | %9.1f %9.2f\n",
@@ -415,11 +268,7 @@ func liveBench(short bool, jsonPath, baselinePath, transport string, rate float6
 	if jsonPath == "" {
 		return nil
 	}
-	blob, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+	if err := doc.Write(jsonPath); err != nil {
 		return err
 	}
 	fmt.Printf("\nwrote %s (%d runs)\n", jsonPath, len(doc.Runs))
@@ -432,18 +281,13 @@ func liveBench(short bool, jsonPath, baselinePath, transport string, rate float6
 // improvements. Rows only one side measured are listed as unmatched rather
 // than silently skipped. A baseline from a different schema version is
 // rejected outright: its numbers may mean something else.
-func printBaselineDeltas(path string, fresh []liveRow) error {
-	blob, err := os.ReadFile(path)
+func printBaselineDeltas(path string, fresh []benchfmt.LiveRow) error {
+	prior, err := benchfmt.Load(path)
 	if err != nil {
 		return fmt.Errorf("-baseline: %w", err)
 	}
-	var prior liveDoc
-	if err := json.Unmarshal(blob, &prior); err != nil {
-		return fmt.Errorf("-baseline %s: %w", path, err)
-	}
-	if prior.Version != benchSchemaVersion {
-		return fmt.Errorf("-baseline %s: schema version %d, this binary writes version %d — cross-schema deltas are meaningless; regenerate the baseline with this binary",
-			path, prior.Version, benchSchemaVersion)
+	if err := prior.CheckVersion(path); err != nil {
+		return fmt.Errorf("-baseline: %w", err)
 	}
 	type rowKey struct {
 		n         int
@@ -452,7 +296,7 @@ func printBaselineDeltas(path string, fresh []liveRow) error {
 		rate      float64
 		fsync     string
 	}
-	old := make(map[rowKey]liveRow, len(prior.Runs))
+	old := make(map[rowKey]benchfmt.LiveRow, len(prior.Runs))
 	for _, r := range prior.Runs {
 		old[rowKey{r.Processes, r.Transport, r.ChaosSeed, r.ConflictRate, r.FsyncMode}] = r
 	}

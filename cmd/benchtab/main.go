@@ -46,15 +46,12 @@ import (
 func main() {
 	cc := cliconf.Bind(flag.CommandLine, cliconf.ToolBenchtab)
 	var (
-		shortFlag     = flag.Bool("short", false, "smaller topologies and message counts (CI budget)")
-		jsonFlag      = flag.String("json", "", "write live-mode results as JSON to this path")
-		baselineFlag  = flag.String("baseline", "", "prior BENCH_live.json; live mode prints per-topology deltas against it")
-		transportFlag = flag.String("transport", "mem", "live-mode transport: mem (in-memory channels) | tcp (loopback sockets + binary codec)")
-		rateFlag      = flag.Float64("rate", 0, "live-mode load throttle in multicasts/sec (0 = unthrottled burst)")
-		countFlag     = flag.Int("count", 0, "live-mode multicasts per run (0 = mode default)")
-		conflictFlag  = flag.Float64("conflict-rate", 0.1, "conflicting fraction of the generic commuting-mix live rows (1 = skip those rows)")
-		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile    = flag.String("memprofile", "", "write a heap profile to this path at exit")
+		shortFlag    = flag.Bool("short", false, "smaller topologies and message counts (CI budget)")
+		rateFlag     = flag.Float64("rate", 0, "live-mode load throttle in multicasts/sec (0 = unthrottled burst)")
+		countFlag    = flag.Int("count", 0, "live-mode multicasts per run (0 = mode default)")
+		conflictFlag = flag.Float64("conflict-rate", 0.1, "conflicting fraction of the generic commuting-mix live rows (1 = skip those rows)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this path at exit")
 	)
 	flag.Parse()
 	if *cpuProfile != "" {
@@ -97,7 +94,7 @@ func main() {
 	case "delay":
 		delaySweep()
 	case "live":
-		if err := liveBench(*shortFlag, *jsonFlag, *baselineFlag, *transportFlag, *rateFlag, *countFlag, *conflictFlag, cc.DataDir, cc.Fsync); err != nil {
+		if err := liveBench(*shortFlag, cc.JSON, cc.Baseline, cc.Transport, *rateFlag, *countFlag, *conflictFlag, cc.DataDir, cc.Fsync); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/groups"
+	"repro/internal/live"
+	"repro/internal/msg"
+	"repro/internal/net"
+	"repro/internal/obs"
+	"repro/internal/replog"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// delivery is one raw delivery event captured by the OnDeliver hook: which
+// message landed, and when on the wall clock. The intended-time join
+// happens after the run — the hook can fire before the sending loop has
+// recorded the message's intended time, so it must not consult that map.
+type delivery struct {
+	id msg.ID
+	at time.Time
+}
+
+// runScenario drives one scenario's full stream against a fresh live
+// system and reduces the run to its SLO row. The returned row carries the
+// open-loop latency columns (measured from intended send times), the
+// offered rate, and the stream digest; an error means the scenario did not
+// complete (delivery timeout) or, for soak scenarios, the applied-op
+// journal diverged from the decision snapshots.
+func runScenario(sc workload.Scenario, seed int64, transport string, timeout time.Duration) (benchfmt.LiveRow, error) {
+	gen, err := workload.NewGen(sc, seed)
+	if err != nil {
+		return benchfmt.LiveRow{}, err
+	}
+	digest, err := workload.Digest(sc, seed)
+	if err != nil {
+		return benchfmt.LiveRow{}, err
+	}
+	topo := gen.Topology()
+	n := topo.NumProcesses()
+	var nw net.Transport
+	switch transport {
+	case "mem":
+		nw = net.New(n)
+	case "tcp":
+		f, err := wire.NewFabric(n)
+		if err != nil {
+			return benchfmt.LiveRow{}, err
+		}
+		nw = f
+	default:
+		return benchfmt.LiveRow{}, fmt.Errorf("unknown transport %q (want mem or tcp)", transport)
+	}
+	rec := obs.NewRecorder(obs.Options{Level: obs.LevelCounters, WallClock: true})
+	opt := core.Options{Rec: rec}
+	if gen.Generic() {
+		opt.Variant = core.Generic
+		opt.Conflict = msg.ClassesConflict
+	}
+	// Raw delivery capture: every (process, message) delivery event, stamped
+	// here rather than trusting any downstream clock.
+	var mu sync.Mutex
+	var events []delivery
+	opt.OnDeliver = func(_ groups.Process, m *msg.Message, _ failure.Time) {
+		at := time.Now()
+		mu.Lock()
+		events = append(events, delivery{id: m.ID, at: at})
+		mu.Unlock()
+	}
+	if sc.Soak {
+		// Soak scenarios run with the applied-op journal armed so the
+		// journal/decision diff below covers every campaign, not just the
+		// failover tests (ROADMAP item 3).
+		replog.SetJournal(true)
+		defer replog.SetJournal(false)
+	}
+	sys := live.NewSystem(topo, failure.NewPattern(n), nw, live.Config{Opt: opt})
+	sys.Start()
+
+	// The open-loop clock: each arrival is submitted no earlier than its
+	// intended time. When the driver falls behind (the system is slower than
+	// the offered rate), arrivals fire back to back and the growing gap
+	// lands in the intended-time latency — exactly the tail a closed loop
+	// would have hidden.
+	start := time.Now()
+	intended := make(map[msg.ID]time.Duration, sc.Count)
+	var lastAt time.Duration
+	for {
+		a, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if d := time.Until(start.Add(a.At)); d > 0 {
+			time.Sleep(d)
+		}
+		m := sys.MulticastClassed(a.Src, a.Dst, nil, a.Class)
+		intended[m.ID] = a.At
+		lastAt = a.At
+	}
+	ok := sys.AwaitDelivery(timeout)
+	sys.Stop()
+	rep := sys.Report()
+	if !ok {
+		return benchfmt.LiveRow{}, fmt.Errorf("delivery incomplete after %v (%d multicasts, %d deliveries)",
+			timeout, rep.Multicasts, rep.Deliveries)
+	}
+	if sc.Soak {
+		if errs := sys.JournalDiff(); len(errs) > 0 {
+			return benchfmt.LiveRow{}, fmt.Errorf("journal/decision diff: %v (and %d more)", errs[0], len(errs)-1)
+		}
+	}
+
+	// Join the raw delivery events against the intended send times. Every
+	// event's message was submitted by the loop above, so a missing id is a
+	// bug worth failing on, not skipping.
+	mu.Lock()
+	lat := make([]float64, 0, len(events))
+	for _, ev := range events {
+		at, found := intended[ev.id]
+		if !found {
+			mu.Unlock()
+			return benchfmt.LiveRow{}, fmt.Errorf("delivery of unknown message m%d", ev.id)
+		}
+		lat = append(lat, float64(ev.at.Sub(start.Add(at)))/float64(time.Millisecond))
+	}
+	mu.Unlock()
+	sum := obs.Summarise(lat)
+
+	row := benchfmt.FromReport(rep)
+	// The latency columns of a scenario row are the open-loop summary, not
+	// the recorder's send-to-delivery histogram: measured from intended
+	// time, they include any backlog the driver accrued.
+	row.P50Ms = sum.P50
+	row.P90Ms = sum.P90
+	row.P99Ms = sum.P99
+	row.P999Ms = sum.P999
+	row.MaxMs = sum.Max
+	row.Scenario = sc.Name
+	row.WorkloadSeed = seed
+	row.StreamDigest = digest
+	row.Transport = transport
+	row.ConflictRate = sc.ConflictRate
+	row.FsyncMode = "mem"
+	if lastAt > 0 {
+		row.OfferedPerSec = float64(sc.Count) / lastAt.Seconds()
+	}
+	return row, nil
+}

@@ -19,6 +19,7 @@ const (
 	ToolAmcastd
 	ToolBenchtab
 	ToolNemesis
+	ToolLoadsim
 )
 
 // Common receives the shared flag values at Parse time. Bind declares on a
@@ -41,6 +42,13 @@ type Common struct {
 	Linger  time.Duration
 	DataDir string // -data-dir: WAL directory ("" = in-memory, no recovery)
 	Fsync   string // -fsync: "sync" | "none" (file WAL durability barrier)
+
+	Transport    string  // -transport: live backend transport ("mem" | "tcp")
+	JSON         string  // -json: write results as a BENCH document here
+	Baseline     string  // -baseline: prior BENCH document to diff/gate against
+	Scenarios    string  // -scenarios: comma-separated scenario names ("all")
+	ScenarioFile string  // -scenario-file: JSON scenario list replacing the catalog
+	LoadScale    float64 // -load-scale: multiply every scenario's arrival count
 }
 
 // flagSpecs is the declarative flag table: each shared flag appears exactly
@@ -64,8 +72,8 @@ var flagSpecs = []struct {
 	{ToolAmcast | ToolAmcastd, func(fs *flag.FlagSet, c *Common) {
 		fs.Int64Var(&c.Delay, "delay", 8, "failure-detector stabilisation delay (ticks)")
 	}},
-	{ToolAmcast | ToolAmcastd | ToolNemesis, func(fs *flag.FlagSet, c *Common) {
-		fs.Int64Var(&c.Seed, "seed", 1, "run seed: failure detectors and fault schedules (must match across daemons)")
+	{ToolAmcast | ToolAmcastd | ToolNemesis | ToolLoadsim, func(fs *flag.FlagSet, c *Common) {
+		fs.Int64Var(&c.Seed, "seed", 1, "run seed: failure detectors, fault schedules and workload streams (must match across daemons; (scenario, seed) replays a loadsim stream)")
 	}},
 	{ToolAmcast | ToolAmcastd, func(fs *flag.FlagSet, c *Common) {
 		fs.BoolVar(&c.Report, "report", false, "print the obs.RunReport before exiting")
@@ -76,8 +84,8 @@ var flagSpecs = []struct {
 	{ToolAmcastd, func(fs *flag.FlagSet, c *Common) {
 		fs.StringVar(&c.Peers, "peers", "", "comma-separated host:port per process, indexed by ID")
 	}},
-	{ToolAmcastd, func(fs *flag.FlagSet, c *Common) {
-		fs.DurationVar(&c.Timeout, "timeout", 60*time.Second, "how long to wait for local delivery")
+	{ToolAmcastd | ToolLoadsim, func(fs *flag.FlagSet, c *Common) {
+		fs.DurationVar(&c.Timeout, "timeout", 60*time.Second, "how long to wait for delivery to complete (amcastd: local delivery; loadsim: per-scenario drain)")
 	}},
 	{ToolAmcastd, func(fs *flag.FlagSet, c *Common) {
 		fs.DurationVar(&c.Linger, "linger", 2*time.Second, "how long to stay up after local delivery so peers can finish")
@@ -87,6 +95,24 @@ var flagSpecs = []struct {
 	}},
 	{ToolAmcastd | ToolBenchtab, func(fs *flag.FlagSet, c *Common) {
 		fs.StringVar(&c.Fsync, "fsync", "sync", "file-WAL durability barrier: sync (fsync on commit) | none (OS buffering only; benchtab also skips the fsync'd row)")
+	}},
+	{ToolBenchtab | ToolLoadsim, func(fs *flag.FlagSet, c *Common) {
+		fs.StringVar(&c.Transport, "transport", "mem", "live-backend transport: mem (in-memory channels) | tcp (loopback sockets + binary codec)")
+	}},
+	{ToolBenchtab | ToolLoadsim, func(fs *flag.FlagSet, c *Common) {
+		fs.StringVar(&c.JSON, "json", "", "write results as a versioned BENCH document to this path")
+	}},
+	{ToolBenchtab | ToolLoadsim, func(fs *flag.FlagSet, c *Common) {
+		fs.StringVar(&c.Baseline, "baseline", "", "prior BENCH document; print per-row deltas against it (same schema version only)")
+	}},
+	{ToolLoadsim, func(fs *flag.FlagSet, c *Common) {
+		fs.StringVar(&c.Scenarios, "scenarios", "all", "comma-separated scenario names to run, in order (\"all\" runs the whole catalog)")
+	}},
+	{ToolLoadsim, func(fs *flag.FlagSet, c *Common) {
+		fs.StringVar(&c.ScenarioFile, "scenario-file", "", "JSON scenario list replacing the built-in catalog (the serialized form of []workload.Scenario)")
+	}},
+	{ToolLoadsim, func(fs *flag.FlagSet, c *Common) {
+		fs.Float64Var(&c.LoadScale, "load-scale", 1, "multiply every scenario's arrival count (changes the stream, so digests differ from scale-1 baselines)")
 	}},
 }
 

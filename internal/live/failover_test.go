@@ -246,37 +246,9 @@ func runFailoverMidWindow(t *testing.T, seed int64) {
 	// snapshot. If this diff fires while the bit-for-bit snapshot agreement
 	// above held, the fork is in decide *delivery* (applyAt was fed a value
 	// the acceptor never recorded); if both fire, it is a consensus fork.
-	sys.be.lk.Lock()
-	repsByKey := make(map[repKey]*replog.Replica, len(sys.be.reps))
-	for key, rep := range sys.be.reps {
-		repsByKey[key] = rep
-	}
-	sys.be.lk.Unlock()
-	for key, rep := range repsByKey {
-		realm := uint64(key.pair.A)<<32 | uint64(uint32(key.pair.B))
-		snap := snaps[key.p]
-		j := rep.Journal()
-		for i := 0; i < len(j); {
-			slot := j[i].Slot
-			inst := paxos.InstanceID{Space: paxos.SpaceLog, Realm: realm, Slot: int64(slot)}
-			v, ok := snap[inst]
-			if !ok {
-				t.Fatalf("seed %d: p%d log %v applied slot %d that its own decision snapshot does not contain",
-					seed, key.p, key.pair, slot)
-			}
-			want, err := replog.DecodeBatch(v)
-			if err != nil {
-				t.Fatalf("seed %d: p%d log %v: decided batch of slot %d does not decode: %v",
-					seed, key.p, key.pair, slot, err)
-			}
-			for k := range want {
-				if i+k >= len(j) || j[i+k].Slot != slot || j[i+k].Op != want[k] {
-					t.Fatalf("seed %d: p%d log %v: applied ops of slot %d diverge from the decided batch at op %d (journal tail %+v, decided %+v)",
-						seed, key.p, key.pair, slot, k, j[i:], want)
-				}
-			}
-			i += len(want)
-		}
+	// The same check guards every loadsim soak scenario via JournalDiff.
+	for _, err := range sys.JournalDiff() {
+		t.Fatalf("seed %d: journal/decision diff: %v", seed, err)
 	}
 
 	for _, v := range sys.Check() {

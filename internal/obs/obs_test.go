@@ -95,7 +95,7 @@ func TestSummariseQuantiles(t *testing.T) {
 		samples[i] = float64(100 - i) // reversed: Summarise must sort a copy
 	}
 	s := obs.Summarise(samples)
-	want := obs.LatencySummary{Count: 100, Mean: 50.5, P50: 50, P90: 90, P99: 99, Max: 100}
+	want := obs.LatencySummary{Count: 100, Mean: 50.5, P50: 50, P90: 90, P99: 99, P999: 100, Max: 100}
 	if s != want {
 		t.Errorf("Summarise = %+v, want %+v", s, want)
 	}

@@ -19,7 +19,10 @@ type LatencySummary struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
-	Max   float64 `json:"max"`
+	// P999 is the 99.9th percentile — the open-loop tail the SLO rows gate
+	// on; with fewer than ~1000 samples it degenerates towards Max.
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
 }
 
 // Summarise computes the summary of a sample set (zero value when empty).
@@ -51,6 +54,7 @@ func Summarise(samples []float64) LatencySummary {
 		P50:   q(0.50),
 		P90:   q(0.90),
 		P99:   q(0.99),
+		P999:  q(0.999),
 		Max:   s[len(s)-1],
 	}
 }

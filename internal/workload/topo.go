@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/groups"
+)
+
+// Topology kinds the generator can build. All are deterministic functions
+// of (Kind, Groups) — no randomness, so a TopoSpec names exactly one
+// topology and scenario replay cannot drift on the group structure.
+const (
+	// TopoChain is the bench staple: k overlapping 3-member groups
+	// {0,1,2},{2,3,4},... — every adjacent pair shares one process, no
+	// cyclic families. 2k+1 processes.
+	TopoChain = "chain"
+	// TopoRing is k size-2 groups g_i = {p_i, p_{i+1 mod k}} over k
+	// processes: one cyclic family spans every group — the stabilisation
+	// worst case (§6.2 convoys live here).
+	TopoRing = "ring"
+	// TopoDisjoint is k disjoint 3-member groups over 3k processes: no
+	// overlap at all, the pure-parallelism regime genuineness pays nothing
+	// for.
+	TopoDisjoint = "disjoint"
+	// TopoWide is the generated mixed family: a cyclic ring core of k/2
+	// size-2 groups bridged into an acyclic chain of 3-member groups
+	// covering the rest — dozens of groups with both cyclic and acyclic
+	// g∩h overlap in one topology. k/2 + 2*ceil(k/2) processes.
+	TopoWide = "wide"
+)
+
+// TopoSpec names a generated topology. Processes is optional: 0 derives
+// the canonical process count for the kind; a non-zero value must match it
+// (a mismatched spec is a misread scenario, not a request to improvise).
+type TopoSpec struct {
+	Kind      string `json:"kind"`
+	Groups    int    `json:"groups"`
+	Processes int    `json:"processes,omitempty"`
+}
+
+// ringCore is the number of ring groups in a wide topology of k groups.
+func wideRingCore(k int) int { return k / 2 }
+
+// DerivedProcesses returns the process count the spec's kind implies.
+func (ts TopoSpec) DerivedProcesses() (int, error) {
+	k := ts.Groups
+	switch ts.Kind {
+	case TopoChain:
+		return 2*k + 1, nil
+	case TopoRing:
+		return k, nil
+	case TopoDisjoint:
+		return 3 * k, nil
+	case TopoWide:
+		c := wideRingCore(k)
+		return c + 2*(k-c), nil
+	default:
+		return 0, fmt.Errorf("workload: unknown topology kind %q (want %s, %s, %s or %s)",
+			ts.Kind, TopoChain, TopoRing, TopoDisjoint, TopoWide)
+	}
+}
+
+// Build generates the topology. Every emitted group family is validated by
+// groups.New (membership bounds, non-empty groups, bitset capacity), so a
+// successful Build is a valid family by construction.
+//
+// Cost note: groups.New enumerates cyclic families over 2^k group subsets —
+// ~0.7s at k=20 and 4x per +2 groups. The wide catalog scenario sits at
+// k=20 for exactly that reason; pushing far past it buys construction time,
+// not protocol coverage.
+func (ts TopoSpec) Build() (*groups.Topology, error) {
+	k := ts.Groups
+	minGroups := 1
+	if ts.Kind == TopoRing {
+		minGroups = 3 // a 2-ring degenerates to two identical groups
+	}
+	if ts.Kind == TopoWide {
+		minGroups = 6 // below this there is no core+chain structure to mix
+	}
+	if k < minGroups {
+		return nil, fmt.Errorf("workload: %s topology needs >= %d groups, got %d", ts.Kind, minGroups, k)
+	}
+	n, err := ts.DerivedProcesses()
+	if err != nil {
+		return nil, err
+	}
+	if ts.Processes != 0 && ts.Processes != n {
+		return nil, fmt.Errorf("workload: %s topology with %d groups has %d processes, spec says %d",
+			ts.Kind, k, n, ts.Processes)
+	}
+	var sets []groups.ProcSet
+	switch ts.Kind {
+	case TopoChain:
+		for g := 0; g < k; g++ {
+			sets = append(sets, groups.NewProcSet(
+				groups.Process(2*g), groups.Process(2*g+1), groups.Process(2*g+2)))
+		}
+	case TopoRing:
+		for g := 0; g < k; g++ {
+			sets = append(sets, groups.NewProcSet(
+				groups.Process(g), groups.Process((g+1)%k)))
+		}
+	case TopoDisjoint:
+		for g := 0; g < k; g++ {
+			sets = append(sets, groups.NewProcSet(
+				groups.Process(3*g), groups.Process(3*g+1), groups.Process(3*g+2)))
+		}
+	case TopoWide:
+		// Ring core: c size-2 groups over processes 0..c-1 (one cyclic
+		// family spanning the core).
+		c := wideRingCore(k)
+		for g := 0; g < c; g++ {
+			sets = append(sets, groups.NewProcSet(
+				groups.Process(g), groups.Process((g+1)%c)))
+		}
+		// Acyclic chain: 3-member groups marching off process c-1, so the
+		// first chain group shares exactly one process with the ring (the
+		// bridge) and the rest overlap pairwise without closing a cycle.
+		for j := 0; j < k-c; j++ {
+			base := c - 1 + 2*j
+			sets = append(sets, groups.NewProcSet(
+				groups.Process(base), groups.Process(base+1), groups.Process(base+2)))
+		}
+	}
+	return groups.New(n, sets...)
+}
